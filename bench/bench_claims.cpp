@@ -1,0 +1,99 @@
+// Reproduction of the paper's in-text quantitative claims:
+//   §II-C : a naive serial Huffman-tree build on one V100 thread takes
+//           ~144 ms at 8192 symbols, capping 1 GB compression below
+//           10 GB/s.
+//   §III-B: the prefix-sum encoder reaches only ~37 GB/s on V100 at
+//           1.027 avg bits; coarse-grained cuSZ reaches ~30 GB/s.
+//   §IV-B2: canonizing a 1024-codeword codebook costs ~200 us on V100.
+
+#include "common.hpp"
+#include "core/canonical.hpp"
+#include "core/decode.hpp"
+#include "core/encode_reduceshuffle.hpp"
+#include "core/encode_simt.hpp"
+#include "core/histogram.hpp"
+#include "core/tree.hpp"
+#include "data/quant.hpp"
+#include "data/synth_hist.hpp"
+
+int main() {
+  using namespace parhuff;
+  bench::banner("IN-TEXT CLAIMS: serial-tree-on-GPU, prefix-sum ceiling, "
+                "canonization cost");
+
+  TextTable t("claims");
+  t.header({"claim", "paper", "reproduction (modeled V100)"});
+
+  // --- Claim 1: naive serial tree on the GPU, 8192 symbols. ---------------
+  {
+    const auto freq = data::kmer_like_histogram(8192, 1u << 24, 5);
+    SerialBuildStats st;
+    (void)build_lengths_pq(freq, &st);
+    simt::MemTally tally;
+    tally.kernel_launches = 1;
+    // The naive builder allocates and chases tree/heap nodes scattered in
+    // global memory: each logical step is ~3 dependent uncached accesses,
+    // unlike the flat-array builders the other tables model.
+    tally.serial_dependent_ops = st.dependent_ops * 3;
+    const double ms = perf::modeled_ms(tally, bench::v100());
+    t.row({"serial codebook build @8192 syms", "144 ms",
+           fmt(ms, 1) + " ms"});
+  }
+
+  // --- Claim 2: encoder ceilings at 1.027 avg bits. ------------------------
+  {
+    const std::size_t bytes = bench::scaled_bytes(256 * 1000 * 1000ull);
+    const auto codes = data::generate_nyx_quant(bytes / 2, 1);
+    const auto freq = histogram_serial<u16>(codes, 1024);
+    const Codebook cb = build_codebook_serial(freq);
+    const std::size_t in_bytes = codes.size() * 2;
+
+    simt::MemTally ps, coarse, rs;
+    const auto e1 = encode_prefixsum_simt<u16>(codes, cb, 1024, &ps);
+    const auto e2 = encode_coarse_simt<u16>(codes, cb, 1024, &coarse);
+    ReduceShuffleStats stats;
+    const auto e3 = encode_reduceshuffle_simt<u16>(
+        codes, cb, ReduceShuffleConfig{10, 3}, &rs, &stats);
+    if (decode_stream<u16>(e1, cb, 0) != codes ||
+        decode_stream<u16>(e2, cb, 0) != codes ||
+        decode_stream<u16>(e3, cb, 0) != codes) {
+      std::fprintf(stderr, "FATAL: encoder round trip failed\n");
+      return 1;
+    }
+    t.row({"prefix-sum encoder @1.03 avg bits", "~37 GB/s",
+           fmt(perf::modeled_gbps_at(in_bytes, 256 * 1000 * 1000ull, ps,
+                                     bench::v100()),
+               1) + " GB/s"});
+    t.row({"coarse (cuSZ) encoder", "~30 GB/s",
+           fmt(perf::modeled_gbps_at(in_bytes, 256 * 1000 * 1000ull, coarse,
+                                     bench::v100()),
+               1) + " GB/s"});
+    t.row({"ours (reduce/shuffle)", "314.6 GB/s",
+           fmt(perf::modeled_gbps_at(in_bytes, 256 * 1000 * 1000ull, rs,
+                                     bench::v100()),
+               1) + " GB/s"});
+  }
+
+  // --- Claim 3: canonization cost at 1024 codewords. -----------------------
+  {
+    const auto codes = data::generate_nyx_quant(1u << 20, 2);
+    const auto freq = histogram_serial<u16>(codes, 1024);
+    const auto lens = build_lengths_twoqueue(freq);
+    (void)canonize_from_lengths(lens);
+    simt::MemTally tally;
+    // The paper's canonization kernel is partially parallel; only the RAW
+    // radix-sort section (~1/3 of the ops) pays lone-thread latency.
+    tally.serial_dependent_ops = canonize_last_op_count() / 3;
+    tally.kernel_launches = 1;
+    const double us = perf::modeled_ms(tally, bench::v100()) * 1e3;
+    t.row({"canonize 1024-codeword codebook", "~200 us", fmt(us, 0) + " us"});
+  }
+
+  t.print();
+  std::printf(
+      "\nexpected shape: the serial GPU build is in the hundred-ms class —\n"
+      "orders of magnitude above the parallel construction (Table III);\n"
+      "both prior encoders are stuck in the 25-45 GB/s band on a 900 GB/s\n"
+      "part while the reduce/shuffle encoder clears 200+ GB/s.\n");
+  return 0;
+}

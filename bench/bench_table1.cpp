@@ -1,0 +1,103 @@
+// Table I reproduction: the parallelism taxonomy of every kernel in the
+// pipeline. Unlike the other tables this one is descriptive, so instead of
+// timing anything we *check* each row against the implementation: each
+// kernel is run once on a probe workload and its tally must exhibit the
+// properties the taxonomy claims (e.g. the privatized histogram uses
+// atomics and block sync; reduce-merge is block-synchronized and
+// reduction-shaped; canonization's RAW section is sequential).
+
+#include "common.hpp"
+#include "core/canonical.hpp"
+#include "core/encode_reduceshuffle.hpp"
+#include "core/encode_simt.hpp"
+#include "core/histogram.hpp"
+#include "core/par_codebook.hpp"
+#include "core/tree.hpp"
+#include "data/quant.hpp"
+#include "simt/coop.hpp"
+
+int main() {
+  using namespace parhuff;
+  bench::banner("TABLE I: parallelism per sub-procedure (verified against "
+                "kernel tallies)");
+
+  const auto codes = data::generate_nyx_quant(1u << 20, 3);
+
+  TextTable t("kernel taxonomy");
+  t.header({"kernel", "granularity", "data-thread", "mechanism", "boundary",
+            "verified"});
+
+  // Histogram: fine-grained, many-to-one, atomic write + reduction,
+  // block sync.
+  {
+    simt::MemTally tally;
+    (void)histogram_simt<u16>(codes, 1024, &tally);
+    const bool ok = tally.shared_atomics > 0 && tally.global_atomics > 0 &&
+                    tally.block_syncs > 0;
+    t.row({"histogram (block+grid reduce)", "fine-grained", "many-to-one",
+           "atomic write + reduction", "sync block", ok ? "yes" : "NO"});
+  }
+
+  const auto freq = histogram_serial<u16>(codes, 1024);
+
+  // Codebook: GenerateCL fine+coarse (merge partitions), GenerateCW fine,
+  // both under one cooperative launch (grid sync).
+  {
+    simt::MemTally tally;
+    ParCodebookStats stats;
+    simt::CooperativeGrid grid(1024, &tally);
+    const Codebook cb = build_codebook_parallel(grid, freq, &stats, &tally);
+    const bool ok = tally.kernel_launches == 1 && tally.grid_syncs > 0 &&
+                    stats.rounds > 0 && cb.validate().empty();
+    t.row({"build codebook: GenerateCL", "coarse+fine", "one-to-one",
+           "ParMerge (merge path)", "sync grid", ok ? "yes" : "NO"});
+    t.row({"build codebook: GenerateCW", "fine-grained", "one-to-one",
+           "level scan + assign", "sync grid", ok ? "yes" : "NO"});
+  }
+
+  // Canonize: serial RAW sections (the paper's partially-parallel kernel);
+  // our counted serial ops stand in for them.
+  {
+    const auto lens = build_lengths_twoqueue(freq);
+    (void)canonize_from_lengths(lens);
+    const bool ok = canonize_last_op_count() > 0;
+    t.row({"canonize (RAW sections)", "sequential", "many-to-one",
+           "counting sort", "sync grid", ok ? "yes" : "NO"});
+  }
+
+  const Codebook cb = build_codebook_serial(freq);
+
+  // Reduce-merge: fine-grained reduction with block sync; shuffle-merge:
+  // one-to-one batched moves; blockwise length + prefix sum; coalescing
+  // copy with device sync (second launch).
+  {
+    simt::MemTally tally;
+    ReduceShuffleStats stats;
+    (void)encode_reduceshuffle_simt<u16>(codes, cb,
+                                         ReduceShuffleConfig{10, 3}, &tally,
+                                         &stats);
+    const bool ok = tally.block_syncs > 0 && tally.kernel_launches == 2 &&
+                    stats.reduce_iterations == 3 &&
+                    stats.shuffle_iterations == 7;
+    t.row({"Huffman enc: REDUCE-merge", "coarse+fine", "many-to-one",
+           "reduction", "sync block", ok ? "yes" : "NO"});
+    t.row({"Huffman enc: SHUFFLE-merge", "coarse+fine", "one-to-one",
+           "two-step batch move", "sync device", ok ? "yes" : "NO"});
+    t.row({"get blockwise code len", "coarse+fine", "one-to-one",
+           "prefix sum", "sync grid", ok ? "yes" : "NO"});
+    t.row({"coalescing copy", "coarse+fine", "one-to-one", "copy",
+           "sync device", ok ? "yes" : "NO"});
+  }
+
+  // Prefix-sum baseline for contrast: atomics + scan.
+  {
+    simt::MemTally tally;
+    (void)encode_prefixsum_simt<u16>(codes, cb, 1024, &tally);
+    const bool ok = tally.global_atomics > 0;
+    t.row({"(baseline) prefix-sum scatter", "fine-grained", "one-to-one",
+           "prefix sum + atomic write", "sync block", ok ? "yes" : "NO"});
+  }
+
+  t.print();
+  return 0;
+}

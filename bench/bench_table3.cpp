@@ -1,0 +1,135 @@
+// Table III reproduction: Huffman codebook construction time breakdown on
+// RTX 5000 / V100 for 1024–8192 symbols — the cuSZ serial-on-GPU baseline
+// (gen codebook + canonize) vs our parallel construction (GenerateCL +
+// GenerateCW), plus the measured serial CPU reference.
+
+#include "common.hpp"
+#include "core/canonical.hpp"
+#include "core/par_codebook.hpp"
+#include "core/sort.hpp"
+#include "core/tree.hpp"
+#include "data/quant.hpp"
+#include "data/synth_hist.hpp"
+#include "simt/coop.hpp"
+#include "util/stats.hpp"
+
+namespace parhuff {
+namespace {
+
+struct Case {
+  std::string label;
+  std::vector<u64> freq;
+};
+
+std::vector<Case> make_cases() {
+  // Nyx-Quant's real 1024-bin histogram + DNA-k-mer-profile histograms at
+  // the paper's 3/4/5-mer alphabet sizes (synthetic, exactly-n populated —
+  // see DESIGN.md on the gbbct1.seq substitution).
+  std::vector<Case> cases;
+  const auto codes = data::generate_nyx_quant(4u << 20, 7);
+  std::vector<u64> nyx(1024, 0);
+  for (u16 c : codes) ++nyx[c];
+  // The paper's Nyx-Quant codebook covers all 1024 bins; pad empty tails
+  // with singletons so the constructed alphabet matches.
+  for (u64& f : nyx) {
+    if (f == 0) f = 1;
+  }
+  cases.push_back({"Nyx-Quant 1024", std::move(nyx)});
+  cases.push_back({"3-mer 2048", data::kmer_like_histogram(2048, 1u << 24, 3)});
+  cases.push_back({"4-mer 4096", data::kmer_like_histogram(4096, 1u << 24, 4)});
+  cases.push_back({"5-mer 8192", data::kmer_like_histogram(8192, 1u << 24, 5)});
+  return cases;
+}
+
+}  // namespace
+}  // namespace parhuff
+
+int main() {
+  using namespace parhuff;
+  bench::banner("TABLE III: codebook construction breakdown (ms)");
+
+  TextTable cusz("cuSZ-style serial construction on one GPU thread (modeled)");
+  cusz.header({"case", "#symbols", "serial CPU ms (measured)",
+               "gen codebook TU", "gen codebook V", "canonize TU",
+               "canonize V", "total TU", "total V"});
+  TextTable ours("ours: parallel two-phase construction (modeled)");
+  ours.header({"case", "#symbols", "GenCL TU", "GenCL V", "GenCW TU",
+               "GenCW V", "total TU", "total V", "rounds", "speedup V"});
+
+  for (auto& c : make_cases()) {
+    const std::size_t n = c.freq.size();
+
+    // Reference: measured serial CPU construction (median of 9).
+    const auto reps = time_reps(9, [&] {
+      Timer t;
+      (void)build_codebook_serial(c.freq);
+      return t.seconds();
+    });
+    const double cpu_ms = summarize(reps).median * 1e3;
+
+    // cuSZ baseline: serial tree + serial canonize, each op paying lone
+    // GPU-thread latency.
+    SerialBuildStats st;
+    const auto lens = build_lengths_pq(c.freq, &st);
+    (void)canonize_from_lengths(lens);
+    simt::MemTally tree_tally, canon_tally;
+    tree_tally.kernel_launches = 1;
+    tree_tally.serial_dependent_ops = st.dependent_ops;
+    // Canonization is partially parallelized (only the RAW radix-sort
+    // section is serial, ~1/3 of the op count).
+    canon_tally.serial_dependent_ops = canonize_last_op_count() / 3;
+
+    const double gb_tu = perf::modeled_ms(tree_tally, bench::rtx5000());
+    const double gb_v = perf::modeled_ms(tree_tally, bench::v100());
+    const double cn_tu = perf::modeled_ms(canon_tally, bench::rtx5000());
+    const double cn_v = perf::modeled_ms(canon_tally, bench::v100());
+    cusz.row({c.label, std::to_string(n), fmt(cpu_ms, 3), fmt(gb_tu, 3),
+              fmt(gb_v, 3), fmt(cn_tu, 3), fmt(cn_v, 3),
+              fmt(gb_tu + cn_tu, 3), fmt(gb_v + cn_v, 3)});
+
+    // Ours: GenerateCL and GenerateCW with separate tallies.
+    std::vector<u64> keys;
+    std::vector<u32> syms;
+    for (std::size_t s = 0; s < c.freq.size(); ++s) {
+      if (c.freq[s]) {
+        keys.push_back(c.freq[s]);
+        syms.push_back(static_cast<u32>(s));
+      }
+    }
+    radix_sort_by_key(keys, syms);
+    simt::MemTally cl_tally, cw_tally;
+    ParCodebookStats stats;
+    std::vector<u32> cl;
+    {
+      simt::CooperativeGrid grid(n, &cl_tally);
+      cl = generate_cl(grid, keys, &stats, &cl_tally);
+    }
+    {
+      simt::CooperativeGrid grid(n, &cw_tally);
+      (void)generate_cw(grid, cl, &stats, &cw_tally);
+    }
+    const double cl_tu = perf::modeled_ms(cl_tally, bench::rtx5000());
+    const double cl_v = perf::modeled_ms(cl_tally, bench::v100());
+    const double cw_tu = perf::modeled_ms(cw_tally, bench::rtx5000());
+    const double cw_v = perf::modeled_ms(cw_tally, bench::v100());
+    ours.row({c.label, std::to_string(n), fmt(cl_tu, 3), fmt(cl_v, 3),
+              fmt(cw_tu, 3), fmt(cw_v, 3), fmt(cl_tu + cw_tu, 3),
+              fmt(cl_v + cw_v, 3), std::to_string(stats.rounds),
+              fmt((gb_v + cn_v) / (cl_v + cw_v), 1) + "x"});
+  }
+  cusz.print();
+  std::printf("\n");
+  ours.print();
+
+  std::printf(
+      "\npaper (Table III) totals in ms, TU / V:\n"
+      "  cuSZ serial: 1024: 3.416/3.804   2048: 8.623/10.044   "
+      "4096: 20.667/25.347   8192: 63.201/60.541\n"
+      "  ours:        1024: 0.449/0.544   2048: 0.713/0.868    "
+      "4096: 1.425/1.677    8192: 5.261/5.437\n"
+      "  (CPU serial reference: 0.045 / 0.208 / 0.695 / 1.806)\n"
+      "expected shape: serial-on-GPU grows superlinearly and is 7-45x\n"
+      "slower than our parallel construction; CPU serial beats the GPU\n"
+      "below ~8192 symbols.\n");
+  return 0;
+}

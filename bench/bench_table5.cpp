@@ -1,0 +1,168 @@
+// Table V reproduction: overall Huffman performance breakdown on the six
+// datasets — avg bits, breaking %, #reduce, histogram GB/s, codebook ms,
+// encode GB/s, overall GB/s — for the cuSZ-style baseline and for our
+// encoder, modeled on RTX 5000 (TU) and V100 (V).
+
+#include <optional>
+#include <vector>
+
+#include "common.hpp"
+#include "core/decode.hpp"
+#include "core/encode_simt.hpp"
+#include "core/entropy.hpp"
+#include "simt/coop.hpp"
+#include "core/histogram.hpp"
+#include "core/tree.hpp"
+#include "data/quant.hpp"
+
+namespace parhuff {
+namespace {
+
+struct Row {
+  std::string name;
+  std::size_t bytes = 0;
+  double avg_bits = 0;
+  double breaking = 0;
+  u32 reduce = 0;
+  // Modeled numbers, [0]=TU, [1]=V.
+  double hist_gbps[2] = {0, 0};
+  double cb_ms[2] = {0, 0};
+  double enc_gbps[2] = {0, 0};
+  double overall_gbps[2] = {0, 0};
+};
+
+template <typename Sym>
+Row run_dataset(const data::DatasetInfo& info, std::span<const Sym> syms,
+                bool ours) {
+  Row row;
+  row.name = info.name;
+  row.bytes = syms.size() * sizeof(Sym);
+  const double scale = static_cast<double>(info.paper_bytes) /
+                       static_cast<double>(row.bytes);
+  const simt::DeviceSpec* devs[2] = {&bench::rtx5000(), &bench::v100()};
+
+  // Histogram (same kernel in both systems).
+  simt::MemTally hist_tally;
+  const auto freq = histogram_simt<Sym>(syms, info.nbins, &hist_tally);
+
+  // Codebook: cuSZ = serial builder executed by one GPU thread;
+  // ours = Algorithm 1 on the cooperative grid.
+  simt::MemTally cb_tally;
+  Codebook cb;
+  if (ours) {
+    simt::CooperativeGrid grid(info.nbins, &cb_tally);
+    cb = build_codebook_parallel(grid, freq, nullptr, &cb_tally);
+  } else {
+    SerialBuildStats st;
+    cb = canonize_from_lengths(build_lengths_pq(freq, &st));
+    cb_tally.kernel_launches = 1;
+    cb_tally.serial_dependent_ops =
+        st.dependent_ops + canonize_last_op_count() / 3;
+  }
+  row.avg_bits = cb.average_bits(freq);
+
+  // Encoder.
+  simt::MemTally enc_tally;
+  EncodedStream enc;
+  if (ours) {
+    ReduceShuffleConfig cfg;
+    cfg.magnitude = 10;
+    cfg.reduce_factor = decide_reduce_factor(row.avg_bits, cfg.magnitude);
+    ReduceShuffleStats stats;
+    enc = encode_reduceshuffle_simt<Sym>(syms, cb, cfg, &enc_tally, &stats);
+    row.reduce = cfg.reduce_factor;
+    row.breaking = enc.breaking_fraction();
+  } else {
+    enc = encode_coarse_simt<Sym>(syms, cb, 1024, &enc_tally);
+  }
+  // Sanity: the stream must decode (kept on to guarantee the numbers come
+  // from a correct encoder).
+  const auto back = decode_stream<Sym>(enc, cb, 0);
+  if (back.size() != syms.size() ||
+      !std::equal(back.begin(), back.end(), syms.begin())) {
+    std::fprintf(stderr, "FATAL: %s round-trip failed\n", info.name.c_str());
+    std::exit(1);
+  }
+
+  for (int d = 0; d < 2; ++d) {
+    row.hist_gbps[d] =
+        perf::modeled_gbps_at(row.bytes, info.paper_bytes, hist_tally,
+                              *devs[d]);
+    row.cb_ms[d] = perf::modeled_ms(cb_tally, *devs[d]);
+    row.enc_gbps[d] = perf::modeled_gbps_at(row.bytes, info.paper_bytes,
+                                            enc_tally, *devs[d]);
+    const double total_s =
+        perf::model_time_scaled(hist_tally, *devs[d], scale).total() +
+        perf::model_time(cb_tally, *devs[d]).total() +
+        perf::model_time_scaled(enc_tally, *devs[d], scale).total();
+    row.overall_gbps[d] =
+        static_cast<double>(info.paper_bytes) / 1e9 / total_s;
+  }
+  return row;
+}
+
+void print_block(const char* title, const std::vector<Row>& rows) {
+  TextTable t(title);
+  t.header({"dataset", "size", "avg bits", "breaking", "#reduce", "hist TU",
+            "hist V", "codebook TU ms", "codebook V ms", "enc TU", "enc V",
+            "overall TU", "overall V"});
+  for (const auto& r : rows) {
+    t.row({r.name, fmt_bytes(r.bytes), fmt(r.avg_bits, 4),
+           r.reduce ? fmt_pct(r.breaking, 6) : "-",
+           r.reduce ? std::to_string(r.reduce) + " (" +
+                          std::to_string(1u << r.reduce) + "x)"
+                    : "-",
+           fmt(r.hist_gbps[0], 1), fmt(r.hist_gbps[1], 1), fmt(r.cb_ms[0], 3),
+           fmt(r.cb_ms[1], 3), fmt(r.enc_gbps[0], 1), fmt(r.enc_gbps[1], 1),
+           fmt(r.overall_gbps[0], 1), fmt(r.overall_gbps[1], 1)});
+  }
+  t.print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace parhuff
+
+int main() {
+  using namespace parhuff;
+  bench::banner(
+      "TABLE V: overall Huffman performance breakdown (cuSZ baseline vs "
+      "ours)");
+
+  std::vector<Row> cusz_rows, ours_rows;
+  for (const auto& info : data::paper_datasets()) {
+    const std::size_t bytes = bench::scaled_bytes(info.paper_bytes);
+    const auto ds = data::generate(info.name, bytes, 31);
+    std::printf("  running %-10s (%s)...\n", info.name.c_str(),
+                fmt_bytes(ds.input_bytes()).c_str());
+    if (info.width == data::SymbolWidth::kByte) {
+      cusz_rows.push_back(run_dataset<u8>(info, ds.bytes8, false));
+      ours_rows.push_back(run_dataset<u8>(info, ds.bytes8, true));
+    } else {
+      cusz_rows.push_back(run_dataset<u16>(info, ds.syms16, false));
+      ours_rows.push_back(run_dataset<u16>(info, ds.syms16, true));
+    }
+  }
+  std::printf("\n");
+  print_block("cuSZ-style coarse-grained encoder (baseline)", cusz_rows);
+  print_block("Ours (reduce/shuffle-merge encoder, parallel codebook)",
+              ours_rows);
+
+  // Paper-vs-reproduction comparison on the headline column.
+  TextTable cmp("encode GB/s on V100: paper vs modeled reproduction");
+  cmp.header({"dataset", "paper cuSZ", "repro cuSZ", "paper ours",
+              "repro ours", "paper speedup", "repro speedup"});
+  const auto& reg = data::paper_datasets();
+  for (std::size_t i = 0; i < reg.size(); ++i) {
+    const double paper_speedup =
+        reg[i].paper_encode_v100 / reg[i].paper_cusz_encode_v100;
+    const double repro_speedup =
+        ours_rows[i].enc_gbps[1] / cusz_rows[i].enc_gbps[1];
+    cmp.row({reg[i].name, fmt(reg[i].paper_cusz_encode_v100, 1),
+             fmt(cusz_rows[i].enc_gbps[1], 1),
+             fmt(reg[i].paper_encode_v100, 1), fmt(ours_rows[i].enc_gbps[1], 1),
+             fmt(paper_speedup, 2) + "x", fmt(repro_speedup, 2) + "x"});
+  }
+  cmp.print();
+  return 0;
+}

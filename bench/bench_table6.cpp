@@ -1,0 +1,162 @@
+// Table VI reproduction: the multithreaded CPU Huffman encoder on
+// Nyx-Quant — histogram GB/s, codebook ms, encode GB/s, parallel
+// efficiency, and overall GB/s for 1–64 cores, with the GPU (modeled TU/V)
+// columns alongside.
+//
+// Host measurements calibrate single-thread throughput; the 2x28-core Xeon
+// 8280 scaling comes from perf::CpuSpec (see DESIGN.md).
+
+#include "common.hpp"
+#include "core/decode.hpp"
+#include "core/encode_reduceshuffle.hpp"
+#include "core/encode_serial.hpp"
+#include "core/histogram.hpp"
+#include "simt/coop.hpp"
+#include "core/tree.hpp"
+#include "data/quant.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace parhuff;
+  bench::banner("TABLE VI: multithreaded CPU encoder on Nyx-Quant");
+
+  const std::size_t bytes = bench::scaled_bytes(256 * 1000 * 1000ull);
+  const auto codes = data::generate_nyx_quant(bytes / sizeof(u16), 6);
+  const std::size_t in_bytes = codes.size() * sizeof(u16);
+  std::printf("input: %s of quantization codes\n\n",
+              fmt_bytes(in_bytes).c_str());
+
+  // --- Measured single-thread throughputs on this host. -------------------
+  const double hist_1t_gbps = [&] {
+    auto reps = time_reps(3, [&] {
+      Timer t;
+      (void)histogram_openmp<u16>(codes, 1024, 1);
+      return t.seconds();
+    });
+    return gbps(in_bytes, summarize(reps).median);
+  }();
+  auto freq = histogram_serial<u16>(codes, 1024);
+  // Pad to a full 1024-symbol codebook as in the paper's Nyx-Quant setup.
+  for (u64& f : freq) {
+    if (f == 0) f = 1;
+  }
+  const Codebook cb = build_codebook_serial(freq);
+  const double cb_ms = [&] {
+    auto reps = time_reps(7, [&] {
+      Timer t;
+      (void)build_codebook_serial(freq);
+      return t.seconds();
+    });
+    return summarize(reps).median * 1e3;
+  }();
+  const double enc_1t_gbps = [&] {
+    auto reps = time_reps(3, [&] {
+      Timer t;
+      (void)encode_openmp<u16>(codes, cb, 1024, 1);
+      return t.seconds();
+    });
+    return gbps(in_bytes, summarize(reps).median);
+  }();
+  // Verify correctness once.
+  if (decode_stream<u16>(encode_openmp<u16>(codes, cb, 1024, 2), cb, 0) !=
+      codes) {
+    std::fprintf(stderr, "FATAL: encoder round trip failed\n");
+    return 1;
+  }
+
+  std::printf("host single-thread: hist %.2f GB/s, codebook %.3f ms, "
+              "encode %.2f GB/s\n",
+              hist_1t_gbps, cb_ms, enc_1t_gbps);
+  const double host2_hist = [&] {
+    auto reps = time_reps(3, [&] {
+      Timer t;
+      (void)histogram_openmp<u16>(codes, 1024, 2);
+      return t.seconds();
+    });
+    return gbps(in_bytes, summarize(reps).median);
+  }();
+  const double host2_enc = [&] {
+    auto reps = time_reps(3, [&] {
+      Timer t;
+      (void)encode_openmp<u16>(codes, cb, 1024, 2);
+      return t.seconds();
+    });
+    return gbps(in_bytes, summarize(reps).median);
+  }();
+  std::printf("host 2-thread (measured): hist %.2f GB/s, encode %.2f GB/s\n\n",
+              host2_hist, host2_enc);
+
+  // --- Scaled to the paper's Xeon testbed. --------------------------------
+  const perf::CpuSpec cpu;
+  // Histogramming saturates each socket's effective bandwidth early (reads
+  // plus table read-modify-writes): the paper measures ~63 GB/s at 32
+  // cores. Model it with a tighter per-socket roofline.
+  perf::CpuSpec hist_cpu = cpu;
+  hist_cpu.per_socket_bw_gbps = 32.0;
+  const int cores[] = {1, 2, 4, 8, 16, 32, 56, 64};
+  TextTable t("modeled 2x28-core Xeon 8280 scaling + modeled GPUs");
+  t.header({"metric", "1", "2", "4", "8", "16", "32", "56", "64", "TU", "V"});
+
+  // GPU columns from the simulated pipeline.
+  simt::MemTally hist_tally, enc_tally;
+  (void)histogram_simt<u16>(codes, 1024, &hist_tally);
+  ReduceShuffleStats stats;
+  (void)encode_reduceshuffle_simt<u16>(codes, cb,
+                                       ReduceShuffleConfig{10, 3}, &enc_tally,
+                                       &stats);
+  simt::MemTally cb_tally;
+  {
+    simt::CooperativeGrid grid(1024, &cb_tally);
+    (void)build_codebook_parallel(grid, freq, nullptr, &cb_tally);
+  }
+
+  std::vector<std::string> hist_row = {"hist (GB/s)"};
+  std::vector<std::string> enc_row = {"encode (GB/s)"};
+  std::vector<std::string> eff_row = {"par. efficiency"};
+  std::vector<std::string> overall_row = {"overall (GB/s)"};
+  for (int p : cores) {
+    const double h = perf::scaled_throughput_gbps(hist_1t_gbps, p, hist_cpu);
+    const double e = perf::scaled_throughput_gbps(enc_1t_gbps, p, cpu);
+    hist_row.push_back(fmt(h, 2));
+    enc_row.push_back(fmt(e, 2));
+    eff_row.push_back(fmt(perf::parallel_efficiency(enc_1t_gbps, p, cpu), 2));
+    const double total_s = static_cast<double>(in_bytes) / 1e9 / h +
+                           cb_ms / 1e3 +
+                           static_cast<double>(in_bytes) / 1e9 / e;
+    overall_row.push_back(
+        fmt(static_cast<double>(in_bytes) / 1e9 / total_s, 2));
+  }
+  const std::size_t paper_bytes = 256 * 1000 * 1000ull;
+  for (const auto* dev : {&bench::rtx5000(), &bench::v100()}) {
+    const double h = perf::modeled_gbps_at(in_bytes, paper_bytes, hist_tally,
+                                           *dev);
+    const double e = perf::modeled_gbps_at(in_bytes, paper_bytes, enc_tally,
+                                           *dev);
+    const double c = perf::modeled_ms(cb_tally, *dev);
+    hist_row.push_back(fmt(h, 1));
+    enc_row.push_back(fmt(e, 1));
+    eff_row.push_back("-");
+    const double total_s = static_cast<double>(paper_bytes) / 1e9 / h +
+                           c / 1e3 +
+                           static_cast<double>(paper_bytes) / 1e9 / e;
+    overall_row.push_back(
+        fmt(static_cast<double>(paper_bytes) / 1e9 / total_s, 2));
+  }
+  t.row(hist_row);
+  t.row({"codebook (ms)", fmt(cb_ms, 2), fmt(cb_ms, 2), fmt(cb_ms, 2),
+         fmt(cb_ms, 2), fmt(cb_ms, 2), fmt(cb_ms, 2), fmt(cb_ms, 2),
+         fmt(cb_ms, 2), fmt(perf::modeled_ms(cb_tally, bench::rtx5000()), 2),
+         fmt(perf::modeled_ms(cb_tally, bench::v100()), 2)});
+  t.row(enc_row);
+  t.row(eff_row);
+  t.row(overall_row);
+  t.print();
+
+  std::printf(
+      "\npaper (Table VI): encode 1.22 GB/s @1 core scaling to 55.71 @56\n"
+      "(efficiency 0.81), collapsing to 29.33 @64; overall 29.22 GB/s on\n"
+      "56 cores vs 96.01 modeled V100 — a ~3.3x GPU advantage. Expected\n"
+      "shape here: near-linear scaling to 32 cores, saturation at 56,\n"
+      "collapse at 64, and V100 overall ~3-4x the 56-core CPU.\n");
+  return 0;
+}

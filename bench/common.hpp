@@ -1,0 +1,66 @@
+#pragma once
+// Shared plumbing for the table/figure reproduction benches.
+//
+// Every bench prints (a) the paper's reference numbers and (b) this
+// reproduction's numbers — host-measured where the paper measured CPUs,
+// modeled through perf/ where the paper measured GPUs (the simulator's
+// transaction tallies are device-independent, so one functional run prices
+// both the RTX 5000 and the V100).
+//
+// Dataset sizes default to paper_size/24 (clamped to [2 MB, 48 MB]) so a
+// full bench run finishes in minutes on a small host; set
+// PARHUFF_BENCH_SCALE=1 to run at the paper's sizes.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "data/datasets.hpp"
+#include "perf/cpu_model.hpp"
+#include "perf/gpu_model.hpp"
+#include "simt/spec.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace parhuff::bench {
+
+/// Scale factor applied to paper dataset sizes (PARHUFF_BENCH_SCALE, default
+/// 1/24).
+inline double size_scale() {
+  if (const char* s = std::getenv("PARHUFF_BENCH_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0) return v;
+  }
+  return 1.0 / 24.0;
+}
+
+inline std::size_t scaled_bytes(std::size_t paper_bytes) {
+  const double v = static_cast<double>(paper_bytes) * size_scale();
+  const double clamped =
+      v < 2e6 ? 2e6 : (v > 48e6 && size_scale() < 1.0 ? 48e6 : v);
+  return static_cast<std::size_t>(clamped);
+}
+
+inline const simt::DeviceSpec& v100() {
+  static const simt::DeviceSpec d = simt::DeviceSpec::v100();
+  return d;
+}
+inline const simt::DeviceSpec& rtx5000() {
+  static const simt::DeviceSpec d = simt::DeviceSpec::rtx5000();
+  return d;
+}
+
+inline void banner(const char* what) {
+  std::printf(
+      "\n================================================================\n"
+      "%s\n"
+      "GPU columns are MODELED from simulator transaction tallies (see\n"
+      "DESIGN.md); CPU columns are measured on this host and scaled via\n"
+      "perf::CpuSpec where the paper used a 2x28-core Xeon 8280.\n"
+      "Dataset scale: %.4f of paper sizes (PARHUFF_BENCH_SCALE to change).\n"
+      "================================================================\n\n",
+      what, size_scale());
+}
+
+}  // namespace parhuff::bench

@@ -1,0 +1,70 @@
+// n-gram/DNA scenario (§II-A): k-mer symbolization of a GenBank-style
+// sequence file produces alphabets of thousands of symbols — the regime
+// where serial codebook construction becomes the bottleneck and the
+// paper's parallel construction pays off.
+//
+// Run: ./dna_kmer
+
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "core/tree.hpp"
+#include "data/dnagen.hpp"
+#include "perf/gpu_model.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace parhuff;
+
+  const auto bytes = data::generate_genbank(16 * MiB, 77);
+  std::printf("GenBank-like flat file: %s\n\n", fmt_bytes(bytes.size()).c_str());
+
+  TextTable t("k-mer compression (codebook: serial vs parallel)");
+  t.header({"k", "symbols", "nbins", "avg bits", "serial cb ms",
+            "parallel cb ms (host)", "modeled V100 ms", "ratio", "roundtrip"});
+
+  for (unsigned k : {3u, 4u, 5u}) {
+    const auto stream = data::kmer_pack(bytes, k);
+
+    // Serial baseline codebook timing on the host.
+    std::vector<u64> freq(stream.nbins, 0);
+    for (u16 s : stream.symbols) ++freq[s];
+    Timer timer;
+    const Codebook serial_cb = build_codebook_serial(freq);
+    const double serial_ms = timer.millis();
+
+    // Full pipeline with the parallel builder.
+    PipelineConfig cfg;
+    cfg.nbins = stream.nbins;
+    PipelineReport rep;
+    const auto blob = compress<u16>(stream.symbols, cfg, &rep);
+
+    // Round trip all the way back to the original bytes.
+    const auto codes_back = decompress(blob);
+    data::KmerStream back = stream;
+    back.symbols = codes_back;
+    const bool ok = data::kmer_unpack(back, k, bytes.size()) == bytes;
+
+    const double in_bytes =
+        static_cast<double>(stream.symbols.size() * sizeof(u16));
+    t.row({std::to_string(k), std::to_string(stream.symbols.size()),
+           std::to_string(stream.nbins), fmt(rep.avg_bits, 3),
+           fmt(serial_ms, 3), fmt(rep.codebook_seconds * 1e3, 3),
+           fmt(perf::modeled_ms(rep.codebook_tally,
+                                simt::DeviceSpec::v100()),
+               3),
+           fmt(in_bytes / static_cast<double>(rep.compressed_bytes), 2) + "x",
+           ok ? "OK" : "FAIL"});
+    if (!ok) {
+      t.print();
+      return 1;
+    }
+  }
+  t.print();
+  std::printf(
+      "\nNote: k-mer symbols inflate the alphabet (Table III regime); the\n"
+      "modeled-V100 column uses the transaction tallies of the cooperative\n"
+      "codebook kernels, not host wall time.\n");
+  return 0;
+}

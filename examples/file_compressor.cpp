@@ -1,0 +1,170 @@
+// phuffc — a gzip-style CLI over the parhuff container format, exposing
+// the full pipeline configuration space.
+//
+// Usage:
+//   ./file_compressor c <input> <output.phf> [flags]     compress
+//   ./file_compressor d <input.phf> <output>             decompress
+//   ./file_compressor t <input.phf>                      integrity test
+//   (no arguments: self-demo on a generated file in /tmp)
+//
+// Flags:
+//   --symbol-width 8|16     treat the input as bytes or 16-bit symbols
+//   --nbins N               alphabet size (default 256 / 65536 by width)
+//   --magnitude M           chunk = 2^M symbols (default 10)
+//   --reduce R              fixed reduce factor (default: Fig. 3 rule)
+//   --encoder serial|openmp|coarse|prefixsum|reduceshuffle|adaptive
+//   --codebook serial|parallel|omp
+//   --threads N             OpenMP threads for the CPU stages
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/format.hpp"
+#include "core/pipeline.hpp"
+#include "data/textgen.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace parhuff;
+
+const std::vector<std::string> kKnownFlags = {
+    "symbol-width", "nbins", "magnitude", "reduce",
+    "encoder",      "codebook", "threads"};
+
+PipelineConfig config_from(const CliArgs& args, unsigned symbol_width) {
+  PipelineConfig cfg;
+  cfg.nbins = static_cast<std::size_t>(
+      args.get_int("nbins", symbol_width == 8 ? 256 : 65536));
+  cfg.magnitude = static_cast<u32>(args.get_int("magnitude", 10));
+  if (args.has("reduce")) {
+    cfg.reduce_factor = static_cast<u32>(args.get_int("reduce", 3));
+  }
+  const std::string enc = args.get_string("encoder", "reduceshuffle");
+  if (enc == "serial") cfg.encoder = EncoderKind::kSerial;
+  else if (enc == "openmp") cfg.encoder = EncoderKind::kOpenMP;
+  else if (enc == "coarse") cfg.encoder = EncoderKind::kCoarseSimt;
+  else if (enc == "prefixsum") cfg.encoder = EncoderKind::kPrefixSumSimt;
+  else if (enc == "reduceshuffle") cfg.encoder = EncoderKind::kReduceShuffleSimt;
+  else if (enc == "adaptive") cfg.encoder = EncoderKind::kAdaptiveSimt;
+  else throw std::invalid_argument("unknown --encoder: " + enc);
+  const std::string cbk = args.get_string("codebook", "parallel");
+  if (cbk == "serial") cfg.codebook = CodebookKind::kSerialTree;
+  else if (cbk == "parallel") cfg.codebook = CodebookKind::kParallelSimt;
+  else if (cbk == "omp") cfg.codebook = CodebookKind::kParallelOmp;
+  else throw std::invalid_argument("unknown --codebook: " + cbk);
+  cfg.cpu_threads = static_cast<int>(args.get_int("threads", 0));
+  return cfg;
+}
+
+template <typename Sym>
+int compress_file(const std::string& in, const std::string& out,
+                  const CliArgs& args, unsigned symbol_width) {
+  const std::vector<u8> raw = read_file(in);
+  if (raw.size() % sizeof(Sym) != 0) {
+    std::fprintf(stderr, "input size is not a multiple of the symbol width\n");
+    return 1;
+  }
+  std::span<const Sym> data(reinterpret_cast<const Sym*>(raw.data()),
+                            raw.size() / sizeof(Sym));
+  PipelineConfig cfg = config_from(args, symbol_width);
+  PipelineReport rep;
+  Timer t;
+  const auto blob = compress<Sym>(data, cfg, &rep);
+  const auto bytes = serialize(blob);
+  write_file(out, bytes);
+  std::printf(
+      "%s: %s -> %s (%.2fx) in %.1f ms  [avg %.3f bits, entropy %.3f, "
+      "r=%u, breaking %s]\n",
+      in.c_str(), fmt_bytes(raw.size()).c_str(), fmt_bytes(bytes.size()).c_str(),
+      static_cast<double>(raw.size()) / static_cast<double>(bytes.size()),
+      t.millis(), rep.avg_bits, rep.entropy_bits, rep.reduce_factor,
+      fmt_pct(blob.stream.breaking_fraction(), 4).c_str());
+  return 0;
+}
+
+template <typename Sym>
+int decompress_file(const std::string& in, const std::string& out) {
+  const auto bytes = read_file(in);
+  const auto blob = deserialize<Sym>(bytes);
+  Timer t;
+  const auto data = decompress(blob);
+  std::vector<u8> raw(reinterpret_cast<const u8*>(data.data()),
+                      reinterpret_cast<const u8*>(data.data() + data.size()));
+  write_file(out, raw);
+  std::printf("%s: %s -> %s in %.1f ms\n", in.c_str(),
+              fmt_bytes(bytes.size()).c_str(), fmt_bytes(raw.size()).c_str(),
+              t.millis());
+  return 0;
+}
+
+template <typename Sym>
+int test_file(const std::string& in) {
+  const auto blob = deserialize<Sym>(read_file(in));
+  const auto data = decompress(blob);
+  std::printf("%s: OK (%zu symbols, codebook %u/%u symbols, max code %u "
+              "bits%s)\n",
+              in.c_str(), data.size(),
+              static_cast<unsigned>(blob.codebook.present_symbols()),
+              blob.codebook.nbins, blob.codebook.max_len,
+              blob.stream.chunk_reduce.empty() ? "" : ", adaptive r");
+  return 0;
+}
+
+int self_demo() {
+  const std::string raw = "/tmp/parhuff_demo.txt";
+  const std::string phf = "/tmp/parhuff_demo.phf";
+  const std::string back = "/tmp/parhuff_demo.out";
+  write_file(raw, data::generate_text(4 * MiB, 5));
+  const char* cargv[] = {"phuffc"};
+  const CliArgs defaults(1, cargv);
+  if (compress_file<u8>(raw, phf, defaults, 8) != 0) return 1;
+  if (test_file<u8>(phf) != 0) return 1;
+  if (decompress_file<u8>(phf, back) != 0) return 1;
+  const bool ok = read_file(raw) == read_file(back);
+  std::printf("verify: %s\n", ok ? "OK" : "MISMATCH");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv);
+    for (const auto& bad : args.unknown(kKnownFlags)) {
+      std::fprintf(stderr, "unknown flag: --%s\n", bad.c_str());
+      return 2;
+    }
+    const auto& pos = args.positional();
+    if (pos.empty()) return self_demo();
+    const unsigned width =
+        static_cast<unsigned>(args.get_int("symbol-width", 8));
+    if (width != 8 && width != 16) {
+      std::fprintf(stderr, "--symbol-width must be 8 or 16\n");
+      return 2;
+    }
+    const std::string& mode = pos[0];
+    if (mode == "c" && pos.size() == 3) {
+      return width == 8 ? compress_file<u8>(pos[1], pos[2], args, 8)
+                        : compress_file<u16>(pos[1], pos[2], args, 16);
+    }
+    if (mode == "d" && pos.size() == 3) {
+      return width == 8 ? decompress_file<u8>(pos[1], pos[2])
+                        : decompress_file<u16>(pos[1], pos[2]);
+    }
+    if (mode == "t" && pos.size() == 2) {
+      return width == 8 ? test_file<u8>(pos[1]) : test_file<u16>(pos[1]);
+    }
+    std::fprintf(stderr,
+                 "usage: %s c <in> <out.phf> | d <in.phf> <out> | t <in.phf> "
+                 "[flags]\n",
+                 argv[0]);
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,73 @@
+// Quickstart: compress a buffer with the full GPU-style pipeline
+// (privatized histogram → parallel canonical codebook → reduce/shuffle
+// encoding), inspect the per-stage report, round-trip, and use the
+// serialized container.
+//
+// Run: ./quickstart
+
+#include <cstdio>
+#include <span>
+
+#include "core/format.hpp"
+#include "core/pipeline.hpp"
+#include "data/textgen.hpp"
+#include "perf/gpu_model.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace parhuff;
+
+  // 8 MB of Wikipedia-like text.
+  const auto input = data::generate_text(8 * MiB, /*seed=*/1);
+  std::printf("input: %s of XML-ish text\n\n",
+              fmt_bytes(input.size()).c_str());
+
+  // 1. Configure the pipeline. Defaults are the paper's operating point:
+  //    SIMT histogram, Algorithm-1 codebook, reduce/shuffle encoder with
+  //    M=10 and r decided from the measured average bitwidth.
+  PipelineConfig cfg;
+  cfg.nbins = 256;
+
+  // 2. Compress.
+  PipelineReport rep;
+  const Compressed<u8> blob = compress<u8>(input, cfg, &rep);
+
+  std::printf("entropy          : %.4f bits/symbol\n", rep.entropy_bits);
+  std::printf("avg codeword     : %.4f bits\n", rep.avg_bits);
+  std::printf("reduce factor r  : %u  (merged width ~%.1f bits)\n",
+              rep.reduce_factor,
+              rep.avg_bits * static_cast<double>(1u << rep.reduce_factor));
+  std::printf("compressed       : %s (ratio %.2fx)\n",
+              fmt_bytes(rep.compressed_bytes).c_str(),
+              rep.compression_ratio());
+  std::printf("breaking points  : %s of symbols\n\n",
+              fmt_pct(blob.stream.breaking_fraction(), 4).c_str());
+
+  // 3. Stage breakdown: host wall time + modeled GPU time for the
+  //    transaction counts each simulated kernel generated.
+  const auto v100 = simt::DeviceSpec::v100();
+  TextTable t("pipeline breakdown (host wall vs modeled V100)");
+  t.header({"stage", "host ms", "modeled V100 ms", "modeled GB/s"});
+  t.row({"histogram", fmt(rep.hist_seconds * 1e3),
+         fmt(perf::modeled_ms(rep.hist_tally, v100), 3),
+         fmt(perf::modeled_gbps(rep.input_bytes, rep.hist_tally, v100), 1)});
+  t.row({"codebook", fmt(rep.codebook_seconds * 1e3),
+         fmt(perf::modeled_ms(rep.codebook_tally, v100), 3), "-"});
+  t.row({"encode", fmt(rep.encode_seconds * 1e3),
+         fmt(perf::modeled_ms(rep.encode_tally, v100), 3),
+         fmt(perf::modeled_gbps(rep.input_bytes, rep.encode_tally, v100),
+             1)});
+  t.print();
+
+  // 4. Round trip.
+  const auto back = decompress(blob, /*threads=*/0);
+  std::printf("\nround trip: %s\n", back == input ? "OK" : "MISMATCH");
+
+  // 5. The self-contained container survives serialization.
+  const auto bytes = serialize(blob);
+  const auto blob2 = deserialize<u8>(bytes);
+  const bool ok = decompress(blob2) == input;
+  std::printf("container round trip (%s): %s\n",
+              fmt_bytes(bytes.size()).c_str(), ok ? "OK" : "MISMATCH");
+  return back == input && ok ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+// Syllable-based text compression — the n-gram language scenario of §II-A:
+// morphologically rich (agglutinative) text segments into a few thousand
+// distinct syllables, so encoding syllable ids with a large-alphabet
+// Huffman codebook beats byte-level coding, and the parallel codebook
+// construction keeps the bigger alphabet cheap.
+//
+// Run: ./syllable_text
+
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "data/syllable.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace parhuff;
+
+  const auto text = data::generate_agglutinative(12 * MiB, 5);
+  std::printf("synthetic agglutinative corpus: %s\n",
+              fmt_bytes(text.size()).c_str());
+  std::printf("sample: %.60s...\n\n",
+              reinterpret_cast<const char*>(text.data()));
+
+  // --- Byte-level baseline. -------------------------------------------------
+  PipelineConfig byte_cfg;
+  byte_cfg.nbins = 256;
+  byte_cfg.encoder = EncoderKind::kAdaptiveSimt;
+  PipelineReport byte_rep;
+  const auto byte_blob = compress<u8>(text, byte_cfg, &byte_rep);
+  if (decompress(byte_blob, 2) != text) {
+    std::fprintf(stderr, "FATAL: byte round trip failed\n");
+    return 1;
+  }
+
+  // --- Syllable-level pipeline. ----------------------------------------------
+  const auto syl = data::syllabify(text);
+  PipelineConfig syl_cfg;
+  syl_cfg.nbins = syl.nbins;
+  syl_cfg.encoder = EncoderKind::kAdaptiveSimt;
+  PipelineReport syl_rep;
+  const auto syl_blob = compress<u16>(syl.symbols, syl_cfg, &syl_rep);
+  data::SyllableStream back = syl;
+  back.symbols = decompress(syl_blob, 2);
+  if (data::unsyllabify(back) != text) {
+    std::fprintf(stderr, "FATAL: syllable round trip failed\n");
+    return 1;
+  }
+  // Dictionary must ship with the stream; charge it against the ratio.
+  std::size_t dict_bytes = 0;
+  for (const auto& d : syl.dictionary) dict_bytes += d.size() + 1;
+
+  TextTable t("byte-level vs syllable-level Huffman");
+  t.header({"metric", "bytes (256 symbols)", "syllables"});
+  t.row({"symbols", std::to_string(text.size()),
+         std::to_string(syl.symbols.size())});
+  t.row({"alphabet", "256", std::to_string(syl.distinct) + " (nbins " +
+                               std::to_string(syl.nbins) + ")"});
+  t.row({"entropy/sym", fmt(byte_rep.entropy_bits, 3),
+         fmt(syl_rep.entropy_bits, 3)});
+  t.row({"avg code bits", fmt(byte_rep.avg_bits, 3), fmt(syl_rep.avg_bits, 3)});
+  t.row({"codebook ms (host)", fmt(byte_rep.codebook_seconds * 1e3, 3),
+         fmt(syl_rep.codebook_seconds * 1e3, 3)});
+  const double byte_out = static_cast<double>(byte_rep.compressed_bytes);
+  const double syl_out =
+      static_cast<double>(syl_rep.compressed_bytes + dict_bytes);
+  t.row({"compressed", fmt_bytes(byte_rep.compressed_bytes),
+         fmt_bytes(syl_rep.compressed_bytes + dict_bytes) + " (incl. dict)"});
+  t.row({"ratio", fmt(static_cast<double>(text.size()) / byte_out, 2) + "x",
+         fmt(static_cast<double>(text.size()) / syl_out, 2) + "x"});
+  t.print();
+
+  std::printf(
+      "\nsyllable symbols capture within-word structure an order-0 byte\n"
+      "model cannot, at the cost of a %zu-symbol codebook — the regime the\n"
+      "paper's parallel codebook construction (Table III) is built for.\n",
+      syl.distinct);
+  return 0;
+}

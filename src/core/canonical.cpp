@@ -1,0 +1,163 @@
+#include "core/canonical.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace parhuff {
+
+double Codebook::average_bits(std::span<const u64> freq) const {
+  u64 total = 0;
+  u64 weighted = 0;
+  const std::size_t n = std::min<std::size_t>(freq.size(), cw.size());
+  for (std::size_t s = 0; s < n; ++s) {
+    total += freq[s];
+    weighted += freq[s] * cw[s].len;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(weighted) / static_cast<double>(total);
+}
+
+u64 Codebook::kraft_scaled() const {
+  u64 sum = 0;
+  for (const Codeword& c : cw) {
+    if (c.len > 0) sum += u64{1} << (max_len - c.len);
+  }
+  return sum;
+}
+
+std::string Codebook::validate() const {
+  if (cw.size() != nbins) return "cw size mismatch";
+  if (sorted_syms.empty()) {
+    for (const Codeword& c : cw)
+      if (c.len != 0) return "empty reverse table but codewords present";
+    return {};
+  }
+  if (max_len == 0 || max_len > kMaxCodeLen) return "bad max_len";
+  if (first.size() != max_len + 1 || count.size() != max_len + 1 ||
+      entry.size() != max_len + 2) {
+    return "metadata array sizes inconsistent with max_len";
+  }
+  // entry must be the prefix sum of count.
+  u32 run = 0;
+  for (unsigned l = 0; l <= max_len; ++l) {
+    if (entry[l] != run) return "entry is not the prefix sum of count";
+    run += count[l];
+  }
+  if (entry[max_len + 1] != run) return "entry tail mismatch";
+  if (run != sorted_syms.size()) return "count total != reverse table size";
+
+  // Per-level: codewords dense ascending from first[l]; level ranges
+  // prefix-free against each other (canonical ordering property).
+  u64 prev_first_end = 0;  // (first[L'] + count[L']) before shifting
+  unsigned prev_l = 0;
+  bool seen_level = false;
+  for (unsigned l = 1; l <= max_len; ++l) {
+    if (count[l] == 0) continue;
+    if (count[l] > (u64{1} << l)) return "level overfull";
+    u64 expect_first = seen_level ? prev_first_end << (l - prev_l) : 0;
+    if (first[l] != expect_first) return "first[] breaks canonical recurrence";
+    if (first[l] + count[l] > (u64{1} << l)) return "level exceeds code space";
+    prev_first_end = first[l] + count[l];
+    prev_l = l;
+    seen_level = true;
+    // Reverse/forward agreement for this level.
+    for (u32 i = 0; i < count[l]; ++i) {
+      const u32 sym = sorted_syms[entry[l] + i];
+      if (sym >= nbins) return "reverse table symbol out of range";
+      if (cw[sym].len != l) return "reverse table length disagreement";
+      if (cw[sym].bits != first[l] + i) return "reverse table value disagreement";
+    }
+  }
+  // Kraft equality for a complete code (a single-symbol alphabet uses a
+  // 1-bit code and is deliberately incomplete).
+  if (sorted_syms.size() > 1 && kraft_scaled() != (u64{1} << max_len)) {
+    return "Kraft sum != 1";
+  }
+  return {};
+}
+
+namespace {
+thread_local u64 g_canonize_ops = 0;
+}
+
+u64 canonize_last_op_count() { return g_canonize_ops; }
+
+Codebook canonize_from_lengths(std::span<const u8> lens) {
+  u64 ops = 0;
+  Codebook cb;
+  cb.nbins = static_cast<u32>(lens.size());
+  cb.cw.assign(lens.size(), Codeword{});
+
+  unsigned max_len = 0;
+  std::size_t present = 0;
+  for (u8 l : lens) {
+    ++ops;
+    if (l == 0) continue;
+    if (l > kMaxCodeLen) throw std::invalid_argument("codeword too long");
+    max_len = std::max<unsigned>(max_len, l);
+    ++present;
+  }
+  if (present == 0) {
+    cb.max_len = 0;
+    g_canonize_ops = ops;
+    return cb;
+  }
+  cb.max_len = max_len;
+  cb.first.assign(max_len + 1, 0);
+  cb.count.assign(max_len + 1, 0);
+  cb.entry.assign(max_len + 2, 0);
+
+  // Pass 1: per-length population (the "linear scanning" step).
+  for (u8 l : lens) {
+    ++ops;
+    if (l) cb.count[l] += 1;
+  }
+  // Entry = prefix sum; First via the canonical recurrence; Kraft check.
+  u64 kraft = 0;
+  {
+    u64 next_first = 0;
+    unsigned prev_l = 0;
+    bool seen = false;
+    for (unsigned l = 1; l <= max_len; ++l) {
+      ops += 2;
+      if (cb.count[l] == 0) continue;
+      next_first = seen ? (next_first << (l - prev_l)) : 0;
+      cb.first[l] = next_first;
+      next_first += cb.count[l];
+      if (next_first > (u64{1} << l)) {
+        throw std::invalid_argument("lengths violate Kraft inequality");
+      }
+      kraft += cb.count[l] * (u64{1} << (max_len - l));
+      prev_l = l;
+      seen = true;
+    }
+    u32 run = 0;
+    for (unsigned l = 0; l <= max_len; ++l) {
+      cb.entry[l] = run;
+      run += cb.count[l];
+    }
+    cb.entry[max_len + 1] = run;
+    if (present > 1 && kraft != (u64{1} << max_len)) {
+      throw std::invalid_argument("lengths do not form a complete code");
+    }
+  }
+
+  // Pass 2: the "loose radix sort by bitwidth" — counting-sort symbols into
+  // the reverse table in (length, symbol) order, assigning canonical values.
+  cb.sorted_syms.assign(present, 0);
+  std::vector<u32> cursor(max_len + 1, 0);
+  for (unsigned l = 1; l <= max_len; ++l) cursor[l] = cb.entry[l];
+  for (std::size_t s = 0; s < lens.size(); ++s) {
+    ops += 2;
+    const u8 l = lens[s];
+    if (l == 0) continue;
+    const u32 pos = cursor[l]++;
+    cb.sorted_syms[pos] = static_cast<u32>(s);
+    cb.cw[s] = Codeword{cb.first[l] + (pos - cb.entry[l]), l};
+  }
+  g_canonize_ops = ops;
+  return cb;
+}
+
+}  // namespace parhuff

@@ -1,0 +1,74 @@
+#pragma once
+// Canonical Huffman codebook: forward table, reverse (decoding) table, and
+// the First/Entry metadata of §IV-B2 that enables treeless decoding.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/codeword.hpp"
+#include "util/types.hpp"
+
+namespace parhuff {
+
+/// A canonical codebook over the alphabet [0, nbins).
+///
+/// Canonical property: codewords are assigned per length level L in
+/// ascending numeric order starting at first[L], where
+///   first[L] = (first[L'] + count[L']) << (L - L')
+/// for the previous populated level L'. This makes the decoder treeless:
+/// after reading L bits with value v, the code is complete iff
+///   first[L] <= v < first[L] + count[L],
+/// and the symbol is sorted_syms[entry[L] + (v - first[L])].
+struct Codebook {
+  u32 nbins = 0;
+  /// Forward table, indexed by symbol; len == 0 → symbol absent.
+  std::vector<Codeword> cw;
+  /// Longest codeword length H (0 for an empty book).
+  unsigned max_len = 0;
+  /// first[L], L in [0, max_len]: numeric value of the smallest codeword of
+  /// length L (undefined where count[L] == 0).
+  std::vector<u64> first;
+  /// count[L]: number of codewords of length L.
+  std::vector<u32> count;
+  /// entry[L]: number of codewords strictly shorter than L (prefix sum of
+  /// count) — the paper's Entry array.
+  std::vector<u32> entry;
+  /// Reverse codebook: symbols ordered by (length asc, codeword asc).
+  std::vector<u32> sorted_syms;
+
+  [[nodiscard]] std::size_t present_symbols() const {
+    return sorted_syms.size();
+  }
+
+  /// Average codeword bitwidth under the given frequency profile (the
+  /// paper's "avg. bits" column).
+  [[nodiscard]] double average_bits(std::span<const u64> freq) const;
+
+  /// Kraft sum numerator scaled by 2^max_len: equals 1 << max_len exactly
+  /// for a complete prefix code.
+  [[nodiscard]] u64 kraft_scaled() const;
+
+  /// Validates every canonical invariant (prefix-freeness via per-level
+  /// ranges, First/Entry consistency, reverse-table agreement). Returns an
+  /// empty string on success, else a description of the violation. Used by
+  /// tests and by debug assertions in the pipeline.
+  [[nodiscard]] std::string validate() const;
+};
+
+/// Builds the canonical metadata (first/count/entry/sorted_syms/max_len) and
+/// reassigns codeword values canonically, given only the per-symbol code
+/// *lengths* in `lens`. This is the serial canonizer the paper describes in
+/// §IV-B2 (O(n)): parhuff uses it to canonize tree-built baseline codebooks
+/// and to rebuild a Codebook from the lengths stored in the file format.
+/// Throws std::invalid_argument if the lengths violate Kraft or exceed
+/// kMaxCodeLen.
+[[nodiscard]] Codebook canonize_from_lengths(std::span<const u8> lens);
+
+/// Instrumented operation count of the last canonize_from_lengths call on
+/// this thread (drives the modeled "~200 us to canonize 1024 codewords"
+/// claim reproduction).
+[[nodiscard]] u64 canonize_last_op_count();
+
+}  // namespace parhuff

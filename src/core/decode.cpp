@@ -1,0 +1,166 @@
+#include "core/decode.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+
+namespace parhuff {
+
+template <typename Sym>
+void decode_symbols(BitReader& br, const Codebook& cb, std::size_t count,
+                    Sym* out) {
+  const unsigned max_len = cb.max_len;
+  for (std::size_t k = 0; k < count; ++k) {
+    u64 v = 0;
+    unsigned l = 0;
+    for (;;) {
+      if (br.exhausted() || l >= max_len + 1) {
+        throw std::runtime_error("decode: corrupt stream");
+      }
+      v = (v << 1) | br.bit();
+      ++l;
+      if (l <= max_len && cb.count[l] != 0 && v >= cb.first[l] &&
+          v - cb.first[l] < cb.count[l]) {
+        const u32 sym =
+            cb.sorted_syms[cb.entry[l] + static_cast<u32>(v - cb.first[l])];
+        out[k] = static_cast<Sym>(sym);
+        break;
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Chunk → overflow-entry run boundaries (entries sorted by chunk, group).
+std::vector<std::size_t> overflow_runs(const EncodedStream& s) {
+  const std::size_t chunks = s.chunks();
+  std::vector<std::size_t> ovf_begin(chunks + 1, s.overflow.size());
+  std::size_t e = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    ovf_begin[c] = e;
+    while (e < s.overflow.size() && s.overflow[e].chunk == c) ++e;
+  }
+  ovf_begin[chunks] = e;
+  if (e != s.overflow.size()) {
+    throw std::runtime_error("decode: overflow entries out of order");
+  }
+  return ovf_begin;
+}
+
+/// Decode all of chunk `c` into `dst` (which must hold chunk_size(c)
+/// symbols), splicing overflow groups from the side stream.
+template <typename Sym>
+void decode_chunk(const EncodedStream& s, const Codebook& cb,
+                  const std::vector<std::size_t>& ovf_begin, std::size_t c,
+                  Sym* dst) {
+  const std::size_t nc = s.chunk_size(c);
+  BitReader br = s.chunk_reader(c);
+  const std::size_t e0 = ovf_begin[c];
+  const std::size_t e1 = ovf_begin[c + 1];
+  if (e0 == e1) {
+    decode_symbols(br, cb, nc, dst);
+    return;
+  }
+  const std::size_t group_syms = s.group_symbols(c);
+  BitReader obr(std::span<const word_t>(s.overflow_payload.data(),
+                                        s.overflow_payload.size()),
+                static_cast<u64>(s.overflow_payload.size()) * kWordBits);
+  std::size_t e = e0;
+  std::size_t i = 0;
+  while (i < nc) {
+    const std::size_t group = i / group_syms;
+    if (e < e1 && s.overflow[e].group == group) {
+      const OverflowEntry& entry = s.overflow[e];
+      obr.seek(entry.bit_offset);
+      decode_symbols(obr, cb, entry.n_symbols, dst + i);
+      i += entry.n_symbols;
+      ++e;
+    } else {
+      const std::size_t next =
+          std::min<std::size_t>((group + 1) * group_syms, nc);
+      decode_symbols(br, cb, next - i, dst + i);
+      i = next;
+    }
+  }
+  if (e != e1) {
+    throw std::runtime_error("decode: unconsumed overflow entries");
+  }
+}
+
+}  // namespace
+
+template <typename Sym>
+std::vector<Sym> decode_stream(const EncodedStream& s, const Codebook& cb,
+                               int threads) {
+  std::vector<Sym> out(s.n_symbols);
+  if (s.n_symbols == 0) return out;
+  const std::vector<std::size_t> ovf_begin = overflow_runs(s);
+  parallel_for(
+      s.chunks(),
+      [&](std::size_t c) {
+        decode_chunk(s, cb, ovf_begin, c, out.data() + c * s.chunk_symbols);
+      },
+      threads);
+  return out;
+}
+
+template <typename Sym>
+std::vector<Sym> decode_range(const EncodedStream& s, const Codebook& cb,
+                              std::size_t first, std::size_t count,
+                              int threads) {
+  if (first + count < first || first + count > s.n_symbols) {
+    throw std::out_of_range("decode_range: range exceeds stream");
+  }
+  std::vector<Sym> out(count);
+  if (count == 0) return out;
+  const std::vector<std::size_t> ovf_begin = overflow_runs(s);
+
+  const std::size_t c0 = first / s.chunk_symbols;
+  const std::size_t c1 = (first + count - 1) / s.chunk_symbols;
+  parallel_for(
+      c1 - c0 + 1,
+      [&](std::size_t k) {
+        const std::size_t c = c0 + k;
+        const std::size_t chunk_begin = c * s.chunk_symbols;
+        const std::size_t nc = s.chunk_size(c);
+        // Intersection of the chunk with the requested range.
+        const std::size_t lo = std::max(first, chunk_begin);
+        const std::size_t hi =
+            std::min(first + count, chunk_begin + nc);
+        if (lo >= hi) return;
+        if (lo == chunk_begin && hi == chunk_begin + nc) {
+          decode_chunk(s, cb, ovf_begin, c, out.data() + (lo - first));
+          return;
+        }
+        // Partial chunk: decode it into scratch, copy the slice. (Huffman
+        // streams have no sub-chunk entry points.)
+        std::vector<Sym> scratch(nc);
+        decode_chunk(s, cb, ovf_begin, c, scratch.data());
+        std::copy(scratch.begin() + static_cast<std::ptrdiff_t>(lo -
+                                                                chunk_begin),
+                  scratch.begin() + static_cast<std::ptrdiff_t>(hi -
+                                                                chunk_begin),
+                  out.begin() + static_cast<std::ptrdiff_t>(lo - first));
+      },
+      threads);
+  return out;
+}
+
+template void decode_symbols<u8>(BitReader&, const Codebook&, std::size_t,
+                                 u8*);
+template void decode_symbols<u16>(BitReader&, const Codebook&, std::size_t,
+                                  u16*);
+template std::vector<u8> decode_stream<u8>(const EncodedStream&,
+                                           const Codebook&, int);
+template std::vector<u16> decode_stream<u16>(const EncodedStream&,
+                                             const Codebook&, int);
+template std::vector<u8> decode_range<u8>(const EncodedStream&,
+                                          const Codebook&, std::size_t,
+                                          std::size_t, int);
+template std::vector<u16> decode_range<u16>(const EncodedStream&,
+                                            const Codebook&, std::size_t,
+                                            std::size_t, int);
+
+}  // namespace parhuff

@@ -1,0 +1,62 @@
+#pragma once
+// Treeless canonical decoding using the First/Entry metadata (§IV-B2).
+//
+// After reading L bits with accumulated value v, the code is complete iff
+// first[L] <= v < first[L] + count[L]; the symbol is then
+// sorted_syms[entry[L] + (v - first[L])]. No tree is touched — the three
+// small arrays are the whole decoder state, which is why the paper caches
+// them for decoding throughput.
+//
+// decode_stream understands the chunked container, decoding chunks in
+// parallel and splicing overflow (breaking) groups back in at their group
+// boundaries.
+
+#include <span>
+#include <vector>
+
+#include "core/canonical.hpp"
+#include "core/encoded.hpp"
+#include "util/types.hpp"
+
+namespace parhuff {
+
+/// Decode exactly `count` symbols from `br`. Throws std::runtime_error on a
+/// corrupt stream (code longer than max_len or stream exhaustion).
+template <typename Sym>
+void decode_symbols(BitReader& br, const Codebook& cb, std::size_t count,
+                    Sym* out);
+
+/// Decode a full chunked stream (any encoder's output).
+template <typename Sym>
+[[nodiscard]] std::vector<Sym> decode_stream(const EncodedStream& s,
+                                             const Codebook& cb,
+                                             int threads = 0);
+
+/// Random access: decode only symbols [first, first + count) — the chunked
+/// layout makes this touch just the covering chunks, so reading a slice of
+/// a large compressed array costs O(slice + one chunk) work, not a full
+/// decompress. Throws std::out_of_range when the range exceeds the stream.
+template <typename Sym>
+[[nodiscard]] std::vector<Sym> decode_range(const EncodedStream& s,
+                                            const Codebook& cb,
+                                            std::size_t first,
+                                            std::size_t count,
+                                            int threads = 0);
+
+extern template void decode_symbols<u8>(BitReader&, const Codebook&,
+                                        std::size_t, u8*);
+extern template void decode_symbols<u16>(BitReader&, const Codebook&,
+                                         std::size_t, u16*);
+extern template std::vector<u8> decode_stream<u8>(const EncodedStream&,
+                                                  const Codebook&, int);
+extern template std::vector<u16> decode_stream<u16>(const EncodedStream&,
+                                                    const Codebook&, int);
+extern template std::vector<u8> decode_range<u8>(const EncodedStream&,
+                                                 const Codebook&, std::size_t,
+                                                 std::size_t, int);
+extern template std::vector<u16> decode_range<u16>(const EncodedStream&,
+                                                   const Codebook&,
+                                                   std::size_t, std::size_t,
+                                                   int);
+
+}  // namespace parhuff

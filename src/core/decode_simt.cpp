@@ -1,0 +1,101 @@
+#include "core/decode_simt.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/decode.hpp"
+#include "simt/block.hpp"
+
+namespace parhuff {
+
+template <typename Sym>
+std::vector<Sym> decode_simt(const EncodedStream& s, const Codebook& cb,
+                             simt::MemTally* tally) {
+  std::vector<Sym> out(s.n_symbols);
+  if (s.n_symbols == 0) return out;
+  const std::size_t chunks = s.chunks();
+
+  // Chunk → overflow-entry run index (entries sorted by chunk, group).
+  std::vector<std::size_t> ovf_begin(chunks + 1, s.overflow.size());
+  {
+    std::size_t e = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      ovf_begin[c] = e;
+      while (e < s.overflow.size() && s.overflow[e].chunk == c) ++e;
+    }
+    ovf_begin[chunks] = e;
+    if (e != s.overflow.size()) {
+      throw std::runtime_error("decode_simt: overflow entries out of order");
+    }
+  }
+
+  const int block_dim = 128;
+  const int grid =
+      static_cast<int>((chunks + static_cast<std::size_t>(block_dim) - 1) /
+                       static_cast<std::size_t>(block_dim));
+  // Decoder state staged once per block: First/Entry/count arrays plus the
+  // reverse codebook — the cache-the-reverse-codebook strategy of §IV-B2.
+  const u64 state_bytes =
+      (cb.first.size() * 8 + cb.entry.size() * 4 + cb.count.size() * 4 +
+       cb.sorted_syms.size() * 4);
+
+  simt::launch(std::max(grid, 1), block_dim, tally, [&](simt::BlockCtx& blk) {
+    blk.tally().global_read(state_bytes, 1, simt::Pattern::kCoalesced);
+    blk.tally().shared_access(state_bytes, 1);
+    blk.sync();
+    blk.threads([&](int tid) {
+      const std::size_t c = blk.global_id(tid);
+      if (c >= chunks) return;
+      const std::size_t begin = c * s.chunk_symbols;
+      const std::size_t nc = s.chunk_size(c);
+      Sym* dst = out.data() + begin;
+      BitReader br = s.chunk_reader(c);
+
+      const std::size_t e0 = ovf_begin[c];
+      const std::size_t e1 = ovf_begin[c + 1];
+      if (e0 == e1) {
+        decode_symbols(br, cb, nc, dst);
+      } else {
+        const std::size_t group_syms = s.group_symbols(c);
+        std::size_t e = e0;
+        std::size_t i = 0;
+        BitReader obr(std::span<const word_t>(s.overflow_payload.data(),
+                                              s.overflow_payload.size()),
+                      static_cast<u64>(s.overflow_payload.size()) * kWordBits);
+        while (i < nc) {
+          const std::size_t group = i / group_syms;
+          if (e < e1 && s.overflow[e].group == group) {
+            const OverflowEntry& entry = s.overflow[e];
+            obr.seek(entry.bit_offset);
+            decode_symbols(obr, cb, entry.n_symbols, dst + i);
+            i += entry.n_symbols;
+            ++e;
+          } else {
+            const std::size_t next =
+                std::min<std::size_t>((group + 1) * group_syms, nc);
+            decode_symbols(br, cb, next - i, dst + i);
+            i = next;
+          }
+        }
+      }
+      // Per-lane sequential chunk walk: strided payload reads; output
+      // writes are per-thread sequential too (strided across the warp).
+      auto& t = blk.tally();
+      t.global_read(words_for_bits(s.chunk_bits[c]), sizeof(word_t),
+                    simt::Pattern::kStrided);
+      t.global_write(nc, sizeof(Sym), simt::Pattern::kStrided);
+      // Bit-serial decode: a dependent chain with full intra-warp
+      // divergence — ~32 issue slots per payload bit.
+      t.ops(s.chunk_bits[c] * 32 + nc * 2);
+      t.shared_access(nc, 8);  // table lookups hit the staged state
+    });
+  });
+  return out;
+}
+
+template std::vector<u8> decode_simt<u8>(const EncodedStream&,
+                                         const Codebook&, simt::MemTally*);
+template std::vector<u16> decode_simt<u16>(const EncodedStream&,
+                                           const Codebook&, simt::MemTally*);
+
+}  // namespace parhuff

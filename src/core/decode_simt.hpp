@@ -1,0 +1,36 @@
+#pragma once
+// GPU-style chunk-parallel decoder.
+//
+// The paper's coarse-grained chunking exists partly "because it will
+// facilitate the reverse process, decoding" (§III-A): each chunk's
+// bitstream is self-contained, so decoding is embarrassingly parallel at
+// chunk granularity. This kernel maps one thread to one chunk (as cuSZ
+// decodes), stages the treeless decoder state — First/Entry/count plus the
+// reverse codebook — in shared memory per block, and walks each chunk's
+// bits sequentially. The tally records the access profile (strided payload
+// reads, coalesced-but-thread-owned output writes), which is what bounds
+// decode throughput on real hardware.
+
+#include <span>
+#include <vector>
+
+#include "core/canonical.hpp"
+#include "core/encoded.hpp"
+#include "simt/mem_model.hpp"
+#include "util/types.hpp"
+
+namespace parhuff {
+
+template <typename Sym>
+[[nodiscard]] std::vector<Sym> decode_simt(const EncodedStream& s,
+                                           const Codebook& cb,
+                                           simt::MemTally* tally = nullptr);
+
+extern template std::vector<u8> decode_simt<u8>(const EncodedStream&,
+                                                const Codebook&,
+                                                simt::MemTally*);
+extern template std::vector<u16> decode_simt<u16>(const EncodedStream&,
+                                                  const Codebook&,
+                                                  simt::MemTally*);
+
+}  // namespace parhuff

@@ -1,0 +1,54 @@
+#include "core/decode_table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/decode.hpp"
+
+namespace parhuff {
+
+namespace {
+constexpr u32 kEscape = 0xFFFFFFFFu;
+}
+
+DecodeTable::DecodeTable(const Codebook& cb, unsigned k) : cb_(cb) {
+  k_ = std::min<unsigned>(k, std::max<unsigned>(cb.max_len, 1));
+  if (k_ == 0) k_ = 1;
+  if (k_ > 20) throw std::invalid_argument("DecodeTable: k too large");
+  table_.assign(std::size_t{1} << k_, Entry{kEscape, 0});
+
+  // Every codeword of length <= k owns the 2^(k-len) table slots that
+  // share its prefix; longer codewords leave their prefix slots at the
+  // escape marker.
+  for (u32 sym = 0; sym < cb.nbins; ++sym) {
+    const Codeword cw = cb.cw[sym];
+    if (cw.len == 0 || cw.len > k_) continue;
+    const std::size_t base =
+        static_cast<std::size_t>(cw.bits << (k_ - cw.len));
+    const std::size_t span = std::size_t{1} << (k_ - cw.len);
+    for (std::size_t i = 0; i < span; ++i) {
+      table_[base + i] = Entry{sym, cw.len};
+    }
+  }
+}
+
+template <typename Sym>
+void DecodeTable::decode(BitReader& br, std::size_t count, Sym* out) const {
+  for (std::size_t i = 0; i < count; ++i) {
+    const u64 window = br.peek(k_);
+    const Entry e = table_[static_cast<std::size_t>(window)];
+    if (e.symbol != kEscape && e.len <= br.remaining()) {
+      br.skip(e.len);
+      out[i] = static_cast<Sym>(e.symbol);
+      continue;
+    }
+    // Slow path: codeword longer than k, or the tail of the stream where
+    // the zero-padded window could alias a shorter code.
+    decode_symbols(br, cb_, 1, out + i);
+  }
+}
+
+template void DecodeTable::decode<u8>(BitReader&, std::size_t, u8*) const;
+template void DecodeTable::decode<u16>(BitReader&, std::size_t, u16*) const;
+
+}  // namespace parhuff

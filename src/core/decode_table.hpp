@@ -1,0 +1,48 @@
+#pragma once
+// Table-driven canonical decoding.
+//
+// The treeless First/Entry decoder consumes one bit per step; a k-bit
+// lookup table turns that into one probe per codeword for all codes of
+// length <= k (with a slow-path escape for longer ones). This is the
+// standard production decoder shape — the paper's §IV-B2 canonization
+// exists precisely to make the decoder state small enough to cache, and
+// this table is the logical next step for decode throughput (2^k entries
+// of 4 bytes: k=12 → 16 KiB, comfortably shared-memory resident).
+
+#include <vector>
+
+#include "core/bitstream.hpp"
+#include "core/canonical.hpp"
+#include "util/types.hpp"
+
+namespace parhuff {
+
+class DecodeTable {
+ public:
+  /// Builds a 2^k-entry table for `cb`. k defaults to min(12, max_len).
+  explicit DecodeTable(const Codebook& cb, unsigned k = 12);
+
+  [[nodiscard]] unsigned bits() const { return k_; }
+  [[nodiscard]] std::size_t entries() const { return table_.size(); }
+
+  /// Decode `count` symbols from `br` into `out`. Identical results to
+  /// decode_symbols; throws std::runtime_error on corruption.
+  template <typename Sym>
+  void decode(BitReader& br, std::size_t count, Sym* out) const;
+
+ private:
+  struct Entry {
+    u32 symbol;  ///< decoded symbol, or 0xFFFFFFFF for the slow path
+    u8 len;      ///< bits consumed
+  };
+  const Codebook& cb_;
+  unsigned k_;
+  std::vector<Entry> table_;
+};
+
+extern template void DecodeTable::decode<u8>(BitReader&, std::size_t,
+                                             u8*) const;
+extern template void DecodeTable::decode<u16>(BitReader&, std::size_t,
+                                              u16*) const;
+
+}  // namespace parhuff

@@ -1,0 +1,87 @@
+#include "core/encode_serial.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+
+namespace parhuff {
+
+namespace {
+
+/// Encode chunk symbols [begin, end) into `words`, returning the bit count.
+template <typename Sym>
+u64 encode_chunk(std::span<const Sym> data, std::size_t begin,
+                 std::size_t end, const Codebook& cb,
+                 std::vector<word_t>& words) {
+  BitWriter bw(words);
+  for (std::size_t i = begin; i < end; ++i) {
+    const Codeword c = cb.cw[static_cast<std::size_t>(data[i])];
+    if (c.len == 0) throw std::runtime_error("symbol absent from codebook");
+    bw.put(c.bits, c.len);
+  }
+  const u64 bits = bw.bits();
+  bw.finish_into_sink();
+  return bits;
+}
+
+template <typename Sym>
+EncodedStream encode_chunked(std::span<const Sym> data, const Codebook& cb,
+                             u32 chunk_symbols, int threads) {
+  assert(chunk_symbols > 0);
+  EncodedStream out;
+  out.chunk_symbols = chunk_symbols;
+  out.n_symbols = data.size();
+  const std::size_t chunks =
+      (data.size() + chunk_symbols - 1) / chunk_symbols;
+  out.chunk_bits.assign(chunks, 0);
+
+  std::vector<std::vector<word_t>> chunk_words(chunks);
+  parallel_for(
+      chunks,
+      [&](std::size_t c) {
+        const std::size_t begin = c * chunk_symbols;
+        const std::size_t end =
+            std::min<std::size_t>(begin + chunk_symbols, data.size());
+        out.chunk_bits[c] = encode_chunk(data, begin, end, cb, chunk_words[c]);
+      },
+      threads);
+
+  const std::size_t total_words = layout_chunks(out);
+  out.payload.assign(total_words, 0);
+  parallel_for(
+      chunks,
+      [&](std::size_t c) {
+        const auto& w = chunk_words[c];
+        std::copy(w.begin(), w.end(),
+                  out.payload.begin() +
+                      static_cast<std::ptrdiff_t>(out.chunk_word_offset[c]));
+      },
+      threads);
+  return out;
+}
+
+}  // namespace
+
+template <typename Sym>
+EncodedStream encode_serial(std::span<const Sym> data, const Codebook& cb,
+                            u32 chunk_symbols) {
+  return encode_chunked(data, cb, chunk_symbols, /*threads=*/1);
+}
+
+template <typename Sym>
+EncodedStream encode_openmp(std::span<const Sym> data, const Codebook& cb,
+                            u32 chunk_symbols, int threads) {
+  return encode_chunked(data, cb, chunk_symbols, threads);
+}
+
+template EncodedStream encode_serial<u8>(std::span<const u8>, const Codebook&,
+                                         u32);
+template EncodedStream encode_serial<u16>(std::span<const u16>,
+                                          const Codebook&, u32);
+template EncodedStream encode_openmp<u8>(std::span<const u8>, const Codebook&,
+                                         u32, int);
+template EncodedStream encode_openmp<u16>(std::span<const u16>,
+                                          const Codebook&, u32, int);
+
+}  // namespace parhuff

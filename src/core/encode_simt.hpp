@@ -1,0 +1,53 @@
+#pragma once
+// The two prior-work GPU encoding baselines (§III-B), run on the SIMT
+// simulator:
+//
+//  * encode_coarse_simt — the cuSZ encoder: one thread per chunk, each
+//    thread serially concatenating its chunk's codewords. Embarrassingly
+//    parallel but memory-hostile: the lanes of a warp write into chunk-sized
+//    strides, so nearly every useful byte costs a full 32 B sector (the
+//    reason cuSZ measures only ~30 GB/s on a 900 GB/s part).
+//
+//  * encode_prefixsum_simt — the Rahmani et al. encoder: per-symbol
+//    codeword lengths, a parallel prefix sum for bit offsets, then a
+//    concurrent scatter of each codeword to its bit position. Fine-grained,
+//    but each 1–2-bit codeword write still occupies its own transaction, so
+//    bandwidth utilization collapses exactly when compression is good (the
+//    paper's 37 GB/s at 1.03 avg bits).
+//
+// Both produce streams bit-identical to encode_serial.
+
+#include <span>
+
+#include "core/canonical.hpp"
+#include "core/encoded.hpp"
+#include "simt/mem_model.hpp"
+#include "util/types.hpp"
+
+namespace parhuff {
+
+template <typename Sym>
+[[nodiscard]] EncodedStream encode_coarse_simt(std::span<const Sym> data,
+                                               const Codebook& cb,
+                                               u32 chunk_symbols = 1024,
+                                               simt::MemTally* tally = nullptr);
+
+template <typename Sym>
+[[nodiscard]] EncodedStream encode_prefixsum_simt(
+    std::span<const Sym> data, const Codebook& cb, u32 chunk_symbols = 1024,
+    simt::MemTally* tally = nullptr);
+
+extern template EncodedStream encode_coarse_simt<u8>(std::span<const u8>,
+                                                     const Codebook&, u32,
+                                                     simt::MemTally*);
+extern template EncodedStream encode_coarse_simt<u16>(std::span<const u16>,
+                                                      const Codebook&, u32,
+                                                      simt::MemTally*);
+extern template EncodedStream encode_prefixsum_simt<u8>(std::span<const u8>,
+                                                        const Codebook&, u32,
+                                                        simt::MemTally*);
+extern template EncodedStream encode_prefixsum_simt<u16>(std::span<const u16>,
+                                                         const Codebook&, u32,
+                                                         simt::MemTally*);
+
+}  // namespace parhuff

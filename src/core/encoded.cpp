@@ -1,0 +1,15 @@
+#include "core/encoded.hpp"
+
+namespace parhuff {
+
+std::size_t layout_chunks(EncodedStream& s) {
+  s.chunk_word_offset.resize(s.chunk_bits.size());
+  std::size_t words = 0;
+  for (std::size_t c = 0; c < s.chunk_bits.size(); ++c) {
+    s.chunk_word_offset[c] = words;
+    words += words_for_bits(s.chunk_bits[c]);
+  }
+  return words;
+}
+
+}  // namespace parhuff

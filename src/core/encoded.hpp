@@ -1,0 +1,103 @@
+#pragma once
+// Chunked encoded-stream representation shared by all encoders.
+//
+// The input is split into chunks of 2^M symbols (coarse-grained chunking,
+// §III-A: chunks map to thread blocks and make decoding parallel). Each
+// chunk's bitstream is stored word-aligned at chunk_word_offset[c]; the
+// per-chunk bit lengths are the "blockwise code len" array whose prefix sum
+// places chunks ("coalescing copy" stage).
+//
+// The REDUCE-merge encoder adds an overflow section: groups of 2^r symbols
+// whose merged codeword exceeded the cell width ("breaking points", §IV-C)
+// are re-encoded into a side bitstream and indexed sparsely.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/bitstream.hpp"
+#include "util/types.hpp"
+
+namespace parhuff {
+
+struct OverflowEntry {
+  u32 chunk = 0;      ///< chunk index
+  u32 group = 0;      ///< reduce-group index within the chunk
+  u64 bit_offset = 0; ///< start bit within overflow_payload
+  u32 bit_len = 0;
+  u32 n_symbols = 0;  ///< symbols in the group (2^r, partial at the tail)
+};
+
+struct EncodedStream {
+  u32 chunk_symbols = 0;   ///< N = 2^M symbols per chunk (last may be short)
+  std::size_t n_symbols = 0;
+
+  std::vector<word_t> payload;
+  std::vector<u64> chunk_bits;         ///< main-stream bits per chunk
+  std::vector<u64> chunk_word_offset;  ///< payload word index per chunk
+
+  /// Reduce factor r used by the reduce/shuffle encoder (0 for the
+  /// baseline encoders — no grouping, no overflow possible).
+  u32 reduce_factor = 0;
+  /// Per-chunk reduce factors from the adaptive encoder (the paper's §VII
+  /// future-work extension). Empty → uniform reduce_factor everywhere.
+  std::vector<u8> chunk_reduce;
+  std::vector<word_t> overflow_payload;
+  u64 overflow_bits = 0;
+  /// Sorted by (chunk, group).
+  std::vector<OverflowEntry> overflow;
+
+  [[nodiscard]] std::size_t chunks() const { return chunk_bits.size(); }
+
+  [[nodiscard]] u64 total_payload_bits() const {
+    u64 t = 0;
+    for (u64 b : chunk_bits) t += b;
+    return t + overflow_bits;
+  }
+
+  /// Compressed size in bytes as stored (word-aligned chunks + overflow +
+  /// per-chunk metadata).
+  [[nodiscard]] std::size_t stored_bytes() const {
+    return payload.size() * sizeof(word_t) +
+           overflow_payload.size() * sizeof(word_t) +
+           chunk_bits.size() * sizeof(u64) +
+           overflow.size() * sizeof(OverflowEntry);
+  }
+
+  /// Fraction of symbols living in breaking groups.
+  [[nodiscard]] double breaking_fraction() const {
+    if (n_symbols == 0) return 0.0;
+    u64 broken = 0;
+    for (const auto& e : overflow) broken += e.n_symbols;
+    return static_cast<double>(broken) / static_cast<double>(n_symbols);
+  }
+
+  /// Reduce-group size (symbols) in chunk `c`; 0 when no grouping is used.
+  [[nodiscard]] std::size_t group_symbols(std::size_t c) const {
+    const u32 r =
+        c < chunk_reduce.size() ? chunk_reduce[c] : reduce_factor;
+    return r > 0 ? (std::size_t{1} << r) : 0;
+  }
+
+  /// Number of symbols in chunk `c`.
+  [[nodiscard]] std::size_t chunk_size(std::size_t c) const {
+    const std::size_t begin = c * chunk_symbols;
+    const std::size_t end = begin + chunk_symbols;
+    return (end <= n_symbols ? end : n_symbols) - begin;
+  }
+
+  /// Bit reader over chunk `c`'s main stream.
+  [[nodiscard]] BitReader chunk_reader(std::size_t c) const {
+    const std::size_t w0 = static_cast<std::size_t>(chunk_word_offset[c]);
+    return BitReader(
+        std::span<const word_t>(payload.data() + w0,
+                                words_for_bits(chunk_bits[c])),
+        chunk_bits[c]);
+  }
+};
+
+/// Lay out per-chunk word offsets from chunk bit lengths (exclusive prefix
+/// sum of word counts) and return the total words.
+[[nodiscard]] std::size_t layout_chunks(EncodedStream& s);
+
+}  // namespace parhuff

@@ -1,0 +1,52 @@
+#include "core/entropy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parhuff {
+
+double shannon_entropy(std::span<const u64> freq) {
+  u64 total = 0;
+  for (u64 f : freq) total += f;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  const double dt = static_cast<double>(total);
+  for (u64 f : freq) {
+    if (f == 0) continue;
+    const double p = static_cast<double>(f) / dt;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double average_bitwidth(const Codebook& cb, std::span<const u64> freq) {
+  return cb.average_bits(freq);
+}
+
+u32 reduce_factor_rule(double avg_bits, unsigned word_bits) {
+  if (avg_bits <= 0) return 1;
+  u32 r = 1;
+  while (avg_bits * static_cast<double>(u64{1} << (r + 1)) <
+         static_cast<double>(word_bits)) {
+    ++r;
+  }
+  return r;
+}
+
+u32 decide_reduce_factor(double avg_bits, u32 magnitude, unsigned word_bits) {
+  // Operating-point deviation from the pure rule: keep a ~15% margin below
+  // the cell width. Data sitting exactly on the boundary (merged width
+  // within a bit of W) otherwise breaks on every slightly-dense group,
+  // and the overflow metadata dwarfs the payload. The paper's own
+  // operating points are unaffected (all its datasets clear the margin).
+  const double budget = static_cast<double>(word_bits) * 0.85;
+  u32 rule = 1;
+  while (avg_bits > 0 &&
+         avg_bits * static_cast<double>(u64{1} << (rule + 1)) < budget) {
+    ++rule;
+  }
+  const u32 cap = std::min<u32>(3, magnitude > 1 ? magnitude - 1 : 1);
+  return std::min(rule, cap);
+}
+
+}  // namespace parhuff

@@ -1,0 +1,43 @@
+#pragma once
+// Entropy estimation and the reduction-factor decision rule (§IV-C, Fig. 3).
+//
+// The paper sizes REDUCE-merge so the r-time-merged codeword is expected to
+// land in [W/2, W) bits for the W-bit representative word:
+// ⌊log β⌋ + r + 1 = log W, with β the average codeword bitwidth (obtainable
+// from the histogram before encoding via the entropy, or exactly from the
+// built codebook). Longer merges overflow cells (breaking points); shorter
+// merges waste bandwidth moving half-empty words.
+
+#include <span>
+
+#include "core/canonical.hpp"
+#include "util/types.hpp"
+
+namespace parhuff {
+
+/// Shannon entropy in bits/symbol of a frequency histogram.
+[[nodiscard]] double shannon_entropy(std::span<const u64> freq);
+
+/// Exact average codeword bitwidth for a codebook + histogram (Table V's
+/// "avg. bits").
+[[nodiscard]] double average_bitwidth(const Codebook& cb,
+                                      std::span<const u64> freq);
+
+/// The pure bitwidth rule: the largest r with β·2^r < word_bits, i.e. the
+/// merged codeword is expected to fill at least half the cell. Returns at
+/// least 1.
+[[nodiscard]] u32 reduce_factor_rule(double avg_bits,
+                                     unsigned word_bits = 32);
+
+/// Operating-point decision matching the paper's evaluation: the rule,
+/// capped at 3 (the paper finds M=10, r=3 empirically strongest even where
+/// the rule would allow r=4 — Table II) and at magnitude-1.
+[[nodiscard]] u32 decide_reduce_factor(double avg_bits, u32 magnitude = 10,
+                                       unsigned word_bits = 32);
+
+/// Expected merged bitwidth after r reduce iterations (Fig. 3's quantity).
+[[nodiscard]] inline double merged_bitwidth(double avg_bits, u32 r) {
+  return avg_bits * static_cast<double>(u64{1} << r);
+}
+
+}  // namespace parhuff

@@ -1,0 +1,52 @@
+#pragma once
+// Execution-policy shims for the parallel codebook algorithms.
+//
+// GenerateCL/GenerateCW (Algorithm 1) are written once against a minimal
+// executor concept and instantiated three ways:
+//   * simt::CooperativeGrid — the GPU form: regions are grid-synced
+//     cooperative-kernel phases, with transaction tallying (Table III);
+//   * OmpExec  — the multithreaded CPU form (Table IV), where each `par`
+//     region is an OpenMP parallel-for whose fork/join overhead is exactly
+//     the effect the paper measures;
+//   * SeqExec  — plain sequential execution, used as the reference in tests.
+//
+// Executor concept:
+//   void par(std::size_t n, Fn fn);          // fn(i), barrier after
+//   void seq(Fn fn, u64 dependent_ops = 0);  // single-thread region
+//   void sync();                             // explicit barrier
+
+#include <cstddef>
+
+#include "util/parallel.hpp"
+#include "util/types.hpp"
+
+namespace parhuff {
+
+struct SeqExec {
+  template <typename Fn>
+  void par(std::size_t n, Fn&& fn) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+  template <typename Fn>
+  void seq(Fn&& fn, u64 /*dependent_ops*/ = 0) {
+    fn();
+  }
+  void sync() {}
+};
+
+struct OmpExec {
+  explicit OmpExec(int threads_) : threads(threads_) {}
+  int threads;
+
+  template <typename Fn>
+  void par(std::size_t n, Fn&& fn) {
+    parallel_for(n, fn, threads);
+  }
+  template <typename Fn>
+  void seq(Fn&& fn, u64 /*dependent_ops*/ = 0) {
+    fn();
+  }
+  void sync() {}
+};
+
+}  // namespace parhuff

@@ -1,0 +1,239 @@
+#include "core/format.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "core/bytesio.hpp"
+#include "util/hash.hpp"
+
+namespace parhuff {
+
+namespace {
+constexpr char kMagic[4] = {'P', 'H', 'F', '2'};
+}
+
+// --- Codebook section. --------------------------------------------------------
+
+std::vector<u8> serialize_codebook(const Codebook& cb) {
+  ByteWriter w;
+  w.put<u8>(static_cast<u8>(cb.max_len));
+  w.put<u32>(cb.nbins);
+  std::vector<u8> lens(cb.nbins, 0);
+  for (u32 i = 0; i < cb.nbins; ++i) lens[i] = cb.cw[i].len;
+  w.put_array(std::span<const u8>(lens));
+  w.put<u32>(static_cast<u32>(cb.sorted_syms.size()));
+  w.put_array(std::span<const u32>(cb.sorted_syms));
+  return w.take();
+}
+
+Codebook deserialize_codebook(std::span<const u8> bytes,
+                              std::size_t* consumed) {
+  ByteReader r(bytes);
+  const u8 max_len = r.get<u8>();
+  const u32 nbins = r.get<u32>();
+  if (nbins == 0 || nbins > (u32{1} << 24)) {
+    throw std::runtime_error("parhuff container: implausible nbins");
+  }
+  const std::vector<u8> lens = r.get_array<u8>(nbins);
+  const u32 n_present = r.get<u32>();
+  std::vector<u32> sorted_syms = r.get_array<u32>(n_present);
+
+  // Rebuild canonical metadata from the lengths, then graft the stored
+  // reverse-table order and rederive the forward table from it.
+  Codebook cb = canonize_from_lengths(lens);
+  if (cb.sorted_syms.size() != n_present) {
+    throw std::runtime_error("parhuff container: reverse table size");
+  }
+  if (cb.max_len != max_len) {
+    throw std::runtime_error("parhuff container: max_len mismatch");
+  }
+  for (const u32 sym : sorted_syms) {
+    if (sym >= nbins || lens[sym] == 0) {
+      throw std::runtime_error("parhuff container: invalid reverse entry");
+    }
+  }
+  cb.sorted_syms = std::move(sorted_syms);
+  for (unsigned l = 1; l <= cb.max_len; ++l) {
+    for (u32 i = 0; i < cb.count[l]; ++i) {
+      const u32 sym = cb.sorted_syms[cb.entry[l] + i];
+      if (lens[sym] != l) {
+        throw std::runtime_error("parhuff container: reverse order invalid");
+      }
+      cb.cw[sym] = Codeword{cb.first[l] + i, static_cast<u8>(l)};
+    }
+  }
+  const std::string err = cb.validate();
+  if (!err.empty()) {
+    throw std::runtime_error("parhuff container: codebook invalid: " + err);
+  }
+  if (consumed) *consumed = r.position();
+  return cb;
+}
+
+// --- Stream section. -----------------------------------------------------------
+
+std::vector<u8> serialize_stream(const EncodedStream& s) {
+  ByteWriter w;
+  w.put<u64>(static_cast<u64>(s.n_symbols));
+  w.put<u32>(s.chunk_symbols);
+  w.put<u32>(s.reduce_factor);
+  w.put<u8>(s.chunk_reduce.empty() ? 0 : 1);
+  w.put<u32>(static_cast<u32>(s.chunk_bits.size()));
+  w.put_array(std::span<const u64>(s.chunk_bits));
+  if (!s.chunk_reduce.empty()) {
+    w.put_array(std::span<const u8>(s.chunk_reduce));
+  }
+  w.put<u64>(static_cast<u64>(s.payload.size()));
+  w.put_array(std::span<const word_t>(s.payload));
+  w.put<u32>(static_cast<u32>(s.overflow.size()));
+  for (const OverflowEntry& e : s.overflow) {
+    w.put<u32>(e.chunk);
+    w.put<u32>(e.group);
+    w.put<u64>(e.bit_offset);
+    w.put<u32>(e.bit_len);
+    w.put<u32>(e.n_symbols);
+  }
+  w.put<u64>(static_cast<u64>(s.overflow_payload.size()));
+  w.put<u64>(s.overflow_bits);
+  w.put_array(std::span<const word_t>(s.overflow_payload));
+  // Integrity checksum over everything above.
+  auto body = w.take();
+  const u64 digest = fnv1a(body);
+  ByteWriter tail;
+  tail.put_bytes(body);
+  tail.put<u64>(digest);
+  return tail.take();
+}
+
+EncodedStream deserialize_stream(std::span<const u8> bytes,
+                                 std::size_t* consumed) {
+  ByteReader r(bytes);
+  EncodedStream s;
+  s.n_symbols = static_cast<std::size_t>(r.get<u64>());
+  s.chunk_symbols = r.get<u32>();
+  s.reduce_factor = r.get<u32>();
+  if (s.chunk_symbols == 0) {
+    throw std::runtime_error("parhuff container: zero chunk size");
+  }
+  const bool per_chunk_reduce = r.get<u8>() != 0;
+  const u32 n_chunks = r.get<u32>();
+  const std::size_t expect_chunks =
+      s.n_symbols == 0 ? 0
+                       : (s.n_symbols + s.chunk_symbols - 1) / s.chunk_symbols;
+  if (n_chunks != expect_chunks) {
+    throw std::runtime_error("parhuff container: chunk count mismatch");
+  }
+  s.chunk_bits = r.get_array<u64>(n_chunks);
+  if (per_chunk_reduce) {
+    s.chunk_reduce = r.get_array<u8>(n_chunks);
+    for (const u8 cr : s.chunk_reduce) {
+      if (cr == 0 || cr > 15) {
+        throw std::runtime_error("parhuff container: bad per-chunk reduce");
+      }
+    }
+  }
+  const u64 payload_words = r.get<u64>();
+  if (layout_chunks(s) != payload_words) {
+    throw std::runtime_error("parhuff container: payload size mismatch");
+  }
+  s.payload = r.get_array<word_t>(static_cast<std::size_t>(payload_words));
+
+  const u32 n_overflow = r.get<u32>();
+  s.overflow.reserve(n_overflow);
+  for (u32 i = 0; i < n_overflow; ++i) {
+    OverflowEntry e;
+    e.chunk = r.get<u32>();
+    e.group = r.get<u32>();
+    e.bit_offset = r.get<u64>();
+    e.bit_len = r.get<u32>();
+    e.n_symbols = r.get<u32>();
+    if (e.chunk >= n_chunks) {
+      throw std::runtime_error("parhuff container: overflow chunk range");
+    }
+    s.overflow.push_back(e);
+  }
+  const u64 ovf_words = r.get<u64>();
+  s.overflow_bits = r.get<u64>();
+  if (s.overflow_bits > ovf_words * kWordBits) {
+    throw std::runtime_error("parhuff container: overflow bits range");
+  }
+  s.overflow_payload = r.get_array<word_t>(static_cast<std::size_t>(ovf_words));
+  for (const OverflowEntry& e : s.overflow) {
+    if (e.bit_offset + e.bit_len > s.overflow_bits) {
+      throw std::runtime_error("parhuff container: overflow entry range");
+    }
+  }
+  const std::size_t body_end = r.position();
+  const u64 stored = r.get<u64>();
+  if (stored != fnv1a(bytes.subspan(0, body_end))) {
+    throw std::runtime_error("parhuff container: checksum mismatch");
+  }
+  if (consumed) *consumed = r.position();
+  return s;
+}
+
+// --- Whole container. -----------------------------------------------------------
+
+template <typename Sym>
+std::vector<u8> serialize(const Compressed<Sym>& blob) {
+  ByteWriter w;
+  w.put_array(std::span<const char>(kMagic, 4));
+  w.put<u8>(static_cast<u8>(sizeof(Sym)));
+  const auto cb = serialize_codebook(blob.codebook);
+  w.put_bytes(cb);
+  const auto st = serialize_stream(blob.stream);
+  w.put_bytes(st);
+  return w.take();
+}
+
+template <typename Sym>
+Compressed<Sym> deserialize(std::span<const u8> bytes) {
+  ByteReader r(bytes);
+  const auto magic = r.get_array<char>(4);
+  if (std::memcmp(magic.data(), kMagic, 4) != 0) {
+    throw std::runtime_error("parhuff container: bad magic");
+  }
+  const u8 sym_bytes = r.get<u8>();
+  if (sym_bytes != sizeof(Sym)) {
+    throw std::runtime_error("parhuff container: symbol width mismatch");
+  }
+  Compressed<Sym> blob;
+  std::size_t used = 0;
+  blob.codebook =
+      deserialize_codebook(bytes.subspan(r.position()), &used);
+  const std::size_t stream_at = r.position() + used;
+  std::size_t stream_used = 0;
+  blob.stream = deserialize_stream(bytes.subspan(stream_at), &stream_used);
+  if (stream_at + stream_used != bytes.size()) {
+    throw std::runtime_error("parhuff container: trailing bytes");
+  }
+  return blob;
+}
+
+// --- Files. -----------------------------------------------------------------------
+
+void write_file(const std::string& path, std::span<const u8> bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("cannot open for write: " + path);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!f) throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<u8> read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) throw std::runtime_error("cannot open for read: " + path);
+  const std::streamsize size = f.tellg();
+  f.seekg(0);
+  std::vector<u8> bytes(static_cast<std::size_t>(size));
+  f.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!f) throw std::runtime_error("read failed: " + path);
+  return bytes;
+}
+
+template std::vector<u8> serialize<u8>(const Compressed<u8>&);
+template std::vector<u8> serialize<u16>(const Compressed<u16>&);
+template Compressed<u8> deserialize<u8>(std::span<const u8>);
+template Compressed<u16> deserialize<u16>(std::span<const u8>);
+
+}  // namespace parhuff

@@ -1,0 +1,65 @@
+#pragma once
+// Self-contained compressed container format (and its two sections, which
+// the streaming API reuses independently).
+//
+// Container layout (little-endian):
+//   magic "PHF2" | u8 sym_bytes | codebook section | stream section
+//
+// Codebook section:
+//   u8 max_len | u32 nbins | u8 lens[nbins]
+//   u32 n_present | u32 sorted_syms[n_present]
+// The lengths fully determine First/Entry/count (rebuilt on load); the
+// reverse codebook is stored because the builder's within-level order is
+// part of the code assignment.
+//
+// Stream section:
+//   u64 n_symbols | u32 chunk_symbols | u32 reduce_factor
+//   u8 per_chunk_flag | u32 n_chunks | u64 chunk_bits[n_chunks]
+//   (u8 chunk_reduce[n_chunks] when per_chunk_flag)
+//   u64 payload_words | word payload[...]
+//   u32 n_overflow | packed OverflowEntry[...]
+//   u64 overflow_words | u64 overflow_bits | word overflow_payload[...]
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "util/types.hpp"
+
+namespace parhuff {
+
+// --- Whole-container API. ----------------------------------------------------
+
+template <typename Sym>
+[[nodiscard]] std::vector<u8> serialize(const Compressed<Sym>& blob);
+
+/// Throws std::runtime_error (or std::invalid_argument from codebook
+/// validation) on malformed input.
+template <typename Sym>
+[[nodiscard]] Compressed<Sym> deserialize(std::span<const u8> bytes);
+
+// --- Section API (used by the whole-container functions and by the
+// streaming format, which ships one codebook for many stream segments). ------
+
+[[nodiscard]] std::vector<u8> serialize_codebook(const Codebook& cb);
+/// Reads a codebook section from the reader's cursor position onward;
+/// `consumed` (optional) receives the section's byte length.
+[[nodiscard]] Codebook deserialize_codebook(std::span<const u8> bytes,
+                                            std::size_t* consumed = nullptr);
+
+[[nodiscard]] std::vector<u8> serialize_stream(const EncodedStream& s);
+[[nodiscard]] EncodedStream deserialize_stream(std::span<const u8> bytes,
+                                               std::size_t* consumed = nullptr);
+
+// --- File helpers used by the example applications. ---------------------------
+
+void write_file(const std::string& path, std::span<const u8> bytes);
+[[nodiscard]] std::vector<u8> read_file(const std::string& path);
+
+extern template std::vector<u8> serialize<u8>(const Compressed<u8>&);
+extern template std::vector<u8> serialize<u16>(const Compressed<u16>&);
+extern template Compressed<u8> deserialize<u8>(std::span<const u8>);
+extern template Compressed<u16> deserialize<u16>(std::span<const u8>);
+
+}  // namespace parhuff

@@ -1,0 +1,195 @@
+#include "core/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "simt/atomics.hpp"
+#include "simt/block.hpp"
+#include "util/parallel.hpp"
+
+namespace parhuff {
+
+template <typename Sym>
+std::vector<u64> histogram_serial(std::span<const Sym> data,
+                                  std::size_t nbins) {
+  std::vector<u64> hist(nbins, 0);
+  for (const Sym s : data) {
+    assert(static_cast<std::size_t>(s) < nbins);
+    ++hist[static_cast<std::size_t>(s)];
+  }
+  return hist;
+}
+
+template <typename Sym>
+std::vector<u64> histogram_openmp(std::span<const Sym> data,
+                                  std::size_t nbins, int threads) {
+  const int p = threads > 0 ? threads : max_threads();
+  if (p <= 1 || data.size() < 1u << 16) return histogram_serial(data, nbins);
+
+  // One private histogram per thread over a contiguous chunk, then a
+  // bin-parallel reduction (each thread sums a bin range across privates).
+  std::vector<std::vector<u64>> priv(static_cast<std::size_t>(p));
+  parallel_chunks(
+      data.size(), static_cast<std::size_t>(p),
+      [&](std::size_t t, std::size_t begin, std::size_t end) {
+        auto& h = priv[t];
+        h.assign(nbins, 0);
+        for (std::size_t i = begin; i < end; ++i) {
+          ++h[static_cast<std::size_t>(data[i])];
+        }
+      },
+      p);
+  std::vector<u64> hist(nbins, 0);
+  parallel_for(
+      nbins,
+      [&](std::size_t b) {
+        u64 sum = 0;
+        for (const auto& h : priv) {
+          if (!h.empty()) sum += h[b];
+        }
+        hist[b] = sum;
+      },
+      p);
+  return hist;
+}
+
+template <typename Sym>
+std::vector<u64> histogram_simt(std::span<const Sym> data, std::size_t nbins,
+                                simt::MemTally* tally,
+                                const SimtHistogramConfig& cfg) {
+  std::vector<u64> hist(nbins, 0);
+  if (data.empty()) return hist;
+
+  const std::size_t replica_bytes = nbins * sizeof(u32);
+  // Replication degree: as many sub-histograms as fit the budget, capped at
+  // 8 (diminishing returns past that on real hardware).
+  std::size_t replicas = replica_bytes == 0
+                             ? 1
+                             : std::min<std::size_t>(
+                                   8, cfg.shared_budget_bytes / replica_bytes);
+  const bool use_shared = replicas >= 1;
+  if (!use_shared) replicas = 0;
+
+  const int grid = cfg.grid_dim;
+  const int block = cfg.block_dim;
+  const std::size_t per_block = (data.size() + grid - 1) / grid;
+
+  simt::launch(grid, block, tally, [&](simt::BlockCtx& blk) {
+    const std::size_t begin =
+        static_cast<std::size_t>(blk.block_id()) * per_block;
+    const std::size_t end = std::min(begin + per_block, data.size());
+    if (begin >= end) return;
+    const std::size_t count = end - begin;
+
+    if (use_shared) {
+      auto shared = blk.shared_array<u32>(nbins * replicas);
+      std::fill(shared.begin(), shared.end(), 0);
+
+      // Phase 1: strided reads (coalesced on hardware: consecutive threads
+      // read consecutive elements), shared atomic updates into replica
+      // (tid % replicas).
+      blk.threads([&](int tid) {
+        const std::size_t repl =
+            static_cast<std::size_t>(tid) % replicas * nbins;
+        for (std::size_t i = begin + static_cast<std::size_t>(tid); i < end;
+             i += static_cast<std::size_t>(blk.block_dim())) {
+          const auto bin = static_cast<std::size_t>(data[i]);
+          assert(bin < nbins);
+          // Within the simulator a block is executed by one host thread, so
+          // a plain increment implements the shared atomic.
+          ++shared[repl + bin];
+        }
+      });
+      blk.tally().global_read(count, sizeof(Sym), simt::Pattern::kCoalesced);
+      // Conflict depth: expected collisions grow as active threads per
+      // replica divided by populated bins (uniformly approximated).
+      const double conflict =
+          1.0 + static_cast<double>(block) /
+                    (static_cast<double>(replicas) *
+                     std::max<double>(1.0, static_cast<double>(nbins)));
+      blk.tally().shared_atomic(count, conflict);
+      blk.sync();
+
+      // Phase 2: replica reduction + global flush (bin-parallel across the
+      // block's threads, global atomics to combine blocks).
+      blk.threads([&](int tid) {
+        for (std::size_t b = static_cast<std::size_t>(tid); b < nbins;
+             b += static_cast<std::size_t>(blk.block_dim())) {
+          u64 sum = 0;
+          for (std::size_t r = 0; r < replicas; ++r) {
+            sum += shared[r * nbins + b];
+          }
+          if (sum > 0) simt::atomic_add(hist[b], sum);
+        }
+      });
+      blk.tally().shared_access(nbins * replicas, sizeof(u32));
+      blk.tally().global_atomic(std::min<u64>(nbins, count),
+                                static_cast<double>(grid) / 8.0);
+    } else if (cfg.allow_multipass) {
+      // Multi-pass: each pass owns a bin range sized to the shared budget,
+      // re-reading the block's input partition and counting only in-range
+      // symbols. n_passes x coalesced reads, conflict-light shared atomics.
+      const std::size_t bins_per_pass =
+          std::max<std::size_t>(1, cfg.shared_budget_bytes / sizeof(u32));
+      auto shared = blk.shared_array<u32>(bins_per_pass);
+      const std::size_t passes = (nbins + bins_per_pass - 1) / bins_per_pass;
+      for (std::size_t pass = 0; pass < passes; ++pass) {
+        const std::size_t lo = pass * bins_per_pass;
+        const std::size_t hi = std::min(lo + bins_per_pass, nbins);
+        std::fill(shared.begin(),
+                  shared.begin() + static_cast<std::ptrdiff_t>(hi - lo), 0);
+        blk.threads([&](int tid) {
+          for (std::size_t i = begin + static_cast<std::size_t>(tid);
+               i < end; i += static_cast<std::size_t>(blk.block_dim())) {
+            const auto bin = static_cast<std::size_t>(data[i]);
+            if (bin >= lo && bin < hi) ++shared[bin - lo];
+          }
+        });
+        blk.tally().global_read(count, sizeof(Sym),
+                                simt::Pattern::kCoalesced);
+        blk.tally().shared_atomic(count / passes + 1, 1.1);
+        blk.sync();
+        blk.threads([&](int tid) {
+          for (std::size_t b = lo + static_cast<std::size_t>(tid); b < hi;
+               b += static_cast<std::size_t>(blk.block_dim())) {
+            if (shared[b - lo] > 0) {
+              simt::atomic_add(hist[b], static_cast<u64>(shared[b - lo]));
+            }
+          }
+        });
+        blk.tally().global_atomic(std::min<u64>(hi - lo, count),
+                                  static_cast<double>(grid) / 8.0);
+        blk.sync();
+      }
+    } else {
+      // Degenerate path: direct global atomics (heavily contended —
+      // visible in the tally).
+      blk.threads([&](int tid) {
+        for (std::size_t i = begin + static_cast<std::size_t>(tid); i < end;
+             i += static_cast<std::size_t>(blk.block_dim())) {
+          simt::atomic_add(hist[static_cast<std::size_t>(data[i])], u64{1});
+        }
+      });
+      blk.tally().global_read(count, sizeof(Sym), simt::Pattern::kCoalesced);
+      blk.tally().global_atomic(count, 4.0);
+    }
+  });
+  return hist;
+}
+
+template std::vector<u64> histogram_serial<u8>(std::span<const u8>,
+                                               std::size_t);
+template std::vector<u64> histogram_serial<u16>(std::span<const u16>,
+                                                std::size_t);
+template std::vector<u64> histogram_openmp<u8>(std::span<const u8>,
+                                               std::size_t, int);
+template std::vector<u64> histogram_openmp<u16>(std::span<const u16>,
+                                                std::size_t, int);
+template std::vector<u64> histogram_simt<u8>(std::span<const u8>, std::size_t,
+                                             simt::MemTally*,
+                                             const SimtHistogramConfig&);
+template std::vector<u64> histogram_simt<u16>(std::span<const u16>,
+                                              std::size_t, simt::MemTally*,
+                                              const SimtHistogramConfig&);
+
+}  // namespace parhuff

@@ -1,0 +1,71 @@
+#pragma once
+// Histogramming (stage 1 of the pipeline, §IV-A).
+//
+// Three implementations:
+//  * histogram_serial — reference.
+//  * histogram_openmp — coarse-grained: per-thread private histograms over
+//    contiguous chunks, tree-reduced. This is the multithreaded CPU
+//    histogram of Table VI.
+//  * histogram_simt   — the Gómez-Luna et al. GPU algorithm the paper uses:
+//    each thread block keeps R replicated sub-histograms in shared memory
+//    (R chosen from the shared-memory budget) to spread atomic conflicts;
+//    threads stride the block's input partition, update replica
+//    (tid mod R) with shared atomics, and finally the replicas are reduced
+//    and flushed to the global histogram with global atomics. The paper's
+//    footnote 3 notes 8192 symbols as the practical shared-memory limit —
+//    above that the kernel degrades to direct global atomics, which the
+//    tally makes visible.
+
+#include <span>
+#include <vector>
+
+#include "simt/mem_model.hpp"
+#include "util/types.hpp"
+
+namespace parhuff {
+
+template <typename Sym>
+[[nodiscard]] std::vector<u64> histogram_serial(std::span<const Sym> data,
+                                                std::size_t nbins);
+
+template <typename Sym>
+[[nodiscard]] std::vector<u64> histogram_openmp(std::span<const Sym> data,
+                                                std::size_t nbins,
+                                                int threads = 0);
+
+struct SimtHistogramConfig {
+  int grid_dim = 160;     ///< 2 blocks per SM on the V100
+  int block_dim = 256;
+  std::size_t shared_budget_bytes = 48 * 1024;  ///< shared memory per block
+  /// Alphabets too large for one shared-memory copy (the paper's footnote-3
+  /// 8192-symbol limit) are histogrammed in bin-range passes: pass p counts
+  /// only bins [p·P, (p+1)·P) in shared memory and re-reads the input.
+  /// Trades extra coalesced reads for conflict-free shared atomics; set
+  /// false to fall back to direct global atomics instead.
+  bool allow_multipass = true;
+};
+
+template <typename Sym>
+[[nodiscard]] std::vector<u64> histogram_simt(
+    std::span<const Sym> data, std::size_t nbins,
+    simt::MemTally* tally = nullptr,
+    const SimtHistogramConfig& cfg = SimtHistogramConfig{});
+
+extern template std::vector<u64> histogram_serial<u8>(std::span<const u8>,
+                                                      std::size_t);
+extern template std::vector<u64> histogram_serial<u16>(std::span<const u16>,
+                                                       std::size_t);
+extern template std::vector<u64> histogram_openmp<u8>(std::span<const u8>,
+                                                      std::size_t, int);
+extern template std::vector<u64> histogram_openmp<u16>(std::span<const u16>,
+                                                       std::size_t, int);
+extern template std::vector<u64> histogram_simt<u8>(std::span<const u8>,
+                                                    std::size_t,
+                                                    simt::MemTally*,
+                                                    const SimtHistogramConfig&);
+extern template std::vector<u64> histogram_simt<u16>(std::span<const u16>,
+                                                     std::size_t,
+                                                     simt::MemTally*,
+                                                     const SimtHistogramConfig&);
+
+}  // namespace parhuff

@@ -1,0 +1,93 @@
+#pragma once
+// GPU Merge Path (Green, McColl, Bader, ICS'12), the PARMERGE of
+// Algorithm 1.
+//
+// Two sorted sequences A (size na) and B (size nb) are merged by cutting the
+// merge matrix along `parts` equally spaced cross diagonals. Each diagonal's
+// intersection with the merge path is found by an independent binary search
+// (fine-grained, one thread per partition boundary on the GPU); the segments
+// between consecutive intersections are then merged serially (coarse-grained,
+// one thread per partition). The paper notes the practical complexity
+// O(n/p + log n) with p partitions; tests verify both the partition points
+// and the merged output against std::merge.
+//
+// The interface is index-based so the codebook algorithm can merge
+// structure-of-arrays node representations without materializing records:
+// `less(i, j)` compares A[i] against B[j]; `emit(k, from_a, src)` receives
+// the merged order. Stability: equal keys take A's element first.
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parhuff {
+
+/// Resolve the merge-path split point on cross diagonal `d` (0 <= d <=
+/// na+nb): returns i such that the first d merged elements are exactly
+/// A[0..i) and B[0..d-i). Binary search, O(log min(na, nb, d)).
+template <typename LessAB>
+std::size_t merge_path_split(std::size_t d, std::size_t na, std::size_t nb,
+                             LessAB&& a_le_b) {
+  // Invariant for the correct i: (i == 0 or A[i-1] <= B[d-i]) and
+  // (i == d-range or B[d-i-1] < A[i]).  a_le_b(i, j) must return
+  // "A[i] <= B[j]" to make the merge stable toward A.
+  std::size_t lo = d > nb ? d - nb : 0;
+  std::size_t hi = d < na ? d : na;
+  while (lo < hi) {
+    const std::size_t i = lo + (hi - lo) / 2;  // candidate: take i from A
+    const std::size_t j = d - i;               // and j from B
+    // If A[i] <= B[j-1] we can still take more from A (i too small).
+    if (j > 0 && a_le_b(i, j - 1)) {
+      lo = i + 1;
+    } else {
+      hi = i;
+    }
+  }
+  return lo;
+}
+
+/// Full partitioned merge. `exec` supplies the two parallel phases
+/// (partition-point search, then per-partition serial merge).
+/// `a_le_b(i, j)` returns A[i] <= B[j]; `emit(k, from_a, src_index)` is
+/// called exactly once for every output rank k in [0, na+nb), from the
+/// thread that owns rank k's partition.
+template <typename Exec, typename LessAB, typename Emit>
+void merge_path(Exec& exec, std::size_t na, std::size_t nb, LessAB&& a_le_b,
+                Emit&& emit, std::size_t parts) {
+  const std::size_t total = na + nb;
+  if (total == 0) return;
+  if (parts == 0) parts = 1;
+  if (parts > total) parts = total;
+
+  // Phase 1 (fine-grained): locate the merge path on `parts+1` diagonals.
+  std::vector<std::size_t> split_a(parts + 1);
+  exec.par(parts + 1, [&](std::size_t p) {
+    const std::size_t d = p * total / parts;
+    split_a[p] = merge_path_split(d, na, nb, a_le_b);
+  });
+
+  // Phase 2 (coarse-grained): serial merge of each segment.
+  exec.par(parts, [&](std::size_t p) {
+    const std::size_t d0 = p * total / parts;
+    const std::size_t d1 = (p + 1) * total / parts;
+    std::size_t i = split_a[p];
+    std::size_t j = d0 - i;
+    const std::size_t i_end = split_a[p + 1];
+    const std::size_t j_end = d1 - i_end;
+    std::size_t k = d0;
+    while (i < i_end && j < j_end) {
+      if (a_le_b(i, j)) {
+        emit(k++, true, i++);
+      } else {
+        emit(k++, false, j++);
+      }
+    }
+    while (i < i_end) emit(k++, true, i++);
+    while (j < j_end) emit(k++, false, j++);
+    assert(k == d1);
+  });
+}
+
+}  // namespace parhuff

@@ -1,0 +1,465 @@
+#pragma once
+// Two-phase parallel canonical codebook construction (Algorithm 1 of the
+// paper, after Ostadzadeh et al.), written once against the executor concept
+// of executor.hpp and instantiated for the SIMT simulator (GPU form,
+// Table III), OpenMP (CPU form, Table IV) and sequential execution (test
+// reference).
+//
+// GenerateCL — round-based parallel melding over the freq-sorted histogram:
+//   each round melds the two globally smallest roots into a node `t`, then
+//   selects every remaining root (leaf or internal) with freq < t.freq,
+//   parity-trims the selection, PARMERGEs the leaf run with the internal
+//   run (Merge Path), and melds adjacent pairs of the merged list in
+//   parallel. Safety follows from Ostadzadeh's lemma: all roots lighter
+//   than the sum of the two smallest can be combined pairwise without
+//   losing optimality (property-tested against the serial builder).
+//
+//   Deviations from the paper's pseudocode, which has transcription
+//   artifacts (negative parity index, iNodes.size double-count — see
+//   DESIGN.md): (1) the selection is frequency-filtered on both the leaf
+//   and internal side rather than "all internals but the last"; (2) leaf
+//   codeword lengths are produced by one parent-chain depth pass at the end
+//   instead of per-round leader chasing — functionally identical, and the
+//   modeled GPU cost is charged per the paper's per-round structure either
+//   way.
+//
+// GenerateCW — canonical codeword assignment by length level, emitting the
+//   First/Entry decoder metadata exactly as §IV-B2 describes. The paper
+//   assigns values per level in decreasing order and bit-inverts at the
+//   end; we assign the equivalent increasing canonical values directly.
+
+#include <cassert>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/canonical.hpp"
+#include "core/merge_path.hpp"
+#include "core/sort.hpp"
+#include "simt/atomics.hpp"
+#include "simt/mem_model.hpp"
+#include "util/types.hpp"
+
+namespace parhuff {
+
+struct ParCodebookStats {
+  u64 rounds = 0;          ///< GenerateCL meld rounds
+  u64 melds = 0;           ///< internal nodes created
+  u64 merged_elements = 0; ///< total elements routed through ParMerge
+  u64 levels = 0;          ///< distinct codeword lengths in GenerateCW
+  unsigned max_len = 0;
+};
+
+namespace detail {
+
+/// Charge a parallel region's data movement to the simulator tally (no-op
+/// when the caller isn't collecting metrics).
+inline void tally_par_traffic(simt::MemTally* tally, u64 elems, u64 bytes,
+                              simt::Pattern p = simt::Pattern::kCoalesced) {
+  if (!tally) return;
+  tally->global_read(elems, bytes, p);
+  tally->ops(elems * 4);
+}
+
+}  // namespace detail
+
+/// Phase 1: codeword lengths for an ascending-sorted, all-positive frequency
+/// array. Returns CL[i] aligned with sorted_freq positions.
+template <typename Exec>
+std::vector<u32> generate_cl(Exec& exec, std::span<const u64> sorted_freq,
+                             ParCodebookStats* stats = nullptr,
+                             simt::MemTally* tally = nullptr) {
+  const std::size_t n = sorted_freq.size();
+  std::vector<u32> cl(n, 0);
+  if (n == 0) return cl;
+  if (n == 1) {
+    cl[0] = 1;
+    return cl;
+  }
+#ifndef NDEBUG
+  for (std::size_t i = 1; i < n; ++i) assert(sorted_freq[i - 1] <= sorted_freq[i]);
+#endif
+
+  // Node arena (SoA, as the paper stores lNodes/iNodes for coalescing).
+  std::vector<u64> ifreq;     // internal node frequency
+  std::vector<i32> iparent;   // parent arena index, -1 while a root
+  ifreq.reserve(n);
+  iparent.reserve(n);
+  std::vector<i32> leaf_parent(n, -1);
+
+  // iNodes: current internal roots in ascending freq order. `ihead` marks
+  // consumed entries; new roots are appended merge-ordered.
+  std::vector<u32> inodes;
+  inodes.reserve(n);
+  std::size_t ihead = 0;
+  std::size_t c = 0;  // leaves [0, c) consumed
+
+  // Scratch reused across rounds.
+  std::vector<u32> cand_idx;      // merged candidate list: arena/leaf index
+  std::vector<u8> cand_is_leaf;
+  std::vector<u32> inodes_next;
+
+  auto leaf_count = [&] { return n - c; };
+  auto inode_count = [&] { return inodes.size() - ihead; };
+
+  u64 rounds = 0;
+  u64 merged_total = 0;
+
+  while (leaf_count() + inode_count() > 1) {
+    ++rounds;
+    // --- Region A (sequential): meld the two smallest roots into t. ------
+    u64 tfreq = 0;
+    u32 t_index = 0;
+    exec.seq(
+        [&] {
+          auto take_smallest = [&](u64& f) -> std::pair<bool, std::size_t> {
+            const bool leaf =
+                c < n && (ihead >= inodes.size() ||
+                          sorted_freq[c] <= ifreq[inodes[ihead]]);
+            if (leaf) {
+              f = sorted_freq[c];
+              return {true, c++};
+            }
+            f = ifreq[inodes[ihead]];
+            return {false, ihead++};
+          };
+          u64 fa = 0, fb = 0;
+          const auto a = take_smallest(fa);
+          const auto b = take_smallest(fb);
+          t_index = static_cast<u32>(ifreq.size());
+          ifreq.push_back(fa + fb);
+          iparent.push_back(-1);
+          if (a.first) leaf_parent[a.second] = static_cast<i32>(t_index);
+          else iparent[inodes[a.second]] = static_cast<i32>(t_index);
+          if (b.first) leaf_parent[b.second] = static_cast<i32>(t_index);
+          else iparent[inodes[b.second]] = static_cast<i32>(t_index);
+          tfreq = fa + fb;
+        },
+        /*dependent_ops=*/24);
+
+    // --- Region B (sequential bound search + parity trim). ---------------
+    // k candidate leaves [c, c+k) and m candidate internals
+    // inodes[ihead, ihead+m), all with freq < t.freq.
+    std::size_t k = 0, m = 0;
+    exec.seq(
+        [&] {
+          std::size_t lo = c, hi = n;
+          while (lo < hi) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            if (sorted_freq[mid] < tfreq) lo = mid + 1; else hi = mid;
+          }
+          k = lo - c;
+          std::size_t ilo = ihead, ihi = inodes.size();
+          while (ilo < ihi) {
+            const std::size_t mid = ilo + (ihi - ilo) / 2;
+            if (ifreq[inodes[mid]] < tfreq) ilo = mid + 1; else ihi = mid;
+          }
+          m = ilo - ihead;
+          if ((k + m) % 2 != 0) {
+            // Drop the largest candidate so pairs are complete; it stays a
+            // root for a later round.
+            if (m == 0) {
+              --k;
+            } else if (k == 0) {
+              --m;
+            } else if (sorted_freq[c + k - 1] >= ifreq[inodes[ihead + m - 1]]) {
+              --k;
+            } else {
+              --m;
+            }
+          }
+        },
+        /*dependent_ops=*/64);
+
+    // --- Region C: PARMERGE of the two candidate runs (Merge Path). ------
+    const std::size_t total = k + m;
+    if (total > 0) {
+      cand_idx.resize(total);
+      cand_is_leaf.resize(total);
+      const std::size_t leaf_base = c;
+      const std::size_t inode_base = ihead;
+      merge_path(
+          exec, k, m,
+          [&](std::size_t i, std::size_t j) {
+            return sorted_freq[leaf_base + i] <=
+                   ifreq[inodes[inode_base + j]];
+          },
+          [&](std::size_t out, bool from_a, std::size_t src) {
+            cand_is_leaf[out] = from_a ? 1 : 0;
+            cand_idx[out] = from_a ? static_cast<u32>(leaf_base + src)
+                                   : inodes[inode_base + src];
+          },
+          /*parts=*/16);
+      merged_total += total;
+      detail::tally_par_traffic(tally, total, 12);
+
+      // --- Region D: meld adjacent pairs in parallel. --------------------
+      const std::size_t pairs = total / 2;
+      const std::size_t arena_base = ifreq.size();
+      ifreq.resize(arena_base + pairs);
+      iparent.resize(arena_base + pairs, -1);
+      exec.par(pairs, [&](std::size_t j) {
+        const u32 ia = cand_idx[2 * j];
+        const u32 ib = cand_idx[2 * j + 1];
+        const u64 fa = cand_is_leaf[2 * j] ? sorted_freq[ia] : ifreq[ia];
+        const u64 fb = cand_is_leaf[2 * j + 1] ? sorted_freq[ib] : ifreq[ib];
+        const u32 node = static_cast<u32>(arena_base + j);
+        ifreq[node] = fa + fb;
+        if (cand_is_leaf[2 * j]) leaf_parent[ia] = static_cast<i32>(node);
+        else iparent[ia] = static_cast<i32>(node);
+        if (cand_is_leaf[2 * j + 1]) leaf_parent[ib] = static_cast<i32>(node);
+        else iparent[ib] = static_cast<i32>(node);
+      });
+      detail::tally_par_traffic(tally, pairs, 24);
+
+      // Consume the selected candidates.
+      c += k;
+      ihead += m;
+
+      // --- Region E: rebuild iNodes = insert(t, merge(old suffix, pairs)).
+      // Unselected internals and pair sums are >= t.freq with one possible
+      // exception: the parity-dropped candidate (freq < t.freq) still heads
+      // the old suffix, so t is placed by insertion rather than prepended.
+      const std::size_t old_sz = inodes.size() - ihead;
+      inodes_next.clear();
+      inodes_next.resize(old_sz + pairs);
+      merge_path(
+          exec, old_sz, pairs,
+          [&](std::size_t i, std::size_t j) {
+            return ifreq[inodes[ihead + i]] <= ifreq[arena_base + j];
+          },
+          [&](std::size_t out, bool from_a, std::size_t src) {
+            inodes_next[out] = from_a ? inodes[ihead + src]
+                                      : static_cast<u32>(arena_base + src);
+          },
+          /*parts=*/16);
+      exec.seq(
+          [&] {
+            std::size_t pos = 0;
+            while (pos < inodes_next.size() &&
+                   ifreq[inodes_next[pos]] < tfreq) {
+              ++pos;
+            }
+            inodes_next.insert(
+                inodes_next.begin() + static_cast<std::ptrdiff_t>(pos),
+                t_index);
+          },
+          /*dependent_ops=*/8);
+      inodes.swap(inodes_next);
+      ihead = 0;
+      detail::tally_par_traffic(tally, old_sz + pairs, 8);
+    } else {
+      // No candidates survived the parity trim: only t joins the roots,
+      // inserted after any remaining lighter root.
+      exec.seq(
+          [&] {
+            inodes_next.assign(inodes.begin() +
+                                   static_cast<std::ptrdiff_t>(ihead),
+                               inodes.end());
+            std::size_t pos = 0;
+            while (pos < inodes_next.size() &&
+                   ifreq[inodes_next[pos]] < tfreq) {
+              ++pos;
+            }
+            inodes_next.insert(
+                inodes_next.begin() + static_cast<std::ptrdiff_t>(pos),
+                t_index);
+            inodes.swap(inodes_next);
+            ihead = 0;
+          },
+          /*dependent_ops=*/8);
+    }
+  }
+  assert(c == n);
+
+  // Final depth pass (UPDATELEAFNODE equivalent): internal depths by a
+  // reverse scan (every parent has a larger arena index), then leaf lengths
+  // in parallel.
+  std::vector<u32> idepth(ifreq.size(), 0);
+  exec.seq(
+      [&] {
+        for (std::size_t i = ifreq.size(); i-- > 0;) {
+          if (iparent[i] >= 0) {
+            idepth[i] = idepth[static_cast<std::size_t>(iparent[i])] + 1;
+          }
+        }
+      },
+      /*dependent_ops=*/static_cast<u64>(ifreq.size()));
+  exec.par(n, [&](std::size_t i) {
+    assert(leaf_parent[i] >= 0);
+    cl[i] = idepth[static_cast<std::size_t>(leaf_parent[i])] + 1;
+  });
+  detail::tally_par_traffic(tally, n, 8);
+
+  if (stats) {
+    stats->rounds += rounds;
+    stats->melds += ifreq.size();
+    stats->merged_elements += merged_total;
+  }
+  return cl;
+}
+
+/// Phase 2 output: canonical codewords + decode metadata, in the order of
+/// the length-ascending position array.
+struct GeneratedCodewords {
+  std::vector<u64> cw;        ///< canonical value per position (length asc)
+  std::vector<u32> position;  ///< original sorted-histogram position
+  std::vector<u64> first;     ///< First array (index = length)
+  std::vector<u32> count;
+  std::vector<u32> entry;     ///< Entry array
+  unsigned max_len = 0;
+};
+
+/// Phase 2: canonical codeword generation from the codeword lengths
+/// produced by generate_cl (positions are freq-ascending, so lengths are
+/// non-increasing; PARREVERSE makes them ascending).
+template <typename Exec>
+GeneratedCodewords generate_cw(Exec& exec, std::span<const u32> cl,
+                               ParCodebookStats* stats = nullptr,
+                               simt::MemTally* tally = nullptr) {
+  const std::size_t n = cl.size();
+  GeneratedCodewords out;
+  if (n == 0) return out;
+
+  // PARREVERSE: view positions in reverse so lengths ascend. If ties in the
+  // underlying frequencies produced a non-monotone stretch, a counting sort
+  // restores order (stable; rare path).
+  out.position.resize(n);
+  exec.par(n, [&](std::size_t i) {
+    out.position[i] = static_cast<u32>(n - 1 - i);
+  });
+  detail::tally_par_traffic(tally, n, 4);
+
+  unsigned max_len = 0;
+  bool monotone = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u32 l = cl[out.position[i]];
+    if (l > max_len) max_len = l;
+    if (i > 0 && cl[out.position[i]] < cl[out.position[i - 1]]) {
+      monotone = false;
+    }
+  }
+  if (max_len > kMaxCodeLen) {
+    throw std::runtime_error("generate_cw: codeword length exceeds limit");
+  }
+  out.max_len = max_len;
+  out.count.assign(max_len + 1, 0);
+  out.first.assign(max_len + 1, 0);
+  out.entry.assign(max_len + 2, 0);
+
+  // Level histogram (the paper finds level boundaries with ATOMICMIN over
+  // the sorted array; a counting pass is the same O(n) work).
+  exec.par(n, [&](std::size_t i) {
+    simt::atomic_add(out.count[cl[i]], u32{1});
+  });
+  if (tally) tally->global_atomic(n, 1.5);
+
+  if (!monotone) {
+    // Stable counting sort of positions by length (ascending).
+    std::vector<u32> cursor(max_len + 1, 0);
+    u32 run = 0;
+    for (unsigned l = 1; l <= max_len; ++l) {
+      cursor[l] = run;
+      run += out.count[l];
+    }
+    std::vector<u32> sorted(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const u32 p = out.position[i];
+      sorted[cursor[cl[p]]++] = p;
+    }
+    out.position.swap(sorted);
+  }
+
+  // Entry prefix sum + First recurrence (sequential over H levels, as in
+  // lines 40–44 of Algorithm 1).
+  u64 levels = 0;
+  exec.seq(
+      [&] {
+        u32 run = 0;
+        u64 next_first = 0;
+        unsigned prev_l = 0;
+        bool seen = false;
+        for (unsigned l = 0; l <= max_len; ++l) {
+          out.entry[l] = run;
+          run += out.count[l];
+          if (l == 0 || out.count[l] == 0) continue;
+          ++levels;
+          next_first = seen ? (next_first << (l - prev_l)) : 0;
+          out.first[l] = next_first;
+          next_first += out.count[l];
+          if (next_first > (u64{1} << l)) {
+            throw std::runtime_error("generate_cw: Kraft violation");
+          }
+          prev_l = l;
+          seen = true;
+        }
+        out.entry[max_len + 1] = run;
+      },
+      /*dependent_ops=*/static_cast<u64>(max_len) * 4);
+
+  // Codeword assignment: one thread per symbol (lines 31–39).
+  out.cw.resize(n);
+  exec.par(n, [&](std::size_t i) {
+    const u32 l = cl[out.position[i]];
+    const u32 rank = static_cast<u32>(i) - out.entry[l];
+    out.cw[i] = out.first[l] + rank;
+  });
+  detail::tally_par_traffic(tally, n, 16);
+
+  if (stats) {
+    stats->levels += levels;
+    stats->max_len = std::max(stats->max_len, max_len);
+  }
+  return out;
+}
+
+/// Complete parallel construction: histogram → (radix sort) → GenerateCL →
+/// GenerateCW → scatter into a canonical Codebook over [0, freq.size()).
+template <typename Exec>
+Codebook build_codebook_parallel(Exec& exec, std::span<const u64> freq,
+                                 ParCodebookStats* stats = nullptr,
+                                 simt::MemTally* tally = nullptr) {
+  Codebook cb;
+  cb.nbins = static_cast<u32>(freq.size());
+  cb.cw.assign(freq.size(), Codeword{});
+
+  // Present symbols, sorted ascending by (freq, symbol). The symbol
+  // tiebreak makes the whole construction deterministic.
+  std::vector<u64> keys;
+  std::vector<u32> syms;
+  keys.reserve(freq.size());
+  syms.reserve(freq.size());
+  for (std::size_t s = 0; s < freq.size(); ++s) {
+    if (freq[s] > 0) {
+      keys.push_back(freq[s]);
+      syms.push_back(static_cast<u32>(s));
+    }
+  }
+  if (keys.empty()) return cb;
+  radix_sort_by_key(keys, syms);
+  if (tally) {
+    tally->global_read(keys.size() * 2, 8, simt::Pattern::kCoalesced);
+    tally->global_write(keys.size() * 2, 8, simt::Pattern::kCoalesced);
+  }
+
+  std::vector<u32> cl = generate_cl(exec, keys, stats, tally);
+  GeneratedCodewords gen = generate_cw(exec, cl, stats, tally);
+
+  const std::size_t m = keys.size();
+  cb.max_len = gen.max_len;
+  cb.first = std::move(gen.first);
+  cb.count = std::move(gen.count);
+  cb.entry = std::move(gen.entry);
+  cb.sorted_syms.resize(m);
+  exec.par(m, [&](std::size_t i) {
+    const u32 sym = syms[gen.position[i]];
+    cb.sorted_syms[i] = sym;
+    cb.cw[sym] = Codeword{gen.cw[i],
+                          static_cast<u8>(cl[gen.position[i]])};
+  });
+  detail::tally_par_traffic(tally, m, 16, simt::Pattern::kStrided);
+  return cb;
+}
+
+}  // namespace parhuff

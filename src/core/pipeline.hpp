@@ -1,0 +1,127 @@
+#pragma once
+// End-to-end Huffman encoder pipeline (§IV): histogram → codebook →
+// encode, with per-stage timing and simulator tallies. This is the object
+// the examples and benches drive; Table V's breakdown columns map 1:1 onto
+// PipelineReport.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/canonical.hpp"
+#include "core/encode_reduceshuffle.hpp"
+#include "core/encoded.hpp"
+#include "core/par_codebook.hpp"
+#include "simt/mem_model.hpp"
+#include "util/timer.hpp"
+#include "util/types.hpp"
+
+namespace parhuff {
+
+enum class HistogramKind {
+  kSerial,
+  kOpenMP,
+  kSimt,  ///< Gómez-Luna privatized kernel (default)
+};
+
+enum class CodebookKind {
+  kSerialTree,    ///< two-queue serial baseline (SZ-style)
+  kParallelSimt,  ///< Algorithm 1 on the cooperative grid (default)
+  kParallelOmp,   ///< Algorithm 1 via OpenMP (the Table IV builder)
+};
+
+enum class EncoderKind {
+  kSerial,             ///< single-thread reference
+  kOpenMP,             ///< multithreaded CPU encoder (Table VI)
+  kCoarseSimt,         ///< cuSZ-style chunk-per-thread baseline
+  kPrefixSumSimt,      ///< Rahmani-style prefix-sum baseline
+  kReduceShuffleSimt,  ///< the paper's encoder (default)
+  kAdaptiveSimt,       ///< §VII extension: per-chunk reduce factors
+};
+
+struct PipelineConfig {
+  std::size_t nbins = 256;
+  HistogramKind histogram = HistogramKind::kSimt;
+  CodebookKind codebook = CodebookKind::kParallelSimt;
+  EncoderKind encoder = EncoderKind::kReduceShuffleSimt;
+  u32 magnitude = 10;  ///< chunk = 2^magnitude symbols
+  /// REDUCE-merge factor; unset → decided from the measured avg bitwidth
+  /// (decide_reduce_factor).
+  std::optional<u32> reduce_factor;
+  int cpu_threads = 0;  ///< for the OpenMP stages (0 = library default)
+};
+
+struct PipelineReport {
+  double hist_seconds = 0;
+  double codebook_seconds = 0;
+  double encode_seconds = 0;
+  simt::MemTally hist_tally;
+  simt::MemTally codebook_tally;
+  simt::MemTally encode_tally;
+  double entropy_bits = 0;
+  double avg_bits = 0;
+  u32 reduce_factor = 0;
+  ReduceShuffleStats rs;
+  ParCodebookStats cb_stats;
+  std::size_t input_bytes = 0;
+  std::size_t compressed_bytes = 0;
+
+  [[nodiscard]] double compression_ratio() const {
+    return compressed_bytes == 0
+               ? 0.0
+               : static_cast<double>(input_bytes) /
+                     static_cast<double>(compressed_bytes);
+  }
+  [[nodiscard]] double total_seconds() const {
+    return hist_seconds + codebook_seconds + encode_seconds;
+  }
+};
+
+/// A compressed buffer: the canonical codebook plus the chunked stream.
+template <typename Sym>
+struct Compressed {
+  Codebook codebook;
+  EncodedStream stream;
+};
+
+/// Runs the configured pipeline. `Sym` is u8 for generic byte data or u16
+/// for multi-byte symbols (quantization codes, k-mer ids).
+template <typename Sym>
+[[nodiscard]] Compressed<Sym> compress(std::span<const Sym> data,
+                                       const PipelineConfig& cfg,
+                                       PipelineReport* report = nullptr);
+
+/// Inverse of compress (any encoder kind).
+template <typename Sym>
+[[nodiscard]] std::vector<Sym> decompress(const Compressed<Sym>& blob,
+                                          int threads = 0);
+
+enum class DecoderKind {
+  kHost,      ///< chunk-parallel host decoding (default)
+  kSimt,      ///< thread-per-chunk simulated kernel (tallied)
+  kSelfSync,  ///< CUHD-style self-synchronizing kernel (tallied)
+};
+
+/// Decoder-selectable variant; `tally` collects transaction counts for the
+/// SIMT decoders (ignored for kHost).
+template <typename Sym>
+[[nodiscard]] std::vector<Sym> decompress_with(const Compressed<Sym>& blob,
+                                               DecoderKind decoder,
+                                               simt::MemTally* tally = nullptr);
+
+extern template Compressed<u8> compress<u8>(std::span<const u8>,
+                                            const PipelineConfig&,
+                                            PipelineReport*);
+extern template Compressed<u16> compress<u16>(std::span<const u16>,
+                                              const PipelineConfig&,
+                                              PipelineReport*);
+extern template std::vector<u8> decompress<u8>(const Compressed<u8>&, int);
+extern template std::vector<u16> decompress<u16>(const Compressed<u16>&, int);
+extern template std::vector<u8> decompress_with<u8>(const Compressed<u8>&,
+                                                    DecoderKind,
+                                                    simt::MemTally*);
+extern template std::vector<u16> decompress_with<u16>(const Compressed<u16>&,
+                                                      DecoderKind,
+                                                      simt::MemTally*);
+
+}  // namespace parhuff

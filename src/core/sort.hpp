@@ -1,0 +1,67 @@
+#pragma once
+// Key-value LSD radix sort — the Thrust sort-by-key substitute used to order
+// the histogram ascending before GenerateCL (§IV-B1: "the histogram is
+// sorted in ascending order using Thrust. This operation is low-cost, as n
+// is relatively small").
+//
+// 8-bit digits, skipping passes whose digit is constant. Stable, so sorting
+// (freq) with symbol payloads yields the deterministic (freq, symbol)
+// ascending order the codebook builder relies on.
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parhuff {
+
+/// Sorts `keys` ascending, permuting `values` alongside. O(passes * n).
+template <typename V>
+void radix_sort_by_key(std::vector<u64>& keys, std::vector<V>& values) {
+  const std::size_t n = keys.size();
+  if (n < 2) return;
+
+  u64 all_or = 0;
+  for (u64 k : keys) all_or |= k;
+
+  std::vector<u64> kbuf(n);
+  std::vector<V> vbuf(n);
+  u64* kin = keys.data();
+  u64* kout = kbuf.data();
+  V* vin = values.data();
+  V* vout = vbuf.data();
+  bool swapped = false;
+
+  for (unsigned shift = 0; shift < 64; shift += 8) {
+    if (((all_or >> shift) & 0xFFu) == 0) continue;
+    std::array<std::size_t, 256> bucket{};
+    for (std::size_t i = 0; i < n; ++i) {
+      ++bucket[(kin[i] >> shift) & 0xFFu];
+    }
+    if (bucket[(kin[0] >> shift) & 0xFFu] == n) continue;  // constant digit
+    std::size_t run = 0;
+    for (auto& b : bucket) {
+      const std::size_t c = b;
+      b = run;
+      run += c;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t pos = bucket[(kin[i] >> shift) & 0xFFu]++;
+      kout[pos] = kin[i];
+      vout[pos] = vin[i];
+    }
+    std::swap(kin, kout);
+    std::swap(vin, vout);
+    swapped = !swapped;
+  }
+  if (swapped) {
+    for (std::size_t i = 0; i < n; ++i) {
+      keys[i] = kin[i];
+      values[i] = vin[i];
+    }
+  }
+}
+
+}  // namespace parhuff

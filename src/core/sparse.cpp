@@ -1,0 +1,46 @@
+#include "core/sparse.hpp"
+
+#include "util/parallel.hpp"
+
+namespace parhuff {
+
+std::vector<u32> dense_to_sparse(std::span<const u8> mask,
+                                 simt::MemTally* tally) {
+  const std::size_t n = mask.size();
+  // Pass 1: per-piece counts; pass 2: scan; pass 3: scatter. Piece count is
+  // fixed so the scan stays tiny.
+  constexpr std::size_t kPieces = 64;
+  std::vector<std::size_t> counts(kPieces, 0);
+  const std::size_t per = (n + kPieces - 1) / kPieces;
+  parallel_for(kPieces, [&](std::size_t p) {
+    const std::size_t begin = p * per;
+    const std::size_t end = begin + per < n ? begin + per : n;
+    std::size_t c = 0;
+    for (std::size_t i = begin; i < end; ++i) c += mask[i] ? 1 : 0;
+    counts[p] = c;
+  });
+  std::size_t total = 0;
+  for (auto& c : counts) {
+    const std::size_t v = c;
+    c = total;
+    total += v;
+  }
+  std::vector<u32> out(total);
+  parallel_for(kPieces, [&](std::size_t p) {
+    const std::size_t begin = p * per;
+    const std::size_t end = begin + per < n ? begin + per : n;
+    std::size_t cursor = counts[p];
+    for (std::size_t i = begin; i < end; ++i) {
+      if (mask[i]) out[cursor++] = static_cast<u32>(i);
+    }
+  });
+  if (tally) {
+    tally->kernel_launches += 2;
+    tally->global_read(2 * n, 1, simt::Pattern::kCoalesced);
+    tally->global_write(total, 4, simt::Pattern::kCoalesced);
+    tally->ops(2 * n);
+  }
+  return out;
+}
+
+}  // namespace parhuff

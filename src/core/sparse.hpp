@@ -1,0 +1,19 @@
+#pragma once
+// Dense→sparse conversion (the cuSPARSE-substitute of §V-B2): breaking
+// points are produced as a dense 0/1 mask over reduce groups; storing them
+// requires the compact index list. Implemented as the classic
+// count → exclusive scan → scatter kernel sequence.
+
+#include <span>
+#include <vector>
+
+#include "simt/mem_model.hpp"
+#include "util/types.hpp"
+
+namespace parhuff {
+
+/// Indices of nonzero mask entries, in ascending order.
+[[nodiscard]] std::vector<u32> dense_to_sparse(std::span<const u8> mask,
+                                               simt::MemTally* tally = nullptr);
+
+}  // namespace parhuff

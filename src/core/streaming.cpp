@@ -1,0 +1,207 @@
+#include "core/streaming.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "core/bytesio.hpp"
+#include "core/decode.hpp"
+#include "core/encode_adaptive.hpp"
+#include "core/encode_reduceshuffle.hpp"
+#include "core/encode_serial.hpp"
+#include "core/encode_simt.hpp"
+#include "core/entropy.hpp"
+#include "core/executor.hpp"
+#include "core/format.hpp"
+#include "core/histogram.hpp"
+#include "core/par_codebook.hpp"
+#include "core/tree.hpp"
+#include "simt/coop.hpp"
+
+namespace parhuff {
+
+namespace {
+constexpr char kStreamMagic[4] = {'P', 'H', 'S', '2'};
+constexpr u32 kFrameMagic = 0x50485346u;  // "PHSF"
+}  // namespace
+
+template <typename Sym>
+StreamingCompressor<Sym>::StreamingCompressor(PipelineConfig cfg)
+    : cfg_(std::move(cfg)), freq_(cfg_.nbins, 0) {
+  if (cfg_.nbins == 0) throw std::invalid_argument("nbins must be positive");
+}
+
+template <typename Sym>
+void StreamingCompressor<Sym>::observe(std::span<const Sym> segment) {
+  if (frozen_) {
+    throw std::logic_error("StreamingCompressor: observe() after freeze()");
+  }
+  const auto h = histogram_openmp<Sym>(segment, cfg_.nbins, cfg_.cpu_threads);
+  for (std::size_t b = 0; b < freq_.size(); ++b) freq_[b] += h[b];
+}
+
+template <typename Sym>
+void StreamingCompressor<Sym>::smooth() {
+  if (frozen_) {
+    throw std::logic_error("StreamingCompressor: smooth() after freeze()");
+  }
+  for (u64& f : freq_) {
+    if (f == 0) f = 1;
+  }
+}
+
+template <typename Sym>
+void StreamingCompressor<Sym>::freeze() {
+  if (frozen_) throw std::logic_error("StreamingCompressor: double freeze()");
+  u64 total = 0;
+  for (u64 f : freq_) total += f;
+  if (total == 0) {
+    throw std::logic_error("StreamingCompressor: freeze() before observe()");
+  }
+  switch (cfg_.codebook) {
+    case CodebookKind::kSerialTree:
+      cb_ = build_codebook_serial(freq_);
+      break;
+    case CodebookKind::kParallelSimt: {
+      simt::CooperativeGrid grid(cfg_.nbins, nullptr);
+      cb_ = build_codebook_parallel(grid, freq_);
+      break;
+    }
+    case CodebookKind::kParallelOmp: {
+      OmpExec exec(cfg_.cpu_threads);
+      cb_ = build_codebook_parallel(exec, freq_);
+      break;
+    }
+  }
+  frozen_ = true;
+}
+
+template <typename Sym>
+const Codebook& StreamingCompressor<Sym>::codebook() const {
+  if (!frozen_) {
+    throw std::logic_error("StreamingCompressor: codebook() before freeze()");
+  }
+  return cb_;
+}
+
+template <typename Sym>
+std::vector<u8> StreamingCompressor<Sym>::header() const {
+  if (!frozen_) {
+    throw std::logic_error("StreamingCompressor: header() before freeze()");
+  }
+  ByteWriter w;
+  w.put_array(std::span<const char>(kStreamMagic, 4));
+  w.put<u8>(static_cast<u8>(sizeof(Sym)));
+  w.put_bytes(serialize_codebook(cb_));
+  return w.take();
+}
+
+template <typename Sym>
+std::vector<u8> StreamingCompressor<Sym>::encode_segment(
+    std::span<const Sym> segment) {
+  if (!frozen_) {
+    throw std::logic_error(
+        "StreamingCompressor: encode_segment() before freeze()");
+  }
+  EncodedStream s;
+  const u32 chunk = u32{1} << cfg_.magnitude;
+  switch (cfg_.encoder) {
+    case EncoderKind::kSerial:
+      s = encode_serial(segment, cb_, chunk);
+      break;
+    case EncoderKind::kOpenMP:
+      s = encode_openmp(segment, cb_, chunk, cfg_.cpu_threads);
+      break;
+    case EncoderKind::kCoarseSimt:
+      s = encode_coarse_simt(segment, cb_, chunk);
+      break;
+    case EncoderKind::kPrefixSumSimt:
+      s = encode_prefixsum_simt(segment, cb_, chunk);
+      break;
+    case EncoderKind::kReduceShuffleSimt: {
+      ReduceShuffleConfig rs;
+      rs.magnitude = cfg_.magnitude;
+      rs.reduce_factor =
+          cfg_.reduce_factor
+              ? *cfg_.reduce_factor
+              : decide_reduce_factor(cb_.average_bits(freq_), cfg_.magnitude);
+      s = encode_reduceshuffle_simt(segment, cb_, rs);
+      break;
+    }
+    case EncoderKind::kAdaptiveSimt: {
+      AdaptiveConfig ac;
+      ac.magnitude = cfg_.magnitude;
+      s = encode_adaptive_simt<Sym, 32>(segment, cb_, ac);
+      break;
+    }
+  }
+  const std::vector<u8> body = serialize_stream(s);
+  ByteWriter w;
+  w.put<u32>(kFrameMagic);
+  w.put<u64>(static_cast<u64>(body.size()));
+  w.put_bytes(body);
+  return w.take();
+}
+
+template <typename Sym>
+StreamingDecompressor<Sym>::StreamingDecompressor(
+    std::span<const u8> header) {
+  ByteReader r(header);
+  const auto magic = r.get_array<char>(4);
+  if (std::memcmp(magic.data(), kStreamMagic, 4) != 0) {
+    throw std::runtime_error("parhuff stream: bad header magic");
+  }
+  const u8 sym_bytes = r.get<u8>();
+  if (sym_bytes != sizeof(Sym)) {
+    throw std::runtime_error("parhuff stream: symbol width mismatch");
+  }
+  std::size_t used = 0;
+  cb_ = deserialize_codebook(header.subspan(r.position()), &used);
+  if (r.position() + used != header.size()) {
+    throw std::runtime_error("parhuff stream: trailing header bytes");
+  }
+}
+
+template <typename Sym>
+std::vector<Sym> StreamingDecompressor<Sym>::decode_segment(
+    std::span<const u8> frame) {
+  ByteReader r(frame);
+  if (r.get<u32>() != kFrameMagic) {
+    throw std::runtime_error("parhuff stream: bad frame magic");
+  }
+  const u64 body_len = r.get<u64>();
+  const auto body = r.get_view(static_cast<std::size_t>(body_len));
+  if (!r.done()) {
+    throw std::runtime_error("parhuff stream: trailing frame bytes");
+  }
+  std::size_t used = 0;
+  const EncodedStream s = deserialize_stream(body, &used);
+  if (used != body.size()) {
+    throw std::runtime_error("parhuff stream: frame length mismatch");
+  }
+  return decode_stream<Sym>(s, cb_, 0);
+}
+
+template <typename Sym>
+std::vector<std::span<const u8>> StreamingDecompressor<Sym>::split_frames(
+    std::span<const u8> bytes) {
+  std::vector<std::span<const u8>> frames;
+  ByteReader r(bytes);
+  while (!r.done()) {
+    const std::size_t frame_start = r.position();
+    if (r.get<u32>() != kFrameMagic) {
+      throw std::runtime_error("parhuff stream: bad frame magic");
+    }
+    const u64 body_len = r.get<u64>();
+    (void)r.get_view(static_cast<std::size_t>(body_len));
+    frames.push_back(bytes.subspan(frame_start,
+                                   r.position() - frame_start));
+  }
+  return frames;
+}
+
+template class StreamingCompressor<u8>;
+template class StreamingCompressor<u16>;
+template class StreamingDecompressor<u8>;
+template class StreamingDecompressor<u16>;
+
+}  // namespace parhuff

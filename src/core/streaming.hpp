@@ -1,0 +1,92 @@
+#pragma once
+// Bounded-memory, multi-segment compression — the shape HPC integrations
+// actually use (the paper's §I motivation: compress simulation output *as
+// it streams*, timestep by timestep, without holding the run in memory).
+//
+// Two-pass protocol with one shared codebook:
+//
+//   StreamingCompressor<u16> sc(cfg);
+//   for (auto seg : segments) sc.observe(seg);     // pass 1: histogram only
+//   sc.freeze();                                   // build the codebook
+//   sink(sc.header());                             // magic + codebook, once
+//   for (auto seg : segments) sink(sc.encode_segment(seg));  // pass 2
+//
+//   StreamingDecompressor<u16> sd(header_bytes);
+//   for (...) out += sd.decode_segment(frame);
+//
+// Segments are independent framed stream sections (u32 frame magic +
+// u64 length + stream section), so a reader can skip, parallelize across,
+// or re-order segments; the codebook travels once. observe/encode may also
+// be interleaved per timestep when the caller pre-trains the histogram on
+// representative data and calls freeze() early — encode_segment only
+// requires frozen state.
+
+#include <span>
+#include <vector>
+
+#include "core/canonical.hpp"
+#include "core/pipeline.hpp"
+#include "util/types.hpp"
+
+namespace parhuff {
+
+template <typename Sym>
+class StreamingCompressor {
+ public:
+  explicit StreamingCompressor(PipelineConfig cfg);
+
+  /// Pass 1: accumulate the histogram. Invalid after freeze().
+  void observe(std::span<const Sym> segment);
+
+  /// Add-one (Laplace) smoothing: every zero-frequency bin gets a count
+  /// of 1 before the codebook is built, so any symbol of the alphabet
+  /// stays encodable at worst-case code length even if later segments
+  /// drift beyond the training data. Call before freeze().
+  void smooth();
+
+  /// Build the codebook from everything observed. Throws if nothing was
+  /// observed or if already frozen.
+  void freeze();
+  [[nodiscard]] bool frozen() const { return frozen_; }
+  [[nodiscard]] const Codebook& codebook() const;
+
+  /// The once-per-stream header: magic + symbol width + codebook section.
+  [[nodiscard]] std::vector<u8> header() const;
+
+  /// Pass 2: one framed segment. Symbols absent from the observed
+  /// histogram throw (the codebook cannot encode them).
+  [[nodiscard]] std::vector<u8> encode_segment(std::span<const Sym> segment);
+
+ private:
+  PipelineConfig cfg_;
+  std::vector<u64> freq_;
+  Codebook cb_;
+  bool frozen_ = false;
+};
+
+template <typename Sym>
+class StreamingDecompressor {
+ public:
+  /// Parses a header produced by StreamingCompressor::header().
+  explicit StreamingDecompressor(std::span<const u8> header);
+
+  [[nodiscard]] const Codebook& codebook() const { return cb_; }
+
+  /// Decodes one framed segment (a frame produced by encode_segment).
+  [[nodiscard]] std::vector<Sym> decode_segment(std::span<const u8> frame);
+
+  /// Splits a concatenation of frames into individual frames (views into
+  /// the input).
+  [[nodiscard]] static std::vector<std::span<const u8>> split_frames(
+      std::span<const u8> bytes);
+
+ private:
+  Codebook cb_;
+};
+
+extern template class StreamingCompressor<u8>;
+extern template class StreamingCompressor<u16>;
+extern template class StreamingDecompressor<u8>;
+extern template class StreamingDecompressor<u16>;
+
+}  // namespace parhuff

@@ -1,0 +1,173 @@
+#include "core/tree.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace parhuff {
+
+namespace {
+
+struct Node {
+  u64 freq;
+  i32 left;   // child indices into the arena; -1 for leaves
+  i32 right;
+  i32 symbol; // original symbol for leaves, -1 for internal nodes
+};
+
+/// Depth-propagate lengths from the root with an explicit stack (codes can
+/// be deep for adversarial frequency profiles, so no recursion).
+void assign_depths(const std::vector<Node>& arena, i32 root,
+                   std::vector<u8>& lens, u64* ops) {
+  if (root < 0) return;
+  std::vector<std::pair<i32, u32>> stack;
+  stack.emplace_back(root, 0);
+  while (!stack.empty()) {
+    auto [idx, depth] = stack.back();
+    stack.pop_back();
+    if (ops) ++*ops;
+    const Node& nd = arena[static_cast<std::size_t>(idx)];
+    if (nd.symbol >= 0) {
+      if (depth > kMaxCodeLen) throw std::runtime_error("code too long");
+      // The single-symbol degenerate tree has depth 0; use 1 bit.
+      lens[static_cast<std::size_t>(nd.symbol)] =
+          static_cast<u8>(depth == 0 ? 1 : depth);
+      continue;
+    }
+    stack.emplace_back(nd.left, depth + 1);
+    stack.emplace_back(nd.right, depth + 1);
+  }
+}
+
+}  // namespace
+
+std::vector<u8> build_lengths_pq(std::span<const u64> freq,
+                                 SerialBuildStats* stats) {
+  std::vector<u8> lens(freq.size(), 0);
+  std::vector<Node> arena;
+  arena.reserve(freq.size() * 2);
+  u64 ops = 0;
+
+  using Entry = std::pair<u64, i32>;  // (freq, arena index)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (std::size_t s = 0; s < freq.size(); ++s) {
+    if (freq[s] == 0) continue;
+    arena.push_back(Node{freq[s], -1, -1, static_cast<i32>(s)});
+    heap.emplace(freq[s], static_cast<i32>(arena.size() - 1));
+    ++ops;
+  }
+  if (heap.empty()) return lens;
+
+  while (heap.size() > 1) {
+    auto [fa, a] = heap.top();
+    heap.pop();
+    auto [fb, b] = heap.top();
+    heap.pop();
+    arena.push_back(Node{fa + fb, a, b, -1});
+    heap.emplace(fa + fb, static_cast<i32>(arena.size() - 1));
+    // Two pops + one push on a binary heap: ~3 log n dependent steps, plus
+    // the node allocation. Count the actual comparisons approximately.
+    u64 lg = 1;
+    for (std::size_t sz = heap.size(); sz > 1; sz >>= 1) ++lg;
+    ops += 3 * lg + 4;
+  }
+  assign_depths(arena, static_cast<i32>(arena.size() - 1), lens, &ops);
+  if (stats) {
+    stats->dependent_ops += ops;
+    stats->tree_nodes += arena.size();
+  }
+  return lens;
+}
+
+std::vector<u8> build_lengths_twoqueue(std::span<const u64> freq,
+                                       SerialBuildStats* stats) {
+  std::vector<u8> lens(freq.size(), 0);
+  u64 ops = 0;
+
+  // Sort the present symbols by frequency (stable on symbol for determinism).
+  std::vector<u32> order;
+  order.reserve(freq.size());
+  for (std::size_t s = 0; s < freq.size(); ++s) {
+    if (freq[s] > 0) order.push_back(static_cast<u32>(s));
+  }
+  if (order.empty()) return lens;
+  if (order.size() == 1) {
+    lens[order[0]] = 1;
+    if (stats) stats->dependent_ops += 1;
+    return lens;
+  }
+  std::sort(order.begin(), order.end(), [&](u32 a, u32 b) {
+    return freq[a] != freq[b] ? freq[a] < freq[b] : a < b;
+  });
+  {
+    u64 lg = 1;
+    for (std::size_t sz = order.size(); sz > 1; sz >>= 1) ++lg;
+    ops += order.size() * lg;  // sort cost on the serial critical path
+  }
+
+  const std::size_t m = order.size();
+  // Flat arrays: leaf queue = sorted leaves; internal queue grows in
+  // ascending order by construction (classic two-queue invariant).
+  std::vector<u64> ifreq;      // internal node frequencies (FIFO)
+  std::vector<i32> iparent;    // parent index within ifreq, -1 while root
+  std::vector<i32> leaf_parent(m, -1);  // internal index each leaf melds into
+  ifreq.reserve(m);
+  iparent.reserve(m);
+
+  std::size_t lhead = 0, ihead = 0;
+  auto take_smallest = [&](bool& is_leaf) -> std::size_t {
+    // Tie-break toward leaves: yields the flattest optimal tree, matching
+    // the usual "package leaves before packages" convention.
+    if (lhead < m &&
+        (ihead >= ifreq.size() || freq[order[lhead]] <= ifreq[ihead])) {
+      is_leaf = true;
+      return lhead++;
+    }
+    is_leaf = false;
+    return ihead++;
+  };
+
+  while ((m - lhead) + (ifreq.size() - ihead) > 1) {
+    bool al, bl;
+    const std::size_t a = take_smallest(al);
+    const std::size_t b = take_smallest(bl);
+    const u64 fa = al ? freq[order[a]] : ifreq[a];
+    const u64 fb = bl ? freq[order[b]] : ifreq[b];
+    const i32 parent = static_cast<i32>(ifreq.size());
+    ifreq.push_back(fa + fb);
+    iparent.push_back(-1);
+    if (al) leaf_parent[a] = parent; else iparent[a] = parent;
+    if (bl) leaf_parent[b] = parent; else iparent[b] = parent;
+    ops += 8;
+  }
+
+  // Depth of each internal node = hops to the root; compute by walking the
+  // parent chain from the back (parents always have larger indices, so a
+  // reverse pass resolves each in O(1)).
+  std::vector<u32> idepth(ifreq.size(), 0);
+  for (std::size_t i = ifreq.size(); i-- > 0;) {
+    if (iparent[i] >= 0) {
+      idepth[i] = idepth[static_cast<std::size_t>(iparent[i])] + 1;
+    }
+    ++ops;
+  }
+  for (std::size_t l = 0; l < m; ++l) {
+    const i32 p = leaf_parent[l];
+    const u32 depth = (p >= 0 ? idepth[static_cast<std::size_t>(p)] : 0) + 1;
+    if (depth > kMaxCodeLen) throw std::runtime_error("code too long");
+    lens[order[l]] = static_cast<u8>(depth);
+    ++ops;
+  }
+  if (stats) {
+    stats->dependent_ops += ops;
+    stats->tree_nodes += ifreq.size() + m;
+  }
+  return lens;
+}
+
+Codebook build_codebook_serial(std::span<const u64> freq,
+                               SerialBuildStats* stats) {
+  return canonize_from_lengths(build_lengths_twoqueue(freq, stats));
+}
+
+}  // namespace parhuff

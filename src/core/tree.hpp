@@ -1,0 +1,47 @@
+#pragma once
+// Serial Huffman codebook construction baselines.
+//
+// Two builders, matching the two serial baselines the paper measures:
+//  * build_lengths_pq    — the SZ-style builder: an explicit node tree grown
+//    with a binary heap, lengths read off by traversal. This is the
+//    "naive binary tree, inefficient GPU memory access pattern" baseline
+//    that takes 144 ms for 8192 symbols when run by a single GPU thread.
+//  * build_lengths_twoqueue — O(n) two-queue construction over the
+//    freq-sorted histogram using flat arrays; the "internal cache-friendly
+//    arrays" variant the paper credits for the 1-thread OpenMP builder
+//    beating the SZ serial builder.
+//
+// Both return per-symbol code lengths; canonize_from_lengths() turns
+// lengths into a full canonical Codebook. Both count the dependent
+// operations they execute so the GPU single-thread latency model can price
+// them (bench_claims).
+
+#include <span>
+#include <vector>
+
+#include "core/canonical.hpp"
+#include "util/types.hpp"
+
+namespace parhuff {
+
+struct SerialBuildStats {
+  u64 dependent_ops = 0;  ///< heap/queue operations on the critical path
+  u64 tree_nodes = 0;
+};
+
+/// Priority-queue (binary-heap) Huffman tree; lengths via iterative depth
+/// propagation. freq.size() == nbins; zero-frequency symbols get length 0.
+/// A single present symbol gets length 1 by convention.
+[[nodiscard]] std::vector<u8> build_lengths_pq(std::span<const u64> freq,
+                                               SerialBuildStats* stats = nullptr);
+
+/// Two-queue O(n) construction (after an O(n log n) sort of the nonzero
+/// frequencies).
+[[nodiscard]] std::vector<u8> build_lengths_twoqueue(
+    std::span<const u64> freq, SerialBuildStats* stats = nullptr);
+
+/// Convenience: serial baseline codebook (two-queue lengths + canonize).
+[[nodiscard]] Codebook build_codebook_serial(std::span<const u64> freq,
+                                             SerialBuildStats* stats = nullptr);
+
+}  // namespace parhuff

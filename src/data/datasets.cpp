@@ -1,0 +1,58 @@
+#include "data/datasets.hpp"
+
+#include <stdexcept>
+
+#include "data/imagegen.hpp"
+#include "data/quant.hpp"
+#include "data/recordgen.hpp"
+#include "data/textgen.hpp"
+
+namespace parhuff::data {
+
+const std::vector<DatasetInfo>& paper_datasets() {
+  static const std::vector<DatasetInfo> kInfo = {
+      // name, bytes, avg_bits, r, enc V, enc TU, cuSZ enc V, overall V
+      {"ENWIK8", 95 * 1000 * 1000ull, 5.1639, 2, 94.0, 42.2, 12.2, 46.1,
+       SymbolWidth::kByte, 256},
+      {"ENWIK9", 954 * 1000 * 1000ull, 5.2124, 2, 94.6, 49.7, 11.3, 70.6,
+       SymbolWidth::kByte, 256},
+      {"MR", 9500 * 1000ull, 4.0165, 2, 76.8, 42.0, 15.2, 18.4,
+       SymbolWidth::kByte, 256},
+      {"NCI", 32 * 1000 * 1000ull, 2.7307, 3, 154.8, 63.7, 14.9, 36.1,
+       SymbolWidth::kByte, 256},
+      {"FLAN_1565", 1400 * 1000 * 1000ull, 4.1428, 2, 94.9, 50.0, 10.7, 69.5,
+       SymbolWidth::kByte, 256},
+      {"NYX-QUANT", 256 * 1000 * 1000ull, 1.0272, 3, 314.6, 145.2, 29.7, 96.0,
+       SymbolWidth::kMulti, 1024},
+  };
+  return kInfo;
+}
+
+GeneratedDataset generate(const std::string& name, std::size_t bytes,
+                          u64 seed) {
+  GeneratedDataset out;
+  bool found = false;
+  for (const auto& info : paper_datasets()) {
+    if (info.name == name) {
+      out.info = info;
+      found = true;
+      break;
+    }
+  }
+  if (!found) throw std::invalid_argument("unknown dataset: " + name);
+
+  if (name == "ENWIK8" || name == "ENWIK9") {
+    out.bytes8 = generate_text(bytes, seed);
+  } else if (name == "MR") {
+    out.bytes8 = generate_mri(bytes, seed);
+  } else if (name == "NCI") {
+    out.bytes8 = generate_nci(bytes, seed);
+  } else if (name == "FLAN_1565") {
+    out.bytes8 = generate_flan(bytes, seed);
+  } else if (name == "NYX-QUANT") {
+    out.syms16 = generate_nyx_quant(bytes / sizeof(u16), seed);
+  }
+  return out;
+}
+
+}  // namespace parhuff::data

@@ -1,0 +1,48 @@
+#pragma once
+// Registry of the paper's six evaluation datasets mapped to their synthetic
+// stand-ins, with the reference numbers the benches print alongside the
+// measured/modeled reproduction (Table V rows).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parhuff::data {
+
+enum class SymbolWidth { kByte, kMulti };
+
+struct DatasetInfo {
+  std::string name;            ///< paper's name, e.g. "ENWIK8"
+  std::size_t paper_bytes;     ///< dataset size in the paper
+  double paper_avg_bits;       ///< Table V "avg. bits"
+  u32 paper_reduce_factor;     ///< Table V "#reduce"
+  double paper_encode_v100;    ///< Table V ours ENCODE GB/s on V100
+  double paper_encode_rtx;     ///< ... on RTX 5000
+  double paper_cusz_encode_v100;  ///< Table V cuSZ ENCODE GB/s on V100
+  double paper_overall_v100;   ///< Table V ours OVERALL GB/s on V100
+  SymbolWidth width;
+  std::size_t nbins;           ///< histogram size used by the pipeline
+};
+
+/// The six rows of Table V, in paper order.
+[[nodiscard]] const std::vector<DatasetInfo>& paper_datasets();
+
+/// Generate the stand-in for dataset `name` ("ENWIK8", "ENWIK9", "MR",
+/// "NCI", "FLAN_1565", "NYX-QUANT") at `bytes` size. Byte datasets return
+/// one byte per symbol in `bytes8`; NYX-QUANT fills `syms16` (u16 codes,
+/// 1024 bins) and leaves bytes8 empty.
+struct GeneratedDataset {
+  DatasetInfo info;
+  std::vector<u8> bytes8;
+  std::vector<u16> syms16;
+  [[nodiscard]] std::size_t input_bytes() const {
+    return bytes8.size() + syms16.size() * sizeof(u16);
+  }
+};
+
+[[nodiscard]] GeneratedDataset generate(const std::string& name,
+                                        std::size_t bytes, u64 seed);
+
+}  // namespace parhuff::data

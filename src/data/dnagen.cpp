@@ -1,0 +1,124 @@
+#include "data/dnagen.hpp"
+
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "util/rng.hpp"
+
+namespace parhuff::data {
+
+namespace {
+
+constexpr std::string_view kWords[] = {
+    "Bacillus", "subtilis", "strain",  "chromosome", "complete", "genome",
+    "16S",      "ribosomal", "RNA",    "gene",       "partial",  "sequence",
+    "Escherichia", "coli",  "plasmid", "protein",    "putative", "synthase",
+};
+
+void emit_str(std::vector<u8>& out, std::string_view s) {
+  for (char c : s) out.push_back(static_cast<u8>(c));
+}
+
+}  // namespace
+
+std::vector<u8> generate_genbank(std::size_t size, u64 seed) {
+  Xoshiro256 rng(seed ^ 0x646e61u);
+  std::vector<u8> out;
+  out.reserve(size + 256);
+
+  u64 accession = 100000 + rng.below(800000);
+  while (out.size() < size) {
+    // --- Record header. ---------------------------------------------------
+    char buf[96];
+    const u64 seq_len = (24 + rng.below(120)) * 100;
+    std::snprintf(buf, sizeof buf,
+                  "LOCUS       AB%06llu  %llu bp    DNA     linear   BCT\n",
+                  static_cast<unsigned long long>(accession++ % 400),
+                  static_cast<unsigned long long>(seq_len));
+    emit_str(out, buf);
+    emit_str(out, "DEFINITION  ");
+    for (int w = 0; w < 6; ++w) {
+      emit_str(out, kWords[rng.below(std::size(kWords))]);
+      out.push_back(' ');
+    }
+    emit_str(out, "\nORIGIN\n");
+
+    // --- Sequence block: "   601 acgtacgtag cgta..." lines. ---------------
+    // Base composition ~GC-balanced with CpG suppression and rare 'n'.
+    u8 prev = 'a';
+    for (u64 pos = 1; pos <= seq_len && out.size() < size; pos += 60) {
+      std::snprintf(buf, sizeof buf, "%9llu",
+                    static_cast<unsigned long long>(pos));
+      emit_str(out, buf);
+      for (int group = 0; group < 6; ++group) {
+        out.push_back(' ');
+        for (int i = 0; i < 10; ++i) {
+          u8 base;
+          const u64 x = rng.below(1000);
+          if (prev == 'c' && x < 180) {
+            base = 't';  // CpG suppression: c rarely followed by g
+          } else if (x < 300) {
+            base = 'a';
+          } else if (x < 560) {
+            base = 't';
+          } else if (x < 790) {
+            base = 'g';
+          } else {
+            base = 'c';
+          }
+          out.push_back(base);
+          prev = base;
+        }
+      }
+      out.push_back('\n');
+    }
+    emit_str(out, "//\n");
+  }
+  out.resize(size);
+  return out;
+}
+
+KmerStream kmer_pack(const std::vector<u8>& bytes, unsigned k) {
+  if (k == 0 || k > 8) throw std::invalid_argument("k must be in [1, 8]");
+  KmerStream s;
+  std::unordered_map<std::string, u16> dict;
+  const std::size_t n_syms = (bytes.size() + k - 1) / k;
+  s.symbols.reserve(n_syms);
+  std::string key(k, '\0');
+  for (std::size_t i = 0; i < bytes.size(); i += k) {
+    for (unsigned j = 0; j < k; ++j) {
+      key[j] = i + j < bytes.size() ? static_cast<char>(bytes[i + j]) : '\0';
+    }
+    auto [it, inserted] =
+        dict.emplace(key, static_cast<u16>(s.dictionary.size()));
+    if (inserted) {
+      if (s.dictionary.size() >= 65535) {
+        throw std::runtime_error("k-mer dictionary exceeds 16-bit symbols");
+      }
+      s.dictionary.emplace_back(key.begin(), key.end());
+    }
+    s.symbols.push_back(it->second);
+  }
+  s.distinct = s.dictionary.size();
+  std::size_t nbins = 1;
+  while (nbins < s.distinct) nbins <<= 1;
+  s.nbins = nbins;
+  return s;
+}
+
+std::vector<u8> kmer_unpack(const KmerStream& s, unsigned k,
+                            std::size_t original_size) {
+  std::vector<u8> out;
+  out.reserve(s.symbols.size() * k);
+  for (const u16 sym : s.symbols) {
+    const auto& bytes = s.dictionary.at(sym);
+    out.insert(out.end(), bytes.begin(), bytes.end());
+  }
+  out.resize(original_size);
+  return out;
+}
+
+}  // namespace parhuff::data

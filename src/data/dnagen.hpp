@@ -1,0 +1,36 @@
+#pragma once
+// GenBank flat-file stand-in (gbbct1.seq) and the k-mer symbolizer.
+//
+// The generated file mixes ORIGIN sequence blocks ("   601 acgtacgtac ...")
+// with LOCUS/DEFINITION/FEATURES header text, so k-mers over the raw bytes
+// produce alphabets well beyond 4^k — the paper reports 2048/4096/8192
+// symbols for k = 3/4/5, which is the regime Table III sweeps.
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parhuff::data {
+
+[[nodiscard]] std::vector<u8> generate_genbank(std::size_t size, u64 seed);
+
+/// Non-overlapping k-mer packing: every k consecutive bytes form one symbol
+/// via a first-seen dictionary (a trailing partial k-mer is padded with
+/// zero bytes). Returns the symbol stream; `dict_out` (optional) receives
+/// the k-mer → id mapping for decoding.
+struct KmerStream {
+  std::vector<u16> symbols;
+  std::size_t distinct = 0;   ///< dictionary size
+  std::size_t nbins = 0;      ///< next power of two >= distinct
+  std::vector<std::vector<u8>> dictionary;  ///< id → k bytes
+};
+
+[[nodiscard]] KmerStream kmer_pack(const std::vector<u8>& bytes, unsigned k);
+
+/// Inverse of kmer_pack (for round-trip tests / the DNA example).
+[[nodiscard]] std::vector<u8> kmer_unpack(const KmerStream& s, unsigned k,
+                                          std::size_t original_size);
+
+}  // namespace parhuff::data

@@ -1,0 +1,64 @@
+#include "data/imagegen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace parhuff::data {
+
+std::vector<u8> generate_mri(std::size_t size, u64 seed) {
+  Xoshiro256 rng(seed ^ 0x6d7269u);
+  std::vector<u8> out;
+  out.reserve(size + 2);
+
+  // Like the real Silesia `mr`, the stream is 16-bit samples emitted as
+  // little-endian byte pairs: low bytes carry the acquisition detail
+  // (moderate entropy), high bytes are small magnitudes (mostly 0-15, very
+  // low entropy). That interleaving is also why the file exhibits almost
+  // no breaking points under 4-way merges — long and short codewords
+  // alternate, so group sums stay well under the 32-bit cell.
+  constexpr std::size_t W = 256, H = 256;
+  while (out.size() + 1 < size) {
+    // Per-slice anatomy.
+    const double cx = W / 2.0 + rng.normal() * 6.0;
+    const double cy = H / 2.0 + rng.normal() * 6.0;
+    const double rx = W * (0.42 + rng.uniform() * 0.05);
+    const double ry = H * (0.46 + rng.uniform() * 0.05);
+    struct Bump {
+      double x, y, s, a;
+    };
+    Bump bumps[6];
+    for (auto& b : bumps) {
+      b = {cx + rng.normal() * rx * 0.4, cy + rng.normal() * ry * 0.4,
+           12.0 + rng.uniform() * 30.0, 400.0 + rng.uniform() * 1200.0};
+    }
+    for (std::size_t y = 0; y < H && out.size() + 1 < size; ++y) {
+      for (std::size_t x = 0; x < W && out.size() + 1 < size; ++x) {
+        const double dx = (static_cast<double>(x) - cx) / rx;
+        const double dy = (static_cast<double>(y) - cy) / ry;
+        const double d = dx * dx + dy * dy;
+        double v = 0.0;
+        if (d < 1.0) {
+          v = 800.0 * (1.0 - d);  // base tissue ramp (12-bit dynamic range)
+          for (const auto& b : bumps) {
+            const double bx = static_cast<double>(x) - b.x;
+            const double by = static_cast<double>(y) - b.y;
+            v += b.a * std::exp(-(bx * bx + by * by) / (2 * b.s * b.s));
+          }
+          v += rng.normal() * 40.0;  // acquisition noise
+        } else if (rng.below(5) == 0) {
+          v = rng.uniform() * 30.0;  // background noise floor
+        }
+        const unsigned sample =
+            static_cast<unsigned>(std::clamp(v, 0.0, 2047.0)) & ~7u;
+        out.push_back(static_cast<u8>(sample & 0xFF));
+        out.push_back(static_cast<u8>(sample >> 8));
+      }
+    }
+  }
+  out.resize(size);
+  return out;
+}
+
+}  // namespace parhuff::data

@@ -1,0 +1,15 @@
+#pragma once
+// Stand-in for Silesia's `mr` (magnetic resonance image): slices with a
+// dark background, smooth anatomical blobs, and acquisition noise, emitted
+// as bytes. Paper measurement: 4.02 average bits.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parhuff::data {
+
+[[nodiscard]] std::vector<u8> generate_mri(std::size_t size, u64 seed);
+
+}  // namespace parhuff::data

@@ -1,0 +1,144 @@
+#include "data/recordgen.hpp"
+
+#include <cstdio>
+
+#include "util/rng.hpp"
+
+namespace parhuff::data {
+
+std::vector<u8> generate_nci(std::size_t size, u64 seed) {
+  Xoshiro256 rng(seed ^ 0x6e6369u);
+  std::vector<u8> out;
+  out.reserve(size + 128);
+  auto emit = [&](char c) { out.push_back(static_cast<u8>(c)); };
+
+  // SDF-style MOL blocks: an atom table of fixed-width coordinates
+  // ("   -0.0187    1.4093    0.0000 C   0  0") — the stream is dominated
+  // by spaces and zeros, which is what gives nci its low entropy.
+  while (out.size() < size) {
+    // Record header: registry id + program stamp, as SDF blocks carry.
+    {
+      char hdr[64];
+      std::snprintf(hdr, sizeof hdr, "NCI%05llu\n\n",
+                    static_cast<unsigned long long>(10000 + rng.below(90000)));
+      for (const char* p = hdr; *p; ++p) emit(*p);
+    }
+    const std::size_t atoms = 60 + rng.below(39);
+    for (std::size_t a = 0; a < atoms && out.size() < size; ++a) {
+      for (int coord = 0; coord < 3; ++coord) {
+        // 2-D structure diagrams: z is always zero and x/y sit on a coarse
+        // drawing grid, so coordinate text is dominated by '0' and a small
+        // digit set (what gives the real nci its 2.73-bit profile and its
+        // near-zero breaking rate under 8-way merges).
+        // Positive-quadrant half-grid layout: fractions are only .0000 or
+        // .5000, so coordinate digit runs stay on very common symbols.
+        const double v =
+            coord == 2 ? 0.0 : static_cast<double>(rng.below(17)) * 0.5;
+        char buf[16];
+        std::snprintf(buf, sizeof buf, "%10.4f", v);
+        for (const char* p = buf; *p; ++p) emit(*p);
+      }
+      emit(' ');
+      // Element column: carbon-dominated organic composition, with the
+      // occasional two-character halogen.
+      {
+        const u64 e = rng.below(100);
+        if (e < 55) emit('C');
+        else if (e < 70) emit('N');
+        else if (e < 82) emit('O');
+        else if (e < 88) emit('S');
+        else if (e < 93) emit('H');
+        else if (e < 97) { emit('C'); emit('l'); }
+        else { emit('B'); emit('r'); }
+      }
+      emit(' ');
+      // Bond/charge columns: almost always "  0".
+      for (int col = 0; col < 4; ++col) {
+        emit(' ');
+        emit(' ');
+        emit(rng.below(20) == 0 ? static_cast<char>('1' + rng.below(3))
+                                : '0');
+      }
+      emit('\n');
+    }
+    // Bond table: " aa bb t 0" rows, digits and spaces only — the bulk
+    // filler that makes header text rare in the real database.
+    const std::size_t bonds = 3 * atoms + rng.below(atoms);
+    for (std::size_t b = 0; b < bonds && out.size() < size; ++b) {
+      char buf[24];
+      std::snprintf(buf, sizeof buf, "%4u%4u%4u  0\n",
+                    static_cast<unsigned>(1 + rng.below(atoms)),
+                    static_cast<unsigned>(1 + rng.below(atoms)),
+                    static_cast<unsigned>(1 + rng.below(3)));
+      for (const char* p = buf; *p; ++p) emit(*p);
+    }
+    // Block terminator.
+    for (const char c : {'M', ' ', ' ', 'E', 'N', 'D', '\n', '$', '$', '$',
+                         '$', '\n'}) {
+      emit(c);
+    }
+  }
+  out.resize(size);
+  return out;
+}
+
+std::vector<u8> generate_flan(std::size_t size, u64 seed) {
+  Xoshiro256 rng(seed ^ 0x666c616eu);
+  std::vector<u8> out;
+  out.reserve(size + 128);
+  auto emit = [&](char c) { out.push_back(static_cast<u8>(c)); };
+  auto emit_str = [&](const char* s) {
+    while (*s) emit(*s++);
+  };
+
+  emit_str("Flan-like   synthetic rb matrix\nrsa ");
+  static constexpr const char* kAnnot[] = {
+      "%% matrix market like annotation  structural mechanics hexahedral",
+      "%% steel flange  symmetric positive definite  assembled stiffness",
+      "%% generated block  elements shell tetrahedral discretization",
+  };
+  std::size_t lines = 0;
+  // Rutherford-Boeing body: row-index columns (8-wide integers, locally
+  // increasing — a banded matrix) followed by value columns in Fortran
+  // E-notation.
+  u64 row = 1;
+  while (out.size() < size) {
+    // Annotation lines every ~8 data lines widen the byte alphabet with
+    // letters, matching the mixed text/numeric profile of the real file
+    // (Huffman avg ≈4.1 bits rather than a pure digit stream's ~3.6).
+    if (++lines % 8 == 0) {
+      emit_str(kAnnot[rng.below(std::size(kAnnot))]);
+      emit('\n');
+    }
+    // A line of 10 row indices.
+    for (int i = 0; i < 10 && out.size() < size; ++i) {
+      row += 1 + rng.below(4000);
+      if (row > 1500000) row = 1 + rng.below(1000);
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "%8llu",
+                    static_cast<unsigned long long>(row));
+      emit_str(buf);
+    }
+    emit('\n');
+    // A line of 4 values in Fortran D-notation (mixed-case exponent
+    // letters and signs widen the byte alphabet like a real RB file).
+    for (int i = 0; i < 5 && out.size() < size; ++i) {
+      const double v = (rng.uniform() * 2.0 - 1.0) *
+                       (rng.below(10) == 0 ? 1e6 : 1e2);
+      char buf[24];
+      std::snprintf(buf, sizeof buf, "%19.11E", v);
+      // Fortran writers emit D exponents about half the time.
+      if (rng.below(2) == 0) {
+        for (char* p = buf; *p; ++p) {
+          if (*p == 'E') *p = 'D';
+        }
+      }
+      emit_str(buf);
+    }
+    emit('\n');
+  }
+  out.resize(size);
+  return out;
+}
+
+}  // namespace parhuff::data

@@ -1,0 +1,19 @@
+#pragma once
+// Structured-record generators:
+//  * generate_nci  — stand-in for Silesia's `nci` (chemical structure
+//    database): fixed-width numeric coordinate tables dominated by spaces
+//    and zeros; the paper measures 2.73 average bits.
+//  * generate_flan — stand-in for SuiteSparse Flan_1565 in Rutherford-Boeing
+//    format: ASCII integer/float columns, digit-heavy; paper: 4.14 bits.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parhuff::data {
+
+[[nodiscard]] std::vector<u8> generate_nci(std::size_t size, u64 seed);
+[[nodiscard]] std::vector<u8> generate_flan(std::size_t size, u64 seed);
+
+}  // namespace parhuff::data

@@ -1,0 +1,120 @@
+#include "data/syllable.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/rng.hpp"
+
+namespace parhuff::data {
+
+namespace {
+
+constexpr char kFrontVowels[] = {'e', 'i', 'o', 'u'};  // "harmony" class A
+constexpr char kBackVowels[] = {'a', 'i', 'u', 'o'};   // class B (overlap ok)
+constexpr char kOnsets[] = {'k', 't', 's', 'l', 'm', 'n', 'r', 'd',
+                            'g', 'b', 'y', 'v', 'p', 'h'};
+constexpr char kCodas[] = {'n', 'r', 'l', 'k', 't', 's', 'm'};
+
+bool is_vowel(u8 c) {
+  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
+}
+bool is_letter(u8 c) { return c >= 'a' && c <= 'z'; }
+
+}  // namespace
+
+std::vector<u8> generate_agglutinative(std::size_t size, u64 seed) {
+  Xoshiro256 rng(seed ^ 0x73796cu);
+  std::vector<u8> out;
+  out.reserve(size + 32);
+  auto emit = [&](char c) { out.push_back(static_cast<u8>(c)); };
+
+  std::size_t since_newline = 0;
+  while (out.size() < size) {
+    // One word: a root of 1-2 syllables plus 0-4 agglutinated suffixes,
+    // all sharing a vowel-harmony class.
+    const bool front = rng.below(2) == 0;
+    const char* vowels = front ? kFrontVowels : kBackVowels;
+    const std::size_t n_vowels = front ? std::size(kFrontVowels)
+                                       : std::size(kBackVowels);
+    const std::size_t syllables = 1 + rng.below(2) + rng.below(5);
+    for (std::size_t sy = 0; sy < syllables && out.size() < size; ++sy) {
+      // CV or CVC; onset distribution skewed so common syllables repeat.
+      emit(kOnsets[static_cast<std::size_t>(
+          rng.below(100) < 70 ? rng.below(6) : rng.below(std::size(kOnsets)))]);
+      emit(vowels[rng.below(n_vowels)]);
+      if (rng.below(3) == 0) {
+        emit(kCodas[rng.below(std::size(kCodas))]);
+      }
+    }
+    since_newline += syllables * 3;
+    if (rng.below(12) == 0) {
+      emit('.');
+    }
+    if (since_newline > 400) {
+      emit('\n');
+      since_newline = 0;
+    } else {
+      emit(' ');
+    }
+  }
+  out.resize(size);
+  return out;
+}
+
+SyllableStream syllabify(const std::vector<u8>& text) {
+  SyllableStream s;
+  std::unordered_map<std::string, u16> dict;
+  auto intern = [&](std::string&& syl) {
+    auto [it, inserted] = dict.emplace(std::move(syl),
+                                       static_cast<u16>(s.dictionary.size()));
+    if (inserted) {
+      if (s.dictionary.size() >= 65535) {
+        throw std::runtime_error("syllable dictionary exceeds 16-bit ids");
+      }
+      s.dictionary.push_back(it->first);
+    }
+    s.symbols.push_back(it->second);
+  };
+
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (!is_letter(text[i])) {
+      intern(std::string(1, static_cast<char>(text[i])));
+      ++i;
+      continue;
+    }
+    // Maximal C*V+C? group: consume onsets until the vowel run, take the
+    // vowels, then one coda consonant if the next-next char keeps a valid
+    // syllable start (greedy syllabification).
+    std::size_t j = i;
+    while (j < text.size() && is_letter(text[j]) && !is_vowel(text[j])) ++j;
+    while (j < text.size() && is_vowel(text[j])) ++j;
+    if (j < text.size() && is_letter(text[j]) && !is_vowel(text[j])) {
+      // Take the consonant as coda unless it begins the next syllable
+      // (i.e. it is followed directly by a vowel).
+      const bool next_is_onset =
+          j + 1 < text.size() && is_vowel(text[j + 1]);
+      if (!next_is_onset) ++j;
+    }
+    if (j == i) ++j;  // safety: always progress
+    intern(std::string(text.begin() + static_cast<std::ptrdiff_t>(i),
+                       text.begin() + static_cast<std::ptrdiff_t>(j)));
+    i = j;
+  }
+  s.distinct = s.dictionary.size();
+  std::size_t nbins = 1;
+  while (nbins < s.distinct) nbins <<= 1;
+  s.nbins = nbins;
+  return s;
+}
+
+std::vector<u8> unsyllabify(const SyllableStream& s) {
+  std::vector<u8> out;
+  for (const u16 sym : s.symbols) {
+    const std::string& syl = s.dictionary.at(sym);
+    out.insert(out.end(), syl.begin(), syl.end());
+  }
+  return out;
+}
+
+}  // namespace parhuff::data

@@ -1,0 +1,41 @@
+#pragma once
+// Syllable-based text symbolization — the n-gram text-compression scenario
+// of §II-A (Nguyen et al.: "partition words into syllables and produce
+// their bit representations"; the number of bits per symbol depends on the
+// dictionary size).
+//
+// generate_agglutinative produces text in a synthetic agglutinative
+// language (CV/CVC syllable structure with vowel-harmony-like constraints,
+// long suffixed words — Turkish/Finnish-flavoured morphology), which is
+// exactly where syllable symbolization pays: a few thousand distinct
+// syllables cover the whole corpus.
+//
+// syllabify segments the byte stream into syllables (maximal C?V+C?
+// groups; non-letter bytes are singleton symbols) through a first-seen
+// dictionary, yielding a u16 symbol stream a multi-byte Huffman pipeline
+// consumes directly.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parhuff::data {
+
+[[nodiscard]] std::vector<u8> generate_agglutinative(std::size_t size,
+                                                     u64 seed);
+
+struct SyllableStream {
+  std::vector<u16> symbols;
+  std::vector<std::string> dictionary;  ///< id → syllable bytes
+  std::size_t distinct = 0;
+  std::size_t nbins = 0;  ///< next power of two >= distinct
+};
+
+[[nodiscard]] SyllableStream syllabify(const std::vector<u8>& text);
+
+/// Inverse of syllabify.
+[[nodiscard]] std::vector<u8> unsyllabify(const SyllableStream& s);
+
+}  // namespace parhuff::data

@@ -1,0 +1,100 @@
+#include "data/synth_hist.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace parhuff::data {
+
+std::vector<u64> normal_histogram(std::size_t nbins, u64 total, u64 seed) {
+  Xoshiro256 rng(seed ^ 0x6e6f726du);
+  std::vector<u64> h(nbins, 0);
+  const double mu = static_cast<double>(nbins) / 2.0;
+  const double sigma = static_cast<double>(nbins) / 8.0;
+  double sum = 0;
+  std::vector<double> w(nbins);
+  for (std::size_t i = 0; i < nbins; ++i) {
+    const double d = (static_cast<double>(i) - mu) / sigma;
+    w[i] = std::exp(-0.5 * d * d) * (0.8 + 0.4 * rng.uniform());
+    sum += w[i];
+  }
+  for (std::size_t i = 0; i < nbins; ++i) {
+    h[i] = std::max<u64>(
+        1, static_cast<u64>(w[i] / sum * static_cast<double>(total)));
+  }
+  return h;
+}
+
+std::vector<u64> exponential_histogram(std::size_t nbins, double decay,
+                                       u64 seed) {
+  Xoshiro256 rng(seed ^ 0x657870u);
+  std::vector<u64> h(nbins);
+  // Frequencies grow ~decay^i capped to keep sums within u64: classic
+  // worst-case (skewed) Huffman input, deep trees.
+  double f = 1.0;
+  for (std::size_t i = 0; i < nbins; ++i) {
+    h[i] = static_cast<u64>(f) + rng.below(2);
+    if (h[i] == 0) h[i] = 1;
+    f = std::min(f * decay, 1e15);
+  }
+  return h;
+}
+
+std::vector<u64> zipf_histogram(std::size_t nbins, double s, u64 total,
+                                u64 seed) {
+  Xoshiro256 rng(seed ^ 0x7a697066u);
+  std::vector<double> w(nbins);
+  double sum = 0;
+  for (std::size_t i = 0; i < nbins; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+    sum += w[i];
+  }
+  std::vector<u64> h(nbins);
+  for (std::size_t i = 0; i < nbins; ++i) {
+    h[i] = std::max<u64>(
+        1, static_cast<u64>(w[i] / sum * static_cast<double>(total)));
+  }
+  // Shuffle so rank is uncorrelated with symbol value.
+  for (std::size_t i = nbins; i > 1; --i) {
+    std::swap(h[i - 1], h[rng.below(i)]);
+  }
+  return h;
+}
+
+std::vector<u64> uniform_histogram(std::size_t nbins, u64 hi, u64 seed) {
+  Xoshiro256 rng(seed ^ 0x756e69u);
+  std::vector<u64> h(nbins);
+  for (auto& f : h) f = 1 + rng.below(hi);
+  return h;
+}
+
+std::vector<u64> kmer_like_histogram(std::size_t nbins, u64 total, u64 seed) {
+  Xoshiro256 rng(seed ^ 0x6b6d6572u);
+  std::vector<u64> h(nbins, 0);
+  // Head: ~1/16 of bins are pure-base k-mers holding ~95% of the mass with
+  // a Zipf-ish profile; tail: rare mixed k-mers.
+  const std::size_t head = std::max<std::size_t>(4, nbins / 16);
+  double sum = 0;
+  std::vector<double> w(head);
+  for (std::size_t i = 0; i < head; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), 0.7);
+    sum += w[i];
+  }
+  const double head_mass = 0.95 * static_cast<double>(total);
+  for (std::size_t i = 0; i < head; ++i) {
+    h[i] = std::max<u64>(1, static_cast<u64>(w[i] / sum * head_mass));
+  }
+  const u64 tail_each = std::max<u64>(
+      1, static_cast<u64>(0.05 * static_cast<double>(total)) /
+             static_cast<u64>(nbins - head));
+  for (std::size_t i = head; i < nbins; ++i) {
+    h[i] = 1 + rng.below(2 * tail_each);
+  }
+  for (std::size_t i = nbins; i > 1; --i) {
+    std::swap(h[i - 1], h[rng.below(i)]);
+  }
+  return h;
+}
+
+}  // namespace parhuff::data

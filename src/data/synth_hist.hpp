@@ -1,0 +1,39 @@
+#pragma once
+// Synthetic frequency histograms for codebook-construction benchmarks.
+//
+// The paper's footnote 3: real test datasets top out at 8192 symbols, so
+// Table IV uses synthetic normally-distributed histograms for 16384–65536
+// symbols. Additional shapes (exponential, Zipf, uniform, DNA-k-mer-like)
+// back the property tests and ablations.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parhuff::data {
+
+/// Normal histogram: bin i's frequency ∝ exp(-(i-n/2)^2 / 2σ^2), σ = n/8,
+/// scaled to `total` and clamped to ≥1 so every symbol participates.
+[[nodiscard]] std::vector<u64> normal_histogram(std::size_t nbins, u64 total,
+                                                u64 seed);
+
+/// Exponential: freq_i ∝ 2^(-i·k/n); adversarial depth for Huffman trees.
+[[nodiscard]] std::vector<u64> exponential_histogram(std::size_t nbins,
+                                                     double decay, u64 seed);
+
+/// Zipf with exponent `s` — text-like tails.
+[[nodiscard]] std::vector<u64> zipf_histogram(std::size_t nbins, double s,
+                                              u64 total, u64 seed);
+
+/// Uniformly random frequencies in [1, hi].
+[[nodiscard]] std::vector<u64> uniform_histogram(std::size_t nbins, u64 hi,
+                                                 u64 seed);
+
+/// DNA-k-mer-shaped histogram with exactly `nbins` populated symbols: a few
+/// hundred dominant ACGT-only k-mers carrying most of the mass plus a long
+/// tail of rare mixed k-mers (the Table III regime).
+[[nodiscard]] std::vector<u64> kmer_like_histogram(std::size_t nbins,
+                                                   u64 total, u64 seed);
+
+}  // namespace parhuff::data

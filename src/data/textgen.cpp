@@ -1,0 +1,144 @@
+#include "data/textgen.hpp"
+
+#include <array>
+#include <string_view>
+
+#include "util/rng.hpp"
+
+namespace parhuff::data {
+
+namespace {
+
+// English letter frequencies (per mille), lowercase.
+constexpr std::array<std::pair<char, int>, 26> kLetterFreq = {{
+    {'e', 127}, {'t', 91}, {'a', 82}, {'o', 75}, {'i', 70}, {'n', 67},
+    {'s', 63},  {'h', 61}, {'r', 60}, {'d', 43}, {'l', 40}, {'c', 28},
+    {'u', 28},  {'m', 24}, {'w', 24}, {'f', 22}, {'g', 20}, {'y', 20},
+    {'p', 19},  {'b', 15}, {'v', 10}, {'k', 8},  {'j', 2},  {'x', 2},
+    {'q', 1},   {'z', 1},
+}};
+
+constexpr std::string_view kTags[] = {
+    "<page>",     "</page>",   "<title>",    "</title>", "<revision>",
+    "</revision>", "<text xml:space=\"preserve\">", "</text>",
+    "<id>",       "</id>",     "<timestamp>", "</timestamp>",
+    "<contributor>", "</contributor>", "[[Category:", "]]", "[[", "]]",
+    "{{cite web", "}}", "&quot;", "&amp;",
+};
+
+class LetterSampler {
+ public:
+  LetterSampler() {
+    int cum = 0;
+    for (std::size_t i = 0; i < kLetterFreq.size(); ++i) {
+      cum += kLetterFreq[i].second;
+      cum_[i] = cum;
+    }
+    total_ = cum;
+  }
+  char sample(Xoshiro256& rng) const {
+    const int x = static_cast<int>(rng.below(static_cast<u64>(total_)));
+    for (std::size_t i = 0; i < cum_.size(); ++i) {
+      if (x < cum_[i]) return kLetterFreq[i].first;
+    }
+    return 'e';
+  }
+
+ private:
+  std::array<int, 26> cum_{};
+  int total_ = 0;
+};
+
+}  // namespace
+
+std::vector<u8> generate_text(std::size_t size, u64 seed) {
+  Xoshiro256 rng(seed ^ 0x74657874u);
+  const LetterSampler letters;
+  std::vector<u8> out;
+  out.reserve(size + 64);
+
+  auto emit = [&](char c) { out.push_back(static_cast<u8>(c)); };
+  auto emit_sv = [&](std::string_view s) {
+    for (char c : s) emit(c);
+  };
+
+  std::size_t since_tag = 0;
+  std::size_t since_newline = 0;
+  while (out.size() < size) {
+    // Structural markup roughly every 300 characters.
+    if (since_tag > 250 + rng.below(120)) {
+      emit_sv(kTags[rng.below(std::size(kTags))]);
+      since_tag = 0;
+      continue;
+    }
+    // A word.
+    const std::size_t len = 1 + rng.geometric(0.22);
+    const bool capitalize = rng.below(8) == 0;
+    for (std::size_t i = 0; i < len && out.size() < size; ++i) {
+      char c = letters.sample(rng);
+      if (i == 0 && capitalize && c >= 'a' && c <= 'z') {
+        c = static_cast<char>(c - 'a' + 'A');
+      }
+      emit(c);
+    }
+    since_tag += len;
+    since_newline += len;
+    // Separator: space, punctuation, digits (years, ids), wiki markup,
+    // UTF-8 continuation pairs, newline — the long tail that pushes a real
+    // Wikipedia dump's byte alphabet toward ~5.2 average Huffman bits.
+    const u64 sep = rng.below(100);
+    if (sep < 50) {
+      emit(' ');
+    } else if (sep < 56) {
+      emit(',');
+      emit(' ');
+    } else if (sep < 62) {
+      emit('.');
+      emit(' ');
+    } else if (sep < 75) {
+      // A number (years, page ids, citation numbers).
+      const std::size_t digits = 1 + rng.below(6);
+      for (std::size_t i = 0; i < digits && out.size() < size; ++i) {
+        emit(static_cast<char>('0' + rng.below(10)));
+      }
+      emit(' ');
+    } else if (sep < 78) {
+      emit('\'');
+    } else if (sep < 89) {
+      // Markup tail. Wiki link/template brackets come in doubles and
+      // dominate (as in a real dump, where [[ and {{ are everywhere);
+      // singleton punctuation is the long tail.
+      if (rng.below(2) == 0) {
+        static constexpr const char* kDoubles[] = {"[[", "]]", "{{", "}}",
+                                                   "''"};
+        const char* d = kDoubles[rng.below(std::size(kDoubles))];
+        emit(d[0]);
+        emit(d[1]);
+      } else {
+        static constexpr char kPunct[] = {'|', '=', '/', ':', ';', '-', '"',
+                                          '#', '(', ')', '*', '&', '%', '_',
+                                          '+', '!'};
+        emit(kPunct[rng.below(std::size(kPunct))]);
+      }
+    } else if (sep < 95) {
+      // UTF-8 two-byte sequence: a handful of accented letters dominate in
+      // a real dump (é, ü, ö, à, ...), so the continuation byte comes from
+      // a small set rather than uniformly.
+      static constexpr unsigned char kCont[] = {0xA9, 0xBC, 0xB6, 0xA0,
+                                                0xA8, 0xB3, 0x9F, 0x84};
+      emit(static_cast<char>(0xC3));
+      emit(static_cast<char>(kCont[rng.below(std::size(kCont))]));
+    } else {
+      emit('\n');
+      since_newline = 0;
+    }
+    if (since_newline > 600) {
+      emit('\n');
+      since_newline = 0;
+    }
+  }
+  out.resize(size);
+  return out;
+}
+
+}  // namespace parhuff::data

@@ -1,0 +1,19 @@
+#pragma once
+// enwik8/enwik9 stand-in: XML-wrapped English-like text (DESIGN.md §1).
+//
+// The encoder pipeline only sees the byte-frequency profile, so the
+// generator targets the statistics that matter for the reproduction: byte
+// alphabet ~190 symbols with the letter/markup mix of a Wikipedia XML dump,
+// yielding ≈5.1–5.3 average Huffman bits (the paper measures 5.16/5.21).
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parhuff::data {
+
+/// Generate `size` bytes of XML-ish English text. Deterministic in `seed`.
+[[nodiscard]] std::vector<u8> generate_text(std::size_t size, u64 seed);
+
+}  // namespace parhuff::data

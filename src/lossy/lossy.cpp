@@ -1,0 +1,133 @@
+#include "lossy/lossy.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/bytesio.hpp"
+#include "core/format.hpp"
+#include "util/timer.hpp"
+
+namespace parhuff::lossy {
+
+namespace {
+constexpr char kMagic[4] = {'P', 'H', 'L', '1'};
+}
+
+std::vector<u8> compress_field(std::span<const float> field, data::Dims dims,
+                               const Config& cfg, Report* report) {
+  if (field.size() != dims.total() || dims.total() == 0) {
+    throw std::invalid_argument("lossy: field size does not match dims");
+  }
+  if (cfg.nbins < 4 || cfg.nbins > 65536) {
+    throw std::invalid_argument("lossy: nbins out of range");
+  }
+  Report local;
+  Report& rep = report ? *report : local;
+  rep = Report{};
+  rep.raw_bytes = field.size() * sizeof(float);
+
+  // Resolve the error bound.
+  double eb = cfg.abs_error_bound;
+  if (eb <= 0) {
+    if (cfg.rel_error_bound <= 0) {
+      throw std::invalid_argument("lossy: no positive error bound");
+    }
+    float fmin = field[0], fmax = field[0];
+    for (const float v : field) {
+      fmin = std::min(fmin, v);
+      fmax = std::max(fmax, v);
+    }
+    eb = static_cast<double>(fmax - fmin) * cfg.rel_error_bound;
+    if (eb <= 0) eb = 1e-30;  // constant field: any positive bound works
+  }
+  rep.error_bound = eb;
+
+  // Stage 1+2: Lorenzo prediction + quantization.
+  Timer t;
+  const std::vector<float> field_copy(field.begin(), field.end());
+  const data::Quantized q =
+      data::lorenzo_quantize(field_copy, dims, eb, cfg.nbins);
+  rep.quantize_seconds = t.seconds();
+  rep.outliers = q.outliers.size();
+  rep.outlier_bytes = q.outliers.size() * (sizeof(u32) + sizeof(float));
+
+  // Stage 3+4: Huffman over the code stream.
+  PipelineConfig pc;
+  pc.nbins = cfg.nbins;
+  pc.encoder = cfg.encoder;
+  pc.magnitude = cfg.magnitude;
+  const Compressed<u16> blob = compress<u16>(q.codes, pc, &rep.huffman);
+  const std::vector<u8> huff_bytes = serialize(blob);
+
+  // Container.
+  ByteWriter w;
+  w.put_array(std::span<const char>(kMagic, 4));
+  w.put<u64>(static_cast<u64>(dims.nx));
+  w.put<u64>(static_cast<u64>(dims.ny));
+  w.put<u64>(static_cast<u64>(dims.nz));
+  w.put<double>(eb);
+  w.put<u32>(cfg.nbins);
+  w.put<u64>(static_cast<u64>(q.outliers.size()));
+  for (const auto& [idx, value] : q.outliers) {
+    w.put<u32>(idx);
+    w.put<float>(value);
+  }
+  w.put<u64>(static_cast<u64>(huff_bytes.size()));
+  w.put_bytes(huff_bytes);
+  auto bytes = w.take();
+  rep.compressed_bytes = bytes.size();
+  return bytes;
+}
+
+Field decompress_field(std::span<const u8> bytes) {
+  ByteReader r(bytes);
+  const auto magic = r.get_array<char>(4);
+  if (std::memcmp(magic.data(), kMagic, 4) != 0) {
+    throw std::runtime_error("lossy container: bad magic");
+  }
+  data::Quantized q;
+  q.dims.nx = static_cast<std::size_t>(r.get<u64>());
+  q.dims.ny = static_cast<std::size_t>(r.get<u64>());
+  q.dims.nz = static_cast<std::size_t>(r.get<u64>());
+  q.error_bound = r.get<double>();
+  q.nbins = r.get<u32>();
+  const std::size_t total = q.dims.total();
+  if (total == 0 || total > (std::size_t{1} << 34) || q.error_bound <= 0 ||
+      q.nbins < 4) {
+    throw std::runtime_error("lossy container: implausible header");
+  }
+  const u64 n_outliers = r.get<u64>();
+  if (n_outliers > total) {
+    throw std::runtime_error("lossy container: outlier count range");
+  }
+  q.outliers.reserve(static_cast<std::size_t>(n_outliers));
+  u64 prev = 0;
+  for (u64 i = 0; i < n_outliers; ++i) {
+    const u32 idx = r.get<u32>();
+    const float value = r.get<float>();
+    if (idx >= total || (i > 0 && idx <= prev)) {
+      throw std::runtime_error("lossy container: outlier index order");
+    }
+    prev = idx;
+    q.outliers.emplace_back(idx, value);
+  }
+  const u64 huff_len = r.get<u64>();
+  const auto huff_bytes = r.get_view(static_cast<std::size_t>(huff_len));
+  if (!r.done()) {
+    throw std::runtime_error("lossy container: trailing bytes");
+  }
+  const Compressed<u16> blob = deserialize<u16>(huff_bytes);
+  q.codes = decompress(blob, 0);
+  if (q.codes.size() != total) {
+    throw std::runtime_error("lossy container: code count mismatch");
+  }
+
+  Field out;
+  out.dims = q.dims;
+  out.error_bound = q.error_bound;
+  out.values = data::lorenzo_reconstruct(q);
+  return out;
+}
+
+}  // namespace parhuff::lossy

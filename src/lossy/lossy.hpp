@@ -1,0 +1,66 @@
+#pragma once
+// Error-bounded lossy floating-point compression — the cuSZ-style system
+// the paper's Huffman encoder was built for (§I: SZ/cuSZ pipelines are
+// "prediction + error-bounded quantization + Huffman", and the encoder
+// evaluated here is the cuSZ stage-4 replacement).
+//
+// Pipeline: 3-D Lorenzo prediction over reconstructed values →
+// error-bounded linear quantization (2^k bins, code 0 = outlier) →
+// parhuff Huffman encoding of the code stream → a self-contained container
+// holding dims/eb/outliers/codebook/payload. Decompression inverts each
+// stage; |out - in| <= eb holds elementwise (outliers are exact).
+
+#include <span>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "data/quant.hpp"
+#include "util/types.hpp"
+
+namespace parhuff::lossy {
+
+struct Config {
+  /// Error bound relative to the field's value range (SZ's REL mode);
+  /// the absolute bound is rel_error_bound * (max - min).
+  double rel_error_bound = 1e-3;
+  /// Absolute bound; used instead of the relative one when positive.
+  double abs_error_bound = 0.0;
+  u32 nbins = 1024;
+  EncoderKind encoder = EncoderKind::kAdaptiveSimt;
+  u32 magnitude = 10;
+};
+
+struct Report {
+  double error_bound = 0;         ///< resolved absolute bound
+  std::size_t outliers = 0;
+  double quantize_seconds = 0;
+  PipelineReport huffman;
+  std::size_t raw_bytes = 0;
+  std::size_t compressed_bytes = 0;
+  std::size_t outlier_bytes = 0;
+
+  [[nodiscard]] double ratio() const {
+    return compressed_bytes == 0
+               ? 0.0
+               : static_cast<double>(raw_bytes) /
+                     static_cast<double>(compressed_bytes);
+  }
+};
+
+/// Compress a 3-D float field into a self-contained byte container.
+/// Throws std::invalid_argument on shape/parameter errors.
+[[nodiscard]] std::vector<u8> compress_field(std::span<const float> field,
+                                             data::Dims dims,
+                                             const Config& cfg = {},
+                                             Report* report = nullptr);
+
+struct Field {
+  data::Dims dims;
+  double error_bound = 0;
+  std::vector<float> values;
+};
+
+/// Inverse of compress_field. Throws std::runtime_error on malformed input.
+[[nodiscard]] Field decompress_field(std::span<const u8> bytes);
+
+}  // namespace parhuff::lossy

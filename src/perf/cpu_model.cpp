@@ -1,0 +1,52 @@
+#include "perf/cpu_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace parhuff::perf {
+
+double scaled_throughput_gbps(double single_thread_gbps, int threads,
+                              const CpuSpec& spec) {
+  if (threads <= 0) return 0;
+  const int physical = std::min(threads, spec.cores);
+
+  // Efficiency: 1.0 within one socket, decaying linearly past it.
+  const int beyond = std::max(0, physical - spec.cores_per_socket);
+  double eff = 1.0 - spec.cross_socket_decay * static_cast<double>(beyond);
+  eff = std::max(eff, 0.2);
+
+  double gbps = single_thread_gbps * static_cast<double>(physical) * eff;
+
+  // Bandwidth roofline: sockets engaged scale the cap.
+  const int sockets =
+      (physical + spec.cores_per_socket - 1) / spec.cores_per_socket;
+  const double cap = spec.per_socket_bw_gbps * static_cast<double>(sockets);
+  gbps = std::min(gbps, cap);
+
+  if (threads > spec.cores) {
+    gbps *= spec.oversubscribe_penalty;
+  }
+  return gbps;
+}
+
+double parallel_efficiency(double single_thread_gbps, int threads,
+                           const CpuSpec& spec) {
+  if (threads <= 0 || single_thread_gbps <= 0) return 0;
+  return scaled_throughput_gbps(single_thread_gbps, threads, spec) /
+         (single_thread_gbps * static_cast<double>(threads));
+}
+
+double region_task_seconds(double serial_seconds, std::size_t regions,
+                           int threads, const CpuSpec& spec) {
+  if (threads <= 0) return serial_seconds;
+  const int physical = std::min(threads, spec.cores);
+  const double work = serial_seconds / static_cast<double>(physical);
+  // Fork/join cost grows with team size (barrier latency).
+  const double overhead = static_cast<double>(regions) *
+                          spec.fork_join_us_per_thread * 1e-6 *
+                          std::log2(static_cast<double>(threads) + 1.0);
+  return work + overhead;
+}
+
+}  // namespace parhuff::perf

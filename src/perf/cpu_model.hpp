@@ -1,0 +1,52 @@
+#pragma once
+// Roofline-style CPU scaling model for the paper's dual-socket 28-core
+// Xeon Platinum 8280 testbed (Tables IV and VI).
+//
+// The host this reproduction runs on has a handful of cores, so per-thread
+// throughput for the memory-bound stages is *measured* on the host and then
+// scaled through this model, which captures the three mechanisms visible in
+// the paper's CPU tables:
+//   1. near-linear scaling while a single socket's bandwidth is unsaturated;
+//   2. efficiency decay once the working set spans sockets (their measured
+//      parallel efficiency: 0.97 @32, 0.81 @56);
+//   3. collapse past the physical core count (0.37 @64 on 56 cores).
+// Plus, for Table IV, a fixed per-parallel-region fork/join overhead that
+// explains why OpenMP codebook construction loses below ~32768 symbols.
+
+#include <string>
+
+namespace parhuff::perf {
+
+struct CpuSpec {
+  std::string name = "2x Xeon Platinum 8280";
+  int cores = 56;                    ///< physical cores total
+  int cores_per_socket = 28;
+  double per_socket_bw_gbps = 105.0; ///< sustainable DRAM bandwidth
+  /// Efficiency decay per extra core beyond one socket (calibrated to the
+  /// paper's 0.81 parallel efficiency at 56 cores).
+  double cross_socket_decay = 0.0068;
+  /// Throughput multiplier when threads exceed physical cores (their
+  /// 64-thread point: 29.33/55.71 on top of lost efficiency).
+  double oversubscribe_penalty = 0.45;
+  /// OpenMP fork/join cost per parallel region (Table IV's small-codebook
+  /// overhead), seconds per region per extra thread.
+  double fork_join_us_per_thread = 1.6;
+};
+
+/// Modeled multi-thread throughput (GB/s) for a memory-bound streaming
+/// stage, from measured single-thread throughput.
+[[nodiscard]] double scaled_throughput_gbps(double single_thread_gbps,
+                                            int threads, const CpuSpec& spec);
+
+/// Parallel efficiency implied by the model: scaled / (p * single).
+[[nodiscard]] double parallel_efficiency(double single_thread_gbps,
+                                         int threads, const CpuSpec& spec);
+
+/// Modeled wall time (seconds) of a parallel-region-heavy task (the OpenMP
+/// codebook builder): `serial_seconds` of total work split over p threads
+/// plus fork/join overhead for `regions` parallel regions.
+[[nodiscard]] double region_task_seconds(double serial_seconds,
+                                         std::size_t regions, int threads,
+                                         const CpuSpec& spec);
+
+}  // namespace parhuff::perf

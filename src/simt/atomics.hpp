@@ -1,0 +1,46 @@
+#pragma once
+// Atomic read-modify-write wrappers matching the CUDA intrinsics the paper's
+// kernels rely on (atomicAdd / atomicMin / atomicMax / atomicCAS).
+//
+// Simulated blocks may execute concurrently on host threads, so these must
+// be real atomics; std::atomic_ref lets plain arrays stay plain.
+
+#include <atomic>
+
+namespace parhuff::simt {
+
+template <typename T>
+T atomic_add(T& target, T value) {
+  return std::atomic_ref<T>(target).fetch_add(value,
+                                              std::memory_order_relaxed);
+}
+
+template <typename T>
+T atomic_min(T& target, T value) {
+  std::atomic_ref<T> ref(target);
+  T cur = ref.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !ref.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  return cur;
+}
+
+template <typename T>
+T atomic_max(T& target, T value) {
+  std::atomic_ref<T> ref(target);
+  T cur = ref.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !ref.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  return cur;
+}
+
+template <typename T>
+T atomic_cas(T& target, T expected, T desired) {
+  std::atomic_ref<T> ref(target);
+  T e = expected;
+  ref.compare_exchange_strong(e, desired, std::memory_order_relaxed);
+  return e;  // CUDA atomicCAS returns the old value
+}
+
+}  // namespace parhuff::simt

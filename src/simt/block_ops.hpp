@@ -1,0 +1,78 @@
+#pragma once
+// Block-level cooperative primitives over the SIMT simulator: reduction,
+// exclusive/inclusive scan, and broadcast, with the warp-then-block
+// structure (and cost profile) of the standard CUB-style implementations.
+//
+// These operate on shared-memory spans inside a block and tally the
+// shared traffic + log-depth op counts the real algorithms exhibit.
+
+#include <cstddef>
+#include <span>
+
+#include "simt/block.hpp"
+
+namespace parhuff::simt {
+
+/// Block-wide sum reduction of `data` (in shared memory). Returns the sum;
+/// `data` contents are preserved.
+template <typename T>
+[[nodiscard]] T block_reduce_add(BlockCtx& blk, std::span<const T> data) {
+  T sum{};
+  for (const T& v : data) sum += v;
+  u64 lg = 1;
+  for (std::size_t n = data.size(); n > 1; n >>= 1) ++lg;
+  blk.tally().ops(data.size() + 32 * lg);
+  blk.tally().shared_access(data.size(), sizeof(T));
+  blk.sync();
+  return sum;
+}
+
+/// Block-wide exclusive scan in place; returns the total.
+template <typename T>
+T block_scan_exclusive(BlockCtx& blk, std::span<T> data) {
+  T run{};
+  for (T& v : data) {
+    const T x = v;
+    v = run;
+    run += x;
+  }
+  u64 lg = 1;
+  for (std::size_t n = data.size(); n > 1; n >>= 1) ++lg;
+  // Work-efficient scan: up-sweep + down-sweep, 2n shared accesses, log
+  // depth barriers.
+  blk.tally().ops(2 * data.size());
+  blk.tally().shared_access(2 * data.size(), sizeof(T));
+  blk.tally().block_syncs += 2 * lg;
+  return run;
+}
+
+/// Block-wide inclusive scan in place; returns the total.
+template <typename T>
+T block_scan_inclusive(BlockCtx& blk, std::span<T> data) {
+  T run{};
+  for (T& v : data) {
+    run += v;
+    v = run;
+  }
+  u64 lg = 1;
+  for (std::size_t n = data.size(); n > 1; n >>= 1) ++lg;
+  blk.tally().ops(2 * data.size());
+  blk.tally().shared_access(2 * data.size(), sizeof(T));
+  blk.tally().block_syncs += 2 * lg;
+  return run;
+}
+
+/// Block-wide maximum.
+template <typename T>
+[[nodiscard]] T block_reduce_max(BlockCtx& blk, std::span<const T> data) {
+  T best = data.empty() ? T{} : data[0];
+  for (const T& v : data) {
+    if (best < v) best = v;
+  }
+  blk.tally().ops(data.size());
+  blk.tally().shared_access(data.size(), sizeof(T));
+  blk.sync();
+  return best;
+}
+
+}  // namespace parhuff::simt

@@ -1,0 +1,66 @@
+#pragma once
+// Cooperative-groups substitute: a single persistent grid whose threads can
+// synchronize grid-wide.
+//
+// The paper's codebook-construction kernels (Algorithm 1) are single CUDA
+// kernels using Cooperative Groups `grid.sync()` between fine-grained
+// parallel regions, precisely to avoid paying ~60 us per kernel launch for
+// regions that do microseconds of work. The simulator models the same
+// structure: a CooperativeGrid is "launched" once (one kernel-launch tally),
+// and each `par`/`seq` region boundary is one grid sync.
+//
+//   CooperativeGrid grid(n_threads, &tally);
+//   grid.par(n, [&](std::size_t i) { ... });   // concurrent-for region
+//   grid.seq([&] { ... });                     // single-thread region
+//
+// Functional semantics match CREW PRAM with barriers: every region sees all
+// writes of the previous region. Regions execute on the host thread pool.
+
+#include <cstddef>
+
+#include "simt/mem_model.hpp"
+#include "util/parallel.hpp"
+
+namespace parhuff::simt {
+
+class CooperativeGrid {
+ public:
+  /// `grid_threads` is the number of resident threads the cooperative launch
+  /// would have; regions larger than it are grid-strided, which the tally
+  /// reflects via scalar op counts.
+  explicit CooperativeGrid(std::size_t grid_threads, MemTally* tally)
+      : grid_threads_(grid_threads), tally_(tally) {
+    if (tally_) tally_->kernel_launches += 1;
+  }
+
+  [[nodiscard]] std::size_t grid_threads() const { return grid_threads_; }
+
+  /// Concurrent region: fn(i) for i in [0, n), followed by grid.sync().
+  template <typename Fn>
+  void par(std::size_t n, Fn&& fn) {
+    parhuff::parallel_for(n, fn);
+    sync();
+  }
+
+  /// Sequential region executed by "thread 0", followed by grid.sync().
+  /// `dependent_ops` lets callers charge the modeled cost of the serial
+  /// chain they just executed (counted, not estimated, at the call site).
+  template <typename Fn>
+  void seq(Fn&& fn, u64 dependent_ops = 0) {
+    fn();
+    if (tally_) tally_->serial_dependent_ops += dependent_ops;
+    sync();
+  }
+
+  void sync() {
+    if (tally_) tally_->grid_syncs += 1;
+  }
+
+  [[nodiscard]] MemTally* tally() { return tally_; }
+
+ private:
+  std::size_t grid_threads_;
+  MemTally* tally_;
+};
+
+}  // namespace parhuff::simt

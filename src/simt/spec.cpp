@@ -1,0 +1,31 @@
+#include "simt/spec.hpp"
+
+namespace parhuff::simt {
+
+DeviceSpec DeviceSpec::v100() {
+  DeviceSpec d;
+  d.name = "V100";
+  d.sm_count = 80;
+  d.mem_bandwidth_gbps = 900.0;
+  d.shared_bandwidth_gbps = 12000.0;
+  d.clock_ghz = 1.53;
+  d.kernel_launch_us = 60.0;
+  d.grid_sync_us = 2.5;
+  d.serial_thread_op_ns = 105.0;
+  return d;
+}
+
+DeviceSpec DeviceSpec::rtx5000() {
+  DeviceSpec d;
+  d.name = "RTX5000";
+  d.sm_count = 48;
+  d.mem_bandwidth_gbps = 448.0;
+  d.shared_bandwidth_gbps = 7000.0;
+  d.clock_ghz = 1.62;
+  d.kernel_launch_us = 60.0;
+  d.grid_sync_us = 3.0;
+  d.serial_thread_op_ns = 95.0;
+  return d;
+}
+
+}  // namespace parhuff::simt

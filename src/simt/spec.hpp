@@ -1,0 +1,58 @@
+#pragma once
+// Device specifications for the GPUs the paper evaluates on.
+//
+// parhuff runs every GPU kernel on a functional SIMT simulator (see
+// block.hpp / coop.hpp). Wall-clock on the simulator says nothing about GPU
+// time, so each kernel also tallies the memory transactions, synchronizations
+// and scalar work it performs (mem_model.hpp), and perf/gpu_model.hpp
+// converts those tallies into *modeled* time for one of these DeviceSpecs.
+// All modeled numbers printed by the benches are labeled as modeled.
+
+#include <string>
+
+namespace parhuff::simt {
+
+struct DeviceSpec {
+  std::string name;
+
+  int sm_count = 0;             ///< streaming multiprocessors
+  int warp_size = 32;
+  int max_threads_per_block = 1024;
+  int max_resident_threads_per_sm = 2048;
+
+  double mem_bandwidth_gbps = 0;     ///< peak DRAM bandwidth (decimal GB/s)
+  double mem_efficiency = 0.80;      ///< sustainable fraction of peak for
+                                     ///< streaming kernels
+  double shared_bandwidth_gbps = 0;  ///< aggregate shared-memory bandwidth
+
+  double kernel_launch_us = 60.0;    ///< the paper profiles ~60 us per launch
+  double grid_sync_us = 3.0;         ///< cooperative-groups grid barrier
+  double block_sync_ns = 30.0;       ///< __syncthreads
+  double atomic_global_ns = 10.0;    ///< serialized same-address global atomic
+  double atomic_shared_ns = 2.0;     ///< serialized same-bank shared atomic
+
+  double clock_ghz = 1.0;
+  /// Modeled latency of one dependent scalar operation executed by a single
+  /// GPU thread (no ILP, no occupancy to hide latency). This drives the
+  /// "serial tree construction on the GPU takes 144 ms" reproduction: a lone
+  /// GPU thread pays full pipeline + memory latency on every step.
+  double serial_thread_op_ns = 105.0;
+  /// Modeled throughput of bulk scalar work when the grid is saturated:
+  /// ops per second across the whole device.
+  [[nodiscard]] double bulk_ops_per_sec() const {
+    // 64 FP32/int lanes per SM, issue ~1 op/clk/lane.
+    return static_cast<double>(sm_count) * 64.0 * clock_ghz * 1e9;
+  }
+
+  /// Sustainable DRAM bandwidth in bytes/second.
+  [[nodiscard]] double mem_bytes_per_sec() const {
+    return mem_bandwidth_gbps * 1e9 * mem_efficiency;
+  }
+
+  /// NVIDIA Tesla V100 (Longhorn): 80 SMs, 16 GB HBM2 @ 900 GB/s.
+  static DeviceSpec v100();
+  /// NVIDIA Quadro RTX 5000 (Frontera): 48 SMs, 16 GB GDDR6 @ 448 GB/s.
+  static DeviceSpec rtx5000();
+};
+
+}  // namespace parhuff::simt

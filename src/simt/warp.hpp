@@ -1,0 +1,103 @@
+#pragma once
+// Warp-level primitives over the block simulator.
+//
+// A WarpCtx executes its 32 lanes in lockstep *per collective step*: lane
+// bodies are lambdas invoked for every lane, and the collectives
+// (shuffle/ballot/reduce/scan) operate on per-lane value arrays. This keeps
+// the SIMD structure of the paper's kernels visible in the reproduction and
+// lets the tally attribute divergence where lanes take different branches.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "simt/block.hpp"
+
+namespace parhuff::simt {
+
+inline constexpr int kWarpSize = 32;
+
+class WarpCtx {
+ public:
+  WarpCtx(BlockCtx& blk, int warp_id, int active_lanes)
+      : blk_(blk), warp_id_(warp_id), active_(active_lanes) {}
+
+  [[nodiscard]] int warp_id() const { return warp_id_; }
+  [[nodiscard]] int active_lanes() const { return active_; }
+  /// Thread id within the block of this warp's lane `l`.
+  [[nodiscard]] int tid(int lane) const {
+    return warp_id_ * kWarpSize + lane;
+  }
+
+  /// Execute `fn(lane)` for every active lane.
+  template <typename Fn>
+  void lanes(Fn&& fn) {
+    for (int l = 0; l < active_; ++l) fn(l);
+  }
+
+  /// __ballot_sync: bitmask of lanes whose predicate holds.
+  template <typename Pred>
+  std::uint32_t ballot(Pred&& pred) {
+    std::uint32_t mask = 0;
+    int set = 0;
+    for (int l = 0; l < active_; ++l) {
+      if (pred(l)) {
+        mask |= (1u << l);
+        ++set;
+      }
+    }
+    // Divergence if the predicate splits the warp.
+    if (set != 0 && set != active_) blk_.tally().divergent_branches += 1;
+    return mask;
+  }
+
+  /// __shfl_down_sync over a per-lane value array (in place result in lane i
+  /// gets lane i+delta's value; lanes past the end keep their own).
+  template <typename T>
+  void shfl_down(std::array<T, kWarpSize>& v, int delta) {
+    for (int l = 0; l + delta < active_; ++l) v[l] = v[l + delta];
+    blk_.tally().ops(static_cast<u64>(active_));
+  }
+
+  /// Warp tree-reduction (sum) of per-lane values; result returned (lane 0's
+  /// value on hardware).
+  template <typename T>
+  T reduce_add(std::array<T, kWarpSize>& v) {
+    T sum{};
+    for (int l = 0; l < active_; ++l) sum += v[l];
+    // log2(32)=5 shuffle steps on hardware
+    blk_.tally().ops(static_cast<u64>(active_) * 5);
+    return sum;
+  }
+
+  /// Inclusive warp scan (sum) in place.
+  template <typename T>
+  void scan_inclusive(std::array<T, kWarpSize>& v) {
+    T run{};
+    for (int l = 0; l < active_; ++l) {
+      run += v[l];
+      v[l] = run;
+    }
+    blk_.tally().ops(static_cast<u64>(active_) * 5);
+  }
+
+ private:
+  BlockCtx& blk_;
+  int warp_id_;
+  int active_;
+};
+
+/// Iterate the warps of a block: `fn(WarpCtx&)` for each warp; the final
+/// warp may be partially populated when block_dim % 32 != 0.
+template <typename Fn>
+void for_each_warp(BlockCtx& blk, Fn&& fn) {
+  const int warps = (blk.block_dim() + kWarpSize - 1) / kWarpSize;
+  for (int w = 0; w < warps; ++w) {
+    const int active =
+        (w == warps - 1) ? blk.block_dim() - w * kWarpSize : kWarpSize;
+    WarpCtx ctx(blk, w, active);
+    fn(ctx);
+  }
+}
+
+}  // namespace parhuff::simt

@@ -1,0 +1,103 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace parhuff {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.size() < 3 || arg.substr(0, 2) != "--") {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_.push_back({body.substr(0, eq), body.substr(eq + 1)});
+      continue;
+    }
+    // `--name value` when the next token is not itself a flag; else a
+    // boolean flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).substr(0, 2) != "--") {
+      flags_.push_back({body, std::string(argv[i + 1])});
+      ++i;
+    } else {
+      flags_.push_back({body, std::nullopt});
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return std::any_of(flags_.begin(), flags_.end(),
+                     [&](const Flag& f) { return f.name == name; });
+}
+
+std::optional<std::string> CliArgs::value_of(const std::string& name) const {
+  for (auto it = flags_.rbegin(); it != flags_.rend(); ++it) {
+    if (it->name == name) return it->value;
+  }
+  return std::nullopt;
+}
+
+std::string CliArgs::get_string(const std::string& name,
+                                const std::string& fallback) const {
+  if (!has(name)) return fallback;
+  const auto v = value_of(name);
+  if (!v.has_value()) {
+    throw std::invalid_argument("--" + name + " requires a value");
+  }
+  return *v;
+}
+
+long CliArgs::get_int(const std::string& name, long fallback) const {
+  if (!has(name)) return fallback;
+  const auto v = value_of(name);
+  if (!v.has_value()) {
+    throw std::invalid_argument("--" + name + " requires a value");
+  }
+  char* end = nullptr;
+  const long x = std::strtol(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0') {
+    throw std::invalid_argument("--" + name + ": not an integer: " + *v);
+  }
+  return x;
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  if (!has(name)) return fallback;
+  const auto v = value_of(name);
+  if (!v.has_value()) {
+    throw std::invalid_argument("--" + name + " requires a value");
+  }
+  char* end = nullptr;
+  const double x = std::strtod(v->c_str(), &end);
+  if (end == v->c_str() || *end != '\0') {
+    throw std::invalid_argument("--" + name + ": not a number: " + *v);
+  }
+  return x;
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  if (!has(name)) return fallback;
+  const auto v = value_of(name);
+  if (!v.has_value()) return true;  // bare --flag
+  if (*v == "true" || *v == "1" || *v == "yes" || *v == "on") return true;
+  if (*v == "false" || *v == "0" || *v == "no" || *v == "off") return false;
+  throw std::invalid_argument("--" + name + ": not a boolean: " + *v);
+}
+
+std::vector<std::string> CliArgs::unknown(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> out;
+  for (const Flag& f : flags_) {
+    if (std::find(known.begin(), known.end(), f.name) == known.end()) {
+      out.push_back(f.name);
+    }
+  }
+  return out;
+}
+
+}  // namespace parhuff

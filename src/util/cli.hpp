@@ -1,0 +1,49 @@
+#pragma once
+// Minimal command-line flag parser for the example binaries and bench
+// drivers: `--name value`, `--name=value`, boolean `--flag`, positional
+// arguments, typed getters with defaults, and unknown-flag detection.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace parhuff {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// Positional arguments in order (argv[0] excluded).
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  /// Raw value of the last occurrence of --name; nullopt when absent or
+  /// passed as a bare boolean flag.
+  [[nodiscard]] std::optional<std::string> value_of(
+      const std::string& name) const;
+
+  /// Typed getters; throw std::invalid_argument on malformed values.
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] long get_int(const std::string& name, long fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Names that were passed but never queried by any getter — call after
+  /// parsing to reject typos.
+  [[nodiscard]] std::vector<std::string> unknown(
+      const std::vector<std::string>& known) const;
+
+ private:
+  struct Flag {
+    std::string name;
+    std::optional<std::string> value;
+  };
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace parhuff

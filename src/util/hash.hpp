@@ -1,0 +1,23 @@
+#pragma once
+// FNV-1a 64-bit hash — the integrity checksum appended to every stream
+// section of the container formats. Not cryptographic; it exists to catch
+// bit rot and truncation, like the CRCs in gzip/zstd frames.
+
+#include <cstddef>
+#include <span>
+
+#include "util/types.hpp"
+
+namespace parhuff {
+
+[[nodiscard]] constexpr u64 fnv1a(std::span<const u8> bytes,
+                                  u64 seed = 0xcbf29ce484222325ull) {
+  u64 h = seed;
+  for (const u8 b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace parhuff

@@ -1,0 +1,49 @@
+#pragma once
+// Small statistics helpers: benches repeat runs and report medians; the
+// entropy module reports distribution summaries.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace parhuff {
+
+struct Summary {
+  double min = 0, max = 0, mean = 0, median = 0, stddev = 0;
+  std::size_t n = 0;
+};
+
+/// Summary statistics of a sample (sorts a copy; fine for bench-sized n).
+[[nodiscard]] inline Summary summarize(std::vector<double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  std::sort(xs.begin(), xs.end());
+  s.min = xs.front();
+  s.max = xs.back();
+  s.median = xs.size() % 2 ? xs[xs.size() / 2]
+                           : 0.5 * (xs[xs.size() / 2 - 1] + xs[xs.size() / 2]);
+  double sum = 0;
+  for (double x : xs) sum += x;
+  s.mean = sum / static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - s.mean) * (x - s.mean);
+  s.stddev = xs.size() > 1
+                 ? std::sqrt(var / static_cast<double>(xs.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+/// Repeat a timed body `reps` times and return the per-rep seconds, with one
+/// untimed warmup. `body` must be idempotent.
+template <typename Body>
+[[nodiscard]] std::vector<double> time_reps(int reps, Body&& body) {
+  body();  // warmup
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) out.push_back(body());
+  return out;
+}
+
+}  // namespace parhuff

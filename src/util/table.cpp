@@ -1,0 +1,106 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace parhuff {
+
+void TextTable::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::rule() { rows_.emplace_back(); }
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  bool digit = false;
+  for (char c : s) {
+    if (c >= '0' && c <= '9') {
+      digit = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != '%' && c != 'e' &&
+               c != 'x' && c != ',' && c != '~') {
+      return false;
+    }
+  }
+  return digit;
+}
+
+}  // namespace
+
+std::string TextTable::str() const {
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::size_t total = cols ? 3 * (cols - 1) : 0;
+  for (auto w : width) total += w;
+
+  std::ostringstream os;
+  if (!title_.empty()) {
+    os << title_ << '\n' << std::string(std::max(total, title_.size()), '=')
+       << '\n';
+  }
+  auto emit = [&](const std::vector<std::string>& r, bool align_numeric) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string cell = c < r.size() ? r[c] : std::string{};
+      const std::size_t pad = width[c] - cell.size();
+      const bool right = align_numeric && looks_numeric(cell);
+      if (right) os << std::string(pad, ' ') << cell;
+      else os << cell << std::string(pad, ' ');
+      if (c + 1 < cols) os << " | ";
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_, false);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) {
+    if (r.empty()) os << std::string(total, '-') << '\n';
+    else emit(r, true);
+  }
+  return os.str();
+}
+
+void TextTable::print() const {
+  const std::string s = str();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string fmt_bytes(std::size_t bytes) {
+  const double b = static_cast<double>(bytes);
+  char buf[64];
+  if (b >= 1e9) std::snprintf(buf, sizeof buf, "%.1f GB", b / 1e9);
+  else if (b >= 1e6) std::snprintf(buf, sizeof buf, "%.0f MB", b / 1e6);
+  else if (b >= 1e3) std::snprintf(buf, sizeof buf, "%.0f KB", b / 1e3);
+  else std::snprintf(buf, sizeof buf, "%zu B", bytes);
+  return buf;
+}
+
+}  // namespace parhuff

@@ -1,0 +1,39 @@
+#pragma once
+// Plain-text table formatter used by every bench binary so the reproduced
+// tables render in a consistent, diffable layout.
+
+#include <string>
+#include <vector>
+
+namespace parhuff {
+
+/// Column-aligned ASCII table. Add a header row, then data rows; `str()`
+/// renders with right-aligned numeric-looking cells and a rule under the
+/// header.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  void header(std::vector<std::string> cells);
+  void row(std::vector<std::string> cells);
+  /// A horizontal rule between row groups.
+  void rule();
+
+  [[nodiscard]] std::string str() const;
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector encodes a rule
+};
+
+/// Fixed-precision float formatting (the tables mix 2dp and 3dp cells).
+[[nodiscard]] std::string fmt(double v, int precision = 2);
+/// Percentage with given precision, e.g. fmt_pct(0.0012, 4) -> "0.1200%".
+[[nodiscard]] std::string fmt_pct(double fraction, int precision = 4);
+/// Human-readable byte size, e.g. "256 MB", "1.4 GB" (decimal units,
+/// matching the paper's dataset-size column).
+[[nodiscard]] std::string fmt_bytes(std::size_t bytes);
+
+}  // namespace parhuff

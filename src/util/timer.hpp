@@ -1,0 +1,60 @@
+#pragma once
+// Wall-clock timing utilities used by benches and the pipeline's per-stage
+// instrumentation.
+
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace parhuff {
+
+/// Simple monotonic stopwatch. Construction starts it.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+  [[nodiscard]] double micros() const { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates named stage durations; the pipeline uses one of these to
+/// report the hist/codebook/encode breakdown the paper's Table V shows.
+class StageTimes {
+ public:
+  void add(const std::string& stage, double seconds) { acc_[stage] += seconds; }
+
+  [[nodiscard]] double seconds(const std::string& stage) const {
+    auto it = acc_.find(stage);
+    return it == acc_.end() ? 0.0 : it->second;
+  }
+  [[nodiscard]] double total_seconds() const {
+    double t = 0;
+    for (const auto& [k, v] : acc_) t += v;
+    return t;
+  }
+  [[nodiscard]] const std::map<std::string, double>& all() const { return acc_; }
+  void clear() { acc_.clear(); }
+
+ private:
+  std::map<std::string, double> acc_;
+};
+
+/// Throughput in GB/s (decimal GB, matching the paper's units) for `bytes`
+/// processed in `seconds`.
+[[nodiscard]] inline double gbps(std::size_t bytes, double seconds) {
+  if (seconds <= 0) return 0.0;
+  return static_cast<double>(bytes) / 1e9 / seconds;
+}
+
+}  // namespace parhuff

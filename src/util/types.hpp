@@ -1,0 +1,43 @@
+#pragma once
+// Common integral typedefs and project-wide constants.
+//
+// parhuff uses explicit fixed-width types throughout: symbols coming out of
+// quantizers or k-mer packers can be wider than a byte (the paper's central
+// motivation), so the symbol type is a template parameter in most APIs and
+// these aliases just name the common instantiations.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace parhuff {
+
+using u8  = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8  = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Symbol type used by the multi-byte pipelines (SZ quantization codes,
+/// k-mer ids). 16 bits covers the paper's largest alphabet (65536 bins).
+using sym16_t = u16;
+/// Symbol type used by the generic single-byte pipelines.
+using sym8_t = u8;
+
+/// Index type for positions within an input buffer.
+using index_t = std::size_t;
+
+/// One kibi/mebi/gibi in bytes, for size arithmetic in benches and tests.
+inline constexpr std::size_t KiB = std::size_t{1} << 10;
+inline constexpr std::size_t MiB = std::size_t{1} << 20;
+inline constexpr std::size_t GiB = std::size_t{1} << 30;
+
+/// Maximum supported codeword length in bits. Canonical Huffman codes over
+/// realistic frequency profiles stay far below this; the format reserves a
+/// u64 per packed codeword so 58 bits (64 minus 6 length bits in the packed
+/// representation) is the hard ceiling enforced at codebook build time.
+inline constexpr unsigned kMaxCodeLen = 58;
+
+}  // namespace parhuff

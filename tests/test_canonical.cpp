@@ -1,0 +1,128 @@
+// Canonical codebook: canonize_from_lengths invariants, validate()'s
+// ability to catch corruption, Kraft enforcement.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/canonical.hpp"
+#include "core/tree.hpp"
+#include "data/synth_hist.hpp"
+
+namespace parhuff {
+namespace {
+
+TEST(Canonize, SimpleKnownCode) {
+  // Lengths {1, 2, 3, 3}: canonical codes 0, 10, 110, 111.
+  std::vector<u8> lens = {1, 2, 3, 3};
+  Codebook cb = canonize_from_lengths(lens);
+  EXPECT_EQ(cb.validate(), "");
+  EXPECT_EQ(cb.cw[0], (Codeword{0b0, 1}));
+  EXPECT_EQ(cb.cw[1], (Codeword{0b10, 2}));
+  EXPECT_EQ(cb.cw[2], (Codeword{0b110, 3}));
+  EXPECT_EQ(cb.cw[3], (Codeword{0b111, 3}));
+  EXPECT_EQ(cb.sorted_syms, (std::vector<u32>{0, 1, 2, 3}));
+}
+
+TEST(Canonize, WithinLevelSymbolAscending) {
+  std::vector<u8> lens = {2, 2, 2, 2};
+  Codebook cb = canonize_from_lengths(lens);
+  for (u32 s = 0; s < 4; ++s) {
+    EXPECT_EQ(cb.cw[s].bits, s);
+  }
+}
+
+TEST(Canonize, SkippedLevels) {
+  // Lengths {1, 3, 3, 3, 4, 4}: level 2 empty, Kraft-complete.
+  std::vector<u8> lens = {1, 3, 3, 3, 4, 4};
+  Codebook cb = canonize_from_lengths(lens);
+  EXPECT_EQ(cb.validate(), "");
+  EXPECT_EQ(cb.cw[0], (Codeword{0b0, 1}));
+  EXPECT_EQ(cb.cw[1], (Codeword{0b100, 3}));
+  EXPECT_EQ(cb.cw[2], (Codeword{0b101, 3}));
+  EXPECT_EQ(cb.cw[3], (Codeword{0b110, 3}));
+  EXPECT_EQ(cb.cw[4], (Codeword{0b1110, 4}));
+  EXPECT_EQ(cb.cw[5], (Codeword{0b1111, 4}));
+}
+
+TEST(Canonize, KraftIncompleteThrows) {
+  // {1, 3, 3} leaves a hole at 4 → incomplete code.
+  std::vector<u8> lens = {1, 3, 3};
+  EXPECT_THROW((void)canonize_from_lengths(lens), std::invalid_argument);
+}
+
+TEST(Canonize, KraftViolationThrows) {
+  std::vector<u8> lens = {1, 1, 2};
+  EXPECT_THROW((void)canonize_from_lengths(lens), std::invalid_argument);
+}
+
+TEST(Canonize, SingleSymbolIncompleteAllowed) {
+  std::vector<u8> lens = {0, 1, 0};
+  Codebook cb = canonize_from_lengths(lens);
+  EXPECT_EQ(cb.validate(), "");
+  EXPECT_EQ(cb.cw[1], (Codeword{0, 1}));
+}
+
+TEST(Canonize, EmptyLengths) {
+  std::vector<u8> lens(8, 0);
+  Codebook cb = canonize_from_lengths(lens);
+  EXPECT_EQ(cb.present_symbols(), 0u);
+  EXPECT_EQ(cb.validate(), "");
+}
+
+TEST(Canonize, TooLongThrows) {
+  std::vector<u8> lens = {60, 60};
+  EXPECT_THROW((void)canonize_from_lengths(lens), std::invalid_argument);
+}
+
+TEST(Canonize, RoundTripsThroughTreeBuilder) {
+  for (int seed = 0; seed < 8; ++seed) {
+    auto freq = data::zipf_histogram(400, 1.15, 1 << 20,
+                                     static_cast<u64>(seed));
+    auto lens = build_lengths_twoqueue(freq);
+    Codebook cb = canonize_from_lengths(lens);
+    ASSERT_EQ(cb.validate(), "");
+    // Lengths preserved exactly (canonization never changes bitwidths).
+    for (std::size_t s = 0; s < lens.size(); ++s) {
+      ASSERT_EQ(cb.cw[s].len, lens[s]);
+    }
+  }
+}
+
+TEST(Validate, CatchesForwardTableCorruption) {
+  Codebook cb = canonize_from_lengths(std::vector<u8>{2, 2, 2, 2});
+  cb.cw[1].bits = 3;  // duplicate of symbol 3's code
+  EXPECT_NE(cb.validate(), "");
+}
+
+TEST(Validate, CatchesEntryCorruption) {
+  Codebook cb = canonize_from_lengths(std::vector<u8>{1, 2, 3, 3});
+  cb.entry[2] += 1;
+  EXPECT_NE(cb.validate(), "");
+}
+
+TEST(Validate, CatchesFirstCorruption) {
+  Codebook cb = canonize_from_lengths(std::vector<u8>{1, 2, 3, 3});
+  cb.first[3] += 1;
+  EXPECT_NE(cb.validate(), "");
+}
+
+TEST(Validate, CatchesReverseTableCorruption) {
+  Codebook cb = canonize_from_lengths(std::vector<u8>{2, 2, 2, 2});
+  std::swap(cb.sorted_syms[0], cb.sorted_syms[1]);
+  EXPECT_NE(cb.validate(), "");
+}
+
+TEST(Codebook, AverageBits) {
+  Codebook cb = canonize_from_lengths(std::vector<u8>{1, 2, 3, 3});
+  std::vector<u64> freq = {8, 4, 2, 2};
+  // (8*1 + 4*2 + 2*3 + 2*3) / 16 = 28/16
+  EXPECT_DOUBLE_EQ(cb.average_bits(freq), 28.0 / 16.0);
+}
+
+TEST(Codebook, OpCountExposedForModeling) {
+  (void)canonize_from_lengths(std::vector<u8>{1, 2, 3, 3});
+  EXPECT_GT(canonize_last_op_count(), 0u);
+}
+
+}  // namespace
+}  // namespace parhuff

@@ -1,0 +1,89 @@
+// CLI flag parser.
+#include <gtest/gtest.h>
+
+#include "util/cli.hpp"
+
+namespace parhuff {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v = {"prog"};
+  v.insert(v.end(), argv.begin(), argv.end());
+  return CliArgs(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Cli, Positional) {
+  const auto a = parse({"c", "in.txt", "out.phf"});
+  ASSERT_EQ(a.positional().size(), 3u);
+  EXPECT_EQ(a.positional()[0], "c");
+  EXPECT_EQ(a.positional()[2], "out.phf");
+}
+
+TEST(Cli, FlagWithSpaceValue) {
+  const auto a = parse({"--nbins", "1024"});
+  EXPECT_TRUE(a.has("nbins"));
+  EXPECT_EQ(a.get_int("nbins", 0), 1024);
+}
+
+TEST(Cli, FlagWithEqualsValue) {
+  const auto a = parse({"--encoder=adaptive"});
+  EXPECT_EQ(a.get_string("encoder", ""), "adaptive");
+}
+
+TEST(Cli, BareBooleanFlag) {
+  const auto a = parse({"--verbose"});
+  EXPECT_TRUE(a.get_bool("verbose", false));
+  EXPECT_FALSE(a.get_bool("quiet", false));
+}
+
+TEST(Cli, BooleanValues) {
+  EXPECT_TRUE(parse({"--x=true"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=1"}).get_bool("x", false));
+  EXPECT_FALSE(parse({"--x=off"}).get_bool("x", true));
+  EXPECT_THROW((void)parse({"--x=maybe"}).get_bool("x", false),
+               std::invalid_argument);
+}
+
+TEST(Cli, MixedPositionalAndFlags) {
+  const auto a = parse({"c", "--nbins", "256", "in", "--fast", "out"});
+  // "--fast out": the next token is not a flag, so it binds as a value —
+  // documented greedy behaviour; only {"c", "in"} stay positional.
+  ASSERT_EQ(a.positional().size(), 2u);
+  EXPECT_EQ(a.positional()[1], "in");
+  EXPECT_EQ(a.get_int("nbins", 0), 256);
+  EXPECT_TRUE(a.has("fast"));
+  EXPECT_EQ(a.get_string("fast", ""), "out");
+}
+
+TEST(Cli, LastOccurrenceWins) {
+  const auto a = parse({"--n=1", "--n=2"});
+  EXPECT_EQ(a.get_int("n", 0), 2);
+}
+
+TEST(Cli, Defaults) {
+  const auto a = parse({});
+  EXPECT_EQ(a.get_int("missing", 42), 42);
+  EXPECT_EQ(a.get_string("missing", "d"), "d");
+  EXPECT_DOUBLE_EQ(a.get_double("missing", 1.5), 1.5);
+}
+
+TEST(Cli, TypeErrors) {
+  EXPECT_THROW((void)parse({"--n=abc"}).get_int("n", 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse({"--n=1.5x"}).get_double("n", 0),
+               std::invalid_argument);
+}
+
+TEST(Cli, DoubleParsing) {
+  EXPECT_DOUBLE_EQ(parse({"--scale=0.25"}).get_double("scale", 0), 0.25);
+}
+
+TEST(Cli, UnknownDetection) {
+  const auto a = parse({"--nbins=1", "--typo=2"});
+  const auto bad = a.unknown({"nbins"});
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0], "typo");
+}
+
+}  // namespace
+}  // namespace parhuff

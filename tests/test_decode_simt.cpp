@@ -1,0 +1,131 @@
+// SIMT chunk-parallel decoder and the block-level cooperative primitives.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/decode.hpp"
+#include "core/decode_simt.hpp"
+#include "core/encode_adaptive.hpp"
+#include "core/encode_reduceshuffle.hpp"
+#include "core/encode_serial.hpp"
+#include "core/histogram.hpp"
+#include "core/tree.hpp"
+#include "data/quant.hpp"
+#include "data/synth_hist.hpp"
+#include "data/textgen.hpp"
+#include "simt/block_ops.hpp"
+#include "util/rng.hpp"
+
+namespace parhuff {
+namespace {
+
+TEST(DecodeSimt, MatchesHostDecoderOnBytes) {
+  const auto input = data::generate_text(300000, 1);
+  const auto freq = histogram_serial<u8>(input, 256);
+  const Codebook cb = build_codebook_serial(freq);
+  const auto enc = encode_serial<u8>(input, cb, 1024);
+  simt::MemTally tally;
+  EXPECT_EQ(decode_simt<u8>(enc, cb, &tally), input);
+  EXPECT_GT(tally.global_read_sectors, 0u);
+  EXPECT_GT(tally.shared_bytes, 0u);
+}
+
+TEST(DecodeSimt, HandlesOverflowGroups) {
+  // Force heavy breaking with an oversized fixed reduce factor.
+  const auto input = data::generate_nyx_quant(200000, 2);
+  const auto freq = histogram_serial<u16>(input, 1024);
+  const Codebook cb = build_codebook_serial(freq);
+  ReduceShuffleStats st;
+  const auto enc = encode_reduceshuffle_simt<u16>(
+      input, cb, ReduceShuffleConfig{10, 6}, nullptr, &st);
+  ASSERT_GT(st.breaking_groups, 0u);
+  EXPECT_EQ(decode_simt<u16>(enc, cb, nullptr), input);
+}
+
+TEST(DecodeSimt, HandlesAdaptivePerChunkFactors) {
+  Xoshiro256 rng(5);
+  std::vector<u16> input(150000);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<u16>((i / 10000) % 2 ? rng.below(1024)
+                                                : rng.below(2));
+  }
+  const auto freq = histogram_serial<u16>(input, 1024);
+  const Codebook cb = build_codebook_serial(freq);
+  const auto enc = encode_adaptive_simt<u16, 32>(input, cb, {});
+  EXPECT_EQ(decode_simt<u16>(enc, cb, nullptr), input);
+}
+
+TEST(DecodeSimt, EmptyStream) {
+  const Codebook cb = canonize_from_lengths(std::vector<u8>{1, 1});
+  EncodedStream s;
+  s.chunk_symbols = 1024;
+  EXPECT_TRUE(decode_simt<u8>(s, cb, nullptr).empty());
+}
+
+class DecodeSimtChunks : public ::testing::TestWithParam<u32> {};
+
+TEST_P(DecodeSimtChunks, AllChunkSizes) {
+  const u32 mag = GetParam();
+  const auto input = data::generate_nyx_quant(77777, 3);
+  const auto freq = histogram_serial<u16>(input, 1024);
+  const Codebook cb = build_codebook_serial(freq);
+  const auto enc = encode_reduceshuffle_simt<u16>(
+      input, cb, ReduceShuffleConfig{mag, std::min(mag - 1, 3u)}, nullptr,
+      nullptr);
+  EXPECT_EQ(decode_simt<u16>(enc, cb, nullptr), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Mags, DecodeSimtChunks,
+                         ::testing::Values(4u, 8u, 10u, 12u));
+
+// --- Block-level primitives. -------------------------------------------------
+
+TEST(BlockOps, ReduceAdd) {
+  simt::launch(4, 64, nullptr, [&](simt::BlockCtx& blk) {
+    auto sh = blk.shared_array<u64>(100);
+    std::iota(sh.begin(), sh.end(), 1);
+    EXPECT_EQ(simt::block_reduce_add(blk, std::span<const u64>(sh)),
+              u64{100} * 101 / 2);
+  });
+}
+
+TEST(BlockOps, ReduceMax) {
+  simt::launch(1, 32, nullptr, [&](simt::BlockCtx& blk) {
+    auto sh = blk.shared_array<int>(9);
+    const int vals[] = {3, 1, 4, 1, 5, 9, 2, 6, 5};
+    std::copy(std::begin(vals), std::end(vals), sh.begin());
+    EXPECT_EQ(simt::block_reduce_max(blk, std::span<const int>(sh)), 9);
+  });
+}
+
+TEST(BlockOps, ScanExclusiveAndInclusive) {
+  simt::launch(1, 32, nullptr, [&](simt::BlockCtx& blk) {
+    auto a = blk.shared_array<u32>(5);
+    const u32 vals[] = {2, 3, 5, 7, 11};
+    std::copy(std::begin(vals), std::end(vals), a.begin());
+    EXPECT_EQ(simt::block_scan_exclusive(blk, std::span<u32>(a)), 28u);
+    EXPECT_EQ(a[0], 0u);
+    EXPECT_EQ(a[4], 17u);
+
+    auto b = blk.shared_array<u32>(5);
+    std::copy(std::begin(vals), std::end(vals), b.begin());
+    EXPECT_EQ(simt::block_scan_inclusive(blk, std::span<u32>(b)), 28u);
+    EXPECT_EQ(b[0], 2u);
+    EXPECT_EQ(b[4], 28u);
+  });
+}
+
+TEST(BlockOps, TallyRecordsBarriers) {
+  simt::MemTally tally;
+  simt::launch(1, 32, &tally, [&](simt::BlockCtx& blk) {
+    auto a = blk.shared_array<u32>(64);
+    std::fill(a.begin(), a.end(), 1);
+    (void)simt::block_scan_exclusive(blk, std::span<u32>(a));
+  });
+  EXPECT_GT(tally.block_syncs, 0u);
+  EXPECT_GT(tally.shared_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace parhuff

@@ -1,0 +1,116 @@
+// Cross-encoder equivalence: serial, OpenMP, coarse-SIMT and prefix-sum
+// SIMT encoders must produce bit-identical chunked streams; all decode back
+// to the input.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/decode.hpp"
+#include "core/encode_serial.hpp"
+#include "core/encode_simt.hpp"
+#include "core/tree.hpp"
+#include "data/synth_hist.hpp"
+#include "util/rng.hpp"
+
+namespace parhuff {
+namespace {
+
+std::vector<u8> sample_data(const std::vector<u64>& freq, std::size_t n,
+                            u64 seed) {
+  // Draw symbols proportional to freq.
+  std::vector<u32> cum;
+  u64 total = 0;
+  for (u64 f : freq) {
+    total += f;
+    cum.push_back(static_cast<u32>(total));
+  }
+  Xoshiro256 rng(seed);
+  std::vector<u8> data(n);
+  for (auto& d : data) {
+    const u32 x = static_cast<u32>(rng.below(total));
+    const auto it = std::upper_bound(cum.begin(), cum.end(), x);
+    d = static_cast<u8>(it - cum.begin());
+  }
+  return data;
+}
+
+std::vector<u64> histogram_from(const std::vector<u8>& data) {
+  std::vector<u64> h(256, 0);
+  for (u8 b : data) ++h[b];
+  return h;
+}
+
+class EncoderEquivalence : public ::testing::TestWithParam<u32> {};
+
+TEST_P(EncoderEquivalence, AllBaselinesBitIdentical) {
+  const u32 chunk = GetParam();
+  const auto freq = data::zipf_histogram(200, 1.1, 1 << 20, 5);
+  const auto input = sample_data(freq, 20000, 17);
+  const auto hist = histogram_from(input);
+  const Codebook cb = build_codebook_serial(hist);
+
+  const EncodedStream a = encode_serial<u8>(input, cb, chunk);
+  const EncodedStream b = encode_openmp<u8>(input, cb, chunk, 2);
+  simt::MemTally t1, t2;
+  const EncodedStream c = encode_coarse_simt<u8>(input, cb, chunk, &t1);
+  const EncodedStream d = encode_prefixsum_simt<u8>(input, cb, chunk, &t2);
+
+  EXPECT_EQ(a.payload, b.payload);
+  EXPECT_EQ(a.payload, c.payload);
+  EXPECT_EQ(a.payload, d.payload);
+  EXPECT_EQ(a.chunk_bits, d.chunk_bits);
+  EXPECT_GT(t1.global_read_sectors, 0u);
+  EXPECT_GT(t2.global_atomics, 0u);
+
+  const auto back = decode_stream<u8>(a, cb, 2);
+  EXPECT_EQ(back, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, EncoderEquivalence,
+                         ::testing::Values(64, 256, 1024, 4096, 100, 7777));
+
+TEST(EncodeSerial, EmptyInput) {
+  const Codebook cb = canonize_from_lengths(std::vector<u8>{1, 1});
+  const EncodedStream s = encode_serial<u8>(std::vector<u8>{}, cb, 64);
+  EXPECT_EQ(s.chunks(), 0u);
+  EXPECT_EQ(decode_stream<u8>(s, cb, 1).size(), 0u);
+}
+
+TEST(EncodeSerial, ThrowsOnAbsentSymbol) {
+  const Codebook cb = canonize_from_lengths(std::vector<u8>{1, 1, 0});
+  const std::vector<u8> bad = {0, 1, 2};
+  EXPECT_THROW((void)encode_serial<u8>(bad, cb, 64), std::runtime_error);
+}
+
+TEST(EncodeSerial, SingleSymbolAlphabet) {
+  const Codebook cb = canonize_from_lengths(std::vector<u8>{1});
+  const std::vector<u8> input(1000, 0);
+  const EncodedStream s = encode_serial<u8>(input, cb, 128);
+  EXPECT_EQ(s.total_payload_bits(), 1000u);
+  EXPECT_EQ(decode_stream<u8>(s, cb, 1), input);
+}
+
+TEST(EncodeSerial, ChunkBitsMatchCodeLengths) {
+  const Codebook cb = canonize_from_lengths(std::vector<u8>{1, 2, 2});
+  const std::vector<u8> input = {0, 1, 2, 0};  // 1+2+2+1 = 6 bits
+  const EncodedStream s = encode_serial<u8>(input, cb, 2);
+  ASSERT_EQ(s.chunks(), 2u);
+  EXPECT_EQ(s.chunk_bits[0], 3u);
+  EXPECT_EQ(s.chunk_bits[1], 3u);
+}
+
+TEST(EncodeOpenmp, ThreadCountInvariance) {
+  const auto freq = data::uniform_histogram(64, 500, 3);
+  const auto input = sample_data(freq, 50000, 23);
+  std::vector<u64> h(256, 0);
+  for (u8 b : input) ++h[b];
+  const Codebook cb = build_codebook_serial(h);
+  const EncodedStream one = encode_openmp<u8>(input, cb, 512, 1);
+  const EncodedStream two = encode_openmp<u8>(input, cb, 512, 2);
+  const EncodedStream four = encode_openmp<u8>(input, cb, 512, 4);
+  EXPECT_EQ(one.payload, two.payload);
+  EXPECT_EQ(one.payload, four.payload);
+}
+
+}  // namespace
+}  // namespace parhuff

@@ -1,0 +1,205 @@
+// Randomized integration sweeps: every encoder against randomized
+// alphabets, distributions, sizes and chunkings must round-trip; corrupted
+// containers must be rejected or decoded defensively (throw, never crash);
+// cross-encoder decoded-output equality holds for every draw.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/decode.hpp"
+#include "core/decode_simt.hpp"
+#include "core/encode_adaptive.hpp"
+#include "core/encode_reduceshuffle.hpp"
+#include "core/encode_serial.hpp"
+#include "core/encode_simt.hpp"
+#include "core/executor.hpp"
+#include "core/format.hpp"
+#include "core/par_codebook.hpp"
+#include "core/histogram.hpp"
+#include "core/pipeline.hpp"
+#include "core/tree.hpp"
+#include "data/synth_hist.hpp"
+#include "util/rng.hpp"
+
+namespace parhuff {
+namespace {
+
+/// Random symbol stream: alphabet size, skew and run structure all drawn
+/// from the seed.
+std::vector<u16> random_stream(Xoshiro256& rng, std::size_t max_n,
+                               std::size_t& nbins_out) {
+  const std::size_t nbins = 2 + rng.below(2000);
+  nbins_out = nbins;
+  const std::size_t n = 1 + rng.below(max_n);
+  // Distribution shape: uniform, zipf-ish, or runs-of-one-symbol.
+  const u64 shape = rng.below(3);
+  std::vector<u16> v(n);
+  if (shape == 0) {
+    for (auto& s : v) s = static_cast<u16>(rng.below(nbins));
+  } else if (shape == 1) {
+    for (auto& s : v) {
+      // Squared draw skews toward small symbols.
+      const u64 a = rng.below(nbins);
+      const u64 b = rng.below(nbins);
+      s = static_cast<u16>(a * b / (nbins ? nbins : 1));
+    }
+  } else {
+    std::size_t i = 0;
+    while (i < n) {
+      const u16 sym = static_cast<u16>(rng.below(nbins));
+      const std::size_t run = 1 + rng.geometric(0.02);
+      for (std::size_t k = 0; k < run && i < n; ++k) v[i++] = sym;
+    }
+  }
+  return v;
+}
+
+class FuzzRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzRoundTrip, EveryEncoderEveryDraw) {
+  Xoshiro256 rng(static_cast<u64>(GetParam()) * 7919 + 3);
+  for (int draw = 0; draw < 6; ++draw) {
+    std::size_t nbins = 0;
+    const auto input = random_stream(rng, 60000, nbins);
+    const auto freq = histogram_serial<u16>(input, nbins);
+    const Codebook cb = build_codebook_serial(freq);
+    ASSERT_EQ(cb.validate(), "");
+
+    const u32 chunk = static_cast<u32>(64 << rng.below(6));
+    const auto ref = encode_serial<u16>(input, cb, chunk);
+    ASSERT_EQ(decode_stream<u16>(ref, cb, 1), input);
+
+    const auto omp = encode_openmp<u16>(input, cb, chunk, 2);
+    ASSERT_EQ(omp.payload, ref.payload);
+    const auto coarse = encode_coarse_simt<u16>(input, cb, chunk);
+    ASSERT_EQ(coarse.payload, ref.payload);
+    if (chunk <= 4096) {
+      const auto ps = encode_prefixsum_simt<u16>(input, cb, chunk);
+      ASSERT_EQ(ps.payload, ref.payload);
+    }
+
+    const u32 M = 6 + static_cast<u32>(rng.below(7));   // 6..12
+    const u32 r = 1 + static_cast<u32>(rng.below(std::min(M - 1, 6u)));
+    const auto rs = encode_reduceshuffle_simt<u16>(
+        input, cb, ReduceShuffleConfig{M, r}, nullptr, nullptr);
+    ASSERT_EQ(decode_stream<u16>(rs, cb, 1), input)
+        << "M=" << M << " r=" << r << " n=" << input.size();
+    ASSERT_EQ(decode_simt<u16>(rs, cb, nullptr), input);
+
+    AdaptiveConfig ac;
+    ac.magnitude = std::max(M, 3u);
+    ac.max_reduce = std::min(6u, ac.magnitude - 1);
+    const auto ad = encode_adaptive_simt<u16, 32>(input, cb, ac);
+    ASSERT_EQ(decode_stream<u16>(ad, cb, 1), input);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzRoundTrip, ::testing::Range(0, 10));
+
+class FuzzContainer : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzContainer, MutatedBytesNeverCrash) {
+  Xoshiro256 rng(static_cast<u64>(GetParam()) * 131 + 17);
+  std::size_t nbins = 0;
+  const auto input = random_stream(rng, 20000, nbins);
+  PipelineConfig cfg;
+  cfg.nbins = nbins;
+  cfg.encoder = rng.below(2) ? EncoderKind::kReduceShuffleSimt
+                             : EncoderKind::kAdaptiveSimt;
+  const auto blob = compress<u16>(input, cfg);
+  const auto bytes = serialize(blob);
+
+  for (int trial = 0; trial < 40; ++trial) {
+    auto mutated = bytes;
+    const u64 kind = rng.below(4);
+    if (kind == 0) {
+      mutated[rng.below(mutated.size())] ^= static_cast<u8>(1 + rng.below(255));
+    } else if (kind == 1) {
+      mutated.resize(rng.below(mutated.size()));
+    } else if (kind == 2) {
+      for (int k = 0; k < 16; ++k) {
+        mutated[rng.below(mutated.size())] =
+            static_cast<u8>(rng.below(256));
+      }
+    } else {
+      mutated.insert(mutated.end(), rng.below(64), static_cast<u8>(0xAA));
+    }
+    // Every outcome is acceptable except a crash/UB: reject at parse, throw
+    // at decode, or decode to (possibly wrong) symbols.
+    try {
+      const auto blob2 = deserialize<u16>(mutated);
+      (void)decode_stream<u16>(blob2.stream, blob2.codebook, 1);
+    } catch (const std::exception&) {
+      // expected for most mutations
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzContainer, ::testing::Range(0, 8));
+
+TEST(FuzzCodebook, ParallelBuilderOnAdversarialHistograms) {
+  // Degenerate shapes the melding rounds must survive: all-equal, strictly
+  // doubling, single-heavy, two-valued, saw-tooth.
+  Xoshiro256 rng(2026);
+  for (int trial = 0; trial < 120; ++trial) {
+    const std::size_t n = 1 + rng.below(300);
+    std::vector<u64> freq(n);
+    switch (trial % 5) {
+      case 0:
+        for (auto& f : freq) f = 7;
+        break;
+      case 1: {
+        u64 v = 1;
+        for (auto& f : freq) {
+          f = v;
+          v = std::min<u64>(v * 2, u64{1} << 50);
+        }
+        break;
+      }
+      case 2:
+        for (auto& f : freq) f = 1;
+        freq[rng.below(n)] = u64{1} << 40;
+        break;
+      case 3:
+        for (std::size_t i = 0; i < n; ++i) freq[i] = i % 2 ? 1 : 1000;
+        break;
+      default:
+        for (std::size_t i = 0; i < n; ++i) freq[i] = 1 + (i * 37) % 100;
+        break;
+    }
+    SeqExec exec;
+    const Codebook cb = build_codebook_parallel(exec, freq);
+    ASSERT_EQ(cb.validate(), "") << "trial " << trial << " n=" << n;
+    // Optimality vs the serial reference.
+    const auto lens = build_lengths_twoqueue(freq);
+    u64 par = 0, ser = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      par += freq[i] * cb.cw[i].len;
+      ser += freq[i] * lens[i];
+    }
+    ASSERT_EQ(par, ser) << "trial " << trial;
+  }
+}
+
+TEST(FuzzDecode, RandomPayloadBitFlipsThrowOrMisdecode) {
+  Xoshiro256 rng(404);
+  std::size_t nbins = 0;
+  const auto input = random_stream(rng, 30000, nbins);
+  const auto freq = histogram_serial<u16>(input, nbins);
+  const Codebook cb = build_codebook_serial(freq);
+  auto enc = encode_serial<u16>(input, cb, 1024);
+  for (int trial = 0; trial < 60 && !enc.payload.empty(); ++trial) {
+    auto broken = enc;
+    broken.payload[rng.below(broken.payload.size())] ^=
+        word_t{1} << rng.below(32);
+    try {
+      const auto out = decode_stream<u16>(broken, cb, 1);
+      EXPECT_EQ(out.size(), input.size());  // sized output even if wrong
+    } catch (const std::exception&) {
+      // acceptable: the flip desynchronized a chunk past its bit budget
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parhuff

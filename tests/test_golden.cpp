@@ -1,0 +1,72 @@
+// Format stability: a fixed input must serialize to the same bytes on
+// every build (the on-disk format is a compatibility contract). If a
+// deliberate format change breaks this test, bump the container magic and
+// refresh the golden digest.
+#include <gtest/gtest.h>
+
+#include "core/format.hpp"
+#include "core/pipeline.hpp"
+#include "util/hash.hpp"
+
+namespace parhuff {
+namespace {
+
+std::vector<u8> golden_input() {
+  // Deterministic, structure-rich: runs, alternations, all-of-alphabet.
+  std::vector<u8> v;
+  for (int rep = 0; rep < 50; ++rep) {
+    for (int s = 0; s < 16; ++s) {
+      for (int k = 0; k <= s; ++k) v.push_back(static_cast<u8>(s));
+    }
+  }
+  return v;
+}
+
+TEST(Golden, ContainerBytesAreStable) {
+  PipelineConfig cfg;
+  cfg.nbins = 16;
+  cfg.magnitude = 8;
+  cfg.encoder = EncoderKind::kReduceShuffleSimt;
+  cfg.reduce_factor = 2;
+  const auto input = golden_input();
+  const auto bytes = serialize(compress<u8>(input, cfg));
+
+  // Self-consistency first (protects the digest's meaning).
+  EXPECT_EQ(decompress(deserialize<u8>(bytes)), input);
+
+  // The frozen digest of the serialized container. Regenerate with:
+  //   printf '0x%016llx\n' <fnv1a of the bytes>
+  const u64 digest = fnv1a(bytes);
+  constexpr u64 kGoldenDigest = 0x078c76b76780743aull;
+  if (kGoldenDigest != 0) {
+    EXPECT_EQ(digest, kGoldenDigest)
+        << "serialized container changed; if intentional, bump the format "
+           "magic and refresh kGoldenDigest (new value: 0x" << std::hex
+        << digest << ")";
+  } else {
+    // Bootstrap mode: print the digest so it can be frozen.
+    std::printf("golden digest: 0x%016llx size=%zu\n",
+                static_cast<unsigned long long>(digest), bytes.size());
+  }
+}
+
+TEST(Golden, AdaptiveContainerBytesAreStable) {
+  PipelineConfig cfg;
+  cfg.nbins = 16;
+  cfg.magnitude = 8;
+  cfg.encoder = EncoderKind::kAdaptiveSimt;
+  const auto input = golden_input();
+  const auto bytes = serialize(compress<u8>(input, cfg));
+  EXPECT_EQ(decompress(deserialize<u8>(bytes)), input);
+  const u64 digest = fnv1a(bytes);
+  constexpr u64 kGoldenDigest = 0xa092c92955cd5187ull;
+  if (kGoldenDigest != 0) {
+    EXPECT_EQ(digest, kGoldenDigest);
+  } else {
+    std::printf("golden adaptive digest: 0x%016llx size=%zu\n",
+                static_cast<unsigned long long>(digest), bytes.size());
+  }
+}
+
+}  // namespace
+}  // namespace parhuff

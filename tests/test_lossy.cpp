@@ -1,0 +1,159 @@
+// The cuSZ-style lossy compressor: error-bound guarantee through the full
+// stack (predict → quantize → Huffman → container → decode →
+// reconstruct), ratio behaviour, container robustness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/format.hpp"
+#include "data/quant.hpp"
+#include "lossy/lossy.hpp"
+
+namespace parhuff {
+namespace {
+
+using data::Dims;
+
+double max_error(std::span<const float> a, std::span<const float> b) {
+  double worst = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(static_cast<double>(a[i]) -
+                                     static_cast<double>(b[i])));
+  }
+  return worst;
+}
+
+class LossyBound : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossyBound, ErrorBoundHoldsEndToEnd) {
+  const double rel = GetParam();
+  const Dims dims{48, 48, 32};
+  const auto field = data::generate_cosmo_field(dims, 5);
+  lossy::Config cfg;
+  cfg.rel_error_bound = rel;
+  lossy::Report rep;
+  const auto bytes = lossy::compress_field(field, dims, cfg, &rep);
+  const auto back = lossy::decompress_field(bytes);
+  ASSERT_EQ(back.values.size(), field.size());
+  EXPECT_LE(max_error(field, back.values), rep.error_bound * 1.0001);
+  EXPECT_EQ(back.dims.nx, dims.nx);
+  EXPECT_DOUBLE_EQ(back.error_bound, rep.error_bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, LossyBound,
+                         ::testing::Values(1e-1, 1e-2, 1e-3, 1e-4));
+
+TEST(Lossy, LooserBoundCompressesBetter) {
+  const Dims dims{40, 40, 40};
+  const auto field = data::generate_cosmo_field(dims, 9);
+  lossy::Report loose, tight;
+  lossy::Config cl, ct;
+  cl.rel_error_bound = 1e-1;
+  ct.rel_error_bound = 1e-4;
+  (void)lossy::compress_field(field, dims, cl, &loose);
+  (void)lossy::compress_field(field, dims, ct, &tight);
+  EXPECT_GT(loose.ratio(), tight.ratio());
+  EXPECT_GT(loose.ratio(), 4.0);  // smooth field at 10% relative: easy
+}
+
+TEST(Lossy, AbsoluteBoundMode) {
+  const Dims dims{16, 16, 16};
+  const auto field = data::generate_cosmo_field(dims, 2);
+  lossy::Config cfg;
+  cfg.abs_error_bound = 0.05;
+  lossy::Report rep;
+  const auto bytes = lossy::compress_field(field, dims, cfg, &rep);
+  EXPECT_DOUBLE_EQ(rep.error_bound, 0.05);
+  const auto back = lossy::decompress_field(bytes);
+  EXPECT_LE(max_error(field, back.values), 0.05 * 1.0001);
+}
+
+TEST(Lossy, ConstantFieldHitsTheOneBitFloor) {
+  // Huffman cannot spend less than one bit per symbol, so a perfectly
+  // predictable f32 field tops out near 32x (minus container overhead) —
+  // the reason SZ stacks run-length/dictionary stages for such data.
+  const Dims dims{32, 32, 32};
+  std::vector<float> field(dims.total(), 3.25f);
+  lossy::Report rep;
+  const auto bytes = lossy::compress_field(field, dims, {}, &rep);
+  EXPECT_GT(rep.ratio(), 20.0);
+  EXPECT_LT(rep.ratio(), 33.0);
+  const auto back = lossy::decompress_field(bytes);
+  EXPECT_LE(max_error(field, back.values), rep.error_bound * 1.0001);
+}
+
+TEST(Lossy, OutliersSurviveRoundTrip) {
+  const Dims dims{24, 24, 24};
+  auto field = data::generate_cosmo_field(dims, 7);
+  // Plant extreme spikes the quantizer must store verbatim.
+  field[100] = 1e9f;
+  field[5000] = -1e9f;
+  lossy::Config cfg;
+  cfg.abs_error_bound = 0.01;
+  lossy::Report rep;
+  const auto bytes = lossy::compress_field(field, dims, cfg, &rep);
+  EXPECT_GE(rep.outliers, 2u);
+  const auto back = lossy::decompress_field(bytes);
+  EXPECT_EQ(back.values[100], 1e9f);  // outliers are exact
+  EXPECT_EQ(back.values[5000], -1e9f);
+  EXPECT_LE(max_error(field, back.values), 0.01 * 1.0001);
+}
+
+TEST(Lossy, RejectsBadParameters) {
+  const Dims dims{8, 8, 8};
+  const auto field = data::generate_cosmo_field(dims, 1);
+  EXPECT_THROW((void)lossy::compress_field(field, Dims{9, 8, 8}, {}),
+               std::invalid_argument);
+  lossy::Config bad;
+  bad.rel_error_bound = 0;
+  EXPECT_THROW((void)lossy::compress_field(field, dims, bad),
+               std::invalid_argument);
+  bad = {};
+  bad.nbins = 2;
+  EXPECT_THROW((void)lossy::compress_field(field, dims, bad),
+               std::invalid_argument);
+}
+
+TEST(Lossy, RejectsCorruptContainer) {
+  const Dims dims{16, 16, 16};
+  const auto field = data::generate_cosmo_field(dims, 3);
+  auto bytes = lossy::compress_field(field, dims, {});
+  {
+    auto bad = bytes;
+    bad[0] = 'X';
+    EXPECT_THROW((void)lossy::decompress_field(bad), std::runtime_error);
+  }
+  {
+    auto bad = bytes;
+    bad.resize(bad.size() / 3);
+    EXPECT_THROW((void)lossy::decompress_field(bad), std::runtime_error);
+  }
+  {
+    auto bad = bytes;
+    bad.push_back(0);
+    EXPECT_THROW((void)lossy::decompress_field(bad), std::runtime_error);
+  }
+}
+
+TEST(Lossy, FileRoundTrip) {
+  const Dims dims{32, 32, 16};
+  const auto field = data::generate_cosmo_field(dims, 4);
+  const auto bytes = lossy::compress_field(field, dims, {});
+  const std::string path = "/tmp/parhuff_lossy_test.phl";
+  write_file(path, bytes);
+  const auto back = lossy::decompress_field(read_file(path));
+  EXPECT_EQ(back.values.size(), field.size());
+}
+
+TEST(Lossy, ReportSectionsAddUp) {
+  const Dims dims{32, 32, 32};
+  const auto field = data::generate_cosmo_field(dims, 6);
+  lossy::Report rep;
+  const auto bytes = lossy::compress_field(field, dims, {}, &rep);
+  EXPECT_EQ(rep.compressed_bytes, bytes.size());
+  EXPECT_GT(rep.huffman.compression_ratio(), 1.0);
+  EXPECT_LE(rep.outlier_bytes, rep.compressed_bytes);
+}
+
+}  // namespace
+}  // namespace parhuff

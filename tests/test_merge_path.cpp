@@ -1,0 +1,133 @@
+// GPU Merge Path: split-point invariants and full merges vs std::merge.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "core/merge_path.hpp"
+#include "util/rng.hpp"
+
+namespace parhuff {
+namespace {
+
+std::vector<int> run_merge(const std::vector<int>& a, const std::vector<int>& b,
+                           std::size_t parts) {
+  std::vector<int> out(a.size() + b.size());
+  SeqExec exec;
+  merge_path(
+      exec, a.size(), b.size(),
+      [&](std::size_t i, std::size_t j) { return a[i] <= b[j]; },
+      [&](std::size_t k, bool from_a, std::size_t src) {
+        out[k] = from_a ? a[src] : b[src];
+      },
+      parts);
+  return out;
+}
+
+TEST(MergePath, BothEmpty) {
+  EXPECT_TRUE(run_merge({}, {}, 4).empty());
+}
+
+TEST(MergePath, OneSideEmpty) {
+  EXPECT_EQ(run_merge({1, 2, 3}, {}, 4), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(run_merge({}, {4, 5}, 4), (std::vector<int>{4, 5}));
+}
+
+TEST(MergePath, Interleaved) {
+  EXPECT_EQ(run_merge({1, 3, 5}, {2, 4, 6}, 2),
+            (std::vector<int>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(MergePath, StableTowardA) {
+  // Equal keys must come from A first.
+  std::vector<int> a = {1, 2, 2, 3};
+  std::vector<int> b = {2, 2, 3};
+  SeqExec exec;
+  std::vector<int> out(a.size() + b.size());
+  std::vector<char> from(a.size() + b.size());
+  merge_path(
+      exec, a.size(), b.size(),
+      [&](std::size_t i, std::size_t j) { return a[i] <= b[j]; },
+      [&](std::size_t k, bool from_a, std::size_t src) {
+        out[k] = from_a ? a[src] : b[src];
+        from[k] = from_a ? 'a' : 'b';
+      },
+      3);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 2, 2, 2, 3, 3}));
+  EXPECT_EQ(std::string(from.begin(), from.end()), "aaabbab");
+}
+
+class MergePathRandom
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MergePathRandom, MatchesStdMerge) {
+  const auto [na, nb, parts] = GetParam();
+  Xoshiro256 rng(static_cast<u64>(na * 7919 + nb * 131 + parts));
+  std::vector<int> a(na), b(nb);
+  for (auto& x : a) x = static_cast<int>(rng.below(500));
+  for (auto& x : b) x = static_cast<int>(rng.below(500));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::vector<int> expect;
+  std::merge(a.begin(), a.end(), b.begin(), b.end(),
+             std::back_inserter(expect));
+  EXPECT_EQ(run_merge(a, b, static_cast<std::size_t>(parts)), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MergePathRandom,
+    ::testing::Values(std::tuple{10, 10, 1}, std::tuple{10, 10, 4},
+                      std::tuple{1000, 7, 16}, std::tuple{7, 1000, 16},
+                      std::tuple{513, 511, 8}, std::tuple{1, 1, 2},
+                      std::tuple{5000, 5000, 64},
+                      std::tuple{100, 100, 200}));
+
+TEST(MergePathSplit, DiagonalInvariant) {
+  // For every diagonal d, the split (i, d-i) must satisfy the merge-path
+  // conditions: A[i-1] <= B[d-i] and B[d-i-1] < A[i].
+  Xoshiro256 rng(99);
+  std::vector<int> a(257), b(123);
+  for (auto& x : a) x = static_cast<int>(rng.below(64));
+  for (auto& x : b) x = static_cast<int>(rng.below(64));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  auto le = [&](std::size_t i, std::size_t j) { return a[i] <= b[j]; };
+  for (std::size_t d = 0; d <= a.size() + b.size(); ++d) {
+    const std::size_t i = merge_path_split(d, a.size(), b.size(), le);
+    const std::size_t j = d - i;
+    ASSERT_LE(i, a.size());
+    ASSERT_LE(j, b.size());
+    if (i > 0 && j < b.size()) {
+      EXPECT_LE(a[i - 1], b[j]) << "d=" << d;
+    }
+    if (j > 0 && i < a.size()) {
+      EXPECT_LT(b[j - 1], a[i]) << "d=" << d;
+    }
+  }
+}
+
+TEST(MergePath, WorksUnderOmpExecutor) {
+  Xoshiro256 rng(5);
+  std::vector<int> a(4096), b(4096);
+  for (auto& x : a) x = static_cast<int>(rng.below(10000));
+  for (auto& x : b) x = static_cast<int>(rng.below(10000));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::vector<int> expect;
+  std::merge(a.begin(), a.end(), b.begin(), b.end(),
+             std::back_inserter(expect));
+  std::vector<int> out(a.size() + b.size());
+  OmpExec exec(0);
+  merge_path(
+      exec, a.size(), b.size(),
+      [&](std::size_t i, std::size_t j) { return a[i] <= b[j]; },
+      [&](std::size_t k, bool from_a, std::size_t src) {
+        out[k] = from_a ? a[src] : b[src];
+      },
+      32);
+  EXPECT_EQ(out, expect);
+}
+
+}  // namespace
+}  // namespace parhuff

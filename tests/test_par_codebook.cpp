@@ -1,0 +1,210 @@
+// Algorithm 1 (parallel two-phase codebook construction): optimality
+// against the serial builder across adversarial frequency profiles, on all
+// three executors; canonical invariants of GenerateCW; decode metadata.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/executor.hpp"
+#include "core/par_codebook.hpp"
+#include "core/tree.hpp"
+#include "data/synth_hist.hpp"
+#include "simt/coop.hpp"
+#include "util/rng.hpp"
+
+namespace parhuff {
+namespace {
+
+u64 weighted(std::span<const u64> freq, const Codebook& cb) {
+  u64 t = 0;
+  for (std::size_t i = 0; i < freq.size(); ++i) t += freq[i] * cb.cw[i].len;
+  return t;
+}
+
+u64 weighted_serial(std::span<const u64> freq) {
+  const auto lens = build_lengths_twoqueue(freq);
+  u64 t = 0;
+  for (std::size_t i = 0; i < freq.size(); ++i) t += freq[i] * lens[i];
+  return t;
+}
+
+TEST(GenerateCL, TwoSymbols) {
+  SeqExec exec;
+  std::vector<u64> f = {2, 5};
+  auto cl = generate_cl(exec, f);
+  EXPECT_EQ(cl, (std::vector<u32>{1, 1}));
+}
+
+TEST(GenerateCL, SingleSymbol) {
+  SeqExec exec;
+  std::vector<u64> f = {7};
+  auto cl = generate_cl(exec, f);
+  EXPECT_EQ(cl, (std::vector<u32>{1}));
+}
+
+TEST(GenerateCL, UniformPowerOfTwo) {
+  SeqExec exec;
+  std::vector<u64> f(128, 4);
+  auto cl = generate_cl(exec, f);
+  for (u32 l : cl) EXPECT_EQ(l, 7u);
+}
+
+TEST(GenerateCL, ExponentialChain) {
+  // Strictly more-than-doubling freqs: the tree is a path; lengths are
+  // n-1, n-1, n-2, ..., 1.
+  SeqExec exec;
+  std::vector<u64> f;
+  u64 v = 1;
+  for (int i = 0; i < 12; ++i) {
+    f.push_back(v);
+    v = v * 2 + 1;
+  }
+  auto cl = generate_cl(exec, f);
+  EXPECT_EQ(cl[0], 11u);
+  EXPECT_EQ(cl[1], 11u);
+  EXPECT_EQ(cl[11], 1u);
+  for (std::size_t i = 1; i + 1 < f.size(); ++i) {
+    EXPECT_EQ(cl[i], 12 - i);
+  }
+}
+
+TEST(GenerateCL, StatsPopulated) {
+  SeqExec exec;
+  ParCodebookStats st;
+  auto f = data::normal_histogram(512, 1 << 20, 3);
+  std::vector<u64> sorted = f;
+  std::sort(sorted.begin(), sorted.end());
+  (void)generate_cl(exec, sorted, &st);
+  EXPECT_GT(st.rounds, 0u);
+  EXPECT_EQ(st.melds, 511u);  // n-1 internal nodes
+}
+
+// --- Optimality property sweep across distributions and executors. --------
+
+struct PCase {
+  int dist;
+  int seed;
+};
+
+class ParCodebookProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+std::vector<u64> make_hist(int dist, u64 seed) {
+  switch (dist) {
+    case 0: return data::normal_histogram(1024, 1 << 22, seed);
+    case 1: return data::zipf_histogram(700, 1.3, 1 << 22, seed);
+    case 2: return data::uniform_histogram(333, 5000, seed);
+    case 3: return data::exponential_histogram(48, 2.0, seed);
+    case 4: return data::kmer_like_histogram(2048, 1 << 22, seed);
+    case 5: {
+      // Sparse: mostly zeros.
+      auto h = data::uniform_histogram(4096, 100, seed);
+      Xoshiro256 rng(seed);
+      for (auto& f : h) {
+        if (rng.below(10) != 0) f = 0;
+      }
+      return h;
+    }
+    case 6: {
+      // Heavy ties: few distinct frequencies.
+      auto h = data::uniform_histogram(512, 4, seed);
+      return h;
+    }
+    default: return data::normal_histogram(64, 1 << 16, seed);
+  }
+}
+
+TEST_P(ParCodebookProperty, OptimalAndCanonicalOnAllExecutors) {
+  const auto [dist, seed] = GetParam();
+  const auto freq = make_hist(dist, static_cast<u64>(seed) * 1337 + 11);
+  const u64 best = weighted_serial(freq);
+
+  SeqExec seq;
+  Codebook cb_seq = build_codebook_parallel(seq, freq);
+  EXPECT_EQ(cb_seq.validate(), "") << "dist=" << dist << " seed=" << seed;
+  EXPECT_EQ(weighted(freq, cb_seq), best)
+      << "dist=" << dist << " seed=" << seed;
+
+  OmpExec omp(0);
+  Codebook cb_omp = build_codebook_parallel(omp, freq);
+  EXPECT_EQ(cb_omp.validate(), "");
+  EXPECT_EQ(weighted(freq, cb_omp), best);
+
+  simt::MemTally tally;
+  simt::CooperativeGrid grid(4096, &tally);
+  Codebook cb_simt = build_codebook_parallel(grid, freq, nullptr, &tally);
+  EXPECT_EQ(cb_simt.validate(), "");
+  EXPECT_EQ(weighted(freq, cb_simt), best);
+  EXPECT_GT(tally.grid_syncs, 0u);
+
+  // Determinism across executors: identical codebooks, not merely
+  // equal-cost ones.
+  for (std::size_t i = 0; i < freq.size(); ++i) {
+    ASSERT_EQ(cb_seq.cw[i], cb_omp.cw[i]);
+    ASSERT_EQ(cb_seq.cw[i], cb_simt.cw[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ParCodebookProperty,
+                         ::testing::Combine(::testing::Range(0, 7),
+                                            ::testing::Range(0, 6)));
+
+TEST(ParCodebook, MatchesSerialCostOnRandomSmallHistograms) {
+  // Dense randomized sweep over tiny alphabets — the regime where pairing
+  // mistakes in the meld rounds would be most visible.
+  Xoshiro256 rng(2024);
+  SeqExec exec;
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::size_t n = 1 + rng.below(24);
+    std::vector<u64> freq(n);
+    for (auto& f : freq) f = 1 + rng.below(trial % 2 ? 16 : 1u << 20);
+    Codebook cb = build_codebook_parallel(exec, freq);
+    ASSERT_EQ(cb.validate(), "") << "trial " << trial;
+    ASSERT_EQ(weighted(freq, cb), weighted_serial(freq)) << "trial " << trial;
+  }
+}
+
+TEST(GenerateCW, FirstEntryMetadata) {
+  SeqExec exec;
+  // Lengths (freq-ascending positions → non-increasing): {3,3,2,1},
+  // reversed to ascending by generate_cw. Canonical: 0, 10, 110, 111.
+  std::vector<u32> cl = {3, 3, 2, 1};
+  auto gen = generate_cw(exec, cl);
+  EXPECT_EQ(gen.max_len, 3u);
+  EXPECT_EQ(gen.count[1], 1u);
+  EXPECT_EQ(gen.count[2], 1u);
+  EXPECT_EQ(gen.count[3], 2u);
+  EXPECT_EQ(gen.first[1], 0u);
+  EXPECT_EQ(gen.first[2], 0b10u);
+  EXPECT_EQ(gen.first[3], 0b110u);
+  EXPECT_EQ(gen.entry[1], 0u);
+  EXPECT_EQ(gen.entry[2], 1u);
+  EXPECT_EQ(gen.entry[3], 2u);
+  EXPECT_EQ(gen.entry[4], 4u);
+  // Codewords dense ascending within the level; positions are reversed.
+  EXPECT_EQ(gen.position[0], 3u);
+  EXPECT_EQ(gen.cw[0], 0b0u);
+  EXPECT_EQ(gen.cw[1], 0b10u);
+  EXPECT_EQ(gen.cw[2], 0b110u);
+  EXPECT_EQ(gen.cw[3], 0b111u);
+}
+
+TEST(ParCodebook, LargeAlphabet65536) {
+  const auto freq = data::normal_histogram(65536, u64{1} << 28, 9);
+  OmpExec exec(2);
+  Codebook cb = build_codebook_parallel(exec, freq);
+  EXPECT_EQ(cb.validate(), "");
+  EXPECT_EQ(weighted(freq, cb), weighted_serial(freq));
+  EXPECT_EQ(cb.present_symbols(), 65536u);
+}
+
+TEST(ParCodebook, AllZeroHistogram) {
+  std::vector<u64> freq(64, 0);
+  SeqExec exec;
+  Codebook cb = build_codebook_parallel(exec, freq);
+  EXPECT_EQ(cb.present_symbols(), 0u);
+  EXPECT_EQ(cb.validate(), "");
+}
+
+}  // namespace
+}  // namespace parhuff

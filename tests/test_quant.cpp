@@ -1,0 +1,130 @@
+// Mini-SZ quantizer substrate: the error-bound guarantee, outlier handling,
+// reconstruction round trip, and the Nyx-Quant statistical profile.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/quant.hpp"
+#include "core/entropy.hpp"
+
+namespace parhuff {
+namespace {
+
+using data::Dims;
+
+TEST(Quantizer, ErrorBoundHolds) {
+  const Dims dims{32, 32, 32};
+  const auto field = data::generate_cosmo_field(dims, 11);
+  for (const double eb : {1e-1, 1e-2, 1e-3}) {
+    const auto q = data::lorenzo_quantize(field, dims, eb, 1024);
+    const auto recon = data::lorenzo_reconstruct(q);
+    ASSERT_EQ(recon.size(), field.size());
+    double worst = 0;
+    for (std::size_t i = 0; i < field.size(); ++i) {
+      worst = std::max(
+          worst, std::abs(static_cast<double>(field[i]) -
+                          static_cast<double>(recon[i])));
+    }
+    // Outliers are exact; quantized values within eb (plus float rounding).
+    EXPECT_LE(worst, eb * 1.0001) << "eb=" << eb;
+  }
+}
+
+TEST(Quantizer, TighterBoundMoreOutliersOrCodes) {
+  const Dims dims{24, 24, 24};
+  const auto field = data::generate_cosmo_field(dims, 3);
+  const auto loose = data::lorenzo_quantize(field, dims, 1e-1, 64);
+  const auto tight = data::lorenzo_quantize(field, dims, 1e-4, 64);
+  EXPECT_GE(tight.outliers.size(), loose.outliers.size());
+}
+
+TEST(Quantizer, CodesStayInRange) {
+  const Dims dims{16, 16, 16};
+  const auto field = data::generate_cosmo_field(dims, 5);
+  const auto q = data::lorenzo_quantize(field, dims, 1e-2, 256);
+  for (u16 c : q.codes) EXPECT_LT(c, 256);
+}
+
+TEST(Quantizer, RejectsBadParameters) {
+  const Dims dims{4, 4, 4};
+  const auto field = data::generate_cosmo_field(dims, 1);
+  EXPECT_THROW((void)data::lorenzo_quantize(field, dims, 0.0, 256),
+               std::invalid_argument);
+  EXPECT_THROW((void)data::lorenzo_quantize(field, Dims{5, 4, 4}, 1e-2, 256),
+               std::invalid_argument);
+  EXPECT_THROW((void)data::lorenzo_quantize(field, dims, 1e-2, 2),
+               std::invalid_argument);
+}
+
+TEST(Quantizer, DeterministicInSeed) {
+  const Dims dims{16, 16, 16};
+  const auto a = data::generate_cosmo_field(dims, 77);
+  const auto b = data::generate_cosmo_field(dims, 77);
+  const auto c = data::generate_cosmo_field(dims, 78);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Quantizer, TwoDimensionalFields) {
+  // dims {nx, ny, 1}: the predictor degenerates to the 2-D Lorenzo
+  // stencil (left + up - upleft). SZ treats 2-D slices exactly this way.
+  const Dims dims{64, 64, 1};
+  std::vector<float> field(dims.total());
+  for (std::size_t y = 0; y < dims.ny; ++y) {
+    for (std::size_t x = 0; x < dims.nx; ++x) {
+      field[y * dims.nx + x] =
+          static_cast<float>(std::sin(x * 0.1) * std::cos(y * 0.07));
+    }
+  }
+  const double eb = 1e-2;
+  const auto q = data::lorenzo_quantize(field, dims, eb, 256);
+  const auto recon = data::lorenzo_reconstruct(q);
+  double worst = 0;
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    worst = std::max(worst, std::abs(static_cast<double>(field[i]) -
+                                     static_cast<double>(recon[i])));
+  }
+  EXPECT_LE(worst, eb * 1.0001);
+  // Smooth 2-D data: the center bin dominates.
+  std::size_t center = 0;
+  for (u16 c : q.codes) center += c == 128 ? 1 : 0;
+  EXPECT_GT(static_cast<double>(center) / q.codes.size(), 0.5);
+}
+
+TEST(Quantizer, OneDimensionalSeries) {
+  // dims {n, 1, 1}: plain 1-D delta prediction — time-series mode.
+  const Dims dims{4096, 1, 1};
+  std::vector<float> series(dims.total());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    series[i] = static_cast<float>(10.0 * std::sin(i * 0.01) + 0.5 * i * 0.001);
+  }
+  const double eb = 1e-2;
+  const auto q = data::lorenzo_quantize(series, dims, eb, 512);
+  const auto recon = data::lorenzo_reconstruct(q);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    ASSERT_LE(std::abs(static_cast<double>(series[i]) -
+                       static_cast<double>(recon[i])),
+              eb * 1.0001);
+  }
+}
+
+TEST(NyxQuant, ProfileMatchesPaper) {
+  // The paper's Nyx-Quant: 1024 bins, avg Huffman bits ≈ 1.03 — i.e. the
+  // center bin dominates. Check entropy lands in the right band.
+  const auto codes = data::generate_nyx_quant(1 << 20, 42);
+  std::vector<u64> h(1024, 0);
+  for (u16 c : codes) ++h[c];
+  const double ent = shannon_entropy(h);
+  EXPECT_GT(ent, 0.05);
+  EXPECT_LT(ent, 0.5);
+  // Center bin carries the bulk of the mass (perfect predictions).
+  EXPECT_GT(static_cast<double>(h[512]) / static_cast<double>(codes.size()),
+            0.95);
+}
+
+TEST(NyxQuant, RequestedSizeExact) {
+  EXPECT_EQ(data::generate_nyx_quant(12345, 1).size(), 12345u);
+}
+
+}  // namespace
+}  // namespace parhuff

@@ -1,0 +1,93 @@
+// Radix sort (Thrust substitute) against std::sort, including stability.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "core/sort.hpp"
+#include "util/rng.hpp"
+
+namespace parhuff {
+namespace {
+
+TEST(RadixSort, Empty) {
+  std::vector<u64> k;
+  std::vector<u32> v;
+  radix_sort_by_key(k, v);
+  EXPECT_TRUE(k.empty());
+}
+
+TEST(RadixSort, SingleElement) {
+  std::vector<u64> k = {42};
+  std::vector<u32> v = {7};
+  radix_sort_by_key(k, v);
+  EXPECT_EQ(k[0], 42u);
+  EXPECT_EQ(v[0], 7u);
+}
+
+TEST(RadixSort, AlreadySorted) {
+  std::vector<u64> k = {1, 2, 3, 4, 5};
+  std::vector<u32> v = {0, 1, 2, 3, 4};
+  radix_sort_by_key(k, v);
+  EXPECT_EQ(k, (std::vector<u64>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(v, (std::vector<u32>{0, 1, 2, 3, 4}));
+}
+
+TEST(RadixSort, AllEqualKeysKeepPayloadOrder) {
+  std::vector<u64> k(100, 9);
+  std::vector<u32> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  radix_sort_by_key(k, v);
+  for (u32 i = 0; i < 100; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(RadixSort, StableOnDuplicates) {
+  std::vector<u64> k = {3, 1, 3, 1, 2};
+  std::vector<u32> v = {0, 1, 2, 3, 4};
+  radix_sort_by_key(k, v);
+  EXPECT_EQ(k, (std::vector<u64>{1, 1, 2, 3, 3}));
+  EXPECT_EQ(v, (std::vector<u32>{1, 3, 4, 0, 2}));
+}
+
+class RadixSortRandom : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RadixSortRandom, MatchesStdSort) {
+  const std::size_t n = GetParam();
+  Xoshiro256 rng(n * 977 + 5);
+  std::vector<u64> k(n);
+  std::vector<u32> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Mix of small and full-width keys to exercise pass skipping.
+    k[i] = (i % 3 == 0) ? rng.below(1000) : rng.next();
+    v[i] = static_cast<u32>(i);
+  }
+  auto ks = k;
+  radix_sort_by_key(k, v);
+  std::sort(ks.begin(), ks.end());
+  EXPECT_EQ(k, ks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RadixSortRandom,
+                         ::testing::Values(2, 3, 10, 100, 255, 256, 257, 1000,
+                                           4096, 65536));
+
+TEST(RadixSort, PayloadFollowsKeys) {
+  Xoshiro256 rng(123);
+  const std::size_t n = 5000;
+  std::vector<u64> k(n);
+  std::vector<u32> v(n);
+  std::vector<u64> orig(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    k[i] = rng.below(1u << 20);
+    orig[i] = k[i];
+    v[i] = static_cast<u32>(i);
+  }
+  radix_sort_by_key(k, v);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(k[i], orig[v[i]]);
+  }
+}
+
+}  // namespace
+}  // namespace parhuff

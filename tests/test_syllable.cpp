@@ -1,0 +1,68 @@
+// Syllable symbolization substrate (§II-A n-gram text scenario).
+#include <gtest/gtest.h>
+
+#include "core/entropy.hpp"
+#include "core/histogram.hpp"
+#include "data/syllable.hpp"
+
+namespace parhuff {
+namespace {
+
+TEST(Syllable, GeneratorDeterministicAndSized) {
+  const auto a = data::generate_agglutinative(100000, 4);
+  const auto b = data::generate_agglutinative(100000, 4);
+  const auto c = data::generate_agglutinative(100000, 5);
+  EXPECT_EQ(a.size(), 100000u);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Syllable, RoundTrip) {
+  const auto text = data::generate_agglutinative(500000, 9);
+  const auto s = data::syllabify(text);
+  EXPECT_EQ(data::unsyllabify(s), text);
+}
+
+TEST(Syllable, RoundTripArbitraryBytes) {
+  // Syllabification must be lossless on any input, not just clean text.
+  std::vector<u8> weird;
+  for (int i = 0; i < 2000; ++i) {
+    weird.push_back(static_cast<u8>((i * 37) & 0xFF));
+  }
+  const auto s = data::syllabify(weird);
+  EXPECT_EQ(data::unsyllabify(s), weird);
+}
+
+TEST(Syllable, EmptyInput) {
+  const auto s = data::syllabify({});
+  EXPECT_TRUE(s.symbols.empty());
+  EXPECT_TRUE(data::unsyllabify(s).empty());
+}
+
+TEST(Syllable, DictionaryStaysSmallOnAgglutinativeText) {
+  const auto text = data::generate_agglutinative(2 * MiB, 11);
+  const auto s = data::syllabify(text);
+  // A real syllable inventory: hundreds to a few thousand entries, not
+  // tens of thousands — that's what makes the scheme viable.
+  EXPECT_GT(s.distinct, 50u);
+  EXPECT_LT(s.distinct, 8192u);
+  // Compression leverage: symbols per byte well under 1.
+  EXPECT_LT(static_cast<double>(s.symbols.size()),
+            static_cast<double>(text.size()) * 0.6);
+}
+
+TEST(Syllable, SymbolEntropyBeatsScaledByteEntropy) {
+  const auto text = data::generate_agglutinative(2 * MiB, 13);
+  const auto s = data::syllabify(text);
+  const auto bh = histogram_serial<u8>(text, 256);
+  std::vector<u64> sh(s.nbins, 0);
+  for (u16 sym : s.symbols) ++sh[sym];
+  // Per-original-byte cost: syllable entropy spread over the syllable's
+  // bytes must beat byte entropy (the whole point of §II-A).
+  const double bytes_per_sym = static_cast<double>(text.size()) /
+                               static_cast<double>(s.symbols.size());
+  EXPECT_LT(shannon_entropy(sh) / bytes_per_sym, shannon_entropy(bh));
+}
+
+}  // namespace
+}  // namespace parhuff

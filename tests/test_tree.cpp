@@ -1,0 +1,133 @@
+// Serial Huffman builders: optimality, Kraft completeness, agreement
+// between the priority-queue and two-queue constructions, degenerate inputs.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/tree.hpp"
+#include "data/synth_hist.hpp"
+
+namespace parhuff {
+namespace {
+
+u64 weighted_length(std::span<const u64> freq, std::span<const u8> lens) {
+  u64 total = 0;
+  for (std::size_t i = 0; i < freq.size(); ++i) {
+    total += freq[i] * lens[i];
+  }
+  return total;
+}
+
+u64 kraft_scaled(std::span<const u8> lens, unsigned max_len) {
+  u64 k = 0;
+  for (u8 l : lens) {
+    if (l) k += u64{1} << (max_len - l);
+  }
+  return k;
+}
+
+unsigned max_of(std::span<const u8> lens) {
+  unsigned m = 0;
+  for (u8 l : lens) m = std::max<unsigned>(m, l);
+  return m;
+}
+
+TEST(SerialTree, EmptyHistogram) {
+  std::vector<u64> freq(16, 0);
+  EXPECT_EQ(max_of(build_lengths_pq(freq)), 0u);
+  EXPECT_EQ(max_of(build_lengths_twoqueue(freq)), 0u);
+}
+
+TEST(SerialTree, SingleSymbolGetsOneBit) {
+  std::vector<u64> freq(16, 0);
+  freq[5] = 100;
+  auto l1 = build_lengths_pq(freq);
+  auto l2 = build_lengths_twoqueue(freq);
+  EXPECT_EQ(l1[5], 1);
+  EXPECT_EQ(l2[5], 1);
+  EXPECT_EQ(std::accumulate(l1.begin(), l1.end(), 0), 1);
+}
+
+TEST(SerialTree, TwoSymbols) {
+  std::vector<u64> freq = {3, 7};
+  auto l = build_lengths_twoqueue(freq);
+  EXPECT_EQ(l[0], 1);
+  EXPECT_EQ(l[1], 1);
+}
+
+TEST(SerialTree, KnownSmallExample) {
+  // freqs 1,1,2,4: lengths 3,3,2,1 (cost 3+3+4+4=14).
+  std::vector<u64> freq = {1, 1, 2, 4};
+  auto l = build_lengths_twoqueue(freq);
+  EXPECT_EQ(weighted_length(freq, l), 14u);
+  EXPECT_EQ(l[3], 1);
+}
+
+TEST(SerialTree, UniformPowerOfTwoIsFixedLength) {
+  std::vector<u64> freq(64, 10);
+  auto l = build_lengths_pq(freq);
+  for (u8 x : l) EXPECT_EQ(x, 6);
+}
+
+TEST(SerialTree, ExponentialGivesDeepTree) {
+  auto freq = data::exponential_histogram(24, 2.2, 1);
+  auto l = build_lengths_twoqueue(freq);
+  EXPECT_GE(max_of(l), 16u);  // strongly skewed → deep codes
+  EXPECT_EQ(kraft_scaled(l, max_of(l)), u64{1} << max_of(l));
+}
+
+struct HistCase {
+  const char* name;
+  std::vector<u64> freq;
+};
+
+class SerialTreeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerialTreeProperty, BuildersAgreeAndSatisfyKraft) {
+  const int seed = GetParam();
+  std::vector<std::vector<u64>> cases = {
+      data::normal_histogram(256, 1 << 20, static_cast<u64>(seed)),
+      data::zipf_histogram(512, 1.2, 1 << 22, static_cast<u64>(seed)),
+      data::uniform_histogram(100, 1000, static_cast<u64>(seed)),
+      data::exponential_histogram(40, 1.8, static_cast<u64>(seed)),
+      data::kmer_like_histogram(1024, 1 << 22, static_cast<u64>(seed)),
+  };
+  for (const auto& freq : cases) {
+    SerialBuildStats s1, s2;
+    auto l1 = build_lengths_pq(freq, &s1);
+    auto l2 = build_lengths_twoqueue(freq, &s2);
+    // Optimal cost is unique even when trees differ.
+    EXPECT_EQ(weighted_length(freq, l1), weighted_length(freq, l2));
+    const unsigned m1 = max_of(l1);
+    const unsigned m2 = max_of(l2);
+    EXPECT_EQ(kraft_scaled(l1, m1), u64{1} << m1);
+    EXPECT_EQ(kraft_scaled(l2, m2), u64{1} << m2);
+    EXPECT_GT(s1.dependent_ops, 0u);
+    EXPECT_GT(s2.dependent_ops, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerialTreeProperty, ::testing::Range(0, 12));
+
+TEST(SerialTree, CodebookFromLengthsValidates) {
+  auto freq = data::zipf_histogram(300, 1.1, 1 << 20, 7);
+  Codebook cb = build_codebook_serial(freq);
+  EXPECT_EQ(cb.validate(), "");
+  EXPECT_GT(cb.max_len, 0u);
+  EXPECT_EQ(cb.present_symbols(), 300u);
+}
+
+TEST(SerialTree, ZeroFrequencySymbolsExcluded) {
+  std::vector<u64> freq(100, 0);
+  freq[3] = 5;
+  freq[50] = 10;
+  freq[99] = 1;
+  Codebook cb = build_codebook_serial(freq);
+  EXPECT_EQ(cb.present_symbols(), 3u);
+  EXPECT_EQ(cb.cw[0].len, 0);
+  EXPECT_GT(cb.cw[3].len, 0);
+}
+
+}  // namespace
+}  // namespace parhuff

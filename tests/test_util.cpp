@@ -1,0 +1,149 @@
+// Foundation utilities: PRNG determinism and distribution sanity, timers,
+// statistics, parallel helpers' exception behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+#include "util/types.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace parhuff {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Xoshiro256 a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const u64 va = a.next();
+    EXPECT_EQ(va, b.next());
+  }
+  EXPECT_NE(Xoshiro256(42).next(), c.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (const u64 n :
+       std::initializer_list<u64>{1, 2, 3, 10, 1000, u64{1} << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(n), n);
+    }
+  }
+}
+
+TEST(Rng, BelowCoversSmallRangeUniformly) {
+  Xoshiro256 rng(9);
+  std::vector<int> counts(8, 0);
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(8)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 8, kDraws / 8 / 5);  // within 20%
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Xoshiro256 rng(13);
+  double sum = 0, sq = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.03);
+  EXPECT_NEAR(sq / kDraws, 1.0, 0.05);
+}
+
+TEST(Rng, GeometricMean) {
+  Xoshiro256 rng(17);
+  double sum = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(rng.geometric(0.25));
+  }
+  // E[failures before success] = (1-p)/p = 3.
+  EXPECT_NEAR(sum / kDraws, 3.0, 0.15);
+  EXPECT_EQ(Xoshiro256(1).geometric(1.0), 0u);
+}
+
+TEST(Stats, Summary) {
+  const Summary s = summarize({4, 1, 3, 2});
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 4);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_EQ(summarize({}).n, 0u);
+  EXPECT_DOUBLE_EQ(summarize({7}).median, 7);
+}
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  volatile double x = 0;
+  for (int i = 0; i < 2000000; ++i) x = x + 1e-9;
+  EXPECT_GT(t.seconds(), 0.0);
+  EXPECT_GE(t.millis(), t.seconds() * 1e3 * 0.99);
+}
+
+TEST(StageTimes, Accumulates) {
+  StageTimes st;
+  st.add("a", 1.0);
+  st.add("a", 0.5);
+  st.add("b", 2.0);
+  EXPECT_DOUBLE_EQ(st.seconds("a"), 1.5);
+  EXPECT_DOUBLE_EQ(st.seconds("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(st.total_seconds(), 3.5);
+}
+
+TEST(Gbps, Units) {
+  EXPECT_DOUBLE_EQ(gbps(1000000000, 1.0), 1.0);  // decimal GB
+  EXPECT_DOUBLE_EQ(gbps(123, 0.0), 0.0);
+}
+
+TEST(ParallelFor, ExceptionPropagates) {
+  EXPECT_THROW(
+      parallel_for(
+          1000,
+          [](std::size_t i) {
+            if (i == 777) throw std::runtime_error("boom");
+          },
+          2),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, FirstOfManyExceptionsWins) {
+  try {
+    parallel_for(
+        100, [](std::size_t) { throw std::runtime_error("each"); }, 2);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "each");
+  }
+}
+
+TEST(ParallelChunks, CoversExactlyOnce) {
+  std::vector<int> hits(1000, 0);
+  parallel_chunks(hits.size(), 7, [&](std::size_t, std::size_t b,
+                                      std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+}  // namespace
+}  // namespace parhuff
