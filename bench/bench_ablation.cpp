@@ -39,7 +39,7 @@ std::vector<u16> bimodal_stream(std::size_t n, u64 seed) {
   return v;
 }
 
-void ablation_adaptive() {
+void ablation_adaptive(bench::Driver& run) {
   const std::size_t n = 4u << 20;
   struct Input {
     const char* name;
@@ -65,11 +65,19 @@ void ablation_adaptive() {
           ReduceShuffleConfig{10, decide_reduce_factor(avg, 10)}, &tally,
           &st);
       if (decode_stream<u16>(enc, cb, 0) != in.syms) std::exit(1);
+      const double g = perf::modeled_gbps_at(bytes, 256 * 1000 * 1000ull,
+                                             tally, bench::v100());
       t.row({in.name, "fixed r", fmt_pct(enc.breaking_fraction(), 4),
              fmt(static_cast<double>(enc.stored_bytes()) / 1e3, 0),
-             fmt(perf::modeled_gbps_at(bytes, 256 * 1000 * 1000ull, tally,
-                                       bench::v100()),
-                 1)});
+             fmt(g, 1)});
+      run.record(obs::Json::object()
+                     .set("ablation", "adaptive_reduce")
+                     .set("input", in.name)
+                     .set("scheme", "fixed_r")
+                     .set("breaking_fraction", enc.breaking_fraction())
+                     .set("compressed_bytes",
+                          static_cast<u64>(enc.stored_bytes()))
+                     .set("v100_gbps", g));
     }
     {
       simt::MemTally tally;
@@ -77,18 +85,26 @@ void ablation_adaptive() {
       const auto enc =
           encode_adaptive_simt<u16, 32>(in.syms, cb, {}, &tally, &st);
       if (decode_stream<u16>(enc, cb, 0) != in.syms) std::exit(1);
+      const double g = perf::modeled_gbps_at(bytes, 256 * 1000 * 1000ull,
+                                             tally, bench::v100());
       t.row({in.name, "adaptive r", fmt_pct(enc.breaking_fraction(), 4),
              fmt(static_cast<double>(enc.stored_bytes()) / 1e3, 0),
-             fmt(perf::modeled_gbps_at(bytes, 256 * 1000 * 1000ull, tally,
-                                       bench::v100()),
-                 1)});
+             fmt(g, 1)});
+      run.record(obs::Json::object()
+                     .set("ablation", "adaptive_reduce")
+                     .set("input", in.name)
+                     .set("scheme", "adaptive_r")
+                     .set("breaking_fraction", enc.breaking_fraction())
+                     .set("compressed_bytes",
+                          static_cast<u64>(enc.stored_bytes()))
+                     .set("v100_gbps", g));
     }
   }
   t.print();
   std::printf("\n");
 }
 
-void ablation_width() {
+void ablation_width(bench::Driver& run) {
   // Nyx-Quant at an aggressive pinned r = 5 (32 symbols/group, expected
   // ~33 merged bits): right at the uint32 cell boundary, where the wider
   // cell shows its value.
@@ -107,11 +123,16 @@ void ablation_width() {
     const auto enc =
         encode_adaptive_simt<u16, 32>(syms, cb, pinned, &tally, &st);
     if (decode_stream<u16>(enc, cb, 0) != syms) std::exit(1);
+    const double g = perf::modeled_gbps_at(bytes, 256 * 1000 * 1000ull, tally,
+                                           bench::v100());
     t.row({"uint32 (paper)", fmt_pct(enc.breaking_fraction(), 4),
-           fmt(static_cast<double>(enc.stored_bytes()) / 1e3, 0),
-           fmt(perf::modeled_gbps_at(bytes, 256 * 1000 * 1000ull, tally,
-                                     bench::v100()),
-               1)});
+           fmt(static_cast<double>(enc.stored_bytes()) / 1e3, 0), fmt(g, 1)});
+    run.record(obs::Json::object()
+                   .set("ablation", "cell_width")
+                   .set("width_bits", 32)
+                   .set("breaking_fraction", enc.breaking_fraction())
+                   .set("compressed_bytes", static_cast<u64>(enc.stored_bytes()))
+                   .set("v100_gbps", g));
   }
   {
     simt::MemTally tally;
@@ -119,17 +140,22 @@ void ablation_width() {
     const auto enc =
         encode_adaptive_simt<u16, 64>(syms, cb, pinned, &tally, &st);
     if (decode_stream<u16>(enc, cb, 0) != syms) std::exit(1);
+    const double g = perf::modeled_gbps_at(bytes, 256 * 1000 * 1000ull, tally,
+                                           bench::v100());
     t.row({"uint64", fmt_pct(enc.breaking_fraction(), 4),
-           fmt(static_cast<double>(enc.stored_bytes()) / 1e3, 0),
-           fmt(perf::modeled_gbps_at(bytes, 256 * 1000 * 1000ull, tally,
-                                     bench::v100()),
-               1)});
+           fmt(static_cast<double>(enc.stored_bytes()) / 1e3, 0), fmt(g, 1)});
+    run.record(obs::Json::object()
+                   .set("ablation", "cell_width")
+                   .set("width_bits", 64)
+                   .set("breaking_fraction", enc.breaking_fraction())
+                   .set("compressed_bytes", static_cast<u64>(enc.stored_bytes()))
+                   .set("v100_gbps", g));
   }
   t.print();
   std::printf("\n");
 }
 
-void ablation_histogram() {
+void ablation_histogram(bench::Driver& run) {
   const auto text = data::generate_text(8u << 20, 3);
   TextTable t("C. histogram shared-memory replication degree");
   t.header({"budget KiB", "replicas", "modeled V100 GB/s",
@@ -144,19 +170,24 @@ void ablation_histogram() {
     if (total != text.size()) std::exit(1);
     const std::size_t replicas =
         std::min<std::size_t>(8, cfg.shared_budget_bytes / (256 * 4));
-    t.row({std::to_string(kib), std::to_string(replicas),
-           fmt(perf::modeled_gbps_at(text.size(), 95 * 1000 * 1000ull, tally,
-                                     bench::v100()),
-               1),
-           fmt(static_cast<double>(tally.shared_atomic_conflicts) /
-                   static_cast<double>(text.size()),
-               3)});
+    const double g = perf::modeled_gbps_at(text.size(), 95 * 1000 * 1000ull,
+                                           tally, bench::v100());
+    const double conflicts = static_cast<double>(tally.shared_atomic_conflicts) /
+                             static_cast<double>(text.size());
+    t.row({std::to_string(kib), std::to_string(replicas), fmt(g, 1),
+           fmt(conflicts, 3)});
+    run.record(obs::Json::object()
+                   .set("ablation", "histogram_replication")
+                   .set("shared_budget_kib", static_cast<u64>(kib))
+                   .set("replicas", static_cast<u64>(replicas))
+                   .set("v100_gbps", g)
+                   .set("shared_atomic_conflicts_per_symbol", conflicts));
   }
   t.print();
   std::printf("\n");
 }
 
-void ablation_decode() {
+void ablation_decode(bench::Driver& run) {
   const auto syms = data::generate_nyx_quant(4u << 20, 9);
   const auto freq = histogram_serial<u16>(syms, 1024);
   const Codebook cb = build_codebook_serial(freq);
@@ -174,11 +205,16 @@ void ablation_decode() {
       const auto back = decode_simt<u16>(enc, cb, &tally);
       const double host_ms = timer.millis();
       if (back != syms) std::exit(1);
-      t.row({"thread-per-chunk", std::to_string(1u << chunk_mag),
-             fmt(perf::modeled_gbps_at(bytes, 256 * 1000 * 1000ull, tally,
-                                       bench::v100()),
-                 1),
+      const double g = perf::modeled_gbps_at(bytes, 256 * 1000 * 1000ull,
+                                             tally, bench::v100());
+      t.row({"thread-per-chunk", std::to_string(1u << chunk_mag), fmt(g, 1),
              fmt(host_ms, 1), "-"});
+      run.record(obs::Json::object()
+                     .set("ablation", "decode")
+                     .set("decoder", "thread_per_chunk")
+                     .set("chunk_symbols", u64{1} << chunk_mag)
+                     .set("v100_gbps", g)
+                     .set("host_ms", host_ms));
     }
     {
       simt::MemTally tally;
@@ -187,15 +223,19 @@ void ablation_decode() {
       const auto back = decode_selfsync<u16>(enc, cb, {}, &tally, &st);
       const double host_ms = timer.millis();
       if (back != syms) std::exit(1);
+      const double g = perf::modeled_gbps_at(bytes, 256 * 1000 * 1000ull,
+                                             tally, bench::v100());
+      const double passes = static_cast<double>(st.sync_passes) /
+                            static_cast<double>(enc.chunks());
       t.row({"self-sync (CUHD-style)", std::to_string(1u << chunk_mag),
-             fmt(perf::modeled_gbps_at(bytes, 256 * 1000 * 1000ull, tally,
-                                       bench::v100()),
-                 1),
-             fmt(host_ms, 1),
-             fmt(static_cast<double>(st.sync_passes) /
-                     static_cast<double>(enc.chunks()),
-                 1) +
-                 " passes/chunk"});
+             fmt(g, 1), fmt(host_ms, 1), fmt(passes, 1) + " passes/chunk"});
+      run.record(obs::Json::object()
+                     .set("ablation", "decode")
+                     .set("decoder", "self_sync")
+                     .set("chunk_symbols", u64{1} << chunk_mag)
+                     .set("v100_gbps", g)
+                     .set("host_ms", host_ms)
+                     .set("sync_passes_per_chunk", passes));
     }
   }
   t.print();
@@ -204,13 +244,14 @@ void ablation_decode() {
 }  // namespace
 }  // namespace parhuff
 
-int main() {
+int main(int argc, char** argv) {
   using namespace parhuff;
+  bench::Driver run("ablation", argc, argv);
   bench::banner("ABLATIONS: adaptive reduce factor, cell width, histogram "
                 "replication, decode");
-  ablation_adaptive();
-  ablation_width();
-  ablation_histogram();
-  ablation_decode();
-  return 0;
+  ablation_adaptive(run);
+  ablation_width(run);
+  ablation_histogram(run);
+  ablation_decode(run);
+  return run.finish();
 }

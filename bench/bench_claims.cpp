@@ -16,8 +16,9 @@
 #include "data/quant.hpp"
 #include "data/synth_hist.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace parhuff;
+  bench::Driver run("claims", argc, argv);
   bench::banner("IN-TEXT CLAIMS: serial-tree-on-GPU, prefix-sum ceiling, "
                 "canonization cost");
 
@@ -38,6 +39,10 @@ int main() {
     const double ms = perf::modeled_ms(tally, bench::v100());
     t.row({"serial codebook build @8192 syms", "144 ms",
            fmt(ms, 1) + " ms"});
+    run.record(obs::Json::object()
+                   .set("claim", "serial_tree_build_8192")
+                   .set("paper", "144 ms")
+                   .set("modeled_v100_ms", ms));
   }
 
   // --- Claim 2: encoder ceilings at 1.027 avg bits. ------------------------
@@ -60,18 +65,21 @@ int main() {
       std::fprintf(stderr, "FATAL: encoder round trip failed\n");
       return 1;
     }
+    const double ps_g = perf::modeled_gbps_at(in_bytes, 256 * 1000 * 1000ull,
+                                              ps, bench::v100());
+    const double coarse_g = perf::modeled_gbps_at(
+        in_bytes, 256 * 1000 * 1000ull, coarse, bench::v100());
+    const double rs_g = perf::modeled_gbps_at(in_bytes, 256 * 1000 * 1000ull,
+                                              rs, bench::v100());
     t.row({"prefix-sum encoder @1.03 avg bits", "~37 GB/s",
-           fmt(perf::modeled_gbps_at(in_bytes, 256 * 1000 * 1000ull, ps,
-                                     bench::v100()),
-               1) + " GB/s"});
-    t.row({"coarse (cuSZ) encoder", "~30 GB/s",
-           fmt(perf::modeled_gbps_at(in_bytes, 256 * 1000 * 1000ull, coarse,
-                                     bench::v100()),
-               1) + " GB/s"});
-    t.row({"ours (reduce/shuffle)", "314.6 GB/s",
-           fmt(perf::modeled_gbps_at(in_bytes, 256 * 1000 * 1000ull, rs,
-                                     bench::v100()),
-               1) + " GB/s"});
+           fmt(ps_g, 1) + " GB/s"});
+    t.row({"coarse (cuSZ) encoder", "~30 GB/s", fmt(coarse_g, 1) + " GB/s"});
+    t.row({"ours (reduce/shuffle)", "314.6 GB/s", fmt(rs_g, 1) + " GB/s"});
+    run.record(obs::Json::object()
+                   .set("claim", "encoder_ceilings")
+                   .set("prefixsum_v100_gbps", ps_g)
+                   .set("coarse_v100_gbps", coarse_g)
+                   .set("reduceshuffle_v100_gbps", rs_g));
   }
 
   // --- Claim 3: canonization cost at 1024 codewords. -----------------------
@@ -87,6 +95,10 @@ int main() {
     tally.kernel_launches = 1;
     const double us = perf::modeled_ms(tally, bench::v100()) * 1e3;
     t.row({"canonize 1024-codeword codebook", "~200 us", fmt(us, 0) + " us"});
+    run.record(obs::Json::object()
+                   .set("claim", "canonize_1024")
+                   .set("paper", "~200 us")
+                   .set("modeled_v100_us", us));
   }
 
   t.print();
@@ -95,5 +107,5 @@ int main() {
       "orders of magnitude above the parallel construction (Table III);\n"
       "both prior encoders are stuck in the 25-45 GB/s band on a 900 GB/s\n"
       "part while the reduce/shuffle encoder clears 200+ GB/s.\n");
-  return 0;
+  return run.finish();
 }

@@ -9,8 +9,9 @@
 #include "core/tree.hpp"
 #include "data/quant.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace parhuff;
+  bench::Driver run("fig3", argc, argv);
   bench::banner("FIGURE 3: reduction-factor decision from average bitwidth");
 
   TextTable t("merged bitwidth beta*2^r per candidate r (W = 32 bits)");
@@ -43,6 +44,17 @@ int main() {
     row.push_back(std::to_string(rule));
     row.push_back(std::to_string(info.paper_reduce_factor));
     t.row(row);
+    obs::Json merged = obs::Json::object();
+    for (u32 r = 1; r <= 5; ++r) {
+      merged.set("r" + std::to_string(r), merged_bitwidth(avg, r));
+    }
+    run.record(obs::Json::object()
+                   .set("dataset", info.name)
+                   .set("entropy_bits", ent)
+                   .set("avg_bits", avg)
+                   .set("merged_bitwidth", std::move(merged))
+                   .set("rule_r", rule)
+                   .set("paper_r", info.paper_reduce_factor));
   }
   t.print();
 
@@ -52,5 +64,5 @@ int main() {
       "would overflow the 32-bit cell. The paper caps the deployed r at 3\n"
       "(Table II shows M=10, r=3 beating r=4 on Nyx-Quant because breaking\n"
       "handling outweighs the bandwidth gain).\n");
-  return 0;
+  return run.finish();
 }

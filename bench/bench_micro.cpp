@@ -5,6 +5,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "common.hpp"
 #include "core/bitstream.hpp"
 #include "core/decode.hpp"
 #include "core/decode_selfsync.hpp"
@@ -232,4 +237,54 @@ BENCHMARK(BM_DecodeSelfSync);
 }  // namespace
 }  // namespace parhuff
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the driver flags
+// (--json-out/--no-json/--trace-out) are peeled off before
+// benchmark::Initialize sees argv, and the google-benchmark JSON report is
+// captured and embedded record-by-record in the parhuff-metrics-v1 envelope
+// (BENCH_micro.json) so all bench outputs share one schema.
+int main(int argc, char** argv) {
+  using namespace parhuff;
+  std::vector<char*> ours{argv[0]}, gb_args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    const bool takes_value = a == "--json-out" || a == "--trace-out";
+    const bool is_ours = takes_value || a == "--no-json" ||
+                         a.substr(0, 11) == "--json-out=" ||
+                         a.substr(0, 12) == "--trace-out=";
+    if (is_ours) {
+      ours.push_back(argv[i]);
+      if (takes_value && i + 1 < argc) ours.push_back(argv[++i]);
+    } else {
+      gb_args.push_back(argv[i]);
+    }
+  }
+  bench::Driver run("micro", static_cast<int>(ours.size()), ours.data());
+
+  int gb_argc = static_cast<int>(gb_args.size());
+  benchmark::Initialize(&gb_argc, gb_args.data());
+  if (benchmark::ReportUnrecognizedArguments(gb_argc, gb_args.data())) {
+    return 1;
+  }
+
+  // The JSON reporter must be the *display* reporter — a file reporter
+  // makes google-benchmark demand --benchmark_out. Its stream is captured
+  // so the console keeps quiet and the JSON lands in our document.
+  std::ostringstream captured;
+  benchmark::JSONReporter json_reporter;
+  json_reporter.SetOutputStream(&captured);
+  json_reporter.SetErrorStream(&captured);
+  benchmark::RunSpecifiedBenchmarks(&json_reporter);
+  benchmark::Shutdown();
+
+  try {
+    const obs::Json gb = obs::Json::parse(captured.str());
+    if (gb.has("context")) run.config().set("google_benchmark", gb.at("context"));
+    if (gb.has("benchmarks")) {
+      for (const obs::Json& b : gb.at("benchmarks").elements()) run.record(b);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "warning: could not embed google-benchmark JSON: %s\n",
+                 e.what());
+  }
+  return run.finish();
+}

@@ -16,8 +16,9 @@
 #include "data/quant.hpp"
 #include "simt/coop.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace parhuff;
+  bench::Driver run("table1", argc, argv);
   bench::banner("TABLE I: parallelism per sub-procedure (verified against "
                 "kernel tallies)");
 
@@ -26,6 +27,9 @@ int main() {
   TextTable t("kernel taxonomy");
   t.header({"kernel", "granularity", "data-thread", "mechanism", "boundary",
             "verified"});
+  const auto note = [&run](const char* kernel, bool ok) {
+    run.record(obs::Json::object().set("kernel", kernel).set("verified", ok));
+  };
 
   // Histogram: fine-grained, many-to-one, atomic write + reduction,
   // block sync.
@@ -36,6 +40,7 @@ int main() {
                     tally.block_syncs > 0;
     t.row({"histogram (block+grid reduce)", "fine-grained", "many-to-one",
            "atomic write + reduction", "sync block", ok ? "yes" : "NO"});
+    note("histogram", ok);
   }
 
   const auto freq = histogram_serial<u16>(codes, 1024);
@@ -53,6 +58,7 @@ int main() {
            "ParMerge (merge path)", "sync grid", ok ? "yes" : "NO"});
     t.row({"build codebook: GenerateCW", "fine-grained", "one-to-one",
            "level scan + assign", "sync grid", ok ? "yes" : "NO"});
+    note("codebook", ok);
   }
 
   // Canonize: serial RAW sections (the paper's partially-parallel kernel);
@@ -63,6 +69,7 @@ int main() {
     const bool ok = canonize_last_op_count() > 0;
     t.row({"canonize (RAW sections)", "sequential", "many-to-one",
            "counting sort", "sync grid", ok ? "yes" : "NO"});
+    note("canonize", ok);
   }
 
   const Codebook cb = build_codebook_serial(freq);
@@ -87,6 +94,7 @@ int main() {
            "prefix sum", "sync grid", ok ? "yes" : "NO"});
     t.row({"coalescing copy", "coarse+fine", "one-to-one", "copy",
            "sync device", ok ? "yes" : "NO"});
+    note("reduce_shuffle_encode", ok);
   }
 
   // Prefix-sum baseline for contrast: atomics + scan.
@@ -96,8 +104,9 @@ int main() {
     const bool ok = tally.global_atomics > 0;
     t.row({"(baseline) prefix-sum scatter", "fine-grained", "one-to-one",
            "prefix sum + atomic write", "sync block", ok ? "yes" : "NO"});
+    note("prefixsum_baseline", ok);
   }
 
   t.print();
-  return 0;
+  return run.finish();
 }

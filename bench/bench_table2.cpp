@@ -10,8 +10,9 @@
 #include "core/tree.hpp"
 #include "data/quant.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace parhuff;
+  bench::Driver run("table2", argc, argv);
   bench::banner("TABLE II: encode GB/s vs chunk magnitude x reduce factor "
                 "(Nyx-Quant)");
 
@@ -49,6 +50,17 @@ int main() {
       tu_col.push_back(perf::modeled_gbps_at(codes.size() * 2, paper_bytes,
                                              tally, bench::rtx5000()));
       breaking = enc.breaking_fraction();
+      run.record(obs::Json::object()
+                     .set("magnitude", M)
+                     .set("reduce_factor", r)
+                     .set("v100_gbps", v_col.back())
+                     .set("rtx5000_gbps", tu_col.back())
+                     .set("breaking_fraction", breaking)
+                     .set("reduce_iterations",
+                          static_cast<u64>(stats.reduce_iterations))
+                     .set("shuffle_iterations",
+                          static_cast<u64>(stats.shuffle_iterations))
+                     .set("tally", obs::to_json(tally)));
     }
     for (double g : v_col) cells.push_back(fmt(g, 2));
     for (double g : tu_col) cells.push_back(fmt(g, 2));
@@ -67,5 +79,5 @@ int main() {
       "0.007536%%\n"
       "expected shape: M=10,r=3 strongest on V100; r=2 sharply slower; the\n"
       "V100 outperforms the RTX 5000 by roughly the bandwidth ratio.\n");
-  return 0;
+  return run.finish();
 }

@@ -44,8 +44,9 @@ std::vector<Case> make_cases() {
 }  // namespace
 }  // namespace parhuff
 
-int main() {
+int main(int argc, char** argv) {
   using namespace parhuff;
+  bench::Driver run("table3", argc, argv);
   bench::banner("TABLE III: codebook construction breakdown (ms)");
 
   TextTable cusz("cuSZ-style serial construction on one GPU thread (modeled)");
@@ -116,6 +117,27 @@ int main() {
               fmt(cw_tu, 3), fmt(cw_v, 3), fmt(cl_tu + cw_tu, 3),
               fmt(cl_v + cw_v, 3), std::to_string(stats.rounds),
               fmt((gb_v + cn_v) / (cl_v + cw_v), 1) + "x"});
+    run.record(
+        obs::Json::object()
+            .set("case", c.label)
+            .set("symbols", static_cast<u64>(n))
+            .set("serial_cpu_ms", cpu_ms)
+            .set("cusz", obs::Json::object()
+                             .set("gen_codebook_ms_rtx5000", gb_tu)
+                             .set("gen_codebook_ms_v100", gb_v)
+                             .set("canonize_ms_rtx5000", cn_tu)
+                             .set("canonize_ms_v100", cn_v))
+            .set("ours", obs::Json::object()
+                             .set("generate_cl_ms_rtx5000", cl_tu)
+                             .set("generate_cl_ms_v100", cl_v)
+                             .set("generate_cw_ms_rtx5000", cw_tu)
+                             .set("generate_cw_ms_v100", cw_v)
+                             .set("rounds", static_cast<u64>(stats.rounds)))
+            .set("speedup_v100", (gb_v + cn_v) / (cl_v + cw_v))
+            .set("tallies",
+                 obs::Json::object()
+                     .set("generate_cl", obs::to_json(cl_tally))
+                     .set("generate_cw", obs::to_json(cw_tally))));
   }
   cusz.print();
   std::printf("\n");
@@ -131,5 +153,5 @@ int main() {
       "expected shape: serial-on-GPU grows superlinearly and is 7-45x\n"
       "slower than our parallel construction; CPU serial beats the GPU\n"
       "below ~8192 symbols.\n");
-  return 0;
+  return run.finish();
 }

@@ -15,8 +15,9 @@
 #include "data/synth_hist.hpp"
 #include "util/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace parhuff;
+  bench::Driver run("table4", argc, argv);
   bench::banner("TABLE IV: multithreaded codebook construction (ms)");
 
   struct Case {
@@ -47,6 +48,9 @@ int main() {
 
   const perf::CpuSpec cpu;
   for (auto& c : cases) {
+    obs::Json rec = obs::Json::object();
+    obs::Json measured_ms = obs::Json::object();
+    obs::Json modeled_ms = obs::Json::object();
     auto serial_reps = time_reps(7, [&] {
       Timer t;
       (void)build_codebook_serial(c.freq);
@@ -72,16 +76,24 @@ int main() {
       // ~5 parallel regions per meld round + the CW phases.
       regions = stats.rounds * 5 + 8;
       mrow.push_back(fmt(s * 1e3, 3));
+      measured_ms.set(std::to_string(p) + "_threads", s * 1e3);
     }
     meas.row(mrow);
 
     std::vector<std::string> orow = {std::to_string(c.n),
                                      fmt(serial_s * 1e3, 3)};
     for (int p : threads) {
-      orow.push_back(
-          fmt(perf::region_task_seconds(omp1_s, regions, p, cpu) * 1e3, 3));
+      const double ms = perf::region_task_seconds(omp1_s, regions, p, cpu) * 1e3;
+      orow.push_back(fmt(ms, 3));
+      modeled_ms.set(std::to_string(p) + "_cores", ms);
     }
     model.row(orow);
+    rec.set("symbols", static_cast<u64>(c.n))
+        .set("serial_ms", serial_s * 1e3)
+        .set("parallel_regions", static_cast<u64>(regions))
+        .set("measured_ms", std::move(measured_ms))
+        .set("modeled_xeon8280_ms", std::move(modeled_ms));
+    run.record(std::move(rec));
   }
   meas.print();
   std::printf("\n");
@@ -97,5 +109,5 @@ int main() {
       "threads only add fork/join overhead; the 1-thread array-based builder\n"
       "overtakes serial near 4096-8192 symbols; multithreading first pays\n"
       "off around 32768+ symbols.\n");
-  return 0;
+  return run.finish();
 }

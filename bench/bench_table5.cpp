@@ -20,6 +20,7 @@ namespace {
 
 struct Row {
   std::string name;
+  obs::Json record = obs::Json::object();  ///< machine-readable twin
   std::size_t bytes = 0;
   double avg_bits = 0;
   double breaking = 0;
@@ -84,6 +85,7 @@ Row run_dataset(const data::DatasetInfo& info, std::span<const Sym> syms,
     std::exit(1);
   }
 
+  obs::Json modeled = obs::Json::object();
   for (int d = 0; d < 2; ++d) {
     row.hist_gbps[d] =
         perf::modeled_gbps_at(row.bytes, info.paper_bytes, hist_tally,
@@ -97,7 +99,28 @@ Row run_dataset(const data::DatasetInfo& info, std::span<const Sym> syms,
         perf::model_time_scaled(enc_tally, *devs[d], scale).total();
     row.overall_gbps[d] =
         static_cast<double>(info.paper_bytes) / 1e9 / total_s;
+    modeled.set(devs[d]->name,
+                obs::Json::object()
+                    .set("histogram_gbps", row.hist_gbps[d])
+                    .set("codebook_ms", row.cb_ms[d])
+                    .set("encode_gbps", row.enc_gbps[d])
+                    .set("overall_gbps", row.overall_gbps[d])
+                    .set("encode_breakdown",
+                         obs::to_json(perf::model_time(enc_tally, *devs[d]))));
   }
+  row.record = obs::Json::object()
+                   .set("dataset", row.name)
+                   .set("system", ours ? "ours" : "cusz")
+                   .set("input_bytes", static_cast<u64>(row.bytes))
+                   .set("paper_bytes", static_cast<u64>(info.paper_bytes))
+                   .set("avg_bits", row.avg_bits)
+                   .set("breaking_fraction", row.breaking)
+                   .set("reduce_factor", static_cast<u64>(row.reduce))
+                   .set("tallies", obs::Json::object()
+                                       .set("histogram", obs::to_json(hist_tally))
+                                       .set("codebook", obs::to_json(cb_tally))
+                                       .set("encode", obs::to_json(enc_tally)))
+                   .set("modeled", std::move(modeled));
   return row;
 }
 
@@ -123,8 +146,9 @@ void print_block(const char* title, const std::vector<Row>& rows) {
 }  // namespace
 }  // namespace parhuff
 
-int main() {
+int main(int argc, char** argv) {
   using namespace parhuff;
+  bench::Driver run("table5", argc, argv);
   bench::banner(
       "TABLE V: overall Huffman performance breakdown (cuSZ baseline vs "
       "ours)");
@@ -164,5 +188,9 @@ int main() {
              fmt(paper_speedup, 2) + "x", fmt(repro_speedup, 2) + "x"});
   }
   cmp.print();
-  return 0;
+
+  for (const auto* rows : {&cusz_rows, &ours_rows}) {
+    for (const Row& r : *rows) run.record(r.record);
+  }
+  return run.finish();
 }

@@ -14,12 +14,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 
 #include "core/pipeline.hpp"
 #include "data/datasets.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "perf/cpu_model.hpp"
 #include "perf/gpu_model.hpp"
 #include "simt/spec.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -62,5 +66,83 @@ inline void banner(const char* what) {
       "================================================================\n\n",
       what, size_scale());
 }
+
+/// Machine-readable output for a bench driver (docs/observability.md).
+///
+/// Construct one first thing in main(), feed it one `record()` per
+/// measured case, and `return run.finish();`. Alongside the human-readable
+/// tables every bench then writes `BENCH_<name>.json` — a
+/// `parhuff-metrics-v1` document with the per-case records plus a snapshot
+/// of the global MetricsRegistry (per-stage timers, tallies, SIMT launch
+/// counters accumulated during the run).
+///
+/// Flags (every bench accepts them):
+///   --json-out PATH   write the metrics document to PATH
+///                     (default BENCH_<name>.json in the cwd)
+///   --no-json         skip the metrics document
+///   --trace-out PATH  record trace spans and write Chrome trace_event
+///                     JSON to PATH (Perfetto / chrome://tracing)
+/// PARHUFF_TRACE=1 (or =path) enables tracing without the flag.
+class Driver {
+ public:
+  Driver(std::string name, int argc, const char* const* argv)
+      : name_(std::move(name)), doc_("bench_" + name_) {
+    // A flag error should read as a usage message, not std::terminate.
+    try {
+      const CliArgs args(argc, argv);
+      json_path_ = args.get_string("json-out", "BENCH_" + name_ + ".json");
+      emit_json_ = !args.get_bool("no-json", false);
+      trace_path_ = args.get_string("trace-out", "");
+      for (const auto& flag :
+           args.unknown({"json-out", "no-json", "trace-out"})) {
+        std::fprintf(stderr, "warning: unknown flag --%s (known: --json-out, "
+                             "--no-json, --trace-out)\n",
+                     flag.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "error: %s\nusage: bench_%s [--json-out PATH] [--no-json] "
+                   "[--trace-out PATH]\n",
+                   e.what(), name_.c_str());
+      std::exit(2);
+    }
+    if (!trace_path_.empty()) obs::TraceRecorder::global().enable();
+    // Per-run numbers: drop whatever generator warm-up already published.
+    obs::MetricsRegistry::global().clear();
+    doc_.config().set("bench", name_).set("size_scale", size_scale());
+  }
+
+  /// The document's `config` object — add bench-specific parameters.
+  obs::Json& config() { return doc_.config(); }
+
+  /// Append one per-case result object to `records`.
+  void record(obs::Json rec) { doc_.add_record(std::move(rec)); }
+
+  /// Write the metrics document (and the trace, when enabled). Returns the
+  /// process exit code so main() can `return run.finish();`.
+  int finish() {
+    if (emit_json_) {
+      doc_.write(json_path_);
+      std::printf("\nmetrics: wrote %s (%zu records, schema %s)\n",
+                  json_path_.c_str(), doc_.record_count(),
+                  obs::kMetricsSchema);
+    }
+    if (!trace_path_.empty()) {
+      obs::TraceRecorder::global().write(trace_path_);
+      std::printf("trace: wrote %s (%zu events) — open in "
+                  "https://ui.perfetto.dev\n",
+                  trace_path_.c_str(),
+                  obs::TraceRecorder::global().event_count());
+    }
+    return 0;
+  }
+
+ private:
+  std::string name_;
+  obs::MetricsDocument doc_;
+  std::string json_path_;
+  std::string trace_path_;
+  bool emit_json_ = true;
+};
 
 }  // namespace parhuff::bench

@@ -15,6 +15,10 @@
 //   --encoder serial|openmp|coarse|prefixsum|reduceshuffle|adaptive
 //   --codebook serial|parallel|omp
 //   --threads N             OpenMP threads for the CPU stages
+//   --json-out PATH         write a parhuff-metrics-v1 report of the run
+//   --trace-out PATH        write a Chrome trace_event file of the run
+//                           (also enabled by PARHUFF_TRACE, see
+//                           docs/observability.md)
 
 #include <cstdio>
 #include <cstring>
@@ -23,6 +27,8 @@
 #include "core/format.hpp"
 #include "core/pipeline.hpp"
 #include "data/textgen.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -32,8 +38,8 @@ namespace {
 using namespace parhuff;
 
 const std::vector<std::string> kKnownFlags = {
-    "symbol-width", "nbins", "magnitude", "reduce",
-    "encoder",      "codebook", "threads"};
+    "symbol-width", "nbins",   "magnitude", "reduce",  "encoder",
+    "codebook",     "threads", "json-out",  "trace-out"};
 
 PipelineConfig config_from(const CliArgs& args, unsigned symbol_width) {
   PipelineConfig cfg;
@@ -83,6 +89,18 @@ int compress_file(const std::string& in, const std::string& out,
       static_cast<double>(raw.size()) / static_cast<double>(bytes.size()),
       t.millis(), rep.avg_bits, rep.entropy_bits, rep.reduce_factor,
       fmt_pct(blob.stream.breaking_fraction(), 4).c_str());
+  if (args.has("json-out")) {
+    obs::MetricsDocument doc("phuffc");
+    doc.config()
+        .set("input", in)
+        .set("output", out)
+        .set("symbol_width", symbol_width)
+        .set("config", obs::to_json(cfg));
+    doc.add_record(obs::to_json(rep));
+    const std::string path = args.get_string("json-out", "");
+    doc.write(path);
+    std::printf("metrics: wrote %s\n", path.c_str());
+  }
   return 0;
 }
 
@@ -138,8 +156,18 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown flag: --%s\n", bad.c_str());
       return 2;
     }
+    const std::string trace_path = args.get_string("trace-out", "");
+    if (!trace_path.empty()) obs::TraceRecorder::global().enable();
+    const auto done = [&trace_path](int rc) {
+      if (!trace_path.empty()) {
+        obs::TraceRecorder::global().write(trace_path);
+        std::printf("trace: wrote %s (%zu events)\n", trace_path.c_str(),
+                    obs::TraceRecorder::global().event_count());
+      }
+      return rc;
+    };
     const auto& pos = args.positional();
-    if (pos.empty()) return self_demo();
+    if (pos.empty()) return done(self_demo());
     const unsigned width =
         static_cast<unsigned>(args.get_int("symbol-width", 8));
     if (width != 8 && width != 16) {
@@ -148,15 +176,15 @@ int main(int argc, char** argv) {
     }
     const std::string& mode = pos[0];
     if (mode == "c" && pos.size() == 3) {
-      return width == 8 ? compress_file<u8>(pos[1], pos[2], args, 8)
-                        : compress_file<u16>(pos[1], pos[2], args, 16);
+      return done(width == 8 ? compress_file<u8>(pos[1], pos[2], args, 8)
+                             : compress_file<u16>(pos[1], pos[2], args, 16));
     }
     if (mode == "d" && pos.size() == 3) {
-      return width == 8 ? decompress_file<u8>(pos[1], pos[2])
-                        : decompress_file<u16>(pos[1], pos[2]);
+      return done(width == 8 ? decompress_file<u8>(pos[1], pos[2])
+                             : decompress_file<u16>(pos[1], pos[2]));
     }
     if (mode == "t" && pos.size() == 2) {
-      return width == 8 ? test_file<u8>(pos[1]) : test_file<u16>(pos[1]);
+      return done(width == 8 ? test_file<u8>(pos[1]) : test_file<u16>(pos[1]));
     }
     std::fprintf(stderr,
                  "usage: %s c <in> <out.phf> | d <in.phf> <out> | t <in.phf> "

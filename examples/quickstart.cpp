@@ -11,6 +11,7 @@
 #include "core/format.hpp"
 #include "core/pipeline.hpp"
 #include "data/textgen.hpp"
+#include "obs/report.hpp"
 #include "perf/gpu_model.hpp"
 #include "util/table.hpp"
 
@@ -69,5 +70,10 @@ int main() {
   const bool ok = decompress(blob2) == input;
   std::printf("container round trip (%s): %s\n",
               fmt_bytes(bytes.size()).c_str(), ok ? "OK" : "MISMATCH");
+
+  // 6. The same report, machine-readable (docs/observability.md): the
+  //    schema every bench emits via --json-out.
+  std::printf("\nreport as JSON (schema %s):\n%s\n", obs::kMetricsSchema,
+              obs::to_json(rep).dump(2).c_str());
   return back == input && ok ? 0 : 1;
 }

@@ -12,6 +12,8 @@
 #include "core/executor.hpp"
 #include "core/histogram.hpp"
 #include "core/tree.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "simt/coop.hpp"
 
 namespace parhuff {
@@ -20,6 +22,7 @@ template <typename Sym>
 Compressed<Sym> compress(std::span<const Sym> data, const PipelineConfig& cfg,
                          PipelineReport* report) {
   if (cfg.nbins == 0) throw std::invalid_argument("nbins must be positive");
+  obs::TraceSpan compress_span("pipeline.compress", "pipeline");
   PipelineReport local;
   PipelineReport& rep = report ? *report : local;
   rep = PipelineReport{};
@@ -30,40 +33,46 @@ Compressed<Sym> compress(std::span<const Sym> data, const PipelineConfig& cfg,
   // --- Stage 1: histogram. ------------------------------------------------
   Timer t;
   std::vector<u64> freq;
-  switch (cfg.histogram) {
-    case HistogramKind::kSerial:
-      freq = histogram_serial(data, cfg.nbins);
-      break;
-    case HistogramKind::kOpenMP:
-      freq = histogram_openmp(data, cfg.nbins, cfg.cpu_threads);
-      break;
-    case HistogramKind::kSimt:
-      freq = histogram_simt(data, cfg.nbins, &rep.hist_tally);
-      break;
+  {
+    obs::TraceSpan span("pipeline.histogram", "pipeline");
+    switch (cfg.histogram) {
+      case HistogramKind::kSerial:
+        freq = histogram_serial(data, cfg.nbins);
+        break;
+      case HistogramKind::kOpenMP:
+        freq = histogram_openmp(data, cfg.nbins, cfg.cpu_threads);
+        break;
+      case HistogramKind::kSimt:
+        freq = histogram_simt(data, cfg.nbins, &rep.hist_tally);
+        break;
+    }
   }
   rep.hist_seconds = t.seconds();
   rep.entropy_bits = shannon_entropy(freq);
 
   // --- Stage 2+3: codebook construction + canonization. -------------------
   t.reset();
-  switch (cfg.codebook) {
-    case CodebookKind::kSerialTree: {
-      SerialBuildStats st;
-      out.codebook = build_codebook_serial(freq, &st);
-      rep.codebook_tally.serial_dependent_ops += st.dependent_ops;
-      break;
-    }
-    case CodebookKind::kParallelSimt: {
-      simt::CooperativeGrid grid(
-          std::min<std::size_t>(cfg.nbins, 64 * 1024), &rep.codebook_tally);
-      out.codebook =
-          build_codebook_parallel(grid, freq, &rep.cb_stats, grid.tally());
-      break;
-    }
-    case CodebookKind::kParallelOmp: {
-      OmpExec exec(cfg.cpu_threads);
-      out.codebook = build_codebook_parallel(exec, freq, &rep.cb_stats);
-      break;
+  {
+    obs::TraceSpan span("pipeline.codebook", "pipeline");
+    switch (cfg.codebook) {
+      case CodebookKind::kSerialTree: {
+        SerialBuildStats st;
+        out.codebook = build_codebook_serial(freq, &st);
+        rep.codebook_tally.serial_dependent_ops += st.dependent_ops;
+        break;
+      }
+      case CodebookKind::kParallelSimt: {
+        simt::CooperativeGrid grid(
+            std::min<std::size_t>(cfg.nbins, 64 * 1024), &rep.codebook_tally);
+        out.codebook =
+            build_codebook_parallel(grid, freq, &rep.cb_stats, grid.tally());
+        break;
+      }
+      case CodebookKind::kParallelOmp: {
+        OmpExec exec(cfg.cpu_threads);
+        out.codebook = build_codebook_parallel(exec, freq, &rep.cb_stats);
+        break;
+      }
     }
   }
   rep.codebook_seconds = t.seconds();
@@ -71,52 +80,57 @@ Compressed<Sym> compress(std::span<const Sym> data, const PipelineConfig& cfg,
 
   // --- Stage 4: encode. ----------------------------------------------------
   t.reset();
-  const u32 chunk = u32{1} << cfg.magnitude;
-  switch (cfg.encoder) {
-    case EncoderKind::kSerial:
-      out.stream = encode_serial(data, out.codebook, chunk);
-      break;
-    case EncoderKind::kOpenMP:
-      out.stream = encode_openmp(data, out.codebook, chunk, cfg.cpu_threads);
-      break;
-    case EncoderKind::kCoarseSimt:
-      out.stream =
-          encode_coarse_simt(data, out.codebook, chunk, &rep.encode_tally);
-      break;
-    case EncoderKind::kPrefixSumSimt:
-      out.stream =
-          encode_prefixsum_simt(data, out.codebook, chunk, &rep.encode_tally);
-      break;
-    case EncoderKind::kReduceShuffleSimt: {
-      ReduceShuffleConfig rs;
-      rs.magnitude = cfg.magnitude;
-      rs.reduce_factor = cfg.reduce_factor
-                             ? *cfg.reduce_factor
-                             : decide_reduce_factor(rep.avg_bits,
-                                                    cfg.magnitude);
-      rep.reduce_factor = rs.reduce_factor;
-      out.stream = encode_reduceshuffle_simt(data, out.codebook, rs,
-                                             &rep.encode_tally, &rep.rs);
-      break;
-    }
-    case EncoderKind::kAdaptiveSimt: {
-      AdaptiveConfig ac;
-      ac.magnitude = cfg.magnitude;
-      AdaptiveStats st;
-      out.stream = encode_adaptive_simt<Sym, 32>(data, out.codebook, ac,
-                                                 &rep.encode_tally, &st);
-      rep.rs.breaking_groups = st.breaking_groups;
-      rep.rs.breaking_symbols = st.breaking_symbols;
-      break;
+  {
+    obs::TraceSpan span("pipeline.encode", "pipeline");
+    const u32 chunk = u32{1} << cfg.magnitude;
+    switch (cfg.encoder) {
+      case EncoderKind::kSerial:
+        out.stream = encode_serial(data, out.codebook, chunk);
+        break;
+      case EncoderKind::kOpenMP:
+        out.stream = encode_openmp(data, out.codebook, chunk, cfg.cpu_threads);
+        break;
+      case EncoderKind::kCoarseSimt:
+        out.stream =
+            encode_coarse_simt(data, out.codebook, chunk, &rep.encode_tally);
+        break;
+      case EncoderKind::kPrefixSumSimt:
+        out.stream =
+            encode_prefixsum_simt(data, out.codebook, chunk, &rep.encode_tally);
+        break;
+      case EncoderKind::kReduceShuffleSimt: {
+        ReduceShuffleConfig rs;
+        rs.magnitude = cfg.magnitude;
+        rs.reduce_factor = cfg.reduce_factor
+                               ? *cfg.reduce_factor
+                               : decide_reduce_factor(rep.avg_bits,
+                                                      cfg.magnitude);
+        rep.reduce_factor = rs.reduce_factor;
+        out.stream = encode_reduceshuffle_simt(data, out.codebook, rs,
+                                               &rep.encode_tally, &rep.rs);
+        break;
+      }
+      case EncoderKind::kAdaptiveSimt: {
+        AdaptiveConfig ac;
+        ac.magnitude = cfg.magnitude;
+        AdaptiveStats st;
+        out.stream = encode_adaptive_simt<Sym, 32>(data, out.codebook, ac,
+                                                   &rep.encode_tally, &st);
+        rep.rs.breaking_groups = st.breaking_groups;
+        rep.rs.breaking_symbols = st.breaking_symbols;
+        break;
+      }
     }
   }
   rep.encode_seconds = t.seconds();
   rep.compressed_bytes = out.stream.stored_bytes();
+  obs::publish(obs::MetricsRegistry::global(), rep);
   return out;
 }
 
 template <typename Sym>
 std::vector<Sym> decompress(const Compressed<Sym>& blob, int threads) {
+  obs::TraceSpan span("pipeline.decompress", "pipeline");
   return decode_stream<Sym>(blob.stream, blob.codebook, threads);
 }
 

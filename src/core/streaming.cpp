@@ -15,6 +15,8 @@
 #include "core/histogram.hpp"
 #include "core/par_codebook.hpp"
 #include "core/tree.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "simt/coop.hpp"
 
 namespace parhuff {
@@ -35,6 +37,10 @@ void StreamingCompressor<Sym>::observe(std::span<const Sym> segment) {
   if (frozen_) {
     throw std::logic_error("StreamingCompressor: observe() after freeze()");
   }
+  obs::TraceSpan span("streaming.observe", "streaming");
+  obs::MetricsRegistry::global().counter_add("streaming.segments_observed");
+  obs::MetricsRegistry::global().counter_add(
+      "streaming.observed_bytes", segment.size() * sizeof(Sym));
   const auto h = histogram_openmp<Sym>(segment, cfg_.nbins, cfg_.cpu_threads);
   for (std::size_t b = 0; b < freq_.size(); ++b) freq_[b] += h[b];
 }
@@ -57,6 +63,7 @@ void StreamingCompressor<Sym>::freeze() {
   if (total == 0) {
     throw std::logic_error("StreamingCompressor: freeze() before observe()");
   }
+  obs::TraceSpan span("streaming.freeze", "streaming");
   switch (cfg_.codebook) {
     case CodebookKind::kSerialTree:
       cb_ = build_codebook_serial(freq_);
@@ -102,6 +109,8 @@ std::vector<u8> StreamingCompressor<Sym>::encode_segment(
     throw std::logic_error(
         "StreamingCompressor: encode_segment() before freeze()");
   }
+  obs::TraceSpan span("streaming.encode_segment", "streaming");
+  Timer seg_timer;
   EncodedStream s;
   const u32 chunk = u32{1} << cfg_.magnitude;
   switch (cfg_.encoder) {
@@ -139,7 +148,13 @@ std::vector<u8> StreamingCompressor<Sym>::encode_segment(
   w.put<u32>(kFrameMagic);
   w.put<u64>(static_cast<u64>(body.size()));
   w.put_bytes(body);
-  return w.take();
+  auto frame = w.take();
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  reg.stage_add("streaming.encode_segment", seg_timer.seconds());
+  reg.counter_add("streaming.segments_encoded");
+  reg.counter_add("streaming.input_bytes", segment.size() * sizeof(Sym));
+  reg.counter_add("streaming.frame_bytes", frame.size());
+  return frame;
 }
 
 template <typename Sym>
@@ -164,6 +179,8 @@ StreamingDecompressor<Sym>::StreamingDecompressor(
 template <typename Sym>
 std::vector<Sym> StreamingDecompressor<Sym>::decode_segment(
     std::span<const u8> frame) {
+  obs::TraceSpan span("streaming.decode_segment", "streaming");
+  obs::MetricsRegistry::global().counter_add("streaming.segments_decoded");
   ByteReader r(frame);
   if (r.get<u32>() != kFrameMagic) {
     throw std::runtime_error("parhuff stream: bad frame magic");

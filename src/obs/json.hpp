@@ -1,0 +1,114 @@
+#pragma once
+// Dependency-free JSON document model for the observability layer: build a
+// value tree, dump it (compact or indented), and parse it back. This is the
+// serializer behind the `parhuff-metrics-v1` bench reports and the Chrome
+// trace_event export (docs/observability.md documents both schemas).
+//
+// Scope is deliberately small: UTF-8 pass-through strings, exact 64-bit
+// integers (a MemTally counter must survive the round trip bit-for-bit, so
+// integers are NOT squeezed through double), objects preserving insertion
+// order. Non-finite doubles serialize as null — JSON has no NaN/Inf.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parhuff::obs {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+  Json(std::nullptr_t) : kind_(Kind::kNull) {}
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Json(double d) : kind_(Kind::kDouble), dbl_(d) {}
+  Json(i64 i) : kind_(Kind::kInt), int_(i) {}
+  Json(u64 u) : kind_(Kind::kUint), uint_(u) {}
+  Json(int i) : Json(static_cast<i64>(i)) {}
+  Json(unsigned u) : Json(static_cast<u64>(u)) {}
+  Json(const char* s) : kind_(Kind::kString), str_(s) {}
+  Json(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  Json(std::string_view s) : kind_(Kind::kString), str_(s) {}
+
+  [[nodiscard]] static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+  [[nodiscard]] static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kUint ||
+           kind_ == Kind::kDouble;
+  }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Throw std::runtime_error unless the value holds the requested kind
+  /// (numbers convert freely between the three numeric representations).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] i64 as_i64() const;
+  [[nodiscard]] u64 as_u64() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Object: insert-or-assign preserving first-insertion order. Returns
+  /// *this so document construction chains.
+  Json& set(std::string key, Json value);
+  /// Array: append.
+  Json& push(Json value);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool has(std::string_view key) const;
+  /// Object member / array element access; throws std::runtime_error when
+  /// absent or when the value is not a container of the right kind.
+  [[nodiscard]] const Json& at(std::string_view key) const;
+  [[nodiscard]] const Json& at(std::size_t index) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members()
+      const;
+  [[nodiscard]] const std::vector<Json>& elements() const;
+
+  /// Render. `indent < 0` → compact one-line form; otherwise pretty-printed
+  /// with `indent` spaces per level.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Strict parser for everything dump() emits (plus \uXXXX escapes incl.
+  /// surrogate pairs). Throws std::runtime_error with an offset on error.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+  /// JSON string escaping of `s` (without surrounding quotes).
+  [[nodiscard]] static std::string escape(std::string_view s);
+
+  bool operator==(const Json& o) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  i64 int_ = 0;
+  u64 uint_ = 0;
+  double dbl_ = 0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+/// Write `j.dump(2)` plus a trailing newline to `path`; throws
+/// std::runtime_error on I/O failure.
+void write_json_file(const std::string& path, const Json& j);
+
+}  // namespace parhuff::obs

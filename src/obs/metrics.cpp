@@ -1,0 +1,108 @@
+#include "obs/metrics.hpp"
+
+#include <chrono>
+
+namespace parhuff::obs {
+
+namespace {
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+void MetricsRegistry::counter_add(const std::string& name, u64 delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::gauge_set(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::stage_add(const std::string& name, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  StageStat& s = stages_[name];
+  s.seconds += seconds;
+  s.count += 1;
+}
+
+u64 MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+StageStat MetricsRegistry::stage(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = stages_.find(name);
+  return it == stages_.end() ? StageStat{} : it->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  // Copy under the source lock first; never hold both locks at once.
+  std::map<std::string, u64> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, StageStat> stages;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    counters = other.counters_;
+    gauges = other.gauges_;
+    stages = other.stages_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [k, v] : counters) counters_[k] += v;
+  for (const auto& [k, v] : gauges) gauges_[k] = v;
+  for (const auto& [k, v] : stages) {
+    stages_[k].seconds += v.seconds;
+    stages_[k].count += v.count;
+  }
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  stages_.clear();
+}
+
+Json MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json counters = Json::object();
+  for (const auto& [k, v] : counters_) counters.set(k, v);
+  Json gauges = Json::object();
+  for (const auto& [k, v] : gauges_) gauges.set(k, v);
+  Json stages = Json::object();
+  for (const auto& [k, v] : stages_) {
+    stages.set(k, Json::object()
+                      .set("seconds", v.seconds)
+                      .set("count", v.count)
+                      .set("mean_seconds", v.mean_seconds()));
+  }
+  return Json::object()
+      .set("counters", std::move(counters))
+      .set("gauges", std::move(gauges))
+      .set("stages", std::move(stages));
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry reg;
+  return reg;
+}
+
+ScopedStageTimer::ScopedStageTimer(MetricsRegistry& reg, std::string name)
+    : reg_(reg), name_(std::move(name)), start_us_(now_us()) {}
+
+ScopedStageTimer::~ScopedStageTimer() {
+  reg_.stage_add(name_, (now_us() - start_us_) * 1e-6);
+}
+
+}  // namespace parhuff::obs

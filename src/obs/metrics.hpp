@@ -1,0 +1,82 @@
+#pragma once
+// MetricsRegistry: named counters, gauges and stage timers that the
+// pipeline, the streaming compressor and the SIMT launch layer publish
+// into. A registry snapshot serializes into the `metrics` section of the
+// `parhuff-metrics-v1` document (docs/observability.md).
+//
+// Counters are monotonically-increasing u64 totals (bytes moved, kernel
+// launches); gauges are last-write-wins doubles (compression ratio of the
+// most recent run); stage timers accumulate seconds *and* invocation
+// counts, so mean-per-call survives aggregation.
+//
+// All operations are thread-safe; the simulated kernels publish from
+// OpenMP worker threads. `global()` is the process-wide instance the
+// library layers publish into by default — benches snapshot and `clear()`
+// it between runs when they want per-run numbers.
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "obs/json.hpp"
+#include "util/types.hpp"
+
+namespace parhuff::obs {
+
+/// A `seconds` total plus how many add() calls produced it.
+struct StageStat {
+  double seconds = 0;
+  u64 count = 0;
+
+  [[nodiscard]] double mean_seconds() const {
+    return count == 0 ? 0.0 : seconds / static_cast<double>(count);
+  }
+};
+
+class MetricsRegistry {
+ public:
+  void counter_add(const std::string& name, u64 delta = 1);
+  void gauge_set(const std::string& name, double value);
+  void stage_add(const std::string& name, double seconds);
+
+  [[nodiscard]] u64 counter(const std::string& name) const;
+  [[nodiscard]] double gauge(const std::string& name) const;
+  [[nodiscard]] StageStat stage(const std::string& name) const;
+
+  /// Fold another registry's totals into this one (counters and stage
+  /// timers add; gauges overwrite).
+  void merge(const MetricsRegistry& other);
+
+  void clear();
+
+  /// Snapshot as {"counters":{...},"gauges":{...},"stages":{name:
+  /// {"seconds":s,"count":n,"mean_seconds":m}}}. Keys sort
+  /// lexicographically, so documents diff cleanly across runs.
+  [[nodiscard]] Json to_json() const;
+
+  /// Process-wide registry the library layers publish into.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, u64> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, StageStat> stages_;
+};
+
+/// RAII stage timer: adds the scope's wall time to `reg.stage_add(name)`
+/// on destruction.
+class ScopedStageTimer {
+ public:
+  ScopedStageTimer(MetricsRegistry& reg, std::string name);
+  ~ScopedStageTimer();
+  ScopedStageTimer(const ScopedStageTimer&) = delete;
+  ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
+
+ private:
+  MetricsRegistry& reg_;
+  std::string name_;
+  double start_us_;
+};
+
+}  // namespace parhuff::obs

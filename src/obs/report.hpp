@@ -1,0 +1,260 @@
+#pragma once
+// Bridges between the pipeline's report structs and the observability
+// layer: lossless Json projections of MemTally / PipelineReport /
+// GpuTimeBreakdown, registry publishing, and the versioned
+// `parhuff-metrics-v1` document the benches emit (schema documented
+// field-by-field in docs/observability.md).
+//
+// Header-only on purpose: it only touches inline struct fields and inline
+// perf functions' declarations, so obs/ stays below core/ and perf/ in the
+// link order while still speaking their types.
+
+#include <string>
+#include <utility>
+
+#include "core/pipeline.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "perf/gpu_model.hpp"
+#include "simt/mem_model.hpp"
+#include "simt/spec.hpp"
+#include "util/timer.hpp"
+
+namespace parhuff::obs {
+
+/// Schema identifier stamped into every document this layer emits.
+inline constexpr const char* kMetricsSchema = "parhuff-metrics-v1";
+
+[[nodiscard]] inline const char* kind_name(HistogramKind k) {
+  switch (k) {
+    case HistogramKind::kSerial: return "serial";
+    case HistogramKind::kOpenMP: return "openmp";
+    case HistogramKind::kSimt: return "simt";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline const char* kind_name(CodebookKind k) {
+  switch (k) {
+    case CodebookKind::kSerialTree: return "serial_tree";
+    case CodebookKind::kParallelSimt: return "parallel_simt";
+    case CodebookKind::kParallelOmp: return "parallel_omp";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline const char* kind_name(EncoderKind k) {
+  switch (k) {
+    case EncoderKind::kSerial: return "serial";
+    case EncoderKind::kOpenMP: return "openmp";
+    case EncoderKind::kCoarseSimt: return "coarse_simt";
+    case EncoderKind::kPrefixSumSimt: return "prefixsum_simt";
+    case EncoderKind::kReduceShuffleSimt: return "reduceshuffle_simt";
+    case EncoderKind::kAdaptiveSimt: return "adaptive_simt";
+  }
+  return "?";
+}
+
+/// Every MemTally counter, verbatim (u64 → JSON integer, no rounding).
+[[nodiscard]] inline Json to_json(const simt::MemTally& t) {
+  return Json::object()
+      .set("global_read_bytes", t.global_read_bytes)
+      .set("global_write_bytes", t.global_write_bytes)
+      .set("global_read_sectors", t.global_read_sectors)
+      .set("global_write_sectors", t.global_write_sectors)
+      .set("shared_bytes", t.shared_bytes)
+      .set("global_atomics", t.global_atomics)
+      .set("global_atomic_conflicts", t.global_atomic_conflicts)
+      .set("shared_atomics", t.shared_atomics)
+      .set("shared_atomic_conflicts", t.shared_atomic_conflicts)
+      .set("kernel_launches", t.kernel_launches)
+      .set("grid_syncs", t.grid_syncs)
+      .set("block_syncs", t.block_syncs)
+      .set("divergent_branches", t.divergent_branches)
+      .set("scalar_ops", t.scalar_ops)
+      .set("serial_dependent_ops", t.serial_dependent_ops);
+}
+
+/// perf::model_time breakdown in seconds, keyed like docs/model.md's terms.
+[[nodiscard]] inline Json to_json(const perf::GpuTimeBreakdown& b) {
+  return Json::object()
+      .set("launch_s", b.launch_s)
+      .set("sync_s", b.sync_s)
+      .set("dram_s", b.dram_s)
+      .set("shared_s", b.shared_s)
+      .set("compute_s", b.compute_s)
+      .set("atomic_s", b.atomic_s)
+      .set("serial_s", b.serial_s)
+      .set("total_s", b.total());
+}
+
+[[nodiscard]] inline Json to_json(const ReduceShuffleStats& s) {
+  return Json::object()
+      .set("breaking_groups", s.breaking_groups)
+      .set("breaking_symbols", s.breaking_symbols)
+      .set("reduce_iterations", s.reduce_iterations)
+      .set("shuffle_iterations", s.shuffle_iterations);
+}
+
+[[nodiscard]] inline Json to_json(const ParCodebookStats& s) {
+  return Json::object()
+      .set("rounds", s.rounds)
+      .set("melds", s.melds)
+      .set("merged_elements", s.merged_elements)
+      .set("levels", s.levels)
+      .set("max_len", static_cast<u64>(s.max_len));
+}
+
+[[nodiscard]] inline Json to_json(const PipelineConfig& c) {
+  Json j = Json::object()
+               .set("nbins", static_cast<u64>(c.nbins))
+               .set("histogram", kind_name(c.histogram))
+               .set("codebook", kind_name(c.codebook))
+               .set("encoder", kind_name(c.encoder))
+               .set("magnitude", static_cast<u64>(c.magnitude))
+               .set("cpu_threads", static_cast<i64>(c.cpu_threads));
+  j.set("reduce_factor",
+        c.reduce_factor ? Json(static_cast<u64>(*c.reduce_factor)) : Json());
+  return j;
+}
+
+/// StageTimes → {name: {"seconds":s,"count":n,"mean_seconds":m}}.
+[[nodiscard]] inline Json to_json(const StageTimes& st) {
+  Json j = Json::object();
+  for (const auto& [name, e] : st.all()) {
+    j.set(name, Json::object()
+                    .set("seconds", e.seconds)
+                    .set("count", static_cast<u64>(e.count))
+                    .set("mean_seconds", st.mean_seconds(name)));
+  }
+  return j;
+}
+
+/// The full report: measured stage seconds, the three stage tallies,
+/// derived ratio/throughput, and the encoder/codebook stats blocks. Every
+/// PipelineReport field appears exactly once — test_obs asserts the
+/// mapping stays lossless.
+[[nodiscard]] inline Json to_json(const PipelineReport& r) {
+  Json stages = Json::object()
+                    .set("histogram",
+                         Json::object()
+                             .set("seconds", r.hist_seconds)
+                             .set("tally", to_json(r.hist_tally)))
+                    .set("codebook",
+                         Json::object()
+                             .set("seconds", r.codebook_seconds)
+                             .set("tally", to_json(r.codebook_tally)))
+                    .set("encode",
+                         Json::object()
+                             .set("seconds", r.encode_seconds)
+                             .set("tally", to_json(r.encode_tally)));
+  return Json::object()
+      .set("stages", std::move(stages))
+      .set("entropy_bits", r.entropy_bits)
+      .set("avg_bits", r.avg_bits)
+      .set("reduce_factor", static_cast<u64>(r.reduce_factor))
+      .set("reduce_shuffle", to_json(r.rs))
+      .set("codebook_stats", to_json(r.cb_stats))
+      .set("input_bytes", static_cast<u64>(r.input_bytes))
+      .set("compressed_bytes", static_cast<u64>(r.compressed_bytes))
+      .set("compression_ratio", r.compression_ratio())
+      .set("total_seconds", r.total_seconds())
+      .set("host_gbps", gbps(r.input_bytes, r.total_seconds()));
+}
+
+/// Modeled device times for each pipeline stage tally on each spec:
+/// {"V100":{"histogram":{...},"codebook":{...},"encode":{...},
+///   "total_s":…,"overall_gbps":…}, …}. This is where perf::model_time's
+/// pricing lands in the document (docs/model.md ↔ docs/observability.md).
+[[nodiscard]] inline Json modeled_json(
+    const PipelineReport& r,
+    std::initializer_list<const simt::DeviceSpec*> devices) {
+  Json out = Json::object();
+  for (const simt::DeviceSpec* dev : devices) {
+    const auto h = perf::model_time(r.hist_tally, *dev);
+    const auto c = perf::model_time(r.codebook_tally, *dev);
+    const auto e = perf::model_time(r.encode_tally, *dev);
+    const double total = h.total() + c.total() + e.total();
+    out.set(dev->name,
+            Json::object()
+                .set("histogram", to_json(h))
+                .set("codebook", to_json(c))
+                .set("encode", to_json(e))
+                .set("total_s", total)
+                .set("overall_gbps", gbps(r.input_bytes, total)));
+  }
+  return out;
+}
+
+/// Flatten a MemTally's counters into `reg` under `prefix.`.
+inline void publish(MetricsRegistry& reg, const simt::MemTally& t,
+                    const std::string& prefix) {
+  // Bind the temporary: members() returns a reference into the Json, and a
+  // range-for over `to_json(t).members()` would iterate a destroyed object
+  // (C++23's P2718 lifetime extension does not apply in C++20).
+  const Json j = to_json(t);
+  for (const auto& [key, value] : j.members()) {
+    reg.counter_add(prefix + "." + key, value.as_u64());
+  }
+}
+
+/// Publish one compress() run: stage timers (seconds + call counts),
+/// byte counters, per-stage tallies, and last-run gauges.
+inline void publish(MetricsRegistry& reg, const PipelineReport& r,
+                    const std::string& prefix = "pipeline") {
+  reg.stage_add(prefix + ".histogram", r.hist_seconds);
+  reg.stage_add(prefix + ".codebook", r.codebook_seconds);
+  reg.stage_add(prefix + ".encode", r.encode_seconds);
+  reg.counter_add(prefix + ".runs");
+  reg.counter_add(prefix + ".input_bytes", r.input_bytes);
+  reg.counter_add(prefix + ".compressed_bytes", r.compressed_bytes);
+  publish(reg, r.hist_tally, prefix + ".histogram");
+  publish(reg, r.codebook_tally, prefix + ".codebook");
+  publish(reg, r.encode_tally, prefix + ".encode");
+  reg.gauge_set(prefix + ".last.entropy_bits", r.entropy_bits);
+  reg.gauge_set(prefix + ".last.avg_bits", r.avg_bits);
+  reg.gauge_set(prefix + ".last.reduce_factor",
+                static_cast<double>(r.reduce_factor));
+  reg.gauge_set(prefix + ".last.compression_ratio", r.compression_ratio());
+  reg.gauge_set(prefix + ".last.host_gbps",
+                gbps(r.input_bytes, r.total_seconds()));
+}
+
+/// Builder for a `parhuff-metrics-v1` document:
+///   {"schema":"parhuff-metrics-v1","name":…,"config":{…},
+///    "records":[…],"metrics":{registry snapshot}}
+/// `records` carries the emitter's per-case results (one object per
+/// dataset/configuration); `metrics` is the registry aggregate.
+class MetricsDocument {
+ public:
+  explicit MetricsDocument(std::string name) : name_(std::move(name)) {
+    config_ = Json::object();
+  }
+
+  Json& config() { return config_; }
+  void add_record(Json record) { records_.push(std::move(record)); }
+  [[nodiscard]] std::size_t record_count() const { return records_.size(); }
+
+  [[nodiscard]] Json to_json(const MetricsRegistry& reg =
+                                 MetricsRegistry::global()) const {
+    Json j = Json::object();
+    j.set("schema", kMetricsSchema);
+    j.set("name", name_);
+    j.set("config", config_);
+    j.set("records", records_);
+    j.set("metrics", reg.to_json());
+    return j;
+  }
+
+  void write(const std::string& path,
+             const MetricsRegistry& reg = MetricsRegistry::global()) const {
+    write_json_file(path, to_json(reg));
+  }
+
+ private:
+  std::string name_;
+  Json config_;
+  Json records_ = Json::array();
+};
+
+}  // namespace parhuff::obs

@@ -1,0 +1,129 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <thread>
+
+namespace parhuff::obs {
+
+namespace {
+
+double steady_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Set when PARHUFF_TRACE names a file; written at process exit.
+std::string& env_trace_path() {
+  static std::string path;
+  return path;
+}
+
+void write_env_trace_at_exit() {
+  const std::string& path = env_trace_path();
+  if (path.empty()) return;
+  try {
+    TraceRecorder::global().write(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "parhuff: PARHUFF_TRACE write failed: %s\n",
+                 e.what());
+  }
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : epoch_us_(steady_us()) {}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder* rec = [] {
+    auto* r = new TraceRecorder();
+    if (const char* env = std::getenv("PARHUFF_TRACE")) {
+      const std::string v = env;
+      if (!v.empty() && v != "0" && v != "off" && v != "false") {
+        r->enable();
+        if (v != "1" && v != "on" && v != "true") {
+          env_trace_path() = v;
+          std::atexit(write_env_trace_at_exit);
+        }
+      }
+    }
+    return r;
+  }();
+  return *rec;
+}
+
+double TraceRecorder::now_us() const { return steady_us() - epoch_us_; }
+
+int TraceRecorder::thread_tid() {
+  // Caller holds mu_. Dense small ids render as compact Perfetto tracks.
+  const unsigned long long h =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  for (const auto& [hash, id] : tids_) {
+    if (hash == h) return id;
+  }
+  const int id = static_cast<int>(tids_.size()) + 1;
+  tids_.emplace_back(h, id);
+  return id;
+}
+
+void TraceRecorder::complete(std::string name, std::string cat, double ts_us,
+                             double dur_us) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(TraceEvent{std::move(name), std::move(cat), ts_us,
+                               dur_us, thread_tid(), 'X'});
+}
+
+void TraceRecorder::instant(std::string name, std::string cat) {
+  if (!enabled()) return;
+  const double ts = now_us();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(
+      TraceEvent{std::move(name), std::move(cat), ts, 0, thread_tid(), 'i'});
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+Json TraceRecorder::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json arr = Json::array();
+  // Process metadata event so the track has a readable name.
+  arr.push(Json::object()
+               .set("name", "process_name")
+               .set("ph", "M")
+               .set("pid", 1)
+               .set("tid", 0)
+               .set("args", Json::object().set("name", "parhuff")));
+  for (const TraceEvent& e : events_) {
+    Json ev = Json::object()
+                  .set("name", e.name)
+                  .set("cat", e.cat)
+                  .set("ph", std::string(1, e.phase))
+                  .set("ts", e.ts_us)
+                  .set("pid", 1)
+                  .set("tid", e.tid);
+    if (e.phase == 'X') ev.set("dur", e.dur_us);
+    if (e.phase == 'i') ev.set("s", "t");  // thread-scoped instant
+    arr.push(std::move(ev));
+  }
+  return Json::object()
+      .set("traceEvents", std::move(arr))
+      .set("displayTimeUnit", "ms");
+}
+
+void TraceRecorder::write(const std::string& path) const {
+  write_json_file(path, to_json());
+}
+
+}  // namespace parhuff::obs

@@ -1,0 +1,106 @@
+#pragma once
+// Trace-span recorder exporting Chrome trace_event JSON — load the output
+// in Perfetto (https://ui.perfetto.dev) or chrome://tracing to see the
+// pipeline's histogram/codebook/encode stages and the simulated kernel
+// launches on a timeline. docs/observability.md documents the span naming
+// convention.
+//
+// Recording is off by default and costs one relaxed atomic load per span
+// when disabled. Enable it either
+//   - programmatically: TraceRecorder::global().enable()   (what --trace-out
+//     does in the bench/example drivers), or
+//   - via the environment: PARHUFF_TRACE=1 enables recording;
+//     PARHUFF_TRACE=/path/to/trace.json additionally writes the trace there
+//     at process exit.
+//
+// Spans nest naturally per thread (complete "ph":"X" events carry begin +
+// duration); worker threads show up as separate tracks.
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace parhuff::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  double ts_us = 0;   ///< microseconds since the recorder's epoch
+  double dur_us = 0;  ///< 0 for instant events
+  int tid = 0;        ///< small dense id per OS thread
+  char phase = 'X';   ///< 'X' complete span, 'i' instant
+};
+
+class TraceRecorder {
+ public:
+  /// Process-wide recorder. First call applies the PARHUFF_TRACE
+  /// environment toggle described above.
+  static TraceRecorder& global();
+
+  /// Standalone recorder (disabled, fresh epoch). TraceSpan always targets
+  /// global(); local instances exist for isolated use and tests.
+  TraceRecorder();
+
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Microseconds since the recorder's epoch (process start, effectively).
+  [[nodiscard]] double now_us() const;
+
+  /// Record a completed span [ts_us, ts_us + dur_us) on the calling thread.
+  void complete(std::string name, std::string cat, double ts_us,
+                double dur_us);
+  /// Record an instant event at now().
+  void instant(std::string name, std::string cat);
+
+  [[nodiscard]] std::size_t event_count() const;
+  void clear();
+
+  /// {"traceEvents":[...],"displayTimeUnit":"ms"} — the Chrome trace_event
+  /// "JSON object format" both Perfetto and chrome://tracing load.
+  [[nodiscard]] Json to_json() const;
+  /// to_json() written to `path` (throws std::runtime_error on I/O error).
+  void write(const std::string& path) const;
+
+ private:
+  int thread_tid();
+
+  std::atomic<bool> enabled_{false};
+  double epoch_us_ = 0;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::vector<std::pair<unsigned long long, int>> tids_;  // hash(thread) → id
+};
+
+/// RAII span: records `[construction, destruction)` into the global
+/// recorder when tracing was enabled at construction time. Cheap no-op
+/// otherwise — safe to leave in hot paths.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* cat = "parhuff")
+      : armed_(TraceRecorder::global().enabled()),
+        name_(name),
+        cat_(cat),
+        start_us_(armed_ ? TraceRecorder::global().now_us() : 0) {}
+  ~TraceSpan() {
+    if (!armed_) return;
+    TraceRecorder& rec = TraceRecorder::global();
+    rec.complete(name_, cat_, start_us_, rec.now_us() - start_us_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  bool armed_;
+  const char* name_;
+  const char* cat_;
+  double start_us_;
+};
+
+}  // namespace parhuff::obs

@@ -28,6 +28,9 @@
 #include "core/streaming.hpp"
 #include "core/tree.hpp"
 #include "lossy/lossy.hpp"         // cuSZ-style lossy compressor
+#include "obs/metrics.hpp"         // MetricsRegistry, ScopedStageTimer
+#include "obs/report.hpp"          // to_json(PipelineReport), MetricsDocument
+#include "obs/trace.hpp"           // TraceRecorder, TraceSpan
 #include "perf/cpu_model.hpp"
 #include "perf/gpu_model.hpp"
 #include "simt/spec.hpp"

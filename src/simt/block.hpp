@@ -30,6 +30,8 @@
 #include <span>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "simt/mem_model.hpp"
 #include "util/parallel.hpp"
 
@@ -121,6 +123,7 @@ class BlockCtx {
 template <typename Kernel>
 void launch(int grid_dim, int block_dim, MemTally* tally, Kernel&& kernel) {
   assert(block_dim >= 1 && block_dim <= 1024);
+  obs::TraceSpan span("simt.launch", "simt");
   std::vector<MemTally> per_block(tally ? static_cast<std::size_t>(grid_dim)
                                         : 0);
   parhuff::parallel_for(static_cast<std::size_t>(grid_dim), [&](std::size_t b) {
@@ -128,9 +131,16 @@ void launch(int grid_dim, int block_dim, MemTally* tally, Kernel&& kernel) {
                  tally ? &per_block[b] : nullptr);
     kernel(ctx);
   });
+  obs::MetricsRegistry::global().counter_add("simt.kernel_launches");
   if (tally) {
     tally->kernel_launches += 1;
-    for (const auto& t : per_block) *tally += t;
+    u64 block_syncs = 0;
+    for (const auto& t : per_block) {
+      *tally += t;
+      block_syncs += t.block_syncs;
+    }
+    obs::MetricsRegistry::global().counter_add("simt.block_syncs",
+                                               block_syncs);
   }
 }
 

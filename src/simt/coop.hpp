@@ -18,6 +18,8 @@
 
 #include <cstddef>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "simt/mem_model.hpp"
 #include "util/parallel.hpp"
 
@@ -29,8 +31,11 @@ class CooperativeGrid {
   /// would have; regions larger than it are grid-strided, which the tally
   /// reflects via scalar op counts.
   explicit CooperativeGrid(std::size_t grid_threads, MemTally* tally)
-      : grid_threads_(grid_threads), tally_(tally) {
+      : grid_threads_(grid_threads),
+        tally_(tally),
+        span_("simt.coop_grid", "simt") {
     if (tally_) tally_->kernel_launches += 1;
+    obs::MetricsRegistry::global().counter_add("simt.kernel_launches");
   }
 
   [[nodiscard]] std::size_t grid_threads() const { return grid_threads_; }
@@ -54,6 +59,7 @@ class CooperativeGrid {
 
   void sync() {
     if (tally_) tally_->grid_syncs += 1;
+    obs::MetricsRegistry::global().counter_add("simt.grid_syncs");
   }
 
   [[nodiscard]] MemTally* tally() { return tally_; }
@@ -61,6 +67,7 @@ class CooperativeGrid {
  private:
   std::size_t grid_threads_;
   MemTally* tally_;
+  obs::TraceSpan span_;  ///< the cooperative launch's lifetime on the trace
 };
 
 }  // namespace parhuff::simt

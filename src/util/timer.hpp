@@ -28,26 +28,51 @@ class Timer {
   clock::time_point start_;
 };
 
-/// Accumulates named stage durations; the pipeline uses one of these to
-/// report the hist/codebook/encode breakdown the paper's Table V shows.
+/// Accumulates named stage durations and how often each stage ran; the
+/// pipeline uses one of these to report the hist/codebook/encode breakdown
+/// the paper's Table V shows, and the obs layer reports mean-per-call from
+/// the invocation counts.
 class StageTimes {
  public:
-  void add(const std::string& stage, double seconds) { acc_[stage] += seconds; }
+  struct Entry {
+    double seconds = 0;
+    std::size_t count = 0;
+  };
+
+  void add(const std::string& stage, double seconds) {
+    Entry& e = acc_[stage];
+    e.seconds += seconds;
+    e.count += 1;
+  }
 
   [[nodiscard]] double seconds(const std::string& stage) const {
     auto it = acc_.find(stage);
-    return it == acc_.end() ? 0.0 : it->second;
+    return it == acc_.end() ? 0.0 : it->second.seconds;
+  }
+  /// Number of add() calls recorded against `stage`.
+  [[nodiscard]] std::size_t count(const std::string& stage) const {
+    auto it = acc_.find(stage);
+    return it == acc_.end() ? 0 : it->second.count;
+  }
+  /// seconds(stage) / count(stage); 0 when the stage never ran.
+  [[nodiscard]] double mean_seconds(const std::string& stage) const {
+    auto it = acc_.find(stage);
+    return it == acc_.end() || it->second.count == 0
+               ? 0.0
+               : it->second.seconds / static_cast<double>(it->second.count);
   }
   [[nodiscard]] double total_seconds() const {
     double t = 0;
-    for (const auto& [k, v] : acc_) t += v;
+    for (const auto& [k, v] : acc_) t += v.seconds;
     return t;
   }
-  [[nodiscard]] const std::map<std::string, double>& all() const { return acc_; }
+  [[nodiscard]] const std::map<std::string, Entry>& all() const {
+    return acc_;
+  }
   void clear() { acc_.clear(); }
 
  private:
-  std::map<std::string, double> acc_;
+  std::map<std::string, Entry> acc_;
 };
 
 /// Throughput in GB/s (decimal GB, matching the paper's units) for `bytes`

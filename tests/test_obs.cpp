@@ -1,0 +1,419 @@
+// Observability layer: JSON document model round trips, metrics registry
+// semantics, trace_event export shape, and the lossless
+// PipelineReport → parhuff-metrics-v1 projection.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <thread>
+
+#include "core/pipeline.hpp"
+#include "data/textgen.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+namespace parhuff {
+namespace {
+
+// --- Json: construction and access. -----------------------------------------
+
+TEST(Json, KindsAndAccessors) {
+  EXPECT_TRUE(obs::Json().is_null());
+  EXPECT_TRUE(obs::Json(nullptr).is_null());
+  EXPECT_TRUE(obs::Json(true).as_bool());
+  EXPECT_EQ(obs::Json(i64{-7}).as_i64(), -7);
+  EXPECT_EQ(obs::Json(u64{7}).as_u64(), 7u);
+  EXPECT_DOUBLE_EQ(obs::Json(1.5).as_double(), 1.5);
+  EXPECT_EQ(obs::Json("hi").as_string(), "hi");
+  EXPECT_TRUE(obs::Json::object().is_object());
+  EXPECT_TRUE(obs::Json::array().is_array());
+  // Numeric kinds convert freely.
+  EXPECT_DOUBLE_EQ(obs::Json(i64{3}).as_double(), 3.0);
+  EXPECT_EQ(obs::Json(u64{3}).as_i64(), 3);
+  // Kind mismatches throw.
+  EXPECT_THROW((void)obs::Json("x").as_i64(), std::runtime_error);
+  EXPECT_THROW((void)obs::Json(1.0).as_string(), std::runtime_error);
+}
+
+TEST(Json, ObjectSetPreservesOrderAndOverwrites) {
+  obs::Json j = obs::Json::object();
+  j.set("b", 1).set("a", 2).set("b", 3);
+  ASSERT_EQ(j.size(), 2u);
+  EXPECT_EQ(j.members()[0].first, "b");
+  EXPECT_EQ(j.members()[1].first, "a");
+  EXPECT_EQ(j.at("b").as_i64(), 3);
+  EXPECT_TRUE(j.has("a"));
+  EXPECT_FALSE(j.has("c"));
+  EXPECT_THROW((void)j.at("c"), std::runtime_error);
+}
+
+// --- Json: dump/parse round trips. ------------------------------------------
+
+TEST(Json, RoundTripNested) {
+  obs::Json doc = obs::Json::object();
+  doc.set("schema", "parhuff-metrics-v1");
+  doc.set("tallies", obs::Json::object()
+                         .set("histogram",
+                              obs::Json::object()
+                                  .set("global_read_bytes", u64{1} << 40)
+                                  .set("block_syncs", u64{123456789}))
+                         .set("nested_empty", obs::Json::object()));
+  obs::Json arr = obs::Json::array();
+  arr.push(1).push(-2).push(obs::Json::array().push("deep"));
+  doc.set("records", std::move(arr));
+  doc.set("ratio", 3.4567890123);
+  doc.set("none", nullptr);
+  doc.set("flag", false);
+
+  for (int indent : {-1, 0, 2}) {
+    const obs::Json back = obs::Json::parse(doc.dump(indent));
+    EXPECT_EQ(back, doc) << "indent=" << indent;
+    EXPECT_EQ(back.at("schema").as_string(), "parhuff-metrics-v1");
+    EXPECT_EQ(back.at("tallies").at("histogram").at("global_read_bytes")
+                  .as_u64(),
+              u64{1} << 40);
+    EXPECT_EQ(back.at("records").at(2).at(0).as_string(), "deep");
+  }
+}
+
+TEST(Json, ExactIntegerRoundTrip) {
+  // u64 counters must survive bit-for-bit — the whole reason kInt/kUint
+  // exist separately from kDouble.
+  const u64 big = std::numeric_limits<u64>::max();
+  const i64 small = std::numeric_limits<i64>::min();
+  obs::Json j = obs::Json::object();
+  j.set("umax", big).set("imin", small);
+  const obs::Json back = obs::Json::parse(j.dump());
+  EXPECT_EQ(back.at("umax").as_u64(), big);
+  EXPECT_EQ(back.at("imin").as_i64(), small);
+}
+
+TEST(Json, DoubleRoundTrip) {
+  for (double v : {0.0, -1.5, 1e-300, 6.02214076e23, 0.1, 1.0 / 3.0}) {
+    const obs::Json back = obs::Json::parse(obs::Json(v).dump());
+    EXPECT_DOUBLE_EQ(back.as_double(), v);
+  }
+  // Non-finite values have no JSON representation; they serialize as null.
+  EXPECT_EQ(obs::Json(std::nan("")).dump(), "null");
+  EXPECT_EQ(obs::Json(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(Json, StringEscaping) {
+  const std::string nasty = "quote\" back\\slash \n\t\r\b\f ctrl\x01 µ☃";
+  const obs::Json back = obs::Json::parse(obs::Json(nasty).dump());
+  EXPECT_EQ(back.as_string(), nasty);
+  EXPECT_EQ(obs::Json::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::Json::escape("\n"), "\\n");
+  EXPECT_EQ(obs::Json::escape("\x01"), "\\u0001");
+}
+
+TEST(Json, ParseUnicodeEscapes) {
+  EXPECT_EQ(obs::Json::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(obs::Json::parse("\"\\u00b5\"").as_string(), "µ");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(obs::Json::parse("\"\\ud83d\\ude00\"").as_string(), "😀");
+}
+
+TEST(Json, ParseRejectsMalformed) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "01", "\"unterminated",
+        "{\"a\":1,}", "[1 2]", "1 trailing"}) {
+    EXPECT_THROW((void)obs::Json::parse(bad), std::runtime_error) << bad;
+  }
+}
+
+TEST(Json, WriteFile) {
+  const std::string path = ::testing::TempDir() + "parhuff_json_test.json";
+  obs::Json j = obs::Json::object();
+  j.set("x", 1);
+  obs::write_json_file(path, j);
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(obs::Json::parse(ss.str()), j);
+  std::remove(path.c_str());
+}
+
+// --- MetricsRegistry. --------------------------------------------------------
+
+TEST(MetricsRegistry, CountersGaugesStages) {
+  obs::MetricsRegistry reg;
+  reg.counter_add("c");
+  reg.counter_add("c", 4);
+  reg.gauge_set("g", 1.5);
+  reg.gauge_set("g", 2.5);
+  reg.stage_add("s", 0.25);
+  reg.stage_add("s", 0.75);
+  EXPECT_EQ(reg.counter("c"), 5u);
+  EXPECT_DOUBLE_EQ(reg.gauge("g"), 2.5);
+  EXPECT_DOUBLE_EQ(reg.stage("s").seconds, 1.0);
+  EXPECT_EQ(reg.stage("s").count, 2u);
+  EXPECT_DOUBLE_EQ(reg.stage("s").mean_seconds(), 0.5);
+  EXPECT_EQ(reg.counter("absent"), 0u);
+
+  const obs::Json j = reg.to_json();
+  EXPECT_EQ(j.at("counters").at("c").as_u64(), 5u);
+  EXPECT_DOUBLE_EQ(j.at("gauges").at("g").as_double(), 2.5);
+  EXPECT_EQ(j.at("stages").at("s").at("count").as_u64(), 2u);
+  EXPECT_DOUBLE_EQ(j.at("stages").at("s").at("mean_seconds").as_double(), 0.5);
+
+  reg.clear();
+  EXPECT_EQ(reg.counter("c"), 0u);
+  EXPECT_EQ(reg.to_json().at("counters").size(), 0u);
+}
+
+TEST(MetricsRegistry, Merge) {
+  obs::MetricsRegistry a, b;
+  a.counter_add("c", 1);
+  b.counter_add("c", 2);
+  b.counter_add("only_b", 3);
+  b.gauge_set("g", 9.0);
+  b.stage_add("s", 0.5);
+  a.merge(b);
+  EXPECT_EQ(a.counter("c"), 3u);
+  EXPECT_EQ(a.counter("only_b"), 3u);
+  EXPECT_DOUBLE_EQ(a.gauge("g"), 9.0);
+  EXPECT_EQ(a.stage("s").count, 1u);
+}
+
+TEST(MetricsRegistry, ThreadSafeCounters) {
+  obs::MetricsRegistry reg;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t) {
+    ts.emplace_back([&reg] {
+      for (int i = 0; i < 1000; ++i) reg.counter_add("n");
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(reg.counter("n"), 4000u);
+}
+
+TEST(MetricsRegistry, ScopedStageTimer) {
+  obs::MetricsRegistry reg;
+  { obs::ScopedStageTimer t(reg, "stage"); }
+  { obs::ScopedStageTimer t(reg, "stage"); }
+  EXPECT_EQ(reg.stage("stage").count, 2u);
+  EXPECT_GE(reg.stage("stage").seconds, 0.0);
+}
+
+// --- TraceRecorder: Chrome trace_event shape. --------------------------------
+
+TEST(Trace, ExportsValidTraceEventJson) {
+  obs::TraceRecorder rec;
+  rec.enable();
+  const double t0 = rec.now_us();
+  rec.complete("span_a", "cat1", t0, 125.0);
+  rec.instant("mark_b", "cat2");
+  {
+    obs::TraceSpan span("unarmed", "cat3");  // global recorder is off here
+  }
+  rec.disable();
+  rec.complete("after_disable", "cat1", t0, 1.0);  // must be dropped
+
+  const obs::Json doc = obs::Json::parse(rec.to_json().dump());
+  ASSERT_TRUE(doc.has("traceEvents"));
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+  const auto& events = doc.at("traceEvents").elements();
+  // Metadata event + the two recorded events; nothing after disable().
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].at("ph").as_string(), "M");
+  EXPECT_EQ(events[0].at("name").as_string(), "process_name");
+
+  const obs::Json& x = events[1];
+  EXPECT_EQ(x.at("name").as_string(), "span_a");
+  EXPECT_EQ(x.at("cat").as_string(), "cat1");
+  EXPECT_EQ(x.at("ph").as_string(), "X");
+  EXPECT_DOUBLE_EQ(x.at("dur").as_double(), 125.0);
+  EXPECT_GE(x.at("ts").as_double(), 0.0);
+  EXPECT_TRUE(x.has("pid"));
+  EXPECT_TRUE(x.has("tid"));
+
+  const obs::Json& i = events[2];
+  EXPECT_EQ(i.at("ph").as_string(), "i");
+  EXPECT_EQ(i.at("s").as_string(), "t");
+}
+
+TEST(Trace, SpanRecordsIntoGlobalWhenEnabled) {
+  auto& rec = obs::TraceRecorder::global();
+  rec.clear();
+  rec.enable();
+  {
+    obs::TraceSpan span("test.span", "test");
+  }
+  rec.disable();
+  EXPECT_EQ(rec.event_count(), 1u);
+  const obs::Json doc = rec.to_json();
+  bool found = false;
+  for (const obs::Json& e : doc.at("traceEvents").elements()) {
+    if (e.at("name").as_string() == "test.span") {
+      found = true;
+      EXPECT_EQ(e.at("cat").as_string(), "test");
+      EXPECT_GE(e.at("dur").as_double(), 0.0);
+    }
+  }
+  EXPECT_TRUE(found);
+  rec.clear();
+}
+
+TEST(Trace, PipelineEmitsStageSpans) {
+  auto& rec = obs::TraceRecorder::global();
+  rec.clear();
+  rec.enable();
+  const auto input = data::generate_text(64 * 1024, 3);
+  PipelineConfig cfg;
+  cfg.nbins = 256;
+  const auto blob = compress<u8>(input, cfg);
+  (void)decompress(blob);
+  rec.disable();
+
+  std::vector<std::string> names;
+  const obs::Json doc = rec.to_json();  // keep the temporary alive
+  for (const obs::Json& e : doc.at("traceEvents").elements()) {
+    names.push_back(e.at("name").as_string());
+  }
+  for (const char* want :
+       {"pipeline.compress", "pipeline.histogram", "pipeline.codebook",
+        "pipeline.encode", "pipeline.decompress", "simt.coop_grid"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), want), names.end())
+        << "missing span " << want;
+  }
+  rec.clear();
+}
+
+// --- PipelineReport → metrics projection. ------------------------------------
+
+TEST(Report, PipelineReportToJsonIsLossless) {
+  const auto input = data::generate_text(256 * 1024, 7);
+  PipelineConfig cfg;
+  cfg.nbins = 256;
+  PipelineReport rep;
+  const auto blob = compress<u8>(input, cfg, &rep);
+  ASSERT_EQ(decompress(blob), input);
+
+  const obs::Json j = obs::Json::parse(obs::to_json(rep).dump());
+
+  EXPECT_DOUBLE_EQ(j.at("stages").at("histogram").at("seconds").as_double(),
+                   rep.hist_seconds);
+  EXPECT_DOUBLE_EQ(j.at("stages").at("codebook").at("seconds").as_double(),
+                   rep.codebook_seconds);
+  EXPECT_DOUBLE_EQ(j.at("stages").at("encode").at("seconds").as_double(),
+                   rep.encode_seconds);
+  // Every MemTally counter appears verbatim; spot-check the busiest ones
+  // and verify the key set matches the struct field-for-field.
+  const obs::Json& enc = j.at("stages").at("encode").at("tally");
+  EXPECT_EQ(enc.at("global_read_bytes").as_u64(),
+            rep.encode_tally.global_read_bytes);
+  EXPECT_EQ(enc.at("block_syncs").as_u64(), rep.encode_tally.block_syncs);
+  EXPECT_EQ(enc.at("kernel_launches").as_u64(),
+            rep.encode_tally.kernel_launches);
+  EXPECT_EQ(enc.size(), 15u) << "MemTally gained/lost a counter — update "
+                                "obs::to_json(MemTally) and this test";
+  EXPECT_DOUBLE_EQ(j.at("entropy_bits").as_double(), rep.entropy_bits);
+  EXPECT_DOUBLE_EQ(j.at("avg_bits").as_double(), rep.avg_bits);
+  EXPECT_EQ(j.at("reduce_factor").as_u64(), rep.reduce_factor);
+  EXPECT_EQ(j.at("input_bytes").as_u64(), rep.input_bytes);
+  EXPECT_EQ(j.at("compressed_bytes").as_u64(), rep.compressed_bytes);
+  EXPECT_DOUBLE_EQ(j.at("compression_ratio").as_double(),
+                   rep.compression_ratio());
+  EXPECT_EQ(j.at("reduce_shuffle").at("reduce_iterations").as_u64(),
+            rep.rs.reduce_iterations);
+  EXPECT_EQ(j.at("codebook_stats").at("rounds").as_u64(), rep.cb_stats.rounds);
+}
+
+TEST(Report, ModeledJsonPricesEveryStage) {
+  const auto input = data::generate_text(128 * 1024, 9);
+  PipelineConfig cfg;
+  cfg.nbins = 256;
+  PipelineReport rep;
+  (void)compress<u8>(input, cfg, &rep);
+
+  const auto v100 = simt::DeviceSpec::v100();
+  const obs::Json m = obs::modeled_json(rep, {&v100});
+  ASSERT_TRUE(m.has("V100"));
+  const obs::Json& d = m.at("V100");
+  EXPECT_GT(d.at("total_s").as_double(), 0.0);
+  EXPECT_GT(d.at("overall_gbps").as_double(), 0.0);
+  for (const char* stage : {"histogram", "codebook", "encode"}) {
+    const obs::Json& b = d.at(stage);
+    // total_s must reproduce GpuTimeBreakdown::total(): dram/shared/compute
+    // overlap (max), the rest serialize (docs/model.md terms).
+    const double overlapped =
+        std::max({b.at("dram_s").as_double(), b.at("shared_s").as_double(),
+                  b.at("compute_s").as_double()});
+    const double expected = b.at("launch_s").as_double() +
+                            b.at("sync_s").as_double() + overlapped +
+                            b.at("atomic_s").as_double() +
+                            b.at("serial_s").as_double();
+    EXPECT_NEAR(b.at("total_s").as_double(), expected, 1e-12) << stage;
+  }
+}
+
+TEST(Report, PublishFillsRegistry) {
+  const auto input = data::generate_text(64 * 1024, 5);
+  PipelineConfig cfg;
+  cfg.nbins = 256;
+  PipelineReport rep;
+  (void)compress<u8>(input, cfg, &rep);
+
+  obs::MetricsRegistry reg;
+  obs::publish(reg, rep);
+  EXPECT_EQ(reg.counter("pipeline.runs"), 1u);
+  EXPECT_EQ(reg.counter("pipeline.input_bytes"), rep.input_bytes);
+  EXPECT_EQ(reg.counter("pipeline.histogram.global_read_bytes"),
+            rep.hist_tally.global_read_bytes);
+  EXPECT_EQ(reg.stage("pipeline.encode").count, 1u);
+  EXPECT_DOUBLE_EQ(reg.gauge("pipeline.last.avg_bits"), rep.avg_bits);
+}
+
+TEST(Report, CompressPublishesToGlobalRegistry) {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.clear();
+  const auto input = data::generate_text(64 * 1024, 11);
+  PipelineConfig cfg;
+  cfg.nbins = 256;
+  (void)compress<u8>(input, cfg);
+  EXPECT_EQ(reg.counter("pipeline.runs"), 1u);
+  EXPECT_GT(reg.counter("simt.kernel_launches"), 0u);
+  EXPECT_GT(reg.counter("simt.grid_syncs"), 0u);
+  reg.clear();
+}
+
+// --- MetricsDocument: the versioned envelope. ---------------------------------
+
+TEST(Report, MetricsDocumentSchema) {
+  obs::MetricsRegistry reg;
+  reg.counter_add("k", 42);
+  obs::MetricsDocument doc("test_doc");
+  doc.config().set("param", 1);
+  doc.add_record(obs::Json::object().set("case", "a"));
+  doc.add_record(obs::Json::object().set("case", "b"));
+  EXPECT_EQ(doc.record_count(), 2u);
+
+  const obs::Json j = obs::Json::parse(doc.to_json(reg).dump(2));
+  EXPECT_EQ(j.at("schema").as_string(), "parhuff-metrics-v1");
+  EXPECT_EQ(j.at("name").as_string(), "test_doc");
+  EXPECT_EQ(j.at("config").at("param").as_i64(), 1);
+  EXPECT_EQ(j.at("records").size(), 2u);
+  EXPECT_EQ(j.at("records").at(1).at("case").as_string(), "b");
+  EXPECT_EQ(j.at("metrics").at("counters").at("k").as_u64(), 42u);
+}
+
+TEST(Report, KindNamesCoverEveryEnum) {
+  EXPECT_STREQ(obs::kind_name(HistogramKind::kSimt), "simt");
+  EXPECT_STREQ(obs::kind_name(CodebookKind::kParallelSimt), "parallel_simt");
+  EXPECT_STREQ(obs::kind_name(EncoderKind::kReduceShuffleSimt),
+               "reduceshuffle_simt");
+  const obs::Json c = obs::to_json(PipelineConfig{});
+  EXPECT_TRUE(c.at("reduce_factor").is_null());  // unset optional → null
+  EXPECT_EQ(c.at("histogram").as_string(), "simt");
+}
+
+}  // namespace
+}  // namespace parhuff

@@ -110,6 +110,21 @@ TEST(StageTimes, Accumulates) {
   EXPECT_DOUBLE_EQ(st.total_seconds(), 3.5);
 }
 
+TEST(StageTimes, CountsInvocations) {
+  StageTimes st;
+  st.add("a", 1.0);
+  st.add("a", 0.5);
+  st.add("b", 2.0);
+  EXPECT_EQ(st.count("a"), 2u);
+  EXPECT_EQ(st.count("b"), 1u);
+  EXPECT_EQ(st.count("missing"), 0u);
+  EXPECT_DOUBLE_EQ(st.mean_seconds("a"), 0.75);
+  EXPECT_DOUBLE_EQ(st.mean_seconds("b"), 2.0);
+  EXPECT_DOUBLE_EQ(st.mean_seconds("missing"), 0.0);
+  EXPECT_EQ(st.all().at("a").count, 2u);
+  EXPECT_DOUBLE_EQ(st.all().at("a").seconds, 1.5);
+}
+
 TEST(Gbps, Units) {
   EXPECT_DOUBLE_EQ(gbps(1000000000, 1.0), 1.0);  // decimal GB
   EXPECT_DOUBLE_EQ(gbps(123, 0.0), 0.0);
