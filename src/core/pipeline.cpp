@@ -18,6 +18,103 @@
 
 namespace parhuff {
 
+Codebook build_codebook(std::span<const u64> freq, const PipelineConfig& cfg,
+                        PipelineReport* report) {
+  if (freq.empty()) {
+    throw std::invalid_argument("build_codebook: empty frequency profile");
+  }
+  obs::TraceSpan span("pipeline.codebook", "pipeline");
+  PipelineReport local;
+  PipelineReport& rep = report ? *report : local;
+  Timer t;
+  Codebook cb;
+  switch (cfg.codebook) {
+    case CodebookKind::kSerialTree: {
+      SerialBuildStats st;
+      cb = build_codebook_serial(freq, &st);
+      rep.codebook_tally.serial_dependent_ops += st.dependent_ops;
+      break;
+    }
+    case CodebookKind::kParallelSimt: {
+      simt::CooperativeGrid grid(
+          std::min<std::size_t>(freq.size(), 64 * 1024), &rep.codebook_tally);
+      cb = build_codebook_parallel(grid, freq, &rep.cb_stats, grid.tally());
+      break;
+    }
+    case CodebookKind::kParallelOmp: {
+      OmpExec exec(cfg.cpu_threads);
+      cb = build_codebook_parallel(exec, freq, &rep.cb_stats);
+      break;
+    }
+  }
+  rep.codebook_seconds = t.seconds();
+  return cb;
+}
+
+template <typename Sym>
+EncodedStream encode_with_codebook(std::span<const Sym> data,
+                                   const Codebook& cb,
+                                   const PipelineConfig& cfg,
+                                   std::span<const u64> freq,
+                                   PipelineReport* report) {
+  obs::TraceSpan span("pipeline.encode", "pipeline");
+  PipelineReport local;
+  PipelineReport& rep = report ? *report : local;
+  // REDUCE-factor choice needs an average bitwidth; take a serial
+  // histogram only when the caller didn't supply a profile and the
+  // encoder actually needs one.
+  std::vector<u64> own_freq;
+  std::span<const u64> profile = freq;
+  if (profile.empty() && !cfg.reduce_factor &&
+      cfg.encoder == EncoderKind::kReduceShuffleSimt) {
+    own_freq = histogram_serial(data, cb.nbins);
+    profile = own_freq;
+  }
+  if (!profile.empty()) rep.avg_bits = average_bitwidth(cb, profile);
+
+  EncodedStream stream;
+  Timer t;
+  const u32 chunk = u32{1} << cfg.magnitude;
+  switch (cfg.encoder) {
+    case EncoderKind::kSerial:
+      stream = encode_serial(data, cb, chunk);
+      break;
+    case EncoderKind::kOpenMP:
+      stream = encode_openmp(data, cb, chunk, cfg.cpu_threads);
+      break;
+    case EncoderKind::kCoarseSimt:
+      stream = encode_coarse_simt(data, cb, chunk, &rep.encode_tally);
+      break;
+    case EncoderKind::kPrefixSumSimt:
+      stream = encode_prefixsum_simt(data, cb, chunk, &rep.encode_tally);
+      break;
+    case EncoderKind::kReduceShuffleSimt: {
+      ReduceShuffleConfig rs;
+      rs.magnitude = cfg.magnitude;
+      rs.reduce_factor =
+          cfg.reduce_factor
+              ? *cfg.reduce_factor
+              : decide_reduce_factor(rep.avg_bits, cfg.magnitude);
+      rep.reduce_factor = rs.reduce_factor;
+      stream = encode_reduceshuffle_simt(data, cb, rs, &rep.encode_tally,
+                                         &rep.rs);
+      break;
+    }
+    case EncoderKind::kAdaptiveSimt: {
+      AdaptiveConfig ac;
+      ac.magnitude = cfg.magnitude;
+      AdaptiveStats st;
+      stream = encode_adaptive_simt<Sym, 32>(data, cb, ac, &rep.encode_tally,
+                                             &st);
+      rep.rs.breaking_groups = st.breaking_groups;
+      rep.rs.breaking_symbols = st.breaking_symbols;
+      break;
+    }
+  }
+  rep.encode_seconds = t.seconds();
+  return stream;
+}
+
 template <typename Sym>
 Compressed<Sym> compress(std::span<const Sym> data, const PipelineConfig& cfg,
                          PipelineReport* report) {
@@ -51,78 +148,11 @@ Compressed<Sym> compress(std::span<const Sym> data, const PipelineConfig& cfg,
   rep.entropy_bits = shannon_entropy(freq);
 
   // --- Stage 2+3: codebook construction + canonization. -------------------
-  t.reset();
-  {
-    obs::TraceSpan span("pipeline.codebook", "pipeline");
-    switch (cfg.codebook) {
-      case CodebookKind::kSerialTree: {
-        SerialBuildStats st;
-        out.codebook = build_codebook_serial(freq, &st);
-        rep.codebook_tally.serial_dependent_ops += st.dependent_ops;
-        break;
-      }
-      case CodebookKind::kParallelSimt: {
-        simt::CooperativeGrid grid(
-            std::min<std::size_t>(cfg.nbins, 64 * 1024), &rep.codebook_tally);
-        out.codebook =
-            build_codebook_parallel(grid, freq, &rep.cb_stats, grid.tally());
-        break;
-      }
-      case CodebookKind::kParallelOmp: {
-        OmpExec exec(cfg.cpu_threads);
-        out.codebook = build_codebook_parallel(exec, freq, &rep.cb_stats);
-        break;
-      }
-    }
-  }
-  rep.codebook_seconds = t.seconds();
+  out.codebook = build_codebook(freq, cfg, &rep);
   rep.avg_bits = average_bitwidth(out.codebook, freq);
 
   // --- Stage 4: encode. ----------------------------------------------------
-  t.reset();
-  {
-    obs::TraceSpan span("pipeline.encode", "pipeline");
-    const u32 chunk = u32{1} << cfg.magnitude;
-    switch (cfg.encoder) {
-      case EncoderKind::kSerial:
-        out.stream = encode_serial(data, out.codebook, chunk);
-        break;
-      case EncoderKind::kOpenMP:
-        out.stream = encode_openmp(data, out.codebook, chunk, cfg.cpu_threads);
-        break;
-      case EncoderKind::kCoarseSimt:
-        out.stream =
-            encode_coarse_simt(data, out.codebook, chunk, &rep.encode_tally);
-        break;
-      case EncoderKind::kPrefixSumSimt:
-        out.stream =
-            encode_prefixsum_simt(data, out.codebook, chunk, &rep.encode_tally);
-        break;
-      case EncoderKind::kReduceShuffleSimt: {
-        ReduceShuffleConfig rs;
-        rs.magnitude = cfg.magnitude;
-        rs.reduce_factor = cfg.reduce_factor
-                               ? *cfg.reduce_factor
-                               : decide_reduce_factor(rep.avg_bits,
-                                                      cfg.magnitude);
-        rep.reduce_factor = rs.reduce_factor;
-        out.stream = encode_reduceshuffle_simt(data, out.codebook, rs,
-                                               &rep.encode_tally, &rep.rs);
-        break;
-      }
-      case EncoderKind::kAdaptiveSimt: {
-        AdaptiveConfig ac;
-        ac.magnitude = cfg.magnitude;
-        AdaptiveStats st;
-        out.stream = encode_adaptive_simt<Sym, 32>(data, out.codebook, ac,
-                                                   &rep.encode_tally, &st);
-        rep.rs.breaking_groups = st.breaking_groups;
-        rep.rs.breaking_symbols = st.breaking_symbols;
-        break;
-      }
-    }
-  }
-  rep.encode_seconds = t.seconds();
+  out.stream = encode_with_codebook<Sym>(data, out.codebook, cfg, freq, &rep);
   rep.compressed_bytes = out.stream.stored_bytes();
   obs::publish(obs::MetricsRegistry::global(), rep);
   return out;
@@ -148,6 +178,16 @@ std::vector<Sym> decompress_with(const Compressed<Sym>& blob,
   return decode_stream<Sym>(blob.stream, blob.codebook, 0);
 }
 
+template EncodedStream encode_with_codebook<u8>(std::span<const u8>,
+                                                const Codebook&,
+                                                const PipelineConfig&,
+                                                std::span<const u64>,
+                                                PipelineReport*);
+template EncodedStream encode_with_codebook<u16>(std::span<const u16>,
+                                                 const Codebook&,
+                                                 const PipelineConfig&,
+                                                 std::span<const u64>,
+                                                 PipelineReport*);
 template Compressed<u8> compress<u8>(std::span<const u8>,
                                      const PipelineConfig&, PipelineReport*);
 template Compressed<u16> compress<u16>(std::span<const u16>,

@@ -49,6 +49,11 @@ struct PipelineConfig {
   /// (decide_reduce_factor).
   std::optional<u32> reduce_factor;
   int cpu_threads = 0;  ///< for the OpenMP stages (0 = library default)
+
+  /// Memberwise equality — the service layer's request batcher coalesces
+  /// requests whose configs compare equal.
+  friend bool operator==(const PipelineConfig&,
+                         const PipelineConfig&) = default;
 };
 
 struct PipelineReport {
@@ -91,6 +96,35 @@ template <typename Sym>
                                        const PipelineConfig& cfg,
                                        PipelineReport* report = nullptr);
 
+// --- Stage entry points (what compress() composes). -------------------------
+//
+// The service layer (src/svc/) drives these directly: its batcher builds
+// one codebook per batch and encodes every member request against it, and
+// its cache hands the same frozen Codebook instance to many requests at
+// once. Neither function mutates the codebook, so a `const Codebook`
+// (typically behind a shared_ptr) is safely shareable across threads.
+
+/// Stages 2+3 standalone: build a canonical codebook for the frequency
+/// profile `freq` (one slot per symbol; freq.size() is the alphabet size)
+/// under cfg's codebook policy. When `report` is given, fills
+/// codebook_seconds, codebook_tally and cb_stats only.
+[[nodiscard]] Codebook build_codebook(std::span<const u64> freq,
+                                      const PipelineConfig& cfg,
+                                      PipelineReport* report = nullptr);
+
+/// Stage 4 standalone: encode `data` against an existing codebook, which
+/// is never mutated. `freq` (optional) is the frequency profile used to
+/// pick the REDUCE factor when cfg.reduce_factor is unset; when empty and
+/// the encoder needs one, a serial histogram of `data` is taken. Symbols
+/// without a codeword (length 0) throw std::runtime_error from the
+/// encoders — callers reusing a foreign codebook must guarantee coverage
+/// (the service cache's correctness guard). When `report` is given, fills
+/// encode_seconds, encode_tally, reduce_factor, rs and avg_bits only.
+template <typename Sym>
+[[nodiscard]] EncodedStream encode_with_codebook(
+    std::span<const Sym> data, const Codebook& cb, const PipelineConfig& cfg,
+    std::span<const u64> freq = {}, PipelineReport* report = nullptr);
+
 /// Inverse of compress (any encoder kind).
 template <typename Sym>
 [[nodiscard]] std::vector<Sym> decompress(const Compressed<Sym>& blob,
@@ -109,6 +143,16 @@ template <typename Sym>
                                                DecoderKind decoder,
                                                simt::MemTally* tally = nullptr);
 
+extern template EncodedStream encode_with_codebook<u8>(std::span<const u8>,
+                                                       const Codebook&,
+                                                       const PipelineConfig&,
+                                                       std::span<const u64>,
+                                                       PipelineReport*);
+extern template EncodedStream encode_with_codebook<u16>(std::span<const u16>,
+                                                        const Codebook&,
+                                                        const PipelineConfig&,
+                                                        std::span<const u64>,
+                                                        PipelineReport*);
 extern template Compressed<u8> compress<u8>(std::span<const u8>,
                                             const PipelineConfig&,
                                             PipelineReport*);

@@ -64,22 +64,16 @@ void StreamingCompressor<Sym>::freeze() {
     throw std::logic_error("StreamingCompressor: freeze() before observe()");
   }
   obs::TraceSpan span("streaming.freeze", "streaming");
-  switch (cfg_.codebook) {
-    case CodebookKind::kSerialTree:
-      cb_ = build_codebook_serial(freq_);
-      break;
-    case CodebookKind::kParallelSimt: {
-      simt::CooperativeGrid grid(cfg_.nbins, nullptr);
-      cb_ = build_codebook_parallel(grid, freq_);
-      break;
-    }
-    case CodebookKind::kParallelOmp: {
-      OmpExec exec(cfg_.cpu_threads);
-      cb_ = build_codebook_parallel(exec, freq_);
-      break;
-    }
-  }
+  cb_ = build_codebook(freq_, cfg_);
   frozen_ = true;
+}
+
+template <typename Sym>
+void StreamingCompressor<Sym>::reset() {
+  freq_.assign(cfg_.nbins, 0);
+  cb_ = Codebook{};
+  frozen_ = false;
+  obs::MetricsRegistry::global().counter_add("streaming.resets");
 }
 
 template <typename Sym>
@@ -111,38 +105,7 @@ std::vector<u8> StreamingCompressor<Sym>::encode_segment(
   }
   obs::TraceSpan span("streaming.encode_segment", "streaming");
   Timer seg_timer;
-  EncodedStream s;
-  const u32 chunk = u32{1} << cfg_.magnitude;
-  switch (cfg_.encoder) {
-    case EncoderKind::kSerial:
-      s = encode_serial(segment, cb_, chunk);
-      break;
-    case EncoderKind::kOpenMP:
-      s = encode_openmp(segment, cb_, chunk, cfg_.cpu_threads);
-      break;
-    case EncoderKind::kCoarseSimt:
-      s = encode_coarse_simt(segment, cb_, chunk);
-      break;
-    case EncoderKind::kPrefixSumSimt:
-      s = encode_prefixsum_simt(segment, cb_, chunk);
-      break;
-    case EncoderKind::kReduceShuffleSimt: {
-      ReduceShuffleConfig rs;
-      rs.magnitude = cfg_.magnitude;
-      rs.reduce_factor =
-          cfg_.reduce_factor
-              ? *cfg_.reduce_factor
-              : decide_reduce_factor(cb_.average_bits(freq_), cfg_.magnitude);
-      s = encode_reduceshuffle_simt(segment, cb_, rs);
-      break;
-    }
-    case EncoderKind::kAdaptiveSimt: {
-      AdaptiveConfig ac;
-      ac.magnitude = cfg_.magnitude;
-      s = encode_adaptive_simt<Sym, 32>(segment, cb_, ac);
-      break;
-    }
-  }
+  const EncodedStream s = encode_with_codebook<Sym>(segment, cb_, cfg_, freq_);
   const std::vector<u8> body = serialize_stream(s);
   ByteWriter w;
   w.put<u32>(kFrameMagic);
@@ -178,7 +141,7 @@ StreamingDecompressor<Sym>::StreamingDecompressor(
 
 template <typename Sym>
 std::vector<Sym> StreamingDecompressor<Sym>::decode_segment(
-    std::span<const u8> frame) {
+    std::span<const u8> frame) const {
   obs::TraceSpan span("streaming.decode_segment", "streaming");
   obs::MetricsRegistry::global().counter_add("streaming.segments_decoded");
   ByteReader r(frame);

@@ -20,6 +20,21 @@
 // be interleaved per timestep when the caller pre-trains the histogram on
 // representative data and calls freeze() early — encode_segment only
 // requires frozen state.
+//
+// Compressor state machine (two states, transitions throw std::logic_error
+// when taken from the wrong state):
+//
+//   OBSERVING  — the initial state. Valid: observe(), smooth(), reset(),
+//                freeze() (requires at least one observed symbol).
+//   FROZEN     — after freeze(). Valid: codebook(), header(),
+//                encode_segment(), reset().
+//
+//   OBSERVING --freeze()--> FROZEN --reset()--> OBSERVING
+//
+// reset() returns the compressor to OBSERVING with a cleared histogram and
+// no codebook, keeping the config: one compressor object can be reused for
+// stream after stream (the service layer reuses per-session compressors
+// this way) without reconstructing.
 
 #include <span>
 #include <vector>
@@ -47,6 +62,12 @@ class StreamingCompressor {
   /// Build the codebook from everything observed. Throws if nothing was
   /// observed or if already frozen.
   void freeze();
+
+  /// Return to the OBSERVING state for a new stream: clears the
+  /// accumulated histogram and drops the codebook while keeping the
+  /// config. Valid in any state.
+  void reset();
+
   [[nodiscard]] bool frozen() const { return frozen_; }
   [[nodiscard]] const Codebook& codebook() const;
 
@@ -73,7 +94,11 @@ class StreamingDecompressor {
   [[nodiscard]] const Codebook& codebook() const { return cb_; }
 
   /// Decodes one framed segment (a frame produced by encode_segment).
-  [[nodiscard]] std::vector<Sym> decode_segment(std::span<const u8> frame);
+  /// Const and touches only the immutable codebook, so segments of one
+  /// stream can be decoded from many threads concurrently (tested in
+  /// test_streaming).
+  [[nodiscard]] std::vector<Sym> decode_segment(
+      std::span<const u8> frame) const;
 
   /// Splits a concatenation of frames into individual frames (views into
   /// the input).

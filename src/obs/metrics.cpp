@@ -1,6 +1,8 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 
 namespace parhuff::obs {
 
@@ -10,7 +12,43 @@ double now_us() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+// HistoStat bucket layout: kPerDecade geometric buckets per decade over
+// [kLo, kLo * 10^kDecades), clamped at both ends.
+constexpr double kHistoLo = 1e-7;
+constexpr int kHistoPerDecade = 16;
+constexpr int kHistoDecades = 10;
+constexpr std::size_t kHistoBuckets =
+    static_cast<std::size_t>(kHistoPerDecade * kHistoDecades);
+
+std::size_t histo_bucket(double v) {
+  if (!(v > kHistoLo)) return 0;
+  const double idx =
+      std::log10(v / kHistoLo) * static_cast<double>(kHistoPerDecade);
+  if (idx >= static_cast<double>(kHistoBuckets - 1)) return kHistoBuckets - 1;
+  return static_cast<std::size_t>(idx);
+}
+
+double histo_bucket_mid(std::size_t b) {
+  return kHistoLo *
+         std::pow(10.0, (static_cast<double>(b) + 0.5) /
+                            static_cast<double>(kHistoPerDecade));
+}
 }  // namespace
+
+double HistoStat::quantile(double q) const {
+  if (count == 0 || buckets.empty()) return 0.0;
+  const double clamped_q = std::clamp(q, 0.0, 1.0);
+  // 1-based rank of the sample the quantile falls on (nearest-rank method).
+  const u64 rank = std::max<u64>(
+      1, static_cast<u64>(std::ceil(clamped_q * static_cast<double>(count))));
+  u64 cum = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    cum += buckets[b];
+    if (cum >= rank) return std::clamp(histo_bucket_mid(b), min, max);
+  }
+  return max;
+}
 
 void MetricsRegistry::counter_add(const std::string& name, u64 delta) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -27,6 +65,17 @@ void MetricsRegistry::stage_add(const std::string& name, double seconds) {
   StageStat& s = stages_[name];
   s.seconds += seconds;
   s.count += 1;
+}
+
+void MetricsRegistry::histo_record(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistoStat& h = histos_[name];
+  if (h.buckets.empty()) h.buckets.assign(kHistoBuckets, 0);
+  if (h.count == 0 || value < h.min) h.min = value;
+  if (h.count == 0 || value > h.max) h.max = value;
+  h.count += 1;
+  h.sum += value;
+  h.buckets[histo_bucket(value)] += 1;
 }
 
 u64 MetricsRegistry::counter(const std::string& name) const {
@@ -47,16 +96,24 @@ StageStat MetricsRegistry::stage(const std::string& name) const {
   return it == stages_.end() ? StageStat{} : it->second;
 }
 
+HistoStat MetricsRegistry::histo(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histos_.find(name);
+  return it == histos_.end() ? HistoStat{} : it->second;
+}
+
 void MetricsRegistry::merge(const MetricsRegistry& other) {
   // Copy under the source lock first; never hold both locks at once.
   std::map<std::string, u64> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, StageStat> stages;
+  std::map<std::string, HistoStat> histos;
   {
     std::lock_guard<std::mutex> lock(other.mu_);
     counters = other.counters_;
     gauges = other.gauges_;
     stages = other.stages_;
+    histos = other.histos_;
   }
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [k, v] : counters) counters_[k] += v;
@@ -65,6 +122,21 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
     stages_[k].seconds += v.seconds;
     stages_[k].count += v.count;
   }
+  for (const auto& [k, v] : histos) {
+    HistoStat& h = histos_[k];
+    if (v.count == 0) continue;
+    if (h.count == 0) {
+      h = v;
+      continue;
+    }
+    h.min = std::min(h.min, v.min);
+    h.max = std::max(h.max, v.max);
+    h.count += v.count;
+    h.sum += v.sum;
+    for (std::size_t b = 0; b < h.buckets.size() && b < v.buckets.size(); ++b) {
+      h.buckets[b] += v.buckets[b];
+    }
+  }
 }
 
 void MetricsRegistry::clear() {
@@ -72,6 +144,7 @@ void MetricsRegistry::clear() {
   counters_.clear();
   gauges_.clear();
   stages_.clear();
+  histos_.clear();
 }
 
 Json MetricsRegistry::to_json() const {
@@ -87,10 +160,23 @@ Json MetricsRegistry::to_json() const {
                       .set("count", v.count)
                       .set("mean_seconds", v.mean_seconds()));
   }
+  Json histos = Json::object();
+  for (const auto& [k, v] : histos_) {
+    histos.set(k, Json::object()
+                      .set("count", v.count)
+                      .set("sum", v.sum)
+                      .set("min", v.min)
+                      .set("max", v.max)
+                      .set("mean", v.mean())
+                      .set("p50", v.quantile(0.50))
+                      .set("p95", v.quantile(0.95))
+                      .set("p99", v.quantile(0.99)));
+  }
   return Json::object()
       .set("counters", std::move(counters))
       .set("gauges", std::move(gauges))
-      .set("stages", std::move(stages));
+      .set("stages", std::move(stages))
+      .set("histograms", std::move(histos));
 }
 
 MetricsRegistry& MetricsRegistry::global() {

@@ -7,7 +7,9 @@
 // Counters are monotonically-increasing u64 totals (bytes moved, kernel
 // launches); gauges are last-write-wins doubles (compression ratio of the
 // most recent run); stage timers accumulate seconds *and* invocation
-// counts, so mean-per-call survives aggregation.
+// counts, so mean-per-call survives aggregation; histograms record full
+// value distributions in fixed log-scaled buckets, so the service layer's
+// per-request latency p50/p95/p99 survive aggregation too.
 //
 // All operations are thread-safe; the simulated kernels publish from
 // OpenMP worker threads. `global()` is the process-wide instance the
@@ -17,6 +19,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "obs/json.hpp"
 #include "util/types.hpp"
@@ -33,25 +36,49 @@ struct StageStat {
   }
 };
 
+/// A recorded value distribution: 16 geometric buckets per decade covering
+/// [1e-7, 1e3) — for latencies, 100 ns to ~17 min — with out-of-range
+/// values clamped to the edge buckets. Quantiles report the geometric
+/// midpoint of the covering bucket (≤ ~7.5% relative error from the
+/// bucketing), clamped to the observed [min, max].
+struct HistoStat {
+  u64 count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  std::vector<u64> buckets;  ///< empty until the first record
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+  /// Value at quantile `q` in [0, 1]; 0 when nothing was recorded.
+  [[nodiscard]] double quantile(double q) const;
+};
+
 class MetricsRegistry {
  public:
   void counter_add(const std::string& name, u64 delta = 1);
   void gauge_set(const std::string& name, double value);
   void stage_add(const std::string& name, double seconds);
+  /// Record one sample into the named distribution (see HistoStat).
+  void histo_record(const std::string& name, double value);
 
   [[nodiscard]] u64 counter(const std::string& name) const;
   [[nodiscard]] double gauge(const std::string& name) const;
   [[nodiscard]] StageStat stage(const std::string& name) const;
+  [[nodiscard]] HistoStat histo(const std::string& name) const;
 
-  /// Fold another registry's totals into this one (counters and stage
-  /// timers add; gauges overwrite).
+  /// Fold another registry's totals into this one (counters, stage timers
+  /// and histograms add; gauges overwrite).
   void merge(const MetricsRegistry& other);
 
   void clear();
 
   /// Snapshot as {"counters":{...},"gauges":{...},"stages":{name:
-  /// {"seconds":s,"count":n,"mean_seconds":m}}}. Keys sort
-  /// lexicographically, so documents diff cleanly across runs.
+  /// {"seconds":s,"count":n,"mean_seconds":m}},"histograms":{name:
+  /// {"count":n,"sum":s,"min":…,"max":…,"mean":…,"p50":…,"p95":…,
+  /// "p99":…}}}. Keys sort lexicographically, so documents diff cleanly
+  /// across runs.
   [[nodiscard]] Json to_json() const;
 
   /// Process-wide registry the library layers publish into.
@@ -62,6 +89,7 @@ class MetricsRegistry {
   std::map<std::string, u64> counters_;
   std::map<std::string, double> gauges_;
   std::map<std::string, StageStat> stages_;
+  std::map<std::string, HistoStat> histos_;
 };
 
 /// RAII stage timer: adds the scope's wall time to `reg.stage_add(name)`

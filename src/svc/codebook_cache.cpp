@@ -1,0 +1,89 @@
+#include "svc/codebook_cache.hpp"
+
+#include <utility>
+
+namespace parhuff::svc {
+
+CodebookCache::CodebookCache(Config cfg)
+    : cap_(cfg.capacity_per_shard == 0 ? 1 : cfg.capacity_per_shard) {
+  const std::size_t n = cfg.shards == 0 ? 1 : cfg.shards;
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::shared_ptr<const Codebook> CodebookCache::find(const Fingerprint& fp) {
+  Shard& s = shard_for(fp);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.index.find(fp.hash);
+  // A hash-table hit with a mismatched fingerprint (hash collision across
+  // alphabet sizes) is a miss: the slot belongs to the other distribution.
+  if (it == s.index.end() || it->second->fp != fp) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  s.lru.splice(s.lru.begin(), s.lru, it->second);  // touch: move to MRU
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->cb;
+}
+
+void CodebookCache::insert(const Fingerprint& fp,
+                           std::shared_ptr<const Codebook> cb) {
+  Shard& s = shard_for(fp);
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (const auto it = s.index.find(fp.hash); it != s.index.end()) {
+    it->second->fp = fp;
+    it->second->cb = std::move(cb);
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (s.lru.size() >= cap_) {
+    s.index.erase(s.lru.back().fp.hash);
+    s.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  s.lru.push_front(Entry{fp, std::move(cb)});
+  s.index[fp.hash] = s.lru.begin();
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool CodebookCache::covers(const Codebook& cb, std::span<const u64> freq) {
+  if (freq.size() > cb.cw.size()) {
+    for (std::size_t b = cb.cw.size(); b < freq.size(); ++b) {
+      if (freq[b] > 0) return false;
+    }
+  }
+  const std::size_t n = std::min(freq.size(), cb.cw.size());
+  for (std::size_t b = 0; b < n; ++b) {
+    if (freq[b] > 0 && cb.cw[b].len == 0) return false;
+  }
+  return true;
+}
+
+CodebookCache::Stats CodebookCache::stats() const {
+  return Stats{hits_.load(std::memory_order_relaxed),
+               misses_.load(std::memory_order_relaxed),
+               insertions_.load(std::memory_order_relaxed),
+               evictions_.load(std::memory_order_relaxed)};
+}
+
+std::size_t CodebookCache::size() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    n += s->lru.size();
+  }
+  return n;
+}
+
+void CodebookCache::clear() {
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    s->lru.clear();
+    s->index.clear();
+  }
+}
+
+}  // namespace parhuff::svc

@@ -1,0 +1,96 @@
+#pragma once
+// Sharded LRU cache of frozen canonical codebooks, keyed by histogram
+// fingerprint (svc/fingerprint.hpp). Repeated small-request traffic over
+// the same dataset pays the codebook build (the pipeline's most
+// latency-sensitive stage for small inputs) once instead of per request.
+//
+// Correctness model: the fingerprint is deliberately coarse, so a hit only
+// proves the distributions are *similar*. Before a cached codebook is used
+// to encode, callers must check covers() — every symbol the request
+// actually contains must have a codeword (len > 0). A codebook that fails
+// the guard is unusable for that request (the encoders throw on absent
+// symbols) and the caller rebuilds; the entry stays cached for requests it
+// does cover. A covering codebook is always *correct* (prefix codes decode
+// exactly), merely possibly suboptimal in ratio — that is the trade the
+// cache makes.
+//
+// Concurrency: shards partition the key space by fingerprint hash; each
+// shard is an independently locked LRU list + index, so concurrent batch
+// workers rarely contend. Values are shared_ptr<const Codebook>: eviction
+// never invalidates a codebook a worker is still encoding against.
+
+#include <atomic>
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/canonical.hpp"
+#include "svc/fingerprint.hpp"
+#include "util/types.hpp"
+
+namespace parhuff::svc {
+
+// Namespace-scope (not nested) so it is complete where the constructor's
+// default argument needs it; CodebookCache::Config aliases it.
+struct CacheConfig {
+  std::size_t shards = 8;
+  std::size_t capacity_per_shard = 32;
+};
+
+class CodebookCache {
+ public:
+  using Config = CacheConfig;
+
+  struct Stats {
+    u64 hits = 0;
+    u64 misses = 0;
+    u64 insertions = 0;
+    u64 evictions = 0;
+  };
+
+  explicit CodebookCache(Config cfg = {});
+
+  /// Lookup; a hit moves the entry to MRU. Returns nullptr on miss.
+  [[nodiscard]] std::shared_ptr<const Codebook> find(const Fingerprint& fp);
+
+  /// Insert (or replace) the entry for `fp`, evicting the shard's LRU
+  /// entry when at capacity.
+  void insert(const Fingerprint& fp, std::shared_ptr<const Codebook> cb);
+
+  /// The correctness guard: true iff every symbol with freq > 0 has a
+  /// codeword in `cb`. Requires freq.size() <= cb.nbins slots of coverage.
+  [[nodiscard]] static bool covers(const Codebook& cb,
+                                   std::span<const u64> freq);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  struct Entry {
+    Fingerprint fp;
+    std::shared_ptr<const Codebook> cb;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = MRU
+    std::unordered_map<u64, std::list<Entry>::iterator> index;  // by fp.hash
+  };
+
+  Shard& shard_for(const Fingerprint& fp) {
+    return *shards_[fp.hash % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t cap_;
+  std::atomic<u64> hits_{0};
+  std::atomic<u64> misses_{0};
+  std::atomic<u64> insertions_{0};
+  std::atomic<u64> evictions_{0};
+};
+
+}  // namespace parhuff::svc

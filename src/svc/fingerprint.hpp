@@ -1,0 +1,65 @@
+#pragma once
+// Histogram fingerprinting for the codebook cache (svc/codebook_cache.hpp).
+//
+// Two requests whose symbol distributions have the *same shape* compress
+// equally well under one codebook, even when the raw counts differ (a 4 KiB
+// slice and a 64 KiB slice of the same dataset). The fingerprint therefore
+// hashes the histogram's normalized shape, not its counts: each bin's share
+// of the total is bucketed to its log2 magnitude, and the bucket sequence
+// is FNV-1a hashed. Coarse on purpose — nearby distributions collide into
+// one cache entry, which is the point of a codebook cache.
+//
+// Bucket 0 is reserved for empty bins, so any difference in *support*
+// (which symbols appear at all) always changes the fingerprint. That makes
+// support the only correctness-relevant property the fingerprint can still
+// alias on (hash collisions, deliberate coarseness) — which is why the
+// cache pairs every hit with the CodebookCache::covers() guard before a
+// cached codebook is ever used to encode.
+
+#include <bit>
+#include <cstddef>
+#include <span>
+
+#include "util/types.hpp"
+
+namespace parhuff::svc {
+
+/// A histogram's identity in the codebook cache: shape hash + alphabet
+/// size. Two fingerprints compare equal only when both match.
+struct Fingerprint {
+  u64 hash = 0;
+  u32 nbins = 0;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+};
+
+/// Fingerprint `freq` as described above. `seed` folds cache-relevant
+/// config (codebook builder kind — see svc::cache_seed) into the hash so
+/// configs that would build different codebooks never share an entry.
+[[nodiscard]] inline Fingerprint fingerprint_histogram(
+    std::span<const u64> freq, u64 seed = 0) {
+  u64 total = 0;
+  for (const u64 f : freq) total += f;
+
+  u64 h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](u8 b) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  };
+  for (int i = 0; i < 8; ++i) mix(static_cast<u8>(seed >> (8 * i)));
+
+  for (const u64 f : freq) {
+    u8 bucket = 0;  // empty bin: support differences always change the hash
+    if (f > 0 && total > 0) {
+      // Share of total scaled to 2^20 (exact integer math), bucketed by
+      // log2: each bucket spans a 2x band of share, ~21 bands total.
+      const u64 scaled = static_cast<u64>(
+          (static_cast<unsigned __int128>(f) << 20) / total);
+      bucket = static_cast<u8>(1 + std::bit_width(scaled));
+    }
+    mix(bucket);
+  }
+  return Fingerprint{h, static_cast<u32>(freq.size())};
+}
+
+}  // namespace parhuff::svc

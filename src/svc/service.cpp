@@ -1,0 +1,324 @@
+#include "svc/service.hpp"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "core/decode.hpp"
+#include "core/histogram.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/timer.hpp"
+
+namespace parhuff::svc {
+
+namespace {
+
+/// The batch's pooled histogram under the request config's histogram
+/// policy. Per-request histograms accumulate into `freq` so the codebook
+/// covers every member.
+template <typename Sym>
+void accumulate_histogram(std::span<const Sym> data,
+                          const PipelineConfig& cfg, std::vector<u64>& freq) {
+  std::vector<u64> h;
+  switch (cfg.histogram) {
+    case HistogramKind::kSerial:
+      h = histogram_serial(data, cfg.nbins);
+      break;
+    case HistogramKind::kOpenMP:
+      h = histogram_openmp(data, cfg.nbins, cfg.cpu_threads);
+      break;
+    case HistogramKind::kSimt:
+      h = histogram_simt(data, cfg.nbins);
+      break;
+  }
+  for (std::size_t b = 0; b < freq.size(); ++b) freq[b] += h[b];
+}
+
+}  // namespace
+
+u64 cache_seed(const PipelineConfig& cfg) {
+  u64 seed = 0x9e3779b97f4a7c15ull;
+  seed ^= static_cast<u64>(cfg.codebook);
+  seed *= 0x100000001b3ull;
+  seed ^= static_cast<u64>(cfg.nbins);
+  seed *= 0x100000001b3ull;
+  return seed;
+}
+
+template <typename Sym>
+std::vector<Sym> decompress(const CompressResult<Sym>& r, int threads) {
+  return decode_stream<Sym>(r.stream, *r.codebook, threads);
+}
+
+template <typename Sym>
+CompressionService<Sym>::CompressionService(ServiceConfig cfg)
+    : cfg_(cfg),
+      cache_(cfg.cache),
+      pool_(std::make_unique<WorkStealExecutor>(cfg.workers)) {
+  if (cfg_.queue_capacity == 0) {
+    throw std::invalid_argument(
+        "CompressionService: queue_capacity must be positive");
+  }
+  scheduler_ = std::thread([this] { scheduler_loop(); });
+}
+
+template <typename Sym>
+CompressionService<Sym>::~CompressionService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  sched_cv_.notify_all();
+  space_cv_.notify_all();
+  scheduler_.join();  // flushes pending_ into the pool without lingering
+  pool_.reset();      // drains dispatched batches, joins workers
+}
+
+template <typename Sym>
+std::future<CompressResult<Sym>> CompressionService<Sym>::submit(
+    std::span<const Sym> data, const PipelineConfig& pipeline,
+    Priority priority) {
+  if (pipeline.nbins == 0) {
+    throw std::invalid_argument("CompressionService: nbins must be positive");
+  }
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+
+  Request r;
+  r.data.assign(data.begin(), data.end());  // copy: async lifetime safety
+  r.pipeline = pipeline;
+  r.priority = priority;
+  std::future<CompressResult<Sym>> fut = r.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) {
+      throw std::logic_error("CompressionService: submit() after shutdown");
+    }
+    if (outstanding_ >= cfg_.queue_capacity) {
+      if (cfg_.overflow == OverflowPolicy::kReject) {
+        reg.counter_add("svc.rejected_requests");
+        throw QueueFullError();
+      }
+      reg.counter_add("svc.backpressure_events");
+      space_cv_.wait(lock, [&] {
+        return stopping_ || outstanding_ < cfg_.queue_capacity;
+      });
+      if (stopping_) {
+        throw std::logic_error("CompressionService: submit() after shutdown");
+      }
+    }
+    ++outstanding_;
+    r.enqueue_us = obs::TraceRecorder::global().now_us();
+    pending_.push_back(std::move(r));
+    reg.gauge_set("svc.queue_depth", static_cast<double>(outstanding_));
+  }
+  reg.counter_add("svc.requests_submitted");
+  obs::TraceRecorder::global().instant("svc.enqueue", "svc");
+  sched_cv_.notify_one();
+  return fut;
+}
+
+template <typename Sym>
+void CompressionService<Sym>::sweep_batch(std::vector<Request>& batch,
+                                          std::size_t& total_syms) {
+  // By value: push_back below may reallocate `batch` and a reference into
+  // it would dangle.
+  const PipelineConfig want = batch.front().pipeline;
+  for (auto it = pending_.begin();
+       it != pending_.end() && batch.size() < cfg_.batch_max_requests;) {
+    if (it->pipeline == want &&
+        it->data.size() <= cfg_.batch_eligible_symbols &&
+        total_syms + it->data.size() <= cfg_.batch_max_symbols) {
+      total_syms += it->data.size();
+      batch.push_back(std::move(*it));
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+template <typename Sym>
+void CompressionService<Sym>::scheduler_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    sched_cv_.wait(lock, [&] { return stopping_ || !pending_.empty(); });
+    if (pending_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    // Leader: oldest request of the highest priority present.
+    auto lead = pending_.begin();
+    for (auto it = std::next(lead); it != pending_.end(); ++it) {
+      if (static_cast<int>(it->priority) > static_cast<int>(lead->priority)) {
+        lead = it;
+      }
+    }
+    std::vector<Request> batch;
+    batch.push_back(std::move(*lead));
+    pending_.erase(lead);
+    std::size_t total_syms = batch.front().data.size();
+
+    const bool batchable = total_syms <= cfg_.batch_eligible_symbols &&
+                           cfg_.batch_max_requests > 1 &&
+                           cfg_.batch_window_seconds > 0;
+    if (batchable) {
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(cfg_.batch_window_seconds));
+      for (;;) {
+        sweep_batch(batch, total_syms);
+        if (batch.size() >= cfg_.batch_max_requests) break;
+        if (stopping_) {  // shutdown: flush without lingering
+          sweep_batch(batch, total_syms);
+          break;
+        }
+        if (sched_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+          sweep_batch(batch, total_syms);
+          break;
+        }
+      }
+    }
+    lock.unlock();
+    dispatch(std::move(batch));
+    lock.lock();
+  }
+}
+
+template <typename Sym>
+void CompressionService<Sym>::dispatch(std::vector<Request> batch) {
+  // std::function needs a copyable callable; promises are move-only, so
+  // the batch rides behind a shared_ptr.
+  auto boxed = std::make_shared<std::vector<Request>>(std::move(batch));
+  pool_->submit([this, boxed] { run_batch(std::move(*boxed)); });
+}
+
+template <typename Sym>
+void CompressionService<Sym>::run_batch(std::vector<Request> batch) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::TraceRecorder& rec = obs::TraceRecorder::global();
+  obs::TraceSpan batch_span("svc.batch", "svc");
+  const PipelineConfig& cfg = batch.front().pipeline;
+  const double batch_start_us = rec.now_us();
+
+  reg.counter_add("svc.batches");
+  if (batch.size() > 1) reg.counter_add("svc.coalesced_requests", batch.size());
+  for (const Request& r : batch) {
+    reg.histo_record("svc.queue_wait_seconds",
+                     (batch_start_us - r.enqueue_us) / 1e6);
+  }
+
+  // Shared stages: histogram pooling, cache lookup, codebook build. A
+  // failure here fails every member of the batch.
+  std::shared_ptr<const Codebook> cb;
+  std::vector<u64> freq;
+  bool cache_hit = false;
+  try {
+    Timer t;
+    freq.assign(cfg.nbins, 0);
+    for (const Request& r : batch) {
+      accumulate_histogram<Sym>(r.data, cfg, freq);
+    }
+    reg.stage_add("svc.histogram", t.seconds());
+
+    t.reset();
+    if (cfg_.enable_cache) {
+      const Fingerprint fp = fingerprint_histogram(freq, cache_seed(cfg));
+      if (std::shared_ptr<const Codebook> hit = cache_.find(fp)) {
+        if (CodebookCache::covers(*hit, freq)) {
+          cb = std::move(hit);
+          cache_hit = true;
+          reg.counter_add("svc.cache_hits");
+        } else {
+          // Fingerprint aliased onto a codebook missing some of this
+          // batch's symbols — rebuild; the fresh book replaces the entry.
+          reg.counter_add("svc.cache_guard_rejects");
+        }
+      } else {
+        reg.counter_add("svc.cache_misses");
+      }
+      if (!cb) {
+        cb = std::make_shared<const Codebook>(build_codebook(freq, cfg));
+        cache_.insert(fp, cb);
+      }
+    } else {
+      cb = std::make_shared<const Codebook>(build_codebook(freq, cfg));
+    }
+    reg.stage_add("svc.codebook", t.seconds());
+  } catch (...) {
+    const std::exception_ptr err = std::current_exception();
+    for (Request& r : batch) {
+      r.promise.set_exception(err);
+      reg.counter_add("svc.requests_failed");
+      finish_one();
+    }
+    return;
+  }
+
+  // Per-request encode: a failure fails only that request.
+  for (Request& r : batch) {
+    try {
+      Timer t;
+      CompressResult<Sym> res;
+      res.codebook = cb;
+      res.stream = encode_with_codebook<Sym>(std::span<const Sym>(r.data),
+                                             *cb, cfg, freq);
+      res.cache_hit = cache_hit;
+      res.batch_requests = batch.size();
+      res.encode_seconds = t.seconds();
+      res.queue_seconds = (batch_start_us - r.enqueue_us) / 1e6;
+      reg.stage_add("svc.encode", res.encode_seconds);
+      reg.counter_add("svc.requests_completed");
+      reg.counter_add("svc.input_bytes", r.data.size() * sizeof(Sym));
+      reg.counter_add("svc.output_bytes", res.stream.stored_bytes());
+      const double done_us = rec.now_us();
+      reg.histo_record("svc.request_seconds",
+                       (done_us - r.enqueue_us) / 1e6);
+      // Lifecycle span: admission → completion, anchored at the enqueue
+      // timestamp (crosses threads, so TraceSpan's RAII doesn't fit).
+      rec.complete("svc.request", "svc", r.enqueue_us,
+                   done_us - r.enqueue_us);
+      r.promise.set_value(std::move(res));
+    } catch (...) {
+      r.promise.set_exception(std::current_exception());
+      reg.counter_add("svc.requests_failed");
+    }
+    finish_one();
+  }
+}
+
+template <typename Sym>
+void CompressionService<Sym>::finish_one() {
+  std::size_t now_outstanding;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --outstanding_;
+    now_outstanding = outstanding_;
+  }
+  obs::MetricsRegistry::global().gauge_set(
+      "svc.queue_depth", static_cast<double>(now_outstanding));
+  space_cv_.notify_one();
+  if (now_outstanding == 0) drain_cv_.notify_all();
+}
+
+template <typename Sym>
+void CompressionService<Sym>::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+template <typename Sym>
+std::size_t CompressionService<Sym>::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return outstanding_;
+}
+
+template struct CompressResult<u8>;
+template struct CompressResult<u16>;
+template class CompressionService<u8>;
+template class CompressionService<u16>;
+template std::vector<u8> decompress<u8>(const CompressResult<u8>&, int);
+template std::vector<u16> decompress<u16>(const CompressResult<u16>&, int);
+
+}  // namespace parhuff::svc

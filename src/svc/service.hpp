@@ -1,0 +1,189 @@
+#pragma once
+// In-process compression service: the front door a long-running producer
+// (simulation I/O layer, ingest daemon) uses instead of calling compress()
+// inline. Callers submit() symbol buffers and get back futures; behind the
+// door sit three mechanisms that make heavy small-request traffic cheap:
+//
+//   1. Admission control — a bound on *outstanding* requests (admitted but
+//      not yet completed), so a burst can't queue unbounded memory. At the
+//      bound, submit() either blocks until capacity frees (kBlock) or
+//      throws QueueFullError (kReject), the caller's choice.
+//   2. Request batching — a scheduler thread picks the oldest
+//      highest-priority request as batch leader, then lingers up to
+//      batch_window_seconds coalescing other small requests with an equal
+//      PipelineConfig into one batch. The batch pools one histogram and
+//      builds one codebook; each member is then encoded individually, so
+//      the dominant fixed cost of small requests (the codebook build) is
+//      paid once per batch instead of once per request.
+//   3. Codebook caching — the pooled histogram is fingerprinted
+//      (svc/fingerprint.hpp) and looked up in a sharded LRU cache; a hit
+//      that passes the covers() correctness guard skips the build
+//      entirely. See svc/codebook_cache.hpp for the correctness model.
+//
+// Batches execute on a work-stealing worker pool (util/work_steal.hpp).
+// Requests too large to batch (over batch_eligible_symbols) dispatch solo
+// and immediately — they already amortize their own codebook build.
+//
+// Observability (docs/service.md, docs/observability.md): svc.* counters
+// (requests, batches, cache hits/misses/guard rejects, rejections,
+// backpressure events), the svc.queue_depth gauge, svc.histogram/
+// codebook/encode stage timers, svc.request_seconds and
+// svc.queue_wait_seconds latency histograms (p50/p95/p99 in the
+// parhuff-metrics-v1 document), and per-request lifecycle trace spans.
+//
+// Error model: histogram/codebook/cache failures fail every request of the
+// batch; an encode failure fails only that request. Failures surface on
+// the request's future; the service itself keeps running.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/canonical.hpp"
+#include "core/encoded.hpp"
+#include "core/pipeline.hpp"
+#include "svc/codebook_cache.hpp"
+#include "util/types.hpp"
+#include "util/work_steal.hpp"
+
+namespace parhuff::svc {
+
+enum class Priority : u8 {
+  kLow = 0,
+  kNormal = 1,
+  kHigh = 2,  ///< picked as batch leader before lower priorities
+};
+
+enum class OverflowPolicy {
+  kBlock,   ///< submit() blocks until an outstanding request completes
+  kReject,  ///< submit() throws QueueFullError immediately
+};
+
+/// Thrown by submit() under OverflowPolicy::kReject when the outstanding
+/// bound is reached.
+class QueueFullError : public std::runtime_error {
+ public:
+  QueueFullError()
+      : std::runtime_error(
+            "CompressionService: outstanding-request bound reached") {}
+};
+
+struct ServiceConfig {
+  int workers = 0;  ///< worker pool size; 0 = hardware concurrency
+  /// Bound on outstanding (admitted, not yet completed) requests.
+  std::size_t queue_capacity = 256;
+  OverflowPolicy overflow = OverflowPolicy::kBlock;
+  /// How long the scheduler lingers collecting batch members after it has
+  /// a leader. 0 disables batching (every request dispatches solo).
+  double batch_window_seconds = 500e-6;
+  std::size_t batch_max_requests = 32;
+  /// Cap on the batch's pooled symbol total.
+  std::size_t batch_max_symbols = std::size_t{1} << 20;
+  /// Requests larger than this never batch: they dispatch solo,
+  /// immediately, because they amortize their own codebook build.
+  std::size_t batch_eligible_symbols = 64 * 1024;
+  bool enable_cache = true;
+  CodebookCache::Config cache;
+};
+
+template <typename Sym>
+struct CompressResult {
+  /// The codebook the stream was encoded against. Shared: batch members
+  /// and cache hits all point at one frozen instance.
+  std::shared_ptr<const Codebook> codebook;
+  EncodedStream stream;
+  bool cache_hit = false;
+  /// How many requests shared this codebook build (the batch size).
+  std::size_t batch_requests = 1;
+  double queue_seconds = 0;   ///< admission → batch start
+  double encode_seconds = 0;  ///< this request's encode stage alone
+};
+
+/// Decode a service result back to symbols (convenience inverse).
+template <typename Sym>
+[[nodiscard]] std::vector<Sym> decompress(const CompressResult<Sym>& r,
+                                          int threads = 0);
+
+/// The fingerprint seed for a config: folds the fields that change which
+/// codebook gets built (alphabet size, builder kind), so configs that
+/// would build different books never share a cache entry. Exposed so
+/// tests can plant cache entries under the exact key the service computes.
+[[nodiscard]] u64 cache_seed(const PipelineConfig& cfg);
+
+template <typename Sym>
+class CompressionService {
+ public:
+  explicit CompressionService(ServiceConfig cfg = {});
+  /// Drains every admitted request, then stops the scheduler and workers.
+  ~CompressionService();
+  CompressionService(const CompressionService&) = delete;
+  CompressionService& operator=(const CompressionService&) = delete;
+
+  /// Submit `data` for compression under `pipeline`. The symbols are
+  /// copied — the caller's buffer may be reused immediately. Applies the
+  /// admission policy (see OverflowPolicy); throws std::logic_error after
+  /// shutdown began.
+  [[nodiscard]] std::future<CompressResult<Sym>> submit(
+      std::span<const Sym> data, const PipelineConfig& pipeline,
+      Priority priority = Priority::kNormal);
+
+  /// Block until every request admitted before this call has completed.
+  void drain();
+
+  /// Outstanding (admitted, not yet completed) requests right now.
+  [[nodiscard]] std::size_t queue_depth() const;
+
+  [[nodiscard]] CodebookCache& cache() { return cache_; }
+  [[nodiscard]] const ServiceConfig& config() const { return cfg_; }
+
+ private:
+  struct Request {
+    std::vector<Sym> data;
+    PipelineConfig pipeline;
+    Priority priority = Priority::kNormal;
+    std::promise<CompressResult<Sym>> promise;
+    double enqueue_us = 0;  ///< trace-recorder clock at admission
+  };
+
+  void scheduler_loop();
+  /// Move config-equal, batch-eligible pending requests into `batch`
+  /// (caller holds mu_).
+  void sweep_batch(std::vector<Request>& batch, std::size_t& total_syms);
+  void dispatch(std::vector<Request> batch);
+  void run_batch(std::vector<Request> batch);
+  /// Mark one outstanding request finished; wakes blocked submitters and
+  /// drain().
+  void finish_one();
+
+  ServiceConfig cfg_;
+  CodebookCache cache_;
+  std::unique_ptr<WorkStealExecutor> pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable sched_cv_;  // scheduler sleeps here
+  std::condition_variable space_cv_;  // blocked submitters sleep here
+  std::condition_variable drain_cv_;  // drain() sleeps here
+  std::deque<Request> pending_;       // admitted, not yet batched
+  std::size_t outstanding_ = 0;       // admitted, not yet completed
+  bool stopping_ = false;
+
+  std::thread scheduler_;  // started last in the ctor
+};
+
+extern template struct CompressResult<u8>;
+extern template struct CompressResult<u16>;
+extern template class CompressionService<u8>;
+extern template class CompressionService<u16>;
+extern template std::vector<u8> decompress<u8>(const CompressResult<u8>&,
+                                               int);
+extern template std::vector<u16> decompress<u16>(const CompressResult<u16>&,
+                                                 int);
+
+}  // namespace parhuff::svc

@@ -3,9 +3,9 @@
 // multithreaded CPU encoder/codebook builder and the SIMT simulator's block
 // scheduler). Kept header-only so loop bodies inline.
 
+#include <atomic>
 #include <cstddef>
 #include <exception>
-#include <mutex>
 #include <vector>
 
 #include <omp.h>
@@ -20,9 +20,12 @@ namespace parhuff {
 ///
 /// Exceptions thrown by `fn` are captured and rethrown after the region
 /// (an exception escaping an OpenMP construct is otherwise fatal); when
-/// several iterations throw, the first one captured wins. Iterations are
-/// not cancelled — kernels that throw (e.g. decoders hitting corruption)
-/// must leave shared state merely unspecified, never invalid.
+/// several iterations throw, the first to claim the error slot wins. The
+/// slot is claimed with a single atomic exchange, so a mass-throwing
+/// kernel (every iteration of a decoder hitting corruption) never
+/// serializes on a lock — losers drop their exception and move on.
+/// Iterations are not cancelled — kernels that throw must leave shared
+/// state merely unspecified, never invalid.
 template <typename Fn>
 void parallel_for(std::size_t n, Fn&& fn, int threads = 0) {
   if (threads == 1 || n == 0) {
@@ -30,17 +33,26 @@ void parallel_for(std::size_t n, Fn&& fn, int threads = 0) {
     return;
   }
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  std::atomic<bool> error_claimed{false};
+  std::atomic<bool> error_ready{false};
 #pragma omp parallel for schedule(static) num_threads(threads > 0 ? threads : omp_get_max_threads())
   for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
     try {
       fn(static_cast<std::size_t>(i));
     } catch (...) {
-      const std::lock_guard<std::mutex> lock(error_mutex);
-      if (!first_error) first_error = std::current_exception();
+      if (!error_claimed.exchange(true, std::memory_order_relaxed)) {
+        // Sole writer: the exchange admits exactly one thread. The
+        // release store below (paired with the acquire load after the
+        // region) publishes first_error without leaning on the OMP
+        // barrier, keeping the handoff visible to TSan.
+        first_error = std::current_exception();
+        error_ready.store(true, std::memory_order_release);
+      }
     }
   }
-  if (first_error) std::rethrow_exception(first_error);
+  if (error_ready.load(std::memory_order_acquire)) {
+    std::rethrow_exception(first_error);
+  }
 }
 
 /// Chunked variant: splits [0, n) into `pieces` contiguous ranges and runs

@@ -1,0 +1,82 @@
+#pragma once
+// Work-stealing thread-pool executor backing the service layer's worker
+// pool (svc/service.hpp). Each worker owns a deque: it pops its own work
+// LIFO (hot caches for nested submissions) and steals FIFO from victims
+// when empty (oldest work first, the classic Blumofe/Leiserson discipline),
+// so an uneven batch mix still keeps every worker busy.
+//
+// This is deliberately the mutex-per-deque formulation, not a lock-free
+// Chase-Lev deque: parhuff tasks are whole compression batches (hundreds of
+// microseconds and up), so queue-op overhead is noise, and the simple
+// locking survives ThreadSanitizer without annotations. The contract is
+// what matters: submit() never blocks on task execution, tasks may submit
+// further tasks, and wait_idle() is a barrier for everything accepted so
+// far.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parhuff {
+
+class WorkStealExecutor {
+ public:
+  /// `threads` = 0 → std::thread::hardware_concurrency() (min 1).
+  explicit WorkStealExecutor(int threads = 0);
+  /// Drains every queued task, then joins the workers.
+  ~WorkStealExecutor();
+  WorkStealExecutor(const WorkStealExecutor&) = delete;
+  WorkStealExecutor& operator=(const WorkStealExecutor&) = delete;
+
+  /// Enqueue a task. From a worker thread the task lands on that worker's
+  /// own deque (LIFO pop keeps it hot); external submitters round-robin
+  /// across deques. Throws std::logic_error after shutdown began.
+  void submit(std::function<void()> task);
+
+  /// Block until every task accepted before this call has finished
+  /// (including tasks they spawned in the meantime).
+  void wait_idle();
+
+  [[nodiscard]] std::size_t worker_count() const { return queues_.size(); }
+
+  struct Stats {
+    u64 executed = 0;  ///< tasks run to completion
+    u64 stolen = 0;    ///< tasks that ran on a deque they weren't pushed to
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Deque {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t self);
+  /// Own deque LIFO, then victims FIFO starting after `self`. Sets
+  /// `stolen` when the task came from another worker's deque.
+  bool take(std::size_t self, std::function<void()>& out, bool& stolen);
+
+  std::vector<std::unique_ptr<Deque>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex cv_mu_;                 // guards the two CVs' wait predicates
+  std::condition_variable work_cv_;  // workers sleep here
+  std::condition_variable idle_cv_;  // wait_idle sleeps here
+  bool stopping_ = false;            // under cv_mu_
+
+  std::atomic<std::size_t> inflight_{0};  // queued + running tasks
+  std::atomic<std::size_t> queued_{0};    // queued, not yet taken
+  std::atomic<std::size_t> rr_{0};        // external submit round-robin
+  std::atomic<u64> executed_{0};
+  std::atomic<u64> stolen_{0};
+};
+
+}  // namespace parhuff

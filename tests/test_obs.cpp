@@ -203,6 +203,63 @@ TEST(MetricsRegistry, ScopedStageTimer) {
   EXPECT_GE(reg.stage("stage").seconds, 0.0);
 }
 
+TEST(MetricsRegistry, HistogramQuantilesWithinBucketError) {
+  obs::MetricsRegistry reg;
+  for (int i = 1; i <= 100; ++i) {
+    reg.histo_record("lat", static_cast<double>(i) * 1e-3);  // 1ms..100ms
+  }
+  const obs::HistoStat h = reg.histo("lat");
+  EXPECT_EQ(h.count, 100u);
+  EXPECT_DOUBLE_EQ(h.min, 1e-3);
+  EXPECT_DOUBLE_EQ(h.max, 0.1);
+  EXPECT_NEAR(h.mean(), 0.0505, 1e-12);
+  // Geometric buckets bound quantile error to ~7.5% of the value.
+  EXPECT_NEAR(h.quantile(0.50), 0.050, 0.050 * 0.08);
+  EXPECT_NEAR(h.quantile(0.95), 0.095, 0.095 * 0.08);
+  EXPECT_NEAR(h.quantile(0.99), 0.099, 0.099 * 0.08);
+  // Unknown name: an empty distribution, quantile 0.
+  EXPECT_EQ(reg.histo("absent").count, 0u);
+  EXPECT_DOUBLE_EQ(reg.histo("absent").quantile(0.5), 0.0);
+}
+
+TEST(MetricsRegistry, HistogramClampsOutOfRangeToObservedBounds) {
+  obs::MetricsRegistry reg;
+  // Below the lowest bucket edge (1e-7): lands in the edge bucket, and the
+  // quantile clamps to the observed min/max rather than the bucket mid.
+  reg.histo_record("tiny", 5e-9);
+  EXPECT_DOUBLE_EQ(reg.histo("tiny").quantile(0.5), 5e-9);
+  reg.histo_record("huge", 5e4);  // above the top edge (1e3)
+  EXPECT_DOUBLE_EQ(reg.histo("huge").quantile(0.99), 5e4);
+}
+
+TEST(MetricsRegistry, HistogramMergeAndJson) {
+  obs::MetricsRegistry a, b;
+  a.histo_record("x", 1.0);
+  b.histo_record("x", 4.0);
+  b.histo_record("only_b", 2.0);
+  a.merge(b);
+  const obs::HistoStat h = a.histo("x");
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_DOUBLE_EQ(h.sum, 5.0);
+  EXPECT_DOUBLE_EQ(h.min, 1.0);
+  EXPECT_DOUBLE_EQ(h.max, 4.0);
+  EXPECT_EQ(a.histo("only_b").count, 1u);
+
+  const obs::Json j = a.to_json();
+  const obs::Json& hx = j.at("histograms").at("x");
+  EXPECT_EQ(hx.at("count").as_u64(), 2u);
+  EXPECT_DOUBLE_EQ(hx.at("sum").as_double(), 5.0);
+  EXPECT_DOUBLE_EQ(hx.at("min").as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(hx.at("max").as_double(), 4.0);
+  EXPECT_DOUBLE_EQ(hx.at("mean").as_double(), 2.5);
+  EXPECT_TRUE(hx.has("p50"));
+  EXPECT_TRUE(hx.has("p95"));
+  EXPECT_TRUE(hx.has("p99"));
+
+  a.clear();
+  EXPECT_EQ(a.histo("x").count, 0u);
+}
+
 // --- TraceRecorder: Chrome trace_event shape. --------------------------------
 
 TEST(Trace, ExportsValidTraceEventJson) {

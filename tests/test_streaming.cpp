@@ -1,6 +1,8 @@
 // Streaming (multi-segment, shared-codebook) compression API.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
 #include <vector>
 
 #include "core/streaming.hpp"
@@ -153,6 +155,61 @@ TEST(Streaming, DecoderRejectsBadHeaderAndFrames) {
   auto truncated = frame;
   truncated.resize(truncated.size() / 2);
   EXPECT_THROW((void)sd.decode_segment(truncated), std::runtime_error);
+}
+
+TEST(Streaming, ResetReturnsCompressorToObserving) {
+  PipelineConfig cfg;
+  cfg.nbins = 256;
+  StreamingCompressor<u8> sc(cfg);
+
+  const auto first = data::generate_text(30000, 11);
+  sc.observe(first);
+  sc.freeze();
+  StreamingDecompressor<u8> sd1(sc.header());
+  EXPECT_EQ(sd1.decode_segment(sc.encode_segment(first)), first);
+
+  sc.reset();
+  EXPECT_FALSE(sc.frozen());
+  EXPECT_THROW((void)sc.header(), std::logic_error);  // back to OBSERVING
+  EXPECT_THROW(sc.freeze(), std::logic_error);        // histogram cleared
+
+  // The same object trains and serves a second, unrelated stream.
+  const auto second = data::generate_text(30000, 99);
+  sc.observe(second);
+  sc.freeze();
+  StreamingDecompressor<u8> sd2(sc.header());
+  EXPECT_EQ(sd2.decode_segment(sc.encode_segment(second)), second);
+}
+
+TEST(Streaming, ConcurrentSegmentDecodeFromOneDecompressor) {
+  const auto segments = text_segments(16, 20000, 400);
+  PipelineConfig cfg;
+  cfg.nbins = 256;
+  StreamingCompressor<u8> sc(cfg);
+  for (const auto& seg : segments) sc.observe(seg);
+  sc.freeze();
+  std::vector<std::vector<u8>> frames;
+  for (const auto& seg : segments) frames.push_back(sc.encode_segment(seg));
+
+  // One decompressor shared by many threads: decode_segment is const and
+  // reads only the immutable codebook, so this must be race-free.
+  StreamingDecompressor<u8> sd(sc.header());
+  std::vector<std::vector<u8>> out(segments.size());
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (std::size_t i;
+           (i = next.fetch_add(1, std::memory_order_relaxed)) <
+           frames.size();) {
+        out[i] = sd.decode_segment(frames[i]);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    EXPECT_EQ(out[i], segments[i]) << "segment " << i;
+  }
 }
 
 TEST(Streaming, EmptySegment) {
