@@ -202,6 +202,46 @@ int main(int argc, char** argv) {
         .set("batches", r.batches);
     run.record(std::move(rec));
   }
+  // Fault-tolerance machinery overhead on the no-fault path: same closed
+  // loop through the options-taking submit with a generous (never-tripped)
+  // deadline and a cancellation handle per request. The deadline checks,
+  // handle-state CAS and disarmed injection hooks should be noise.
+  {
+    obs::MetricsRegistry::global().clear();
+    svc::ServiceConfig sc;
+    sc.workers = 4;
+    sc.batch_window_seconds = 200e-6;
+    double seconds = 0;
+    {
+      svc::CompressionService<u16> service(sc);
+      std::vector<svc::Submission<u16>> subs;
+      subs.reserve(w.requests);
+      Timer t;
+      for (std::size_t i = 0; i < w.requests; ++i) {
+        svc::SubmitOptions opts;
+        opts.deadline = svc::Deadline::in(10.0);
+        subs.push_back(service.submit(w.slice(i), cfg, opts));
+      }
+      for (auto& s : subs) (void)s.result.get();
+      seconds = t.seconds();
+    }
+    const double rps = static_cast<double>(w.requests) / seconds;
+    const double speedup = naive_s / seconds;
+    table.row({"with-deadlines", "4", "on", "on", fmt(rps, 0),
+               fmt(speedup, 2), "-", "-", "-", "-", "-"});
+    obs::Json rec = obs::Json::object();
+    rec.set("case", "closed_loop_with_deadlines")
+        .set("workers", u64{4})
+        .set("batching", true)
+        .set("cache", true)
+        .set("seconds", seconds)
+        .set("requests_per_second", rps)
+        .set("speedup_vs_naive", speedup)
+        .set("deadline_exceeded",
+             obs::MetricsRegistry::global().counter("svc.deadline_exceeded"))
+        .set("retries", obs::MetricsRegistry::global().counter("svc.retries"));
+    run.record(std::move(rec));
+  }
   table.print();
 
   // Open loop: arrivals every 100 us (~10k req/s offered) — latency under

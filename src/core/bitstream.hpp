@@ -12,6 +12,7 @@
 #include <cassert>
 #include <cstddef>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "util/types.hpp"
@@ -90,14 +91,28 @@ class BitWriter {
 };
 
 /// MSB-first bit reader over a word span.
+///
+/// Bounds are enforced, not asserted: decoders run over attacker-supplied
+/// containers, and NDEBUG builds (the default CMAKE_BUILD_TYPE is Release)
+/// compile asserts away. The constructor rejects a bit count the span
+/// cannot back — which also closes the words_for_bits() wrap route, where
+/// a near-2^64 bit count maps to 0 cells — and every advancing accessor
+/// throws instead of reading out of bounds.
 class BitReader {
  public:
   BitReader(std::span<const word_t> words, u64 total_bits)
-      : words_(words), total_bits_(total_bits) {}
+      : words_(words), total_bits_(total_bits) {
+    if (total_bits > static_cast<u64>(words.size()) * kWordBits) {
+      throw std::out_of_range(
+          "BitReader: bit count exceeds the backing span");
+    }
+  }
 
-  /// Next single bit (0/1). Precondition: !exhausted().
+  /// Next single bit (0/1). Throws std::out_of_range past the end.
   [[nodiscard]] unsigned bit() {
-    assert(pos_ < total_bits_);
+    if (pos_ >= total_bits_) {
+      throw std::out_of_range("BitReader: read past end of stream");
+    }
     const std::size_t w = static_cast<std::size_t>(pos_ / kWordBits);
     const unsigned off = static_cast<unsigned>(pos_ % kWordBits);
     ++pos_;
@@ -137,9 +152,13 @@ class BitReader {
     return v;
   }
 
-  /// Advance by `n` bits (n <= remaining).
+  /// Advance by `n` bits. Throws std::out_of_range when n > remaining()
+  /// (the subtraction form avoids the pos_ + n overflow a forged length
+  /// field could provoke).
   void skip(u64 n) {
-    assert(pos_ + n <= total_bits_);
+    if (n > total_bits_ - pos_) {
+      throw std::out_of_range("BitReader: skip past end of stream");
+    }
     pos_ += n;
   }
 
@@ -149,7 +168,9 @@ class BitReader {
   [[nodiscard]] bool exhausted() const { return pos_ >= total_bits_; }
 
   void seek(u64 bit_pos) {
-    assert(bit_pos <= total_bits_);
+    if (bit_pos > total_bits_) {
+      throw std::out_of_range("BitReader: seek past end of stream");
+    }
     pos_ = bit_pos;
   }
 

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "core/bitstream.hpp"
@@ -86,13 +87,25 @@ struct EncodedStream {
     return (end <= n_symbols ? end : n_symbols) - begin;
   }
 
-  /// Bit reader over chunk `c`'s main stream.
+  /// Bit reader over chunk `c`'s main stream. Throws std::out_of_range
+  /// when the chunk's claimed extent does not fit inside payload — a
+  /// deserialized stream is untrusted until every chunk passes this (and
+  /// words_for_bits() alone cannot be trusted: near-2^64 bit counts wrap
+  /// it to 0 words, which is why the check is against the bit count).
   [[nodiscard]] BitReader chunk_reader(std::size_t c) const {
+    if (c >= chunk_bits.size() || c >= chunk_word_offset.size()) {
+      throw std::out_of_range("EncodedStream: chunk index out of range");
+    }
     const std::size_t w0 = static_cast<std::size_t>(chunk_word_offset[c]);
+    const u64 bits = chunk_bits[c];
+    if (w0 > payload.size() ||
+        bits > static_cast<u64>(payload.size() - w0) * kWordBits) {
+      throw std::out_of_range(
+          "EncodedStream: chunk extent exceeds payload");
+    }
     return BitReader(
-        std::span<const word_t>(payload.data() + w0,
-                                words_for_bits(chunk_bits[c])),
-        chunk_bits[c]);
+        std::span<const word_t>(payload.data() + w0, words_for_bits(bits)),
+        bits);
   }
 };
 

@@ -124,6 +124,17 @@ EncodedStream deserialize_stream(std::span<const u8> bytes,
     throw std::runtime_error("parhuff container: chunk count mismatch");
   }
   s.chunk_bits = r.get_array<u64>(n_chunks);
+  // A chunk of N symbols can hold at most N * kMaxCodeLen main-stream bits;
+  // bound with a round 64 bits/symbol. This is the check that makes the
+  // rest of the layout arithmetic safe: without it a forged near-2^64
+  // chunk_bits value wraps words_for_bits() to 0 cells, slips through the
+  // payload size comparison below, and hands decoders a BitReader claiming
+  // billions of bits over an empty span.
+  for (const u64 cb : s.chunk_bits) {
+    if (cb > static_cast<u64>(s.chunk_symbols) * 64) {
+      throw std::runtime_error("parhuff container: implausible chunk bits");
+    }
+  }
   if (per_chunk_reduce) {
     s.chunk_reduce = r.get_array<u8>(n_chunks);
     for (const u8 cr : s.chunk_reduce) {
@@ -154,12 +165,18 @@ EncodedStream deserialize_stream(std::span<const u8> bytes,
   }
   const u64 ovf_words = r.get<u64>();
   s.overflow_bits = r.get<u64>();
-  if (s.overflow_bits > ovf_words * kWordBits) {
+  // Guard the multiplication: a forged word count near 2^64 would wrap
+  // `ovf_words * kWordBits` and pass the bit-range check.
+  if (ovf_words > ~u64{0} / kWordBits ||
+      s.overflow_bits > ovf_words * kWordBits) {
     throw std::runtime_error("parhuff container: overflow bits range");
   }
   s.overflow_payload = r.get_array<word_t>(static_cast<std::size_t>(ovf_words));
   for (const OverflowEntry& e : s.overflow) {
-    if (e.bit_offset + e.bit_len > s.overflow_bits) {
+    // Subtraction form: `bit_offset + bit_len` can wrap for a forged
+    // offset near 2^64.
+    if (e.bit_offset > s.overflow_bits ||
+        e.bit_len > s.overflow_bits - e.bit_offset) {
       throw std::runtime_error("parhuff container: overflow entry range");
     }
   }

@@ -117,7 +117,7 @@ EncodedStream encode_with_codebook(std::span<const Sym> data,
 
 template <typename Sym>
 Compressed<Sym> compress(std::span<const Sym> data, const PipelineConfig& cfg,
-                         PipelineReport* report) {
+                         PipelineReport* report, const CancelToken* cancel) {
   if (cfg.nbins == 0) throw std::invalid_argument("nbins must be positive");
   obs::TraceSpan compress_span("pipeline.compress", "pipeline");
   PipelineReport local;
@@ -126,6 +126,7 @@ Compressed<Sym> compress(std::span<const Sym> data, const PipelineConfig& cfg,
   rep.input_bytes = data.size() * sizeof(Sym);
 
   Compressed<Sym> out;
+  if (cancel) cancel->check();
 
   // --- Stage 1: histogram. ------------------------------------------------
   Timer t;
@@ -146,10 +147,12 @@ Compressed<Sym> compress(std::span<const Sym> data, const PipelineConfig& cfg,
   }
   rep.hist_seconds = t.seconds();
   rep.entropy_bits = shannon_entropy(freq);
+  if (cancel) cancel->check();
 
   // --- Stage 2+3: codebook construction + canonization. -------------------
   out.codebook = build_codebook(freq, cfg, &rep);
   rep.avg_bits = average_bitwidth(out.codebook, freq);
+  if (cancel) cancel->check();
 
   // --- Stage 4: encode. ----------------------------------------------------
   out.stream = encode_with_codebook<Sym>(data, out.codebook, cfg, freq, &rep);
@@ -189,9 +192,11 @@ template EncodedStream encode_with_codebook<u16>(std::span<const u16>,
                                                  std::span<const u64>,
                                                  PipelineReport*);
 template Compressed<u8> compress<u8>(std::span<const u8>,
-                                     const PipelineConfig&, PipelineReport*);
+                                     const PipelineConfig&, PipelineReport*,
+                                     const CancelToken*);
 template Compressed<u16> compress<u16>(std::span<const u16>,
-                                       const PipelineConfig&, PipelineReport*);
+                                       const PipelineConfig&, PipelineReport*,
+                                       const CancelToken*);
 template std::vector<u8> decompress<u8>(const Compressed<u8>&, int);
 template std::vector<u16> decompress<u16>(const Compressed<u16>&, int);
 template std::vector<u8> decompress_with<u8>(const Compressed<u8>&,

@@ -4,8 +4,10 @@
 // the examples and benches drive; Table V's breakdown columns map 1:1 onto
 // PipelineReport.
 
+#include <atomic>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "core/canonical.hpp"
@@ -89,12 +91,42 @@ struct Compressed {
   EncodedStream stream;
 };
 
+/// compress() was cancelled via its CancelToken between stages.
+class OperationCancelled : public std::runtime_error {
+ public:
+  OperationCancelled()
+      : std::runtime_error("parhuff: pipeline operation cancelled") {}
+};
+
+/// Cooperative cancellation flag for the pipeline. A controller thread
+/// calls request(); compress() polls at stage boundaries (histogram →
+/// codebook → encode) and throws OperationCancelled. Stage granularity is
+/// deliberate: the kernels themselves are not interruptible (see ROADMAP
+/// on propagating per-request timeouts into the SIMT stages).
+class CancelToken {
+ public:
+  void request() { flag_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool requested() const {
+    return flag_.load(std::memory_order_acquire);
+  }
+  /// Throws OperationCancelled when request() has been called.
+  void check() const {
+    if (requested()) throw OperationCancelled{};
+  }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
 /// Runs the configured pipeline. `Sym` is u8 for generic byte data or u16
-/// for multi-byte symbols (quantization codes, k-mer ids).
+/// for multi-byte symbols (quantization codes, k-mer ids). When `cancel`
+/// is given, it is polled between stages; a requested token aborts with
+/// OperationCancelled (already-finished stage work is discarded).
 template <typename Sym>
 [[nodiscard]] Compressed<Sym> compress(std::span<const Sym> data,
                                        const PipelineConfig& cfg,
-                                       PipelineReport* report = nullptr);
+                                       PipelineReport* report = nullptr,
+                                       const CancelToken* cancel = nullptr);
 
 // --- Stage entry points (what compress() composes). -------------------------
 //
@@ -155,10 +187,12 @@ extern template EncodedStream encode_with_codebook<u16>(std::span<const u16>,
                                                         PipelineReport*);
 extern template Compressed<u8> compress<u8>(std::span<const u8>,
                                             const PipelineConfig&,
-                                            PipelineReport*);
+                                            PipelineReport*,
+                                            const CancelToken*);
 extern template Compressed<u16> compress<u16>(std::span<const u16>,
                                               const PipelineConfig&,
-                                              PipelineReport*);
+                                              PipelineReport*,
+                                              const CancelToken*);
 extern template std::vector<u8> decompress<u8>(const Compressed<u8>&, int);
 extern template std::vector<u16> decompress<u16>(const Compressed<u16>&, int);
 extern template std::vector<u8> decompress_with<u8>(const Compressed<u8>&,

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/fault_inject.hpp"
+
 namespace parhuff::svc {
 
 CodebookCache::CodebookCache(Config cfg)
@@ -14,6 +16,9 @@ CodebookCache::CodebookCache(Config cfg)
 }
 
 std::shared_ptr<const Codebook> CodebookCache::find(const Fingerprint& fp) {
+  // Fault-injection site: a transient lookup failure (the service treats
+  // it like a miss-with-error and retries / degrades; see docs/service.md).
+  util::FaultInjector::global().maybe_throw("svc.cache.find");
   Shard& s = shard_for(fp);
   std::lock_guard<std::mutex> lock(s.mu);
   const auto it = s.index.find(fp.hash);
@@ -30,6 +35,8 @@ std::shared_ptr<const Codebook> CodebookCache::find(const Fingerprint& fp) {
 
 void CodebookCache::insert(const Fingerprint& fp,
                            std::shared_ptr<const Codebook> cb) {
+  // Fault-injection site, paired with "svc.cache.find" above.
+  util::FaultInjector::global().maybe_throw("svc.cache.insert");
   Shard& s = shard_for(fp);
   std::lock_guard<std::mutex> lock(s.mu);
   if (const auto it = s.index.find(fp.hash); it != s.index.end()) {

@@ -1,0 +1,127 @@
+#pragma once
+// Deadline, cancellation and failure vocabulary for the compression
+// service (svc/service.hpp).
+//
+// A Deadline is an absolute steady-clock instant attached to a request at
+// submit(). It is enforced at the points where a request *waits* — in the
+// pending deque and in the worker pool's queue — because that is where a
+// saturated service actually loses time: the scheduler fails expired
+// requests before batching them, and a batch re-checks each member when
+// it finally starts. A request that already began encoding is never
+// abandoned (partial pipeline work is not interruptible mid-kernel; see
+// ROADMAP for per-stage timeout propagation).
+//
+// A RequestHandle allows best-effort cancellation of a request that has
+// not yet been dispatched into a batch. Once dispatched, cancel() returns
+// false and the request completes normally. Both deadline expiry and
+// cancellation resolve the request's future with a typed exception —
+// every submitted future resolves, always.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+
+namespace parhuff::svc {
+
+/// The request's deadline passed before the service started (or could
+/// finish admitting) its work. Carried by the request's future.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  DeadlineExceeded()
+      : std::runtime_error(
+            "CompressionService: deadline exceeded before dispatch") {}
+};
+
+/// The request was cancelled via its RequestHandle before dispatch.
+class CancelledError : public std::runtime_error {
+ public:
+  CancelledError()
+      : std::runtime_error("CompressionService: request cancelled") {}
+};
+
+/// Absolute deadline on the steady clock. Default-constructed: none.
+struct Deadline {
+  using clock = std::chrono::steady_clock;
+  clock::time_point at = clock::time_point::max();
+
+  [[nodiscard]] static Deadline none() { return {}; }
+  /// `seconds` from now. Non-positive values produce an already-expired
+  /// deadline (useful for load-shedding probes).
+  [[nodiscard]] static Deadline in(double seconds) {
+    return Deadline{clock::now() +
+                    std::chrono::duration_cast<clock::duration>(
+                        std::chrono::duration<double>(seconds))};
+  }
+  [[nodiscard]] static Deadline at_time(clock::time_point tp) {
+    return Deadline{tp};
+  }
+
+  [[nodiscard]] bool unlimited() const {
+    return at == clock::time_point::max();
+  }
+  [[nodiscard]] bool expired(clock::time_point now = clock::now()) const {
+    return !unlimited() && now >= at;
+  }
+};
+
+namespace detail {
+
+/// Request lifecycle the handle and scheduler race over. Exactly one
+/// transition out of kPending wins: cancel() moves to kCancelled, the
+/// scheduler moves to kDispatched (or kResolved when it fails the
+/// request while still pending, e.g. deadline expiry).
+enum class ReqPhase : int {
+  kPending = 0,
+  kDispatched = 1,
+  kCancelled = 2,
+  kResolved = 3,
+};
+
+struct HandleState {
+  std::atomic<int> phase{static_cast<int>(ReqPhase::kPending)};
+
+  bool try_transition(ReqPhase from, ReqPhase to) {
+    int expect = static_cast<int>(from);
+    return phase.compare_exchange_strong(expect, static_cast<int>(to),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire);
+  }
+  [[nodiscard]] ReqPhase load() const {
+    return static_cast<ReqPhase>(phase.load(std::memory_order_acquire));
+  }
+};
+
+}  // namespace detail
+
+/// Best-effort cancellation token returned by submit(). Copyable; all
+/// copies refer to the same request.
+class RequestHandle {
+ public:
+  RequestHandle() = default;
+
+  /// Try to cancel. True iff the request had not yet been dispatched —
+  /// its future will then fail with CancelledError. False once dispatch
+  /// won the race (the request completes normally) or on a detached
+  /// (default-constructed) handle.
+  bool cancel() {
+    return st_ && st_->try_transition(detail::ReqPhase::kPending,
+                                      detail::ReqPhase::kCancelled);
+  }
+
+  /// True iff a cancel() on this request won.
+  [[nodiscard]] bool cancelled() const {
+    return st_ && st_->load() == detail::ReqPhase::kCancelled;
+  }
+
+ private:
+  template <typename Sym>
+  friend class CompressionService;
+
+  explicit RequestHandle(std::shared_ptr<detail::HandleState> st)
+      : st_(std::move(st)) {}
+
+  std::shared_ptr<detail::HandleState> st_;
+};
+
+}  // namespace parhuff::svc

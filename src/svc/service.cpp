@@ -8,11 +8,15 @@
 #include "core/histogram.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/fault_inject.hpp"
+#include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace parhuff::svc {
 
 namespace {
+
+using detail::ReqPhase;
 
 /// The batch's pooled histogram under the request config's histogram
 /// policy. Per-request histograms accumulate into `freq` so the codebook
@@ -20,6 +24,7 @@ namespace {
 template <typename Sym>
 void accumulate_histogram(std::span<const Sym> data,
                           const PipelineConfig& cfg, std::vector<u64>& freq) {
+  util::FaultInjector::global().maybe_throw("svc.histogram");
   std::vector<u64> h;
   switch (cfg.histogram) {
     case HistogramKind::kSerial:
@@ -32,7 +37,27 @@ void accumulate_histogram(std::span<const Sym> data,
       h = histogram_simt(data, cfg.nbins);
       break;
   }
+  // Hard invariant, not an assert: every member of a batch was admitted
+  // with an operator==-equal config, so the widths must agree. If a
+  // future config change ever breaks that, fail the batch cleanly
+  // instead of silently truncating the accumulation.
+  if (h.size() != freq.size()) {
+    throw std::logic_error(
+        "CompressionService: histogram width mismatch inside a batch (" +
+        std::to_string(h.size()) + " vs " + std::to_string(freq.size()) +
+        " bins)");
+  }
   for (std::size_t b = 0; b < freq.size(); ++b) freq[b] += h[b];
+}
+
+[[nodiscard]] bool is_transient(const std::exception_ptr& err) {
+  try {
+    std::rethrow_exception(err);
+  } catch (const util::TransientError&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
 }
 
 }  // namespace
@@ -60,25 +85,33 @@ CompressionService<Sym>::CompressionService(ServiceConfig cfg)
     throw std::invalid_argument(
         "CompressionService: queue_capacity must be positive");
   }
+  if (cfg_.retry.max_attempts < 0) {
+    throw std::invalid_argument(
+        "CompressionService: retry.max_attempts must be >= 0");
+  }
   scheduler_ = std::thread([this] { scheduler_loop(); });
 }
 
 template <typename Sym>
 CompressionService<Sym>::~CompressionService() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     stopping_ = true;
+    // Wake submitters blocked at the capacity bound and wait for every
+    // one of them to leave submit() (they observe stopping_ and throw)
+    // before members start being torn down underneath them.
+    space_cv_.notify_all();
+    drain_cv_.wait(lock, [&] { return waiting_submitters_ == 0; });
   }
   sched_cv_.notify_all();
-  space_cv_.notify_all();
   scheduler_.join();  // flushes pending_ into the pool without lingering
   pool_.reset();      // drains dispatched batches, joins workers
 }
 
 template <typename Sym>
-std::future<CompressResult<Sym>> CompressionService<Sym>::submit(
-    std::span<const Sym> data, const PipelineConfig& pipeline,
-    Priority priority) {
+Submission<Sym> CompressionService<Sym>::submit(std::span<const Sym> data,
+                                                const PipelineConfig& pipeline,
+                                                const SubmitOptions& opts) {
   if (pipeline.nbins == 0) {
     throw std::invalid_argument("CompressionService: nbins must be positive");
   }
@@ -87,8 +120,21 @@ std::future<CompressResult<Sym>> CompressionService<Sym>::submit(
   Request r;
   r.data.assign(data.begin(), data.end());  // copy: async lifetime safety
   r.pipeline = pipeline;
-  r.priority = priority;
+  r.priority = opts.priority;
+  r.deadline = opts.deadline;
+  r.handle = std::make_shared<detail::HandleState>();
+  RequestHandle handle(r.handle);
   std::future<CompressResult<Sym>> fut = r.promise.get_future();
+
+  // Dead on arrival: resolve without touching the queue.
+  if (opts.deadline.expired()) {
+    r.handle->try_transition(ReqPhase::kPending, ReqPhase::kResolved);
+    r.promise.set_exception(std::make_exception_ptr(DeadlineExceeded{}));
+    reg.counter_add("svc.requests_submitted");
+    reg.counter_add("svc.deadline_exceeded");
+    return Submission<Sym>{std::move(fut), std::move(handle)};
+  }
+
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (stopping_) {
@@ -100,11 +146,30 @@ std::future<CompressResult<Sym>> CompressionService<Sym>::submit(
         throw QueueFullError();
       }
       reg.counter_add("svc.backpressure_events");
-      space_cv_.wait(lock, [&] {
+      const auto has_space = [&] {
         return stopping_ || outstanding_ < cfg_.queue_capacity;
-      });
+      };
+      ++waiting_submitters_;
+      bool admitted = true;
+      if (r.deadline.unlimited()) {
+        space_cv_.wait(lock, has_space);
+      } else {
+        admitted = space_cv_.wait_until(lock, r.deadline.at, has_space);
+      }
+      --waiting_submitters_;
       if (stopping_) {
+        drain_cv_.notify_all();  // the destructor waits for us to leave
         throw std::logic_error("CompressionService: submit() after shutdown");
+      }
+      if (!admitted) {
+        // Deadline passed while blocked at admission: the future fails
+        // instead of the caller blocking past its budget.
+        lock.unlock();
+        r.handle->try_transition(ReqPhase::kPending, ReqPhase::kResolved);
+        r.promise.set_exception(std::make_exception_ptr(DeadlineExceeded{}));
+        reg.counter_add("svc.requests_submitted");
+        reg.counter_add("svc.deadline_exceeded");
+        return Submission<Sym>{std::move(fut), std::move(handle)};
       }
     }
     ++outstanding_;
@@ -115,22 +180,30 @@ std::future<CompressResult<Sym>> CompressionService<Sym>::submit(
   reg.counter_add("svc.requests_submitted");
   obs::TraceRecorder::global().instant("svc.enqueue", "svc");
   sched_cv_.notify_one();
-  return fut;
+  return Submission<Sym>{std::move(fut), std::move(handle)};
 }
 
 template <typename Sym>
-void CompressionService<Sym>::sweep_batch(std::vector<Request>& batch,
-                                          std::size_t& total_syms) {
-  // By value: push_back below may reallocate `batch` and a reference into
-  // it would dangle.
-  const PipelineConfig want = batch.front().pipeline;
-  for (auto it = pending_.begin();
-       it != pending_.end() && batch.size() < cfg_.batch_max_requests;) {
-    if (it->pipeline == want &&
-        it->data.size() <= cfg_.batch_eligible_symbols &&
-        total_syms + it->data.size() <= cfg_.batch_max_symbols) {
-      total_syms += it->data.size();
-      batch.push_back(std::move(*it));
+std::future<CompressResult<Sym>> CompressionService<Sym>::submit(
+    std::span<const Sym> data, const PipelineConfig& pipeline,
+    Priority priority) {
+  SubmitOptions opts;
+  opts.priority = priority;
+  return submit(data, pipeline, opts).result;
+}
+
+template <typename Sym>
+void CompressionService<Sym>::prune_pending(std::vector<Request>& expired,
+                                            std::vector<Request>& cancelled) {
+  const auto now = Deadline::clock::now();
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->handle->load() == ReqPhase::kCancelled) {
+      cancelled.push_back(std::move(*it));
+      it = pending_.erase(it);
+    } else if (it->deadline.expired(now) &&
+               it->handle->try_transition(ReqPhase::kPending,
+                                          ReqPhase::kResolved)) {
+      expired.push_back(std::move(*it));
       it = pending_.erase(it);
     } else {
       ++it;
@@ -139,48 +212,137 @@ void CompressionService<Sym>::sweep_batch(std::vector<Request>& batch,
 }
 
 template <typename Sym>
+void CompressionService<Sym>::sweep_batch(std::vector<Request>& batch,
+                                          std::size_t& total_syms,
+                                          std::vector<Request>& expired,
+                                          std::vector<Request>& cancelled) {
+  // By value: push_back below may reallocate `batch` and a reference into
+  // it would dangle.
+  const PipelineConfig want = batch.front().pipeline;
+  const auto now = Deadline::clock::now();
+  for (auto it = pending_.begin();
+       it != pending_.end() && batch.size() < cfg_.batch_max_requests;) {
+    if (it->handle->load() == ReqPhase::kCancelled) {
+      cancelled.push_back(std::move(*it));
+      it = pending_.erase(it);
+      continue;
+    }
+    if (!(it->pipeline == want) ||
+        it->data.size() > cfg_.batch_eligible_symbols ||
+        total_syms + it->data.size() > cfg_.batch_max_symbols) {
+      ++it;
+      continue;
+    }
+    if (it->deadline.expired(now)) {
+      if (it->handle->try_transition(ReqPhase::kPending, ReqPhase::kResolved)) {
+        expired.push_back(std::move(*it));
+      } else {
+        cancelled.push_back(std::move(*it));
+      }
+      it = pending_.erase(it);
+      continue;
+    }
+    if (!it->handle->try_transition(ReqPhase::kPending,
+                                    ReqPhase::kDispatched)) {
+      cancelled.push_back(std::move(*it));  // cancel() won the race
+      it = pending_.erase(it);
+      continue;
+    }
+    total_syms += it->data.size();
+    batch.push_back(std::move(*it));
+    it = pending_.erase(it);
+  }
+}
+
+template <typename Sym>
+void CompressionService<Sym>::resolve_doomed(std::vector<Request>& expired,
+                                             std::vector<Request>& cancelled) {
+  for (Request& r : expired) {
+    fail_request(r, std::make_exception_ptr(DeadlineExceeded{}),
+                 "svc.deadline_exceeded");
+  }
+  expired.clear();
+  for (Request& r : cancelled) {
+    fail_request(r, std::make_exception_ptr(CancelledError{}),
+                 "svc.cancelled_requests");
+  }
+  cancelled.clear();
+}
+
+template <typename Sym>
+void CompressionService<Sym>::fail_request(Request& r, std::exception_ptr err,
+                                           const char* counter) {
+  r.promise.set_exception(std::move(err));
+  obs::MetricsRegistry::global().counter_add(counter);
+  finish_one();
+}
+
+template <typename Sym>
 void CompressionService<Sym>::scheduler_loop() {
   std::unique_lock<std::mutex> lock(mu_);
+  std::vector<Request> expired, cancelled;
   for (;;) {
     sched_cv_.wait(lock, [&] { return stopping_ || !pending_.empty(); });
-    if (pending_.empty()) {
+    prune_pending(expired, cancelled);
+
+    // Leader: oldest request of the highest priority present that the
+    // scheduler can still claim (cancel() may win the race).
+    std::vector<Request> batch;
+    std::size_t total_syms = 0;
+    while (!pending_.empty()) {
+      auto lead = pending_.begin();
+      for (auto it = std::next(lead); it != pending_.end(); ++it) {
+        if (static_cast<int>(it->priority) >
+            static_cast<int>(lead->priority)) {
+          lead = it;
+        }
+      }
+      if (lead->handle->try_transition(ReqPhase::kPending,
+                                       ReqPhase::kDispatched)) {
+        total_syms = lead->data.size();
+        batch.push_back(std::move(*lead));
+        pending_.erase(lead);
+        break;
+      }
+      cancelled.push_back(std::move(*lead));
+      pending_.erase(lead);
+    }
+
+    if (batch.empty()) {
+      if (!expired.empty() || !cancelled.empty()) {
+        lock.unlock();
+        resolve_doomed(expired, cancelled);
+        lock.lock();
+        continue;
+      }
       if (stopping_) return;
       continue;
     }
-    // Leader: oldest request of the highest priority present.
-    auto lead = pending_.begin();
-    for (auto it = std::next(lead); it != pending_.end(); ++it) {
-      if (static_cast<int>(it->priority) > static_cast<int>(lead->priority)) {
-        lead = it;
-      }
-    }
-    std::vector<Request> batch;
-    batch.push_back(std::move(*lead));
-    pending_.erase(lead);
-    std::size_t total_syms = batch.front().data.size();
 
     const bool batchable = total_syms <= cfg_.batch_eligible_symbols &&
                            cfg_.batch_max_requests > 1 &&
                            cfg_.batch_window_seconds > 0;
     if (batchable) {
-      const auto deadline =
+      const auto window_end =
           std::chrono::steady_clock::now() +
           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
               std::chrono::duration<double>(cfg_.batch_window_seconds));
       for (;;) {
-        sweep_batch(batch, total_syms);
+        sweep_batch(batch, total_syms, expired, cancelled);
         if (batch.size() >= cfg_.batch_max_requests) break;
         if (stopping_) {  // shutdown: flush without lingering
-          sweep_batch(batch, total_syms);
+          sweep_batch(batch, total_syms, expired, cancelled);
           break;
         }
-        if (sched_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
-          sweep_batch(batch, total_syms);
+        if (sched_cv_.wait_until(lock, window_end) ==
+            std::cv_status::timeout) {
+          sweep_batch(batch, total_syms, expired, cancelled);
           break;
         }
       }
     }
     lock.unlock();
+    resolve_doomed(expired, cancelled);
     dispatch(std::move(batch));
     lock.lock();
   }
@@ -191,7 +353,27 @@ void CompressionService<Sym>::dispatch(std::vector<Request> batch) {
   // std::function needs a copyable callable; promises are move-only, so
   // the batch rides behind a shared_ptr.
   auto boxed = std::make_shared<std::vector<Request>>(std::move(batch));
-  pool_->submit([this, boxed] { run_batch(std::move(*boxed)); });
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  Xoshiro256 rng(rng_salt_.fetch_add(1, std::memory_order_relaxed) *
+                     0x9e3779b97f4a7c15ull +
+                 1);
+  for (int attempt = 0;; ++attempt) {
+    try {
+      pool_->submit([this, boxed] { run_batch(std::move(*boxed)); });
+      return;
+    } catch (...) {
+      if (!is_transient(std::current_exception()) ||
+          attempt >= cfg_.retry.max_attempts) {
+        break;
+      }
+      reg.counter_add("svc.retries");
+      util::backoff_sleep(cfg_.retry.backoff, attempt, rng);
+    }
+  }
+  // Executor unavailable even after retries: run the batch inline on the
+  // scheduler thread. Throughput degrades but every future resolves.
+  reg.counter_add("svc.inline_dispatches");
+  run_batch(std::move(*boxed));
 }
 
 template <typename Sym>
@@ -199,9 +381,34 @@ void CompressionService<Sym>::run_batch(std::vector<Request> batch) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
   obs::TraceRecorder& rec = obs::TraceRecorder::global();
   obs::TraceSpan batch_span("svc.batch", "svc");
-  const PipelineConfig& cfg = batch.front().pipeline;
+  util::FaultInjector& faults = util::FaultInjector::global();
   const double batch_start_us = rec.now_us();
+  Xoshiro256 rng(rng_salt_.fetch_add(1, std::memory_order_relaxed) *
+                     0xbf58476d1ce4e5b9ull +
+                 1);
 
+  // Members whose deadline passed while the batch waited for a worker are
+  // failed before any work is spent on them.
+  {
+    const auto now = Deadline::clock::now();
+    std::vector<Request> live;
+    live.reserve(batch.size());
+    for (Request& r : batch) {
+      if (r.deadline.expired(now)) {
+        fail_request(r, std::make_exception_ptr(DeadlineExceeded{}),
+                     "svc.deadline_exceeded");
+      } else {
+        live.push_back(std::move(r));
+      }
+    }
+    batch = std::move(live);
+  }
+  if (batch.empty()) return;
+
+  // By value: the deadline triage in the retry loop reassigns `batch`, and
+  // a reference into the old vector would dangle (the same trap the
+  // scheduler's sweep_batch documents).
+  const PipelineConfig cfg = batch.front().pipeline;
   reg.counter_add("svc.batches");
   if (batch.size() > 1) reg.counter_add("svc.coalesced_requests", batch.size());
   for (const Request& r : batch) {
@@ -210,81 +417,173 @@ void CompressionService<Sym>::run_batch(std::vector<Request> batch) {
   }
 
   // Shared stages: histogram pooling, cache lookup, codebook build. A
-  // failure here fails every member of the batch.
+  // transient failure here retries the whole shared phase (with backoff);
+  // exhaustion falls through to the per-request degraded path.
   std::shared_ptr<const Codebook> cb;
   std::vector<u64> freq;
   bool cache_hit = false;
-  try {
-    Timer t;
-    freq.assign(cfg.nbins, 0);
-    for (const Request& r : batch) {
-      accumulate_histogram<Sym>(r.data, cfg, freq);
-    }
-    reg.stage_add("svc.histogram", t.seconds());
+  std::exception_ptr shared_err;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      Timer t;
+      freq.assign(cfg.nbins, 0);
+      for (const Request& r : batch) {
+        accumulate_histogram<Sym>(r.data, cfg, freq);
+      }
+      reg.stage_add("svc.histogram", t.seconds());
 
-    t.reset();
-    if (cfg_.enable_cache) {
-      const Fingerprint fp = fingerprint_histogram(freq, cache_seed(cfg));
-      if (std::shared_ptr<const Codebook> hit = cache_.find(fp)) {
-        if (CodebookCache::covers(*hit, freq)) {
-          cb = std::move(hit);
-          cache_hit = true;
-          reg.counter_add("svc.cache_hits");
+      t.reset();
+      cb = nullptr;
+      cache_hit = false;
+      if (cfg_.enable_cache) {
+        const Fingerprint fp = fingerprint_histogram(freq, cache_seed(cfg));
+        if (std::shared_ptr<const Codebook> hit = cache_.find(fp)) {
+          if (CodebookCache::covers(*hit, freq)) {
+            cb = std::move(hit);
+            cache_hit = true;
+            reg.counter_add("svc.cache_hits");
+          } else {
+            // Fingerprint aliased onto a codebook missing some of this
+            // batch's symbols — rebuild; the fresh book replaces the entry.
+            reg.counter_add("svc.cache_guard_rejects");
+          }
         } else {
-          // Fingerprint aliased onto a codebook missing some of this
-          // batch's symbols — rebuild; the fresh book replaces the entry.
-          reg.counter_add("svc.cache_guard_rejects");
+          reg.counter_add("svc.cache_misses");
+        }
+        if (!cb) {
+          faults.maybe_throw("svc.codebook");
+          cb = std::make_shared<const Codebook>(build_codebook(freq, cfg));
+          cache_.insert(fp, cb);
         }
       } else {
-        reg.counter_add("svc.cache_misses");
-      }
-      if (!cb) {
+        faults.maybe_throw("svc.codebook");
         cb = std::make_shared<const Codebook>(build_codebook(freq, cfg));
-        cache_.insert(fp, cb);
       }
-    } else {
-      cb = std::make_shared<const Codebook>(build_codebook(freq, cfg));
+      reg.stage_add("svc.codebook", t.seconds());
+      shared_err = nullptr;
+      break;
+    } catch (...) {
+      shared_err = std::current_exception();
+      if (!is_transient(shared_err) || attempt >= cfg_.retry.max_attempts) {
+        break;
+      }
+      reg.counter_add("svc.retries");
+      rec.instant("svc.retry", "svc");
+      util::backoff_sleep(cfg_.retry.backoff, attempt, rng);
+      // Deadlines keep ticking while we back off.
+      const auto now = Deadline::clock::now();
+      std::vector<Request> live;
+      live.reserve(batch.size());
+      for (Request& r : batch) {
+        if (r.deadline.expired(now)) {
+          fail_request(r, std::make_exception_ptr(DeadlineExceeded{}),
+                       "svc.deadline_exceeded");
+        } else {
+          live.push_back(std::move(r));
+        }
+      }
+      batch = std::move(live);
+      if (batch.empty()) return;
     }
-    reg.stage_add("svc.codebook", t.seconds());
-  } catch (...) {
-    const std::exception_ptr err = std::current_exception();
+  }
+
+  if (shared_err) {
+    // Batched path is down for this batch: rescue each member through the
+    // solo serial pipeline, or fail it with the shared error.
     for (Request& r : batch) {
-      r.promise.set_exception(err);
-      reg.counter_add("svc.requests_failed");
-      finish_one();
+      if (cfg_.degraded_fallback) {
+        run_degraded(r, batch_start_us);
+      } else {
+        fail_request(r, shared_err, "svc.requests_failed");
+      }
     }
     return;
   }
 
-  // Per-request encode: a failure fails only that request.
+  // Per-request encode: a transient failure retries, then degrades; only
+  // a non-transient failure (or degraded-path failure) fails the future.
   for (Request& r : batch) {
-    try {
-      Timer t;
-      CompressResult<Sym> res;
-      res.codebook = cb;
-      res.stream = encode_with_codebook<Sym>(std::span<const Sym>(r.data),
-                                             *cb, cfg, freq);
-      res.cache_hit = cache_hit;
-      res.batch_requests = batch.size();
-      res.encode_seconds = t.seconds();
-      res.queue_seconds = (batch_start_us - r.enqueue_us) / 1e6;
-      reg.stage_add("svc.encode", res.encode_seconds);
-      reg.counter_add("svc.requests_completed");
-      reg.counter_add("svc.input_bytes", r.data.size() * sizeof(Sym));
-      reg.counter_add("svc.output_bytes", res.stream.stored_bytes());
-      const double done_us = rec.now_us();
-      reg.histo_record("svc.request_seconds",
-                       (done_us - r.enqueue_us) / 1e6);
-      // Lifecycle span: admission → completion, anchored at the enqueue
-      // timestamp (crosses threads, so TraceSpan's RAII doesn't fit).
-      rec.complete("svc.request", "svc", r.enqueue_us,
-                   done_us - r.enqueue_us);
-      r.promise.set_value(std::move(res));
-    } catch (...) {
-      r.promise.set_exception(std::current_exception());
-      reg.counter_add("svc.requests_failed");
+    CompressResult<Sym> res;
+    std::exception_ptr err;
+    for (int attempt = 0;; ++attempt) {
+      try {
+        Timer t;
+        faults.maybe_throw("svc.encode");
+        res.codebook = cb;
+        res.stream = encode_with_codebook<Sym>(std::span<const Sym>(r.data),
+                                               *cb, cfg, freq);
+        res.cache_hit = cache_hit;
+        res.batch_requests = batch.size();
+        res.encode_seconds = t.seconds();
+        res.queue_seconds = (batch_start_us - r.enqueue_us) / 1e6;
+        err = nullptr;
+        break;
+      } catch (...) {
+        err = std::current_exception();
+        if (!is_transient(err) || attempt >= cfg_.retry.max_attempts) break;
+        reg.counter_add("svc.retries");
+        rec.instant("svc.retry", "svc");
+        util::backoff_sleep(cfg_.retry.backoff, attempt, rng);
+      }
     }
+    if (err) {
+      if (cfg_.degraded_fallback) {
+        run_degraded(r, batch_start_us);
+      } else {
+        fail_request(r, err, "svc.requests_failed");
+      }
+      continue;
+    }
+    reg.stage_add("svc.encode", res.encode_seconds);
+    reg.counter_add("svc.requests_completed");
+    reg.counter_add("svc.input_bytes", r.data.size() * sizeof(Sym));
+    reg.counter_add("svc.output_bytes", res.stream.stored_bytes());
+    const double done_us = rec.now_us();
+    reg.histo_record("svc.request_seconds", (done_us - r.enqueue_us) / 1e6);
+    // Lifecycle span: admission → completion, anchored at the enqueue
+    // timestamp (crosses threads, so TraceSpan's RAII doesn't fit).
+    rec.complete("svc.request", "svc", r.enqueue_us, done_us - r.enqueue_us);
+    r.promise.set_value(std::move(res));
     finish_one();
+  }
+}
+
+template <typename Sym>
+void CompressionService<Sym>::run_degraded(Request& r,
+                                           double batch_start_us) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::TraceRecorder& rec = obs::TraceRecorder::global();
+  obs::TraceSpan span("svc.degraded", "svc");
+  reg.counter_add("svc.degraded");
+  try {
+    // The solo serial path shares nothing with the batched machinery: its
+    // own histogram, a serial-tree codebook, the serial encoder — and no
+    // fault-injection sites, making it a true last resort.
+    PipelineConfig solo = r.pipeline;
+    solo.histogram = HistogramKind::kSerial;
+    solo.codebook = CodebookKind::kSerialTree;
+    solo.encoder = EncoderKind::kSerial;
+    Timer t;
+    const std::vector<u64> freq =
+        histogram_serial<Sym>(r.data, solo.nbins);
+    auto cb = std::make_shared<const Codebook>(build_codebook(freq, solo));
+    CompressResult<Sym> res;
+    res.codebook = cb;
+    res.stream = encode_with_codebook<Sym>(std::span<const Sym>(r.data), *cb,
+                                           solo, freq);
+    res.degraded = true;
+    res.encode_seconds = t.seconds();
+    res.queue_seconds = (batch_start_us - r.enqueue_us) / 1e6;
+    reg.counter_add("svc.requests_completed");
+    reg.counter_add("svc.input_bytes", r.data.size() * sizeof(Sym));
+    reg.counter_add("svc.output_bytes", res.stream.stored_bytes());
+    const double done_us = rec.now_us();
+    reg.histo_record("svc.request_seconds", (done_us - r.enqueue_us) / 1e6);
+    rec.complete("svc.request", "svc", r.enqueue_us, done_us - r.enqueue_us);
+    r.promise.set_value(std::move(res));
+    finish_one();
+  } catch (...) {
+    fail_request(r, std::current_exception(), "svc.requests_failed");
   }
 }
 

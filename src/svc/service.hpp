@@ -24,16 +24,40 @@
 // Requests too large to batch (over batch_eligible_symbols) dispatch solo
 // and immediately — they already amortize their own codebook build.
 //
+// Fault tolerance (docs/service.md "Error model"): every submitted future
+// resolves — with a value or a typed exception — no matter what fails
+// underneath. The mechanisms, in the order they engage:
+//
+//   * Deadlines — submit() takes an optional absolute Deadline
+//     (svc/deadline.hpp). Expired requests are failed with
+//     DeadlineExceeded wherever they wait: a blocked submit() stops
+//     waiting at the deadline, the scheduler prunes expired pending
+//     requests before batching, and a batch re-checks members when it
+//     starts. Work that already began encoding always completes.
+//   * Cancellation — submit() returns a RequestHandle whose cancel() is
+//     best-effort: it wins only while the request is still pending, and
+//     the future then fails with CancelledError.
+//   * Retry — failures classified transient (util::TransientError, which
+//     injected faults and overload errors derive from) are retried up to
+//     ServiceConfig::retry.max_attempts with exponential backoff + full
+//     jitter (util/backoff.hpp).
+//   * Graceful degradation — when the batched path exhausts its retry
+//     budget, each member request falls back to a solo serial pipeline
+//     (serial histogram → serial tree codebook → serial encode), which
+//     shares no batch machinery. Only if that also fails does the future
+//     carry the error. CompressResult::degraded marks rescued requests.
+//   * Fault injection — the histogram/codebook/encode stages, the
+//     codebook cache and the executor all carry util::FaultInjector
+//     sites, so tests can prove the resolve-always invariant under any
+//     failure mix (tests/test_fault.cpp).
+//
 // Observability (docs/service.md, docs/observability.md): svc.* counters
 // (requests, batches, cache hits/misses/guard rejects, rejections,
-// backpressure events), the svc.queue_depth gauge, svc.histogram/
+// backpressure events, deadline_exceeded, cancelled_requests, retries,
+// degraded, inline_dispatches), the svc.queue_depth gauge, svc.histogram/
 // codebook/encode stage timers, svc.request_seconds and
 // svc.queue_wait_seconds latency histograms (p50/p95/p99 in the
 // parhuff-metrics-v1 document), and per-request lifecycle trace spans.
-//
-// Error model: histogram/codebook/cache failures fail every request of the
-// batch; an encode failure fails only that request. Failures surface on
-// the request's future; the service itself keeps running.
 
 #include <condition_variable>
 #include <cstddef>
@@ -50,6 +74,8 @@
 #include "core/encoded.hpp"
 #include "core/pipeline.hpp"
 #include "svc/codebook_cache.hpp"
+#include "svc/deadline.hpp"
+#include "util/backoff.hpp"
 #include "util/types.hpp"
 #include "util/work_steal.hpp"
 
@@ -75,6 +101,14 @@ class QueueFullError : public std::runtime_error {
             "CompressionService: outstanding-request bound reached") {}
 };
 
+/// How transient failures are retried before the degraded fallback (see
+/// the fault-tolerance model above).
+struct RetryPolicy {
+  /// Retries (beyond the first attempt) of a transient stage failure.
+  int max_attempts = 2;
+  util::BackoffPolicy backoff;
+};
+
 struct ServiceConfig {
   int workers = 0;  ///< worker pool size; 0 = hardware concurrency
   /// Bound on outstanding (admitted, not yet completed) requests.
@@ -91,6 +125,16 @@ struct ServiceConfig {
   std::size_t batch_eligible_symbols = 64 * 1024;
   bool enable_cache = true;
   CodebookCache::Config cache;
+  RetryPolicy retry;
+  /// Fall back to the solo serial pipeline when the batched path fails
+  /// (after retries). Off: the batched path's error fails the future.
+  bool degraded_fallback = true;
+};
+
+/// Per-request submit() parameters beyond the payload and pipeline config.
+struct SubmitOptions {
+  Priority priority = Priority::kNormal;
+  Deadline deadline = Deadline::none();
 };
 
 template <typename Sym>
@@ -100,10 +144,20 @@ struct CompressResult {
   std::shared_ptr<const Codebook> codebook;
   EncodedStream stream;
   bool cache_hit = false;
+  /// Served by the solo serial fallback after the batched path failed.
+  bool degraded = false;
   /// How many requests shared this codebook build (the batch size).
   std::size_t batch_requests = 1;
   double queue_seconds = 0;   ///< admission → batch start
   double encode_seconds = 0;  ///< this request's encode stage alone
+};
+
+/// What submit() hands back: the result future plus the best-effort
+/// cancellation handle.
+template <typename Sym>
+struct Submission {
+  std::future<CompressResult<Sym>> result;
+  RequestHandle handle;
 };
 
 /// Decode a service result back to symbols (convenience inverse).
@@ -122,6 +176,8 @@ class CompressionService {
  public:
   explicit CompressionService(ServiceConfig cfg = {});
   /// Drains every admitted request, then stops the scheduler and workers.
+  /// Submitters blocked at the capacity bound are woken and receive
+  /// std::logic_error before teardown proceeds.
   ~CompressionService();
   CompressionService(const CompressionService&) = delete;
   CompressionService& operator=(const CompressionService&) = delete;
@@ -129,7 +185,14 @@ class CompressionService {
   /// Submit `data` for compression under `pipeline`. The symbols are
   /// copied — the caller's buffer may be reused immediately. Applies the
   /// admission policy (see OverflowPolicy); throws std::logic_error after
-  /// shutdown began.
+  /// shutdown began. With a deadline set, a blocked submit() gives up at
+  /// the deadline and the returned future fails with DeadlineExceeded
+  /// instead of the caller blocking past it.
+  [[nodiscard]] Submission<Sym> submit(std::span<const Sym> data,
+                                       const PipelineConfig& pipeline,
+                                       const SubmitOptions& opts);
+
+  /// Deadline-less convenience overload (the PR-2 API shape).
   [[nodiscard]] std::future<CompressResult<Sym>> submit(
       std::span<const Sym> data, const PipelineConfig& pipeline,
       Priority priority = Priority::kNormal);
@@ -148,16 +211,32 @@ class CompressionService {
     std::vector<Sym> data;
     PipelineConfig pipeline;
     Priority priority = Priority::kNormal;
+    Deadline deadline;
+    std::shared_ptr<detail::HandleState> handle;
     std::promise<CompressResult<Sym>> promise;
     double enqueue_us = 0;  ///< trace-recorder clock at admission
   };
 
   void scheduler_loop();
+  /// Move cancelled / deadline-expired pending requests into the doom
+  /// lists (caller holds mu_; resolution happens unlocked later).
+  void prune_pending(std::vector<Request>& expired,
+                     std::vector<Request>& cancelled);
   /// Move config-equal, batch-eligible pending requests into `batch`
-  /// (caller holds mu_).
-  void sweep_batch(std::vector<Request>& batch, std::size_t& total_syms);
+  /// (caller holds mu_). Unclaimable requests land in the doom lists.
+  void sweep_batch(std::vector<Request>& batch, std::size_t& total_syms,
+                   std::vector<Request>& expired,
+                   std::vector<Request>& cancelled);
+  /// Fail doomed requests (DeadlineExceeded / CancelledError). No lock.
+  void resolve_doomed(std::vector<Request>& expired,
+                      std::vector<Request>& cancelled);
+  /// Hand the batch to the pool; on persistent executor failure, runs it
+  /// inline on the scheduler thread so the futures still resolve.
   void dispatch(std::vector<Request> batch);
   void run_batch(std::vector<Request> batch);
+  /// Solo serial pipeline for one request after the batched path failed.
+  void run_degraded(Request& r, double batch_start_us);
+  void fail_request(Request& r, std::exception_ptr err, const char* counter);
   /// Mark one outstanding request finished; wakes blocked submitters and
   /// drain().
   void finish_one();
@@ -169,10 +248,13 @@ class CompressionService {
   mutable std::mutex mu_;
   std::condition_variable sched_cv_;  // scheduler sleeps here
   std::condition_variable space_cv_;  // blocked submitters sleep here
-  std::condition_variable drain_cv_;  // drain() sleeps here
+  std::condition_variable drain_cv_;  // drain() and the dtor sleep here
   std::deque<Request> pending_;       // admitted, not yet batched
   std::size_t outstanding_ = 0;       // admitted, not yet completed
+  std::size_t waiting_submitters_ = 0;  // blocked in submit() under kBlock
   bool stopping_ = false;
+
+  std::atomic<u64> rng_salt_{0x5eedu};  // per-batch backoff jitter streams
 
   std::thread scheduler_;  // started last in the ctor
 };

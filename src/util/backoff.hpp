@@ -1,0 +1,54 @@
+#pragma once
+// Exponential backoff with full jitter for the service layer's retry
+// path. Delay for attempt k (0-based) is
+//
+//   base = min(initial * multiplier^k, max)
+//   delay = base * (1 - jitter) + base * jitter * U[0,1)
+//
+// i.e. `jitter` is the fraction of the delay that is randomized. Full
+// randomization (jitter = 1) is the classic thundering-herd spreader;
+// the default 0.5 keeps the expected delay schedule recognizable in
+// traces while still decorrelating concurrent retries.
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace parhuff::util {
+
+struct BackoffPolicy {
+  double initial_seconds = 200e-6;
+  double multiplier = 2.0;
+  double max_seconds = 20e-3;
+  double jitter = 0.5;  ///< randomized fraction of each delay, in [0, 1]
+
+  friend bool operator==(const BackoffPolicy&,
+                         const BackoffPolicy&) = default;
+};
+
+/// Delay before retry `attempt` (0-based). `rng` supplies the jitter draw.
+[[nodiscard]] inline double backoff_delay_seconds(const BackoffPolicy& p,
+                                                  int attempt,
+                                                  Xoshiro256& rng) {
+  double base = p.initial_seconds;
+  for (int i = 0; i < attempt && base < p.max_seconds; ++i) {
+    base *= p.multiplier;
+  }
+  base = std::min(base, p.max_seconds);
+  const double jitter = std::clamp(p.jitter, 0.0, 1.0);
+  return base * (1.0 - jitter) + base * jitter * rng.uniform();
+}
+
+/// Sleep for the attempt's delay; returns the seconds slept.
+inline double backoff_sleep(const BackoffPolicy& p, int attempt,
+                            Xoshiro256& rng) {
+  const double s = backoff_delay_seconds(p, attempt, rng);
+  if (s > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(s));
+  }
+  return s;
+}
+
+}  // namespace parhuff::util

@@ -1,0 +1,95 @@
+#include "util/fault_inject.hpp"
+
+#include <cstdlib>
+
+namespace parhuff::util {
+
+void FaultInjector::arm(const std::string& site, double probability) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = sites_[site];
+  const bool was_armed = s.probability > 0;
+  s.probability = probability;
+  const bool now_armed = s.probability > 0;
+  if (!was_armed && now_armed) {
+    armed_sites_.fetch_add(1, std::memory_order_relaxed);
+  } else if (was_armed && !now_armed) {
+    armed_sites_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::disarm(const std::string& site) { arm(site, 0.0); }
+
+void FaultInjector::disarm_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, s] : sites_) s.probability = 0;
+  armed_sites_.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::seed(u64 s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_ = Xoshiro256(s);
+}
+
+std::size_t FaultInjector::arm_from_spec(std::string_view spec) {
+  std::size_t armed = 0;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view entry = spec.substr(begin, end - begin);
+    begin = end + 1;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) continue;
+    const std::string site(entry.substr(0, eq));
+    const std::string prob_str(entry.substr(eq + 1));
+    char* parse_end = nullptr;
+    const double p = std::strtod(prob_str.c_str(), &parse_end);
+    if (parse_end == prob_str.c_str()) continue;
+    arm(site, p);
+    if (p > 0) ++armed;
+  }
+  return armed;
+}
+
+bool FaultInjector::should_fail(std::string_view site) {
+  if (armed_sites_.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(std::string(site));
+  if (it == sites_.end() || it->second.probability <= 0) return false;
+  Site& s = it->second;
+  ++s.evaluations;
+  const bool fire = rng_.uniform() < s.probability;
+  if (fire) {
+    ++s.fired;
+    total_fired_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return fire;
+}
+
+FaultInjector::SiteStats FaultInjector::stats(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return {};
+  return SiteStats{it->second.evaluations, it->second.fired};
+}
+
+u64 FaultInjector::total_fired() const {
+  return total_fired_.load(std::memory_order_relaxed);
+}
+
+FaultInjector& FaultInjector::global() {
+  static FaultInjector inj;
+  static const bool init = [] {
+    if (const char* seed_env = std::getenv("PARHUFF_FAULT_SEED")) {
+      inj.seed(std::strtoull(seed_env, nullptr, 10));
+    }
+    if (const char* spec = std::getenv("PARHUFF_FAULTS")) {
+      inj.arm_from_spec(spec);
+    }
+    return true;
+  }();
+  (void)init;
+  return inj;
+}
+
+}  // namespace parhuff::util

@@ -1,0 +1,128 @@
+#pragma once
+// Site-keyed probabilistic fault injection for resilience testing.
+//
+// Production code marks its failure-prone points with
+// `FaultInjector::global().maybe_throw("svc.codebook")`; a disarmed
+// injector reduces that to one relaxed atomic load, so the hooks are free
+// on the no-fault path. Tests (and operators chasing a bug in a staging
+// deployment) arm sites with a firing probability, either
+// programmatically or through the environment:
+//
+//   PARHUFF_FAULTS="svc.encode=0.1,svc.cache.find=0.05"   site=prob list
+//   PARHUFF_FAULT_SEED=42                                 deterministic draws
+//
+// Injected failures are *transient* by contract: they model overload,
+// allocation pressure and lost work — conditions a retry may outlive —
+// and therefore derive from TransientError, the type the service layer's
+// retry policy keys on. Per-site evaluation/fired counts are kept so a
+// soak test can prove every site actually exercised its failure path.
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include <mutex>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace parhuff::util {
+
+/// Base class for failures that a retry may outlive (overload, injected
+/// faults). The service layer retries these; everything else is treated
+/// as deterministic and fails fast.
+class TransientError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown by FaultInjector::maybe_throw at an armed site.
+class InjectedFault : public TransientError {
+ public:
+  explicit InjectedFault(std::string_view site)
+      : TransientError("injected fault at site: " + std::string(site)),
+        site_(site) {}
+  [[nodiscard]] const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+class FaultInjector {
+ public:
+  struct SiteStats {
+    u64 evaluations = 0;  ///< should_fail() calls while the site was armed
+    u64 fired = 0;        ///< evaluations that injected
+  };
+
+  FaultInjector() = default;
+
+  /// Arm `site` to fire with `probability` in [0, 1]. probability <= 0
+  /// disarms the site.
+  void arm(const std::string& site, double probability);
+  void disarm(const std::string& site);
+  void disarm_all();
+
+  /// Reseed the draw stream (draws are deterministic given the seed and
+  /// the evaluation order).
+  void seed(u64 s);
+
+  /// Parse `spec` ("site=prob,site=prob"); returns how many sites were
+  /// armed. Malformed entries are skipped.
+  std::size_t arm_from_spec(std::string_view spec);
+
+  /// Draw for `site`. False immediately (one relaxed load, no lock) when
+  /// nothing is armed.
+  [[nodiscard]] bool should_fail(std::string_view site);
+
+  /// should_fail() that throws InjectedFault{site} when it fires.
+  void maybe_throw(std::string_view site) {
+    if (should_fail(site)) throw InjectedFault(site);
+  }
+
+  [[nodiscard]] bool armed() const {
+    return armed_sites_.load(std::memory_order_relaxed) > 0;
+  }
+  [[nodiscard]] SiteStats stats(const std::string& site) const;
+  [[nodiscard]] u64 total_fired() const;
+
+  /// Process-wide instance the library's injection points consult. Armed
+  /// from PARHUFF_FAULTS / PARHUFF_FAULT_SEED on first use.
+  static FaultInjector& global();
+
+ private:
+  struct Site {
+    double probability = 0;
+    u64 evaluations = 0;
+    u64 fired = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Site> sites_;  // armed + historical
+  Xoshiro256 rng_{0x9e3779b9u};
+  /// Sites with probability > 0; the fast-path gate.
+  std::atomic<std::size_t> armed_sites_{0};
+  std::atomic<u64> total_fired_{0};
+};
+
+/// RAII helper for tests: arms sites on construction, restores the
+/// injector to fully-disarmed on destruction.
+class ScopedFaults {
+ public:
+  explicit ScopedFaults(FaultInjector& inj) : inj_(inj) {}
+  ~ScopedFaults() { inj_.disarm_all(); }
+  ScopedFaults(const ScopedFaults&) = delete;
+  ScopedFaults& operator=(const ScopedFaults&) = delete;
+
+  ScopedFaults& arm(const std::string& site, double probability) {
+    inj_.arm(site, probability);
+    return *this;
+  }
+
+ private:
+  FaultInjector& inj_;
+};
+
+}  // namespace parhuff::util

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/fault_inject.hpp"
+
 namespace parhuff {
 
 namespace {
@@ -36,6 +38,10 @@ WorkStealExecutor::~WorkStealExecutor() {
 }
 
 void WorkStealExecutor::submit(std::function<void()> task) {
+  // Fault-injection site: models a transient admission failure (e.g. a
+  // saturated remote pool). Callers that retry see InjectedFault, which
+  // is a TransientError.
+  util::FaultInjector::global().maybe_throw("executor.submit");
   std::size_t target;
   if (tl_owner == this) {
     target = tl_index;

@@ -159,5 +159,50 @@ TEST(AppendBits, EquivalentToBitWriterConcatenation) {
   }
 }
 
+// --- Hardened bounds (enforced in release builds, not assert-only). ----------
+
+TEST(BitReaderBounds, ConstructorRejectsBitCountBeyondSpan) {
+  const std::vector<word_t> words = {0xDEADBEEFu, 0x12345678u};
+  EXPECT_NO_THROW(BitReader(words, 64));
+  EXPECT_THROW(BitReader(words, 65), std::out_of_range);
+  // The words_for_bits() wrap route: a near-2^64 bit count maps to 0
+  // cells, so an empty span must not be able to claim any bits.
+  EXPECT_THROW(BitReader({}, ~u64{0} - 14), std::out_of_range);
+  EXPECT_THROW(BitReader({}, 1), std::out_of_range);
+  EXPECT_NO_THROW(BitReader({}, 0));
+}
+
+TEST(BitReaderBounds, BitPastEndThrowsInsteadOfReadingOob) {
+  const std::vector<word_t> words = {0x80000000u};
+  BitReader br(words, 3);
+  EXPECT_EQ(br.bit(), 1u);
+  EXPECT_EQ(br.bit(), 0u);
+  EXPECT_EQ(br.bit(), 0u);
+  EXPECT_TRUE(br.exhausted());
+  EXPECT_THROW((void)br.bit(), std::out_of_range);
+}
+
+TEST(BitReaderBounds, SkipAndSeekPastEndThrow) {
+  const std::vector<word_t> words = {0, 0};
+  BitReader br(words, 40);
+  EXPECT_NO_THROW(br.skip(40));
+  EXPECT_THROW(br.skip(1), std::out_of_range);
+  EXPECT_NO_THROW(br.seek(40));
+  EXPECT_THROW(br.seek(41), std::out_of_range);
+  // skip() with a huge count must not wrap pos_ + n.
+  br.seek(8);
+  EXPECT_THROW(br.skip(~u64{0} - 4), std::out_of_range);
+  EXPECT_EQ(br.position(), 8u);  // failed skip leaves the cursor alone
+}
+
+TEST(BitReaderBounds, PeekStaysSafeAtTail) {
+  const std::vector<word_t> words = {0xFFFFFFFFu};
+  BitReader br(words, 4);
+  br.skip(2);
+  // Past-the-end bits read as zero; no throw, no OOB.
+  EXPECT_EQ(br.peek(8), 0xC0u);
+  EXPECT_EQ(br.position(), 2u);
+}
+
 }  // namespace
 }  // namespace parhuff

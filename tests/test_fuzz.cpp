@@ -4,6 +4,8 @@
 // cross-encoder decoded-output equality holds for every draw.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <span>
 #include <vector>
 
 #include "core/decode.hpp"
@@ -19,6 +21,7 @@
 #include "core/pipeline.hpp"
 #include "core/tree.hpp"
 #include "data/synth_hist.hpp"
+#include "util/hash.hpp"
 #include "util/rng.hpp"
 
 namespace parhuff {
@@ -136,6 +139,80 @@ TEST_P(FuzzContainer, MutatedBytesNeverCrash) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzContainer, ::testing::Range(0, 8));
+
+TEST_P(FuzzContainer, ForgedHeaderFieldsWithValidChecksumNeverCrash) {
+  // Random byte flips are almost always rejected by the stream section's
+  // trailing fnv1a digest before any decode logic runs, so they never
+  // exercise the layout-arithmetic checks. These mutations target the
+  // stream header fields specifically and then RECOMPUTE the digest, so
+  // the forged values reach deserialize_stream's validation and, when they
+  // pass it, the decoders — which must throw or decode, never read OOB.
+  Xoshiro256 rng(static_cast<u64>(GetParam()) * 977 + 5);
+  std::size_t nbins = 0;
+  const auto input = random_stream(rng, 20000, nbins);
+  PipelineConfig cfg;
+  cfg.nbins = nbins;
+  cfg.encoder = rng.below(2) ? EncoderKind::kReduceShuffleSimt
+                             : EncoderKind::kAdaptiveSimt;
+  const auto blob = compress<u16>(input, cfg);
+  const auto bytes = serialize(blob);
+
+  // Stream section offset: magic (4) + symbol width (1) + codebook.
+  const std::size_t stream_at =
+      5 + serialize_codebook(blob.codebook).size();
+  ASSERT_LT(stream_at + 8, bytes.size());
+
+  const auto patch_u64 = [](std::vector<u8>& buf, std::size_t at, u64 v) {
+    std::memcpy(buf.data() + at, &v, sizeof(v));
+  };
+  const auto patch_u32 = [](std::vector<u8>& buf, std::size_t at, u32 v) {
+    std::memcpy(buf.data() + at, &v, sizeof(v));
+  };
+  const auto fix_digest = [&](std::vector<u8>& buf) {
+    const u64 d = fnv1a(std::span<const u8>(buf.data() + stream_at,
+                                            buf.size() - stream_at - 8));
+    std::memcpy(buf.data() + buf.size() - 8, &d, sizeof(d));
+  };
+
+  // Interesting forgeries per field, including the wrap-provoking extremes.
+  const u64 u64_forgeries[] = {0,       1,          u64{1} << 32,
+                               ~u64{0}, ~u64{0} - 30, ~u64{0} / 2};
+  const u32 u32_forgeries[] = {0, 1, 0x7FFFFFFFu, 0xFFFFFFFFu};
+
+  for (int trial = 0; trial < 60; ++trial) {
+    auto mutated = bytes;
+    const u64 field = rng.below(6);
+    if (field == 0) {  // n_symbols
+      patch_u64(mutated, stream_at, u64_forgeries[rng.below(6)]);
+    } else if (field == 1) {  // chunk_symbols
+      patch_u32(mutated, stream_at + 8, u32_forgeries[rng.below(4)]);
+    } else if (field == 2) {  // reduce_factor
+      patch_u32(mutated, stream_at + 12, u32_forgeries[rng.below(4)]);
+    } else if (field == 3) {  // per-chunk-reduce flag
+      mutated[stream_at + 16] ^= static_cast<u8>(1 + rng.below(255));
+    } else if (field == 4) {  // n_chunks
+      patch_u32(mutated, stream_at + 17, u32_forgeries[rng.below(4)]);
+    } else {  // chunk_bits[0] — the release-mode OOB route
+      patch_u64(mutated, stream_at + 21, u64_forgeries[rng.below(6)]);
+    }
+    fix_digest(mutated);
+    try {
+      const auto blob2 = deserialize<u16>(mutated);
+      (void)decode_stream<u16>(blob2.stream, blob2.codebook, 1);
+    } catch (const std::exception&) {
+      // expected for most forgeries
+    }
+  }
+
+  // The concrete exploit this PR closes: chunk_bits[0] near 2^64 wraps
+  // words_for_bits() to 0 cells, so the forged chunk passes the payload
+  // size comparison while claiming billions of bits over no storage. It
+  // must be rejected at parse, not handed to a decoder.
+  auto forged = bytes;
+  patch_u64(forged, stream_at + 21, ~u64{0} - 30);
+  fix_digest(forged);
+  EXPECT_THROW((void)deserialize<u16>(forged), std::exception);
+}
 
 TEST(FuzzCodebook, ParallelBuilderOnAdversarialHistograms) {
   // Degenerate shapes the melding rounds must survive: all-equal, strictly
