@@ -1,0 +1,131 @@
+#pragma once
+// Cooperative cancellation + deadline token for the pipeline stages.
+//
+// A CancelToken is shared between a controller (the service layer, or a
+// test) and the thread(s) running pipeline work. The kernels poll it at
+// natural cooperative boundaries — once per chunk in the encoders, once
+// per block partition in the histogram, once per reduce round in the
+// parallel codebook builder — and abandon the stage by throwing. The
+// no-cancel/no-deadline hot path is a single relaxed atomic load per poll.
+//
+// Two ways a token fires:
+//  * request()                — explicit cancellation; polls throw
+//                               OperationCancelled.
+//  * arm_deadline(at, clock)  — deadline; a poll that observes
+//                               clock.now() >= at latches the expiry and
+//                               throws DeadlineExpired. The clock is
+//                               injectable (util::Clock) so tests can
+//                               expire a deadline mid-kernel without
+//                               sleeping (util::VirtualClock).
+//
+// Thread-safety: request()/check()/requested() may race freely. The one
+// ordering contract is that arm_deadline() must happen-before the token is
+// shared with the worker threads (the service arms at submit time, before
+// the request is published through the queue mutex).
+//
+// Inside simt::launch / util::parallel_for regions a thrown poll is
+// captured by the first-error slot and rethrown after the region — blocks
+// already past their poll point finish their slice, which matches the GPU
+// reality that a kernel in flight can only stop at cooperative boundaries.
+
+#include <atomic>
+#include <stdexcept>
+
+#include "util/clock.hpp"
+
+namespace parhuff {
+
+/// Work was abandoned at a poll point because CancelToken::request() was
+/// called (explicit cancellation).
+class OperationCancelled : public std::runtime_error {
+ public:
+  OperationCancelled()
+      : std::runtime_error("parhuff: pipeline operation cancelled") {}
+};
+
+/// Work was abandoned at a poll point because the token's armed deadline
+/// passed. The service layer translates this to svc::DeadlineExceeded.
+class DeadlineExpired : public std::runtime_error {
+ public:
+  DeadlineExpired()
+      : std::runtime_error("parhuff: stage deadline expired mid-kernel") {}
+};
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Request explicit cancellation. Idempotent; an already-expired token
+  /// stays expired (both abandon work — only the reported type differs).
+  void request() {
+    int s = state_.load(std::memory_order_relaxed);
+    do {
+      if (s == kCancelled || s == kExpired) return;
+    } while (!state_.compare_exchange_weak(s, kCancelled,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed));
+  }
+
+  /// Arm a deadline read against `clock`. Call before sharing the token;
+  /// a no-op if the token was already cancelled. `clock` must outlive the
+  /// token's last poll.
+  void arm_deadline(util::Clock::time_point at, const util::Clock& clock) {
+    at_ = at;
+    clock_ = &clock;
+    int expect = kIdle;
+    state_.compare_exchange_strong(expect, kArmed, std::memory_order_release,
+                                   std::memory_order_relaxed);
+  }
+
+  /// True once the token would throw: cancelled, expired, or armed with a
+  /// deadline that has passed.
+  [[nodiscard]] bool requested() const {
+    const int s = state_.load(std::memory_order_relaxed);
+    if (s == kIdle) return false;
+    if (s == kArmed) return expired_now();
+    return true;  // kCancelled / kExpired
+  }
+
+  /// The poll point. Hot path (idle token) is one relaxed load. Throws
+  /// OperationCancelled or DeadlineExpired.
+  void check() const {
+    const int s = state_.load(std::memory_order_relaxed);
+    if (s == kIdle) return;
+    slow_check(s);
+  }
+
+ private:
+  enum : int { kIdle = 0, kArmed = 1, kCancelled = 2, kExpired = 3 };
+
+  /// Evaluates an armed deadline and latches kExpired so later polls skip
+  /// the clock read.
+  [[nodiscard]] bool expired_now() const {
+    if (clock_->now() < at_) return false;
+    int expect = kArmed;
+    state_.compare_exchange_strong(expect, kExpired, std::memory_order_relaxed,
+                                   std::memory_order_relaxed);
+    return true;
+  }
+
+  [[noreturn]] static void throw_for(int s) {
+    if (s == kCancelled) throw OperationCancelled{};
+    throw DeadlineExpired{};
+  }
+
+  void slow_check(int s) const {
+    if (s == kArmed) {
+      if (!expired_now()) return;
+      s = state_.load(std::memory_order_relaxed);  // kExpired, or a racing
+                                                   // kCancelled — honor it
+    }
+    throw_for(s);
+  }
+
+  mutable std::atomic<int> state_{kIdle};
+  util::Clock::time_point at_{};
+  const util::Clock* clock_ = nullptr;
+};
+
+}  // namespace parhuff

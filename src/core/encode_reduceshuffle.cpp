@@ -25,7 +25,8 @@ EncodedStream encode_reduceshuffle_simt(std::span<const Sym> data,
                                         const Codebook& cb,
                                         const ReduceShuffleConfig& cfg,
                                         simt::MemTally* tally,
-                                        ReduceShuffleStats* stats) {
+                                        ReduceShuffleStats* stats,
+                                        const CancelToken* cancel) {
   // 2^12 x 16-byte merge cells fill 64 KiB of the 96 KiB shared-memory
   // budget; the paper's sweep tops out at magnitude 12 for the same reason.
   if (cfg.magnitude < 1 || cfg.magnitude > 12) {
@@ -65,6 +66,8 @@ EncodedStream encode_reduceshuffle_simt(std::span<const Sym> data,
       static_cast<int>(std::clamp<std::size_t>(n_cells, 32, 1024)), tally,
       [&](simt::BlockCtx& blk) {
         const std::size_t c = static_cast<std::size_t>(blk.block_id());
+        // Cooperative poll, once per chunk (= one block; core/cancel.hpp).
+        if (cancel) cancel->check();
         const std::size_t begin = c * N;
         const std::size_t end = std::min(begin + N, data.size());
         const std::size_t nc = end - begin;
@@ -239,9 +242,10 @@ template EncodedStream encode_reduceshuffle_simt<u8>(std::span<const u8>,
                                                      const Codebook&,
                                                      const ReduceShuffleConfig&,
                                                      simt::MemTally*,
-                                                     ReduceShuffleStats*);
+                                                     ReduceShuffleStats*,
+                                                     const CancelToken*);
 template EncodedStream encode_reduceshuffle_simt<u16>(
     std::span<const u16>, const Codebook&, const ReduceShuffleConfig&,
-    simt::MemTally*, ReduceShuffleStats*);
+    simt::MemTally*, ReduceShuffleStats*, const CancelToken*);
 
 }  // namespace parhuff

@@ -29,6 +29,7 @@
 
 #include <span>
 
+#include "core/cancel.hpp"
 #include "core/canonical.hpp"
 #include "core/encoded.hpp"
 #include "simt/mem_model.hpp"
@@ -49,17 +50,19 @@ struct ReduceShuffleStats {
   u64 shuffle_iterations = 0;
 };
 
+/// `cancel` is polled once per chunk (= one thread block) at the top of
+/// the merge kernel — see core/cancel.hpp.
 template <typename Sym>
 [[nodiscard]] EncodedStream encode_reduceshuffle_simt(
     std::span<const Sym> data, const Codebook& cb,
     const ReduceShuffleConfig& cfg = {}, simt::MemTally* tally = nullptr,
-    ReduceShuffleStats* stats = nullptr);
+    ReduceShuffleStats* stats = nullptr, const CancelToken* cancel = nullptr);
 
 extern template EncodedStream encode_reduceshuffle_simt<u8>(
     std::span<const u8>, const Codebook&, const ReduceShuffleConfig&,
-    simt::MemTally*, ReduceShuffleStats*);
+    simt::MemTally*, ReduceShuffleStats*, const CancelToken*);
 extern template EncodedStream encode_reduceshuffle_simt<u16>(
     std::span<const u16>, const Codebook&, const ReduceShuffleConfig&,
-    simt::MemTally*, ReduceShuffleStats*);
+    simt::MemTally*, ReduceShuffleStats*, const CancelToken*);
 
 }  // namespace parhuff

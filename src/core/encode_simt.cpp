@@ -15,7 +15,8 @@ namespace {
 template <typename Sym>
 EncodedStream size_chunks(std::span<const Sym> data, const Codebook& cb,
                           u32 chunk_symbols, simt::MemTally* tally,
-                          simt::Pattern read_pattern) {
+                          simt::Pattern read_pattern,
+                          const CancelToken* cancel) {
   EncodedStream out;
   out.chunk_symbols = chunk_symbols;
   out.n_symbols = data.size();
@@ -28,6 +29,7 @@ EncodedStream size_chunks(std::span<const Sym> data, const Codebook& cb,
       static_cast<int>((chunks + static_cast<std::size_t>(block_dim) - 1) /
                        static_cast<std::size_t>(block_dim));
   simt::launch(std::max(grid, 1), block_dim, tally, [&](simt::BlockCtx& blk) {
+    if (cancel) cancel->check();
     blk.threads([&](int tid) {
       const std::size_t c = blk.global_id(tid);
       if (c >= chunks) return;
@@ -79,9 +81,10 @@ void write_codes(std::span<const Sym> data, std::size_t begin,
 
 template <typename Sym>
 EncodedStream encode_coarse_simt(std::span<const Sym> data, const Codebook& cb,
-                                 u32 chunk_symbols, simt::MemTally* tally) {
+                                 u32 chunk_symbols, simt::MemTally* tally,
+                                 const CancelToken* cancel) {
   EncodedStream out = size_chunks(data, cb, chunk_symbols, tally,
-                                  simt::Pattern::kStrided);
+                                  simt::Pattern::kStrided, cancel);
   const std::size_t chunks = out.chunks();
   if (chunks == 0) return out;
 
@@ -96,6 +99,8 @@ EncodedStream encode_coarse_simt(std::span<const Sym> data, const Codebook& cb,
     blk.threads([&](int tid) {
       const std::size_t c = blk.global_id(tid);
       if (c >= chunks) return;
+      // Cooperative poll, once per chunk (core/cancel.hpp).
+      if (cancel) cancel->check();
       const std::size_t begin = c * chunk_symbols;
       const std::size_t end =
           std::min<std::size_t>(begin + chunk_symbols, data.size());
@@ -115,9 +120,10 @@ EncodedStream encode_coarse_simt(std::span<const Sym> data, const Codebook& cb,
 template <typename Sym>
 EncodedStream encode_prefixsum_simt(std::span<const Sym> data,
                                     const Codebook& cb, u32 chunk_symbols,
-                                    simt::MemTally* tally) {
+                                    simt::MemTally* tally,
+                                    const CancelToken* cancel) {
   EncodedStream out = size_chunks(data, cb, chunk_symbols, tally,
-                                  simt::Pattern::kCoalesced);
+                                  simt::Pattern::kCoalesced, cancel);
   const std::size_t chunks = out.chunks();
   if (chunks == 0) return out;
 
@@ -128,6 +134,8 @@ EncodedStream encode_prefixsum_simt(std::span<const Sym> data,
   simt::launch(
       static_cast<int>(chunks), block_dim, tally, [&](simt::BlockCtx& blk) {
         const std::size_t c = static_cast<std::size_t>(blk.block_id());
+        // Cooperative poll, once per chunk (= one block; core/cancel.hpp).
+        if (cancel) cancel->check();
         const std::size_t begin = c * chunk_symbols;
         const std::size_t end =
             std::min<std::size_t>(begin + chunk_symbols, data.size());
@@ -197,15 +205,19 @@ EncodedStream encode_prefixsum_simt(std::span<const Sym> data,
 
 template EncodedStream encode_coarse_simt<u8>(std::span<const u8>,
                                               const Codebook&, u32,
-                                              simt::MemTally*);
+                                              simt::MemTally*,
+                                              const CancelToken*);
 template EncodedStream encode_coarse_simt<u16>(std::span<const u16>,
                                                const Codebook&, u32,
-                                               simt::MemTally*);
+                                               simt::MemTally*,
+                                               const CancelToken*);
 template EncodedStream encode_prefixsum_simt<u8>(std::span<const u8>,
                                                  const Codebook&, u32,
-                                                 simt::MemTally*);
+                                                 simt::MemTally*,
+                                                 const CancelToken*);
 template EncodedStream encode_prefixsum_simt<u16>(std::span<const u16>,
                                                   const Codebook&, u32,
-                                                  simt::MemTally*);
+                                                  simt::MemTally*,
+                                                  const CancelToken*);
 
 }  // namespace parhuff

@@ -19,6 +19,7 @@
 
 #include <span>
 
+#include "core/cancel.hpp"
 #include "core/canonical.hpp"
 #include "core/encoded.hpp"
 #include "simt/mem_model.hpp"
@@ -26,28 +27,37 @@
 
 namespace parhuff {
 
+// `cancel` is polled once per chunk inside the fill kernels (and once per
+// block in the sizing kernel) — see core/cancel.hpp.
+
 template <typename Sym>
 [[nodiscard]] EncodedStream encode_coarse_simt(std::span<const Sym> data,
                                                const Codebook& cb,
                                                u32 chunk_symbols = 1024,
-                                               simt::MemTally* tally = nullptr);
+                                               simt::MemTally* tally = nullptr,
+                                               const CancelToken* cancel =
+                                                   nullptr);
 
 template <typename Sym>
 [[nodiscard]] EncodedStream encode_prefixsum_simt(
     std::span<const Sym> data, const Codebook& cb, u32 chunk_symbols = 1024,
-    simt::MemTally* tally = nullptr);
+    simt::MemTally* tally = nullptr, const CancelToken* cancel = nullptr);
 
 extern template EncodedStream encode_coarse_simt<u8>(std::span<const u8>,
                                                      const Codebook&, u32,
-                                                     simt::MemTally*);
+                                                     simt::MemTally*,
+                                                     const CancelToken*);
 extern template EncodedStream encode_coarse_simt<u16>(std::span<const u16>,
                                                       const Codebook&, u32,
-                                                      simt::MemTally*);
+                                                      simt::MemTally*,
+                                                      const CancelToken*);
 extern template EncodedStream encode_prefixsum_simt<u8>(std::span<const u8>,
                                                         const Codebook&, u32,
-                                                        simt::MemTally*);
+                                                        simt::MemTally*,
+                                                        const CancelToken*);
 extern template EncodedStream encode_prefixsum_simt<u16>(std::span<const u16>,
                                                          const Codebook&, u32,
-                                                         simt::MemTally*);
+                                                         simt::MemTally*,
+                                                         const CancelToken*);
 
 }  // namespace parhuff

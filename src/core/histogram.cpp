@@ -11,20 +11,30 @@ namespace parhuff {
 
 template <typename Sym>
 std::vector<u64> histogram_serial(std::span<const Sym> data,
-                                  std::size_t nbins) {
+                                  std::size_t nbins,
+                                  const CancelToken* cancel) {
   std::vector<u64> hist(nbins, 0);
-  for (const Sym s : data) {
-    assert(static_cast<std::size_t>(s) < nbins);
-    ++hist[static_cast<std::size_t>(s)];
+  constexpr std::size_t kPollStride = std::size_t{64} * 1024;
+  for (std::size_t base = 0; base < data.size(); base += kPollStride) {
+    if (cancel) cancel->check();
+    const std::size_t end = std::min(base + kPollStride, data.size());
+    for (std::size_t i = base; i < end; ++i) {
+      const Sym s = data[i];
+      assert(static_cast<std::size_t>(s) < nbins);
+      ++hist[static_cast<std::size_t>(s)];
+    }
   }
   return hist;
 }
 
 template <typename Sym>
 std::vector<u64> histogram_openmp(std::span<const Sym> data,
-                                  std::size_t nbins, int threads) {
+                                  std::size_t nbins, int threads,
+                                  const CancelToken* cancel) {
   const int p = threads > 0 ? threads : max_threads();
-  if (p <= 1 || data.size() < 1u << 16) return histogram_serial(data, nbins);
+  if (p <= 1 || data.size() < 1u << 16) {
+    return histogram_serial(data, nbins, cancel);
+  }
 
   // One private histogram per thread over a contiguous chunk, then a
   // bin-parallel reduction (each thread sums a bin range across privates).
@@ -32,6 +42,7 @@ std::vector<u64> histogram_openmp(std::span<const Sym> data,
   parallel_chunks(
       data.size(), static_cast<std::size_t>(p),
       [&](std::size_t t, std::size_t begin, std::size_t end) {
+        if (cancel) cancel->check();
         auto& h = priv[t];
         h.assign(nbins, 0);
         for (std::size_t i = begin; i < end; ++i) {
@@ -56,7 +67,8 @@ std::vector<u64> histogram_openmp(std::span<const Sym> data,
 template <typename Sym>
 std::vector<u64> histogram_simt(std::span<const Sym> data, std::size_t nbins,
                                 simt::MemTally* tally,
-                                const SimtHistogramConfig& cfg) {
+                                const SimtHistogramConfig& cfg,
+                                const CancelToken* cancel) {
   std::vector<u64> hist(nbins, 0);
   if (data.empty()) return hist;
 
@@ -79,6 +91,8 @@ std::vector<u64> histogram_simt(std::span<const Sym> data, std::size_t nbins,
         static_cast<std::size_t>(blk.block_id()) * per_block;
     const std::size_t end = std::min(begin + per_block, data.size());
     if (begin >= end) return;
+    // Cooperative poll, once per block partition (core/cancel.hpp).
+    if (cancel) cancel->check();
     const std::size_t count = end - begin;
 
     if (use_shared) {
@@ -134,6 +148,7 @@ std::vector<u64> histogram_simt(std::span<const Sym> data, std::size_t nbins,
       auto shared = blk.shared_array<u32>(bins_per_pass);
       const std::size_t passes = (nbins + bins_per_pass - 1) / bins_per_pass;
       for (std::size_t pass = 0; pass < passes; ++pass) {
+        if (cancel) cancel->check();
         const std::size_t lo = pass * bins_per_pass;
         const std::size_t hi = std::min(lo + bins_per_pass, nbins);
         std::fill(shared.begin(),
@@ -178,18 +193,24 @@ std::vector<u64> histogram_simt(std::span<const Sym> data, std::size_t nbins,
 }
 
 template std::vector<u64> histogram_serial<u8>(std::span<const u8>,
-                                               std::size_t);
+                                               std::size_t,
+                                               const CancelToken*);
 template std::vector<u64> histogram_serial<u16>(std::span<const u16>,
-                                                std::size_t);
+                                                std::size_t,
+                                                const CancelToken*);
 template std::vector<u64> histogram_openmp<u8>(std::span<const u8>,
-                                               std::size_t, int);
+                                               std::size_t, int,
+                                               const CancelToken*);
 template std::vector<u64> histogram_openmp<u16>(std::span<const u16>,
-                                                std::size_t, int);
+                                                std::size_t, int,
+                                                const CancelToken*);
 template std::vector<u64> histogram_simt<u8>(std::span<const u8>, std::size_t,
                                              simt::MemTally*,
-                                             const SimtHistogramConfig&);
+                                             const SimtHistogramConfig&,
+                                             const CancelToken*);
 template std::vector<u64> histogram_simt<u16>(std::span<const u16>,
                                               std::size_t, simt::MemTally*,
-                                              const SimtHistogramConfig&);
+                                              const SimtHistogramConfig&,
+                                              const CancelToken*);
 
 }  // namespace parhuff

@@ -15,23 +15,29 @@
 //    footnote 3 notes 8192 symbols as the practical shared-memory limit —
 //    above that the kernel degrades to direct global atomics, which the
 //    tally makes visible.
+//
+// All three take an optional CancelToken polled cooperatively (serial:
+// every 64Ki symbols; openmp: once per thread chunk; simt: once per block
+// partition and per multipass round) — see core/cancel.hpp.
 
 #include <span>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "simt/mem_model.hpp"
 #include "util/types.hpp"
 
 namespace parhuff {
 
 template <typename Sym>
-[[nodiscard]] std::vector<u64> histogram_serial(std::span<const Sym> data,
-                                                std::size_t nbins);
+[[nodiscard]] std::vector<u64> histogram_serial(
+    std::span<const Sym> data, std::size_t nbins,
+    const CancelToken* cancel = nullptr);
 
 template <typename Sym>
-[[nodiscard]] std::vector<u64> histogram_openmp(std::span<const Sym> data,
-                                                std::size_t nbins,
-                                                int threads = 0);
+[[nodiscard]] std::vector<u64> histogram_openmp(
+    std::span<const Sym> data, std::size_t nbins, int threads = 0,
+    const CancelToken* cancel = nullptr);
 
 struct SimtHistogramConfig {
   int grid_dim = 160;     ///< 2 blocks per SM on the V100
@@ -49,23 +55,30 @@ template <typename Sym>
 [[nodiscard]] std::vector<u64> histogram_simt(
     std::span<const Sym> data, std::size_t nbins,
     simt::MemTally* tally = nullptr,
-    const SimtHistogramConfig& cfg = SimtHistogramConfig{});
+    const SimtHistogramConfig& cfg = SimtHistogramConfig{},
+    const CancelToken* cancel = nullptr);
 
 extern template std::vector<u64> histogram_serial<u8>(std::span<const u8>,
-                                                      std::size_t);
+                                                      std::size_t,
+                                                      const CancelToken*);
 extern template std::vector<u64> histogram_serial<u16>(std::span<const u16>,
-                                                       std::size_t);
+                                                       std::size_t,
+                                                       const CancelToken*);
 extern template std::vector<u64> histogram_openmp<u8>(std::span<const u8>,
-                                                      std::size_t, int);
+                                                      std::size_t, int,
+                                                      const CancelToken*);
 extern template std::vector<u64> histogram_openmp<u16>(std::span<const u16>,
-                                                       std::size_t, int);
+                                                       std::size_t, int,
+                                                       const CancelToken*);
 extern template std::vector<u64> histogram_simt<u8>(std::span<const u8>,
                                                     std::size_t,
                                                     simt::MemTally*,
-                                                    const SimtHistogramConfig&);
+                                                    const SimtHistogramConfig&,
+                                                    const CancelToken*);
 extern template std::vector<u64> histogram_simt<u16>(std::span<const u16>,
                                                      std::size_t,
                                                      simt::MemTally*,
-                                                     const SimtHistogramConfig&);
+                                                     const SimtHistogramConfig&,
+                                                     const CancelToken*);
 
 }  // namespace parhuff

@@ -34,6 +34,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "core/canonical.hpp"
 #include "core/merge_path.hpp"
 #include "core/sort.hpp"
@@ -65,11 +66,13 @@ inline void tally_par_traffic(simt::MemTally* tally, u64 elems, u64 bytes,
 }  // namespace detail
 
 /// Phase 1: codeword lengths for an ascending-sorted, all-positive frequency
-/// array. Returns CL[i] aligned with sorted_freq positions.
+/// array. Returns CL[i] aligned with sorted_freq positions. `cancel` is
+/// polled once per reduce round (core/cancel.hpp).
 template <typename Exec>
 std::vector<u32> generate_cl(Exec& exec, std::span<const u64> sorted_freq,
                              ParCodebookStats* stats = nullptr,
-                             simt::MemTally* tally = nullptr) {
+                             simt::MemTally* tally = nullptr,
+                             const CancelToken* cancel = nullptr) {
   const std::size_t n = sorted_freq.size();
   std::vector<u32> cl(n, 0);
   if (n == 0) return cl;
@@ -107,6 +110,8 @@ std::vector<u32> generate_cl(Exec& exec, std::span<const u64> sorted_freq,
   u64 merged_total = 0;
 
   while (leaf_count() + inode_count() > 1) {
+    // Cooperative poll, once per reduce round (core/cancel.hpp).
+    if (cancel) cancel->check();
     ++rounds;
     // --- Region A (sequential): meld the two smallest roots into t. ------
     u64 tfreq = 0;
@@ -317,10 +322,12 @@ struct GeneratedCodewords {
 template <typename Exec>
 GeneratedCodewords generate_cw(Exec& exec, std::span<const u32> cl,
                                ParCodebookStats* stats = nullptr,
-                               simt::MemTally* tally = nullptr) {
+                               simt::MemTally* tally = nullptr,
+                               const CancelToken* cancel = nullptr) {
   const std::size_t n = cl.size();
   GeneratedCodewords out;
   if (n == 0) return out;
+  if (cancel) cancel->check();
 
   // PARREVERSE: view positions in reverse so lengths ascend. If ties in the
   // underlying frequencies produced a non-monotone stretch, a counting sort
@@ -419,7 +426,8 @@ GeneratedCodewords generate_cw(Exec& exec, std::span<const u32> cl,
 template <typename Exec>
 Codebook build_codebook_parallel(Exec& exec, std::span<const u64> freq,
                                  ParCodebookStats* stats = nullptr,
-                                 simt::MemTally* tally = nullptr) {
+                                 simt::MemTally* tally = nullptr,
+                                 const CancelToken* cancel = nullptr) {
   Codebook cb;
   cb.nbins = static_cast<u32>(freq.size());
   cb.cw.assign(freq.size(), Codeword{});
@@ -443,8 +451,8 @@ Codebook build_codebook_parallel(Exec& exec, std::span<const u64> freq,
     tally->global_write(keys.size() * 2, 8, simt::Pattern::kCoalesced);
   }
 
-  std::vector<u32> cl = generate_cl(exec, keys, stats, tally);
-  GeneratedCodewords gen = generate_cw(exec, cl, stats, tally);
+  std::vector<u32> cl = generate_cl(exec, keys, stats, tally, cancel);
+  GeneratedCodewords gen = generate_cw(exec, cl, stats, tally, cancel);
 
   const std::size_t m = keys.size();
   cb.max_len = gen.max_len;

@@ -19,13 +19,14 @@
 namespace parhuff {
 
 Codebook build_codebook(std::span<const u64> freq, const PipelineConfig& cfg,
-                        PipelineReport* report) {
+                        PipelineReport* report, const CancelToken* cancel) {
   if (freq.empty()) {
     throw std::invalid_argument("build_codebook: empty frequency profile");
   }
   obs::TraceSpan span("pipeline.codebook", "pipeline");
   PipelineReport local;
   PipelineReport& rep = report ? *report : local;
+  if (cancel) cancel->check();
   Timer t;
   Codebook cb;
   switch (cfg.codebook) {
@@ -38,12 +39,13 @@ Codebook build_codebook(std::span<const u64> freq, const PipelineConfig& cfg,
     case CodebookKind::kParallelSimt: {
       simt::CooperativeGrid grid(
           std::min<std::size_t>(freq.size(), 64 * 1024), &rep.codebook_tally);
-      cb = build_codebook_parallel(grid, freq, &rep.cb_stats, grid.tally());
+      cb = build_codebook_parallel(grid, freq, &rep.cb_stats, grid.tally(),
+                                   cancel);
       break;
     }
     case CodebookKind::kParallelOmp: {
       OmpExec exec(cfg.cpu_threads);
-      cb = build_codebook_parallel(exec, freq, &rep.cb_stats);
+      cb = build_codebook_parallel(exec, freq, &rep.cb_stats, nullptr, cancel);
       break;
     }
   }
@@ -56,10 +58,15 @@ EncodedStream encode_with_codebook(std::span<const Sym> data,
                                    const Codebook& cb,
                                    const PipelineConfig& cfg,
                                    std::span<const u64> freq,
-                                   PipelineReport* report) {
+                                   PipelineReport* report,
+                                   const CancelToken* cancel) {
   obs::TraceSpan span("pipeline.encode", "pipeline");
   PipelineReport local;
   PipelineReport& rep = report ? *report : local;
+  // Stage-entry check covers the encoder kinds without in-kernel polls
+  // (serial / OpenMP / adaptive); the SIMT encoders below also poll per
+  // chunk.
+  if (cancel) cancel->check();
   // REDUCE-factor choice needs an average bitwidth; take a serial
   // histogram only when the caller didn't supply a profile and the
   // encoder actually needs one.
@@ -67,7 +74,7 @@ EncodedStream encode_with_codebook(std::span<const Sym> data,
   std::span<const u64> profile = freq;
   if (profile.empty() && !cfg.reduce_factor &&
       cfg.encoder == EncoderKind::kReduceShuffleSimt) {
-    own_freq = histogram_serial(data, cb.nbins);
+    own_freq = histogram_serial(data, cb.nbins, cancel);
     profile = own_freq;
   }
   if (!profile.empty()) rep.avg_bits = average_bitwidth(cb, profile);
@@ -83,10 +90,11 @@ EncodedStream encode_with_codebook(std::span<const Sym> data,
       stream = encode_openmp(data, cb, chunk, cfg.cpu_threads);
       break;
     case EncoderKind::kCoarseSimt:
-      stream = encode_coarse_simt(data, cb, chunk, &rep.encode_tally);
+      stream = encode_coarse_simt(data, cb, chunk, &rep.encode_tally, cancel);
       break;
     case EncoderKind::kPrefixSumSimt:
-      stream = encode_prefixsum_simt(data, cb, chunk, &rep.encode_tally);
+      stream =
+          encode_prefixsum_simt(data, cb, chunk, &rep.encode_tally, cancel);
       break;
     case EncoderKind::kReduceShuffleSimt: {
       ReduceShuffleConfig rs;
@@ -97,7 +105,7 @@ EncodedStream encode_with_codebook(std::span<const Sym> data,
               : decide_reduce_factor(rep.avg_bits, cfg.magnitude);
       rep.reduce_factor = rs.reduce_factor;
       stream = encode_reduceshuffle_simt(data, cb, rs, &rep.encode_tally,
-                                         &rep.rs);
+                                         &rep.rs, cancel);
       break;
     }
     case EncoderKind::kAdaptiveSimt: {
@@ -135,13 +143,14 @@ Compressed<Sym> compress(std::span<const Sym> data, const PipelineConfig& cfg,
     obs::TraceSpan span("pipeline.histogram", "pipeline");
     switch (cfg.histogram) {
       case HistogramKind::kSerial:
-        freq = histogram_serial(data, cfg.nbins);
+        freq = histogram_serial(data, cfg.nbins, cancel);
         break;
       case HistogramKind::kOpenMP:
-        freq = histogram_openmp(data, cfg.nbins, cfg.cpu_threads);
+        freq = histogram_openmp(data, cfg.nbins, cfg.cpu_threads, cancel);
         break;
       case HistogramKind::kSimt:
-        freq = histogram_simt(data, cfg.nbins, &rep.hist_tally);
+        freq = histogram_simt(data, cfg.nbins, &rep.hist_tally,
+                              SimtHistogramConfig{}, cancel);
         break;
     }
   }
@@ -150,12 +159,13 @@ Compressed<Sym> compress(std::span<const Sym> data, const PipelineConfig& cfg,
   if (cancel) cancel->check();
 
   // --- Stage 2+3: codebook construction + canonization. -------------------
-  out.codebook = build_codebook(freq, cfg, &rep);
+  out.codebook = build_codebook(freq, cfg, &rep, cancel);
   rep.avg_bits = average_bitwidth(out.codebook, freq);
   if (cancel) cancel->check();
 
   // --- Stage 4: encode. ----------------------------------------------------
-  out.stream = encode_with_codebook<Sym>(data, out.codebook, cfg, freq, &rep);
+  out.stream =
+      encode_with_codebook<Sym>(data, out.codebook, cfg, freq, &rep, cancel);
   rep.compressed_bytes = out.stream.stored_bytes();
   obs::publish(obs::MetricsRegistry::global(), rep);
   return out;
@@ -185,12 +195,14 @@ template EncodedStream encode_with_codebook<u8>(std::span<const u8>,
                                                 const Codebook&,
                                                 const PipelineConfig&,
                                                 std::span<const u64>,
-                                                PipelineReport*);
+                                                PipelineReport*,
+                                                const CancelToken*);
 template EncodedStream encode_with_codebook<u16>(std::span<const u16>,
                                                  const Codebook&,
                                                  const PipelineConfig&,
                                                  std::span<const u64>,
-                                                 PipelineReport*);
+                                                 PipelineReport*,
+                                                 const CancelToken*);
 template Compressed<u8> compress<u8>(std::span<const u8>,
                                      const PipelineConfig&, PipelineReport*,
                                      const CancelToken*);

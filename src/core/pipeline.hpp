@@ -4,12 +4,12 @@
 // the examples and benches drive; Table V's breakdown columns map 1:1 onto
 // PipelineReport.
 
-#include <atomic>
 #include <optional>
 #include <span>
 #include <stdexcept>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "core/canonical.hpp"
 #include "core/encode_reduceshuffle.hpp"
 #include "core/encoded.hpp"
@@ -91,37 +91,16 @@ struct Compressed {
   EncodedStream stream;
 };
 
-/// compress() was cancelled via its CancelToken between stages.
-class OperationCancelled : public std::runtime_error {
- public:
-  OperationCancelled()
-      : std::runtime_error("parhuff: pipeline operation cancelled") {}
-};
-
-/// Cooperative cancellation flag for the pipeline. A controller thread
-/// calls request(); compress() polls at stage boundaries (histogram →
-/// codebook → encode) and throws OperationCancelled. Stage granularity is
-/// deliberate: the kernels themselves are not interruptible (see ROADMAP
-/// on propagating per-request timeouts into the SIMT stages).
-class CancelToken {
- public:
-  void request() { flag_.store(true, std::memory_order_release); }
-  [[nodiscard]] bool requested() const {
-    return flag_.load(std::memory_order_acquire);
-  }
-  /// Throws OperationCancelled when request() has been called.
-  void check() const {
-    if (requested()) throw OperationCancelled{};
-  }
-
- private:
-  std::atomic<bool> flag_{false};
-};
+// CancelToken / OperationCancelled / DeadlineExpired live in
+// core/cancel.hpp (included above). Tokens are polled both between stages
+// and *inside* the stage kernels (per chunk / per reduce group), so a
+// cancelled or deadline-expired request abandons work mid-stage.
 
 /// Runs the configured pipeline. `Sym` is u8 for generic byte data or u16
 /// for multi-byte symbols (quantization codes, k-mer ids). When `cancel`
-/// is given, it is polled between stages; a requested token aborts with
-/// OperationCancelled (already-finished stage work is discarded).
+/// is given, it is polled between stages and at the kernels' cooperative
+/// poll points; a fired token aborts with OperationCancelled /
+/// DeadlineExpired (already-finished stage work is discarded).
 template <typename Sym>
 [[nodiscard]] Compressed<Sym> compress(std::span<const Sym> data,
                                        const PipelineConfig& cfg,
@@ -139,10 +118,12 @@ template <typename Sym>
 /// Stages 2+3 standalone: build a canonical codebook for the frequency
 /// profile `freq` (one slot per symbol; freq.size() is the alphabet size)
 /// under cfg's codebook policy. When `report` is given, fills
-/// codebook_seconds, codebook_tally and cb_stats only.
+/// codebook_seconds, codebook_tally and cb_stats only. `cancel` is polled
+/// per reduce round in the parallel builders.
 [[nodiscard]] Codebook build_codebook(std::span<const u64> freq,
                                       const PipelineConfig& cfg,
-                                      PipelineReport* report = nullptr);
+                                      PipelineReport* report = nullptr,
+                                      const CancelToken* cancel = nullptr);
 
 /// Stage 4 standalone: encode `data` against an existing codebook, which
 /// is never mutated. `freq` (optional) is the frequency profile used to
@@ -152,10 +133,13 @@ template <typename Sym>
 /// encoders — callers reusing a foreign codebook must guarantee coverage
 /// (the service cache's correctness guard). When `report` is given, fills
 /// encode_seconds, encode_tally, reduce_factor, rs and avg_bits only.
+/// `cancel` is checked at stage entry and polled once per chunk inside the
+/// SIMT encoders.
 template <typename Sym>
 [[nodiscard]] EncodedStream encode_with_codebook(
     std::span<const Sym> data, const Codebook& cb, const PipelineConfig& cfg,
-    std::span<const u64> freq = {}, PipelineReport* report = nullptr);
+    std::span<const u64> freq = {}, PipelineReport* report = nullptr,
+    const CancelToken* cancel = nullptr);
 
 /// Inverse of compress (any encoder kind).
 template <typename Sym>
@@ -179,12 +163,14 @@ extern template EncodedStream encode_with_codebook<u8>(std::span<const u8>,
                                                        const Codebook&,
                                                        const PipelineConfig&,
                                                        std::span<const u64>,
-                                                       PipelineReport*);
+                                                       PipelineReport*,
+                                                       const CancelToken*);
 extern template EncodedStream encode_with_codebook<u16>(std::span<const u16>,
                                                         const Codebook&,
                                                         const PipelineConfig&,
                                                         std::span<const u64>,
-                                                        PipelineReport*);
+                                                        PipelineReport*,
+                                                        const CancelToken*);
 extern template Compressed<u8> compress<u8>(std::span<const u8>,
                                             const PipelineConfig&,
                                             PipelineReport*,

@@ -18,6 +18,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "simt/coop.hpp"
+#include "util/fault_inject.hpp"
 
 namespace parhuff {
 
@@ -37,6 +38,9 @@ void StreamingCompressor<Sym>::observe(std::span<const Sym> segment) {
   if (frozen_) {
     throw std::logic_error("StreamingCompressor: observe() after freeze()");
   }
+  // Injection site fires before the histogram touches freq_, so a failed
+  // observe() leaves the accumulated profile unchanged and retryable.
+  util::FaultInjector::global().maybe_throw("streaming.observe");
   obs::TraceSpan span("streaming.observe", "streaming");
   obs::MetricsRegistry::global().counter_add("streaming.segments_observed");
   obs::MetricsRegistry::global().counter_add(
@@ -63,6 +67,9 @@ void StreamingCompressor<Sym>::freeze() {
   if (total == 0) {
     throw std::logic_error("StreamingCompressor: freeze() before observe()");
   }
+  // Fires before frozen_ flips, so a failed freeze() leaves the
+  // compressor un-frozen: callers may retry freeze() or reset().
+  util::FaultInjector::global().maybe_throw("streaming.freeze");
   obs::TraceSpan span("streaming.freeze", "streaming");
   cb_ = build_codebook(freq_, cfg_);
   frozen_ = true;
@@ -103,6 +110,9 @@ std::vector<u8> StreamingCompressor<Sym>::encode_segment(
     throw std::logic_error(
         "StreamingCompressor: encode_segment() before freeze()");
   }
+  // A failed segment encode loses only that frame — the codebook and
+  // header stay valid, so the caller can re-encode the same segment.
+  util::FaultInjector::global().maybe_throw("streaming.encode_segment");
   obs::TraceSpan span("streaming.encode_segment", "streaming");
   Timer seg_timer;
   const EncodedStream s = encode_with_codebook<Sym>(segment, cb_, cfg_, freq_);

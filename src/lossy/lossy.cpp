@@ -6,6 +6,7 @@
 
 #include "core/bytesio.hpp"
 #include "core/format.hpp"
+#include "util/fault_inject.hpp"
 #include "util/timer.hpp"
 
 namespace parhuff::lossy {
@@ -44,6 +45,7 @@ std::vector<u8> compress_field(std::span<const float> field, data::Dims dims,
   rep.error_bound = eb;
 
   // Stage 1+2: Lorenzo prediction + quantization.
+  util::FaultInjector::global().maybe_throw("lossy.quantize");
   Timer t;
   const std::vector<float> field_copy(field.begin(), field.end());
   const data::Quantized q =
@@ -53,6 +55,7 @@ std::vector<u8> compress_field(std::span<const float> field, data::Dims dims,
   rep.outlier_bytes = q.outliers.size() * (sizeof(u32) + sizeof(float));
 
   // Stage 3+4: Huffman over the code stream.
+  util::FaultInjector::global().maybe_throw("lossy.encode");
   PipelineConfig pc;
   pc.nbins = cfg.nbins;
   pc.encoder = cfg.encoder;

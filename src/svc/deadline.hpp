@@ -3,37 +3,48 @@
 // service (svc/service.hpp).
 //
 // A Deadline is an absolute steady-clock instant attached to a request at
-// submit(). It is enforced at the points where a request *waits* — in the
-// pending deque and in the worker pool's queue — because that is where a
-// saturated service actually loses time: the scheduler fails expired
-// requests before batching them, and a batch re-checks each member when
-// it finally starts. A request that already began encoding is never
-// abandoned (partial pipeline work is not interruptible mid-kernel; see
-// ROADMAP for per-stage timeout propagation).
+// submit(). It is enforced everywhere the request spends time:
 //
-// A RequestHandle allows best-effort cancellation of a request that has
-// not yet been dispatched into a batch. Once dispatched, cancel() returns
-// false and the request completes normally. Both deadline expiry and
-// cancellation resolve the request's future with a typed exception —
+//   * where it waits — a blocked submit() gives up at the deadline, the
+//     scheduler prunes expired pending requests before batching, batch
+//     admission triages members whose remaining budget is below the
+//     expected service time, and a batch re-checks each member when it
+//     finally starts;
+//   * and *inside the stage kernels* — submit() arms the request's
+//     core::CancelToken with the deadline, and the histogram, codebook and
+//     encode kernels poll it cooperatively (per chunk / per reduce round),
+//     so a request whose deadline passes mid-stage abandons the kernel and
+//     fails with DeadlineExceeded instead of completing uselessly.
+//
+// A RequestHandle cancels a request. While the request is still pending,
+// cancel() wins outright (returns true; the future fails with
+// CancelledError). Once dispatched, cancel() returns false but still
+// signals the in-flight token — the stages abandon work at their next poll
+// point and the future fails with CancelledError; if the work already
+// passed its last poll point it completes normally. Both deadline expiry
+// and cancellation resolve the request's future with a typed exception —
 // every submitted future resolves, always.
 
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 
+#include "core/cancel.hpp"
+#include "util/clock.hpp"
+
 namespace parhuff::svc {
 
-/// The request's deadline passed before the service started (or could
-/// finish admitting) its work. Carried by the request's future.
+/// The request's deadline passed — before dispatch, or mid-stage at a
+/// kernel poll point. Carried by the request's future.
 class DeadlineExceeded : public std::runtime_error {
  public:
   DeadlineExceeded()
-      : std::runtime_error(
-            "CompressionService: deadline exceeded before dispatch") {}
+      : std::runtime_error("CompressionService: deadline exceeded") {}
 };
 
-/// The request was cancelled via its RequestHandle before dispatch.
+/// The request was cancelled via its RequestHandle.
 class CancelledError : public std::runtime_error {
  public:
   CancelledError()
@@ -49,9 +60,13 @@ struct Deadline {
   /// `seconds` from now. Non-positive values produce an already-expired
   /// deadline (useful for load-shedding probes).
   [[nodiscard]] static Deadline in(double seconds) {
-    return Deadline{clock::now() +
-                    std::chrono::duration_cast<clock::duration>(
-                        std::chrono::duration<double>(seconds))};
+    return in(seconds, util::Clock::real());
+  }
+  /// `seconds` from now on an injected clock (util::VirtualClock in
+  /// tests). util::Clock shares steady_clock's time_point type, so the
+  /// result composes with any clock-consistent caller.
+  [[nodiscard]] static Deadline in(double seconds, const util::Clock& clk) {
+    return Deadline{clk.now() + util::Clock::dur(seconds)};
   }
   [[nodiscard]] static Deadline at_time(clock::time_point tp) {
     return Deadline{tp};
@@ -62,6 +77,12 @@ struct Deadline {
   }
   [[nodiscard]] bool expired(clock::time_point now = clock::now()) const {
     return !unlimited() && now >= at;
+  }
+  /// Remaining budget in seconds (+inf when unlimited, negative when
+  /// expired).
+  [[nodiscard]] double remaining_seconds(clock::time_point now) const {
+    if (unlimited()) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(at - now).count();
   }
 };
 
@@ -80,6 +101,9 @@ enum class ReqPhase : int {
 
 struct HandleState {
   std::atomic<int> phase{static_cast<int>(ReqPhase::kPending)};
+  /// Polled by the stage kernels while the request runs. submit() arms it
+  /// with the request's deadline; a post-dispatch cancel() requests it.
+  CancelToken token;
 
   bool try_transition(ReqPhase from, ReqPhase to) {
     int expect = static_cast<int>(from);
@@ -94,22 +118,30 @@ struct HandleState {
 
 }  // namespace detail
 
-/// Best-effort cancellation token returned by submit(). Copyable; all
-/// copies refer to the same request.
+/// Cancellation token returned by submit(). Copyable; all copies refer to
+/// the same request.
 class RequestHandle {
  public:
   RequestHandle() = default;
 
   /// Try to cancel. True iff the request had not yet been dispatched —
-  /// its future will then fail with CancelledError. False once dispatch
-  /// won the race (the request completes normally) or on a detached
-  /// (default-constructed) handle.
+  /// its future will then fail with CancelledError without any work
+  /// starting. False once dispatch won the race or on a detached
+  /// (default-constructed) handle; in the dispatched case the in-flight
+  /// work is still signalled and abandons at its next kernel poll point
+  /// (the future then fails with CancelledError), so false means "already
+  /// started", not "will complete".
   bool cancel() {
-    return st_ && st_->try_transition(detail::ReqPhase::kPending,
-                                      detail::ReqPhase::kCancelled);
+    if (!st_) return false;
+    if (st_->try_transition(detail::ReqPhase::kPending,
+                            detail::ReqPhase::kCancelled)) {
+      return true;
+    }
+    if (st_->load() == detail::ReqPhase::kDispatched) st_->token.request();
+    return false;
   }
 
-  /// True iff a cancel() on this request won.
+  /// True iff a cancel() on this request won while it was pending.
   [[nodiscard]] bool cancelled() const {
     return st_ && st_->load() == detail::ReqPhase::kCancelled;
   }

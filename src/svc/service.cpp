@@ -1,5 +1,6 @@
 #include "svc/service.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <utility>
@@ -20,21 +21,24 @@ using detail::ReqPhase;
 
 /// The batch's pooled histogram under the request config's histogram
 /// policy. Per-request histograms accumulate into `freq` so the codebook
-/// covers every member.
+/// covers every member. `cancel` is the batch-scope token the kernels
+/// poll (see run_batch for how it is chosen).
 template <typename Sym>
 void accumulate_histogram(std::span<const Sym> data,
-                          const PipelineConfig& cfg, std::vector<u64>& freq) {
+                          const PipelineConfig& cfg, std::vector<u64>& freq,
+                          const CancelToken* cancel) {
   util::FaultInjector::global().maybe_throw("svc.histogram");
   std::vector<u64> h;
   switch (cfg.histogram) {
     case HistogramKind::kSerial:
-      h = histogram_serial(data, cfg.nbins);
+      h = histogram_serial(data, cfg.nbins, cancel);
       break;
     case HistogramKind::kOpenMP:
-      h = histogram_openmp(data, cfg.nbins, cfg.cpu_threads);
+      h = histogram_openmp(data, cfg.nbins, cfg.cpu_threads, cancel);
       break;
     case HistogramKind::kSimt:
-      h = histogram_simt(data, cfg.nbins);
+      h = histogram_simt(data, cfg.nbins, nullptr, SimtHistogramConfig{},
+                         cancel);
       break;
   }
   // Hard invariant, not an assert: every member of a batch was admitted
@@ -60,6 +64,23 @@ void accumulate_histogram(std::span<const Sym> data,
   }
 }
 
+/// Why a stage abandoned work at a poll point — these outrank transient
+/// classification: no retry, no degraded fallback, straight to the typed
+/// failure.
+enum class AbandonKind { kNone, kCancelled, kDeadline };
+
+[[nodiscard]] AbandonKind abandon_kind(const std::exception_ptr& err) {
+  try {
+    std::rethrow_exception(err);
+  } catch (const OperationCancelled&) {
+    return AbandonKind::kCancelled;
+  } catch (const DeadlineExpired&) {
+    return AbandonKind::kDeadline;
+  } catch (...) {
+    return AbandonKind::kNone;
+  }
+}
+
 }  // namespace
 
 u64 cache_seed(const PipelineConfig& cfg) {
@@ -79,6 +100,7 @@ std::vector<Sym> decompress(const CompressResult<Sym>& r, int threads) {
 template <typename Sym>
 CompressionService<Sym>::CompressionService(ServiceConfig cfg)
     : cfg_(cfg),
+      clock_(cfg.clock ? cfg.clock : &util::Clock::real()),
       cache_(cfg.cache),
       pool_(std::make_unique<WorkStealExecutor>(cfg.workers)) {
   if (cfg_.queue_capacity == 0) {
@@ -88,6 +110,10 @@ CompressionService<Sym>::CompressionService(ServiceConfig cfg)
   if (cfg_.retry.max_attempts < 0) {
     throw std::invalid_argument(
         "CompressionService: retry.max_attempts must be >= 0");
+  }
+  if (cfg_.triage.quantile < 0.0 || cfg_.triage.quantile > 1.0) {
+    throw std::invalid_argument(
+        "CompressionService: triage.quantile must be in [0, 1]");
   }
   scheduler_ = std::thread([this] { scheduler_loop(); });
 }
@@ -122,12 +148,19 @@ Submission<Sym> CompressionService<Sym>::submit(std::span<const Sym> data,
   r.pipeline = pipeline;
   r.priority = opts.priority;
   r.deadline = opts.deadline;
+  r.retry_budget = cfg_.retry.max_attempts;
   r.handle = std::make_shared<detail::HandleState>();
+  // Arm the in-flight token before the request is shared: the stage
+  // kernels poll it per chunk, so the deadline keeps biting even after
+  // encode begins (core/cancel.hpp).
+  if (!opts.deadline.unlimited()) {
+    r.handle->token.arm_deadline(opts.deadline.at, *clock_);
+  }
   RequestHandle handle(r.handle);
   std::future<CompressResult<Sym>> fut = r.promise.get_future();
 
   // Dead on arrival: resolve without touching the queue.
-  if (opts.deadline.expired()) {
+  if (opts.deadline.expired(clock_->now())) {
     r.handle->try_transition(ReqPhase::kPending, ReqPhase::kResolved);
     r.promise.set_exception(std::make_exception_ptr(DeadlineExceeded{}));
     reg.counter_add("svc.requests_submitted");
@@ -154,7 +187,17 @@ Submission<Sym> CompressionService<Sym>::submit(std::span<const Sym> data,
       if (r.deadline.unlimited()) {
         space_cv_.wait(lock, has_space);
       } else {
-        admitted = space_cv_.wait_until(lock, r.deadline.at, has_space);
+        // Predicate loop over the injected clock's wait primitive —
+        // equivalent to cv.wait_until(pred) on the real clock, and
+        // virtual-clock-driven in tests.
+        while (!has_space()) {
+          if (clock_->wait_until(space_cv_, lock, r.deadline.at) ==
+                  std::cv_status::timeout &&
+              !has_space()) {
+            admitted = false;
+            break;
+          }
+        }
       }
       --waiting_submitters_;
       if (stopping_) {
@@ -195,7 +238,7 @@ std::future<CompressResult<Sym>> CompressionService<Sym>::submit(
 template <typename Sym>
 void CompressionService<Sym>::prune_pending(std::vector<Request>& expired,
                                             std::vector<Request>& cancelled) {
-  const auto now = Deadline::clock::now();
+  const auto now = clock_->now();
   for (auto it = pending_.begin(); it != pending_.end();) {
     if (it->handle->load() == ReqPhase::kCancelled) {
       cancelled.push_back(std::move(*it));
@@ -219,7 +262,11 @@ void CompressionService<Sym>::sweep_batch(std::vector<Request>& batch,
   // By value: push_back below may reallocate `batch` and a reference into
   // it would dangle.
   const PipelineConfig want = batch.front().pipeline;
-  const auto now = Deadline::clock::now();
+  const auto now = clock_->now();
+  // Deadline-aware admission: a member whose remaining budget is below
+  // the expected service time cannot finish — fail it now instead of
+  // spending batch work on it (svc.triage_skipped).
+  const double expected = expected_service_seconds();
   for (auto it = pending_.begin();
        it != pending_.end() && batch.size() < cfg_.batch_max_requests;) {
     if (it->handle->load() == ReqPhase::kCancelled) {
@@ -233,8 +280,12 @@ void CompressionService<Sym>::sweep_batch(std::vector<Request>& batch,
       ++it;
       continue;
     }
-    if (it->deadline.expired(now)) {
+    if (it->deadline.expired(now) ||
+        it->deadline.remaining_seconds(now) < expected) {
       if (it->handle->try_transition(ReqPhase::kPending, ReqPhase::kResolved)) {
+        if (!it->deadline.expired(now)) {
+          obs::MetricsRegistry::global().counter_add("svc.triage_skipped");
+        }
         expired.push_back(std::move(*it));
       } else {
         cancelled.push_back(std::move(*it));
@@ -324,9 +375,7 @@ void CompressionService<Sym>::scheduler_loop() {
                            cfg_.batch_window_seconds > 0;
     if (batchable) {
       const auto window_end =
-          std::chrono::steady_clock::now() +
-          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-              std::chrono::duration<double>(cfg_.batch_window_seconds));
+          clock_->now() + util::Clock::dur(cfg_.batch_window_seconds);
       for (;;) {
         sweep_batch(batch, total_syms, expired, cancelled);
         if (batch.size() >= cfg_.batch_max_requests) break;
@@ -334,7 +383,7 @@ void CompressionService<Sym>::scheduler_loop() {
           sweep_batch(batch, total_syms, expired, cancelled);
           break;
         }
-        if (sched_cv_.wait_until(lock, window_end) ==
+        if (clock_->wait_until(sched_cv_, lock, window_end) ==
             std::cv_status::timeout) {
           sweep_batch(batch, total_syms, expired, cancelled);
           break;
@@ -366,8 +415,10 @@ void CompressionService<Sym>::dispatch(std::vector<Request> batch) {
           attempt >= cfg_.retry.max_attempts) {
         break;
       }
+      // Executor handoff happens before any member's stage work starts, so
+      // this bound is per batch, not drawn from the members' budgets.
       reg.counter_add("svc.retries");
-      util::backoff_sleep(cfg_.retry.backoff, attempt, rng);
+      util::backoff_sleep(cfg_.retry.backoff, attempt, rng, *clock_);
     }
   }
   // Executor unavailable even after retries: run the batch inline on the
@@ -390,7 +441,7 @@ void CompressionService<Sym>::run_batch(std::vector<Request> batch) {
   // Members whose deadline passed while the batch waited for a worker are
   // failed before any work is spent on them.
   {
-    const auto now = Deadline::clock::now();
+    const auto now = clock_->now();
     std::vector<Request> live;
     live.reserve(batch.size());
     for (Request& r : batch) {
@@ -404,6 +455,32 @@ void CompressionService<Sym>::run_batch(std::vector<Request> batch) {
     batch = std::move(live);
   }
   if (batch.empty()) return;
+
+  // Cancel scope for the shared stages. A solo batch polls its member's
+  // own token, so a post-dispatch cancel() or the member's deadline aborts
+  // the histogram/codebook mid-kernel. A multi-member batch arms a
+  // batch-local token with the *latest* member deadline (the shared work
+  // serves everyone; earlier expiries are caught at the per-member encode
+  // boundary below). `solo_state` pins the handle so the token outlives
+  // any member failed during the retry sweep.
+  CancelToken batch_token;
+  std::shared_ptr<detail::HandleState> solo_state;
+  const CancelToken* shared_cancel = &batch_token;
+  if (batch.size() == 1) {
+    solo_state = batch.front().handle;
+    shared_cancel = &solo_state->token;
+  } else {
+    auto latest = Deadline::clock::time_point::min();
+    bool all_limited = true;
+    for (const Request& r : batch) {
+      if (r.deadline.unlimited()) {
+        all_limited = false;
+        break;
+      }
+      latest = std::max(latest, r.deadline.at);
+    }
+    if (all_limited) batch_token.arm_deadline(latest, *clock_);
+  }
 
   // By value: the deadline triage in the retry loop reassigns `batch`, and
   // a reference into the old vector would dangle (the same trap the
@@ -428,7 +505,7 @@ void CompressionService<Sym>::run_batch(std::vector<Request> batch) {
       Timer t;
       freq.assign(cfg.nbins, 0);
       for (const Request& r : batch) {
-        accumulate_histogram<Sym>(r.data, cfg, freq);
+        accumulate_histogram<Sym>(r.data, cfg, freq, shared_cancel);
       }
       reg.stage_add("svc.histogram", t.seconds());
 
@@ -452,26 +529,45 @@ void CompressionService<Sym>::run_batch(std::vector<Request> batch) {
         }
         if (!cb) {
           faults.maybe_throw("svc.codebook");
-          cb = std::make_shared<const Codebook>(build_codebook(freq, cfg));
-          cache_.insert(fp, cb);
+          cb = std::make_shared<const Codebook>(
+              build_codebook(freq, cfg, nullptr, shared_cancel));
+          try {
+            cache_.insert(fp, cb);
+          } catch (...) {
+            // An insert failure loses only the cache write, never the
+            // batch: keep the freshly built codebook, don't retry, don't
+            // degrade — future batches just miss and rebuild.
+            reg.counter_add("svc.cache_insert_dropped");
+          }
         }
       } else {
         faults.maybe_throw("svc.codebook");
-        cb = std::make_shared<const Codebook>(build_codebook(freq, cfg));
+        cb = std::make_shared<const Codebook>(
+            build_codebook(freq, cfg, nullptr, shared_cancel));
       }
       reg.stage_add("svc.codebook", t.seconds());
       shared_err = nullptr;
       break;
     } catch (...) {
       shared_err = std::current_exception();
-      if (!is_transient(shared_err) || attempt >= cfg_.retry.max_attempts) {
-        break;
+      // A poll-point abort outranks transient classification: no retry.
+      if (abandon_kind(shared_err) != AbandonKind::kNone) break;
+      // The retry budget is per request, pooled across the shared phase:
+      // retry while any live member still has budget, and charge every
+      // live member for the round (they all consume the repeated work).
+      int budget = 0;
+      for (const Request& r : batch) {
+        budget = std::max(budget, r.retry_budget);
+      }
+      if (!is_transient(shared_err) || budget <= 0) break;
+      for (Request& r : batch) {
+        if (r.retry_budget > 0) --r.retry_budget;
       }
       reg.counter_add("svc.retries");
       rec.instant("svc.retry", "svc");
-      util::backoff_sleep(cfg_.retry.backoff, attempt, rng);
+      util::backoff_sleep(cfg_.retry.backoff, attempt, rng, *clock_);
       // Deadlines keep ticking while we back off.
-      const auto now = Deadline::clock::now();
+      const auto now = clock_->now();
       std::vector<Request> live;
       live.reserve(batch.size());
       for (Request& r : batch) {
@@ -488,6 +584,24 @@ void CompressionService<Sym>::run_batch(std::vector<Request> batch) {
   }
 
   if (shared_err) {
+    const AbandonKind kind = abandon_kind(shared_err);
+    if (kind != AbandonKind::kNone) {
+      // A stage kernel abandoned the shared work at a poll point. Fail
+      // every member with the typed error — no retry, no degraded
+      // fallback: the request asked to stop (or ran out of time), and
+      // more work is exactly what it doesn't want.
+      for (Request& r : batch) {
+        reg.counter_add("svc.cancelled_midstage");
+        if (kind == AbandonKind::kCancelled) {
+          fail_request(r, std::make_exception_ptr(CancelledError{}),
+                       "svc.cancelled_requests");
+        } else {
+          fail_request(r, std::make_exception_ptr(DeadlineExceeded{}),
+                       "svc.deadline_exceeded");
+        }
+      }
+      return;
+    }
     // Batched path is down for this batch: rescue each member through the
     // solo serial pipeline, or fail it with the shared error.
     for (Request& r : batch) {
@@ -500,9 +614,18 @@ void CompressionService<Sym>::run_batch(std::vector<Request> batch) {
     return;
   }
 
-  // Per-request encode: a transient failure retries, then degrades; only
-  // a non-transient failure (or degraded-path failure) fails the future.
+  // Per-request encode: a transient failure retries while the request's
+  // remaining budget allows, then degrades; a poll-point abort fails the
+  // future with the typed error immediately.
   for (Request& r : batch) {
+    // Boundary re-check: a member whose own (earlier) deadline passed
+    // during the shared phase fails here, before its encode starts — it
+    // never reached a kernel, so it doesn't count as a mid-stage abort.
+    if (r.deadline.expired(clock_->now())) {
+      fail_request(r, std::make_exception_ptr(DeadlineExceeded{}),
+                   "svc.deadline_exceeded");
+      continue;
+    }
     CompressResult<Sym> res;
     std::exception_ptr err;
     for (int attempt = 0;; ++attempt) {
@@ -510,8 +633,9 @@ void CompressionService<Sym>::run_batch(std::vector<Request> batch) {
         Timer t;
         faults.maybe_throw("svc.encode");
         res.codebook = cb;
-        res.stream = encode_with_codebook<Sym>(std::span<const Sym>(r.data),
-                                               *cb, cfg, freq);
+        res.stream =
+            encode_with_codebook<Sym>(std::span<const Sym>(r.data), *cb, cfg,
+                                      freq, nullptr, &r.handle->token);
         res.cache_hit = cache_hit;
         res.batch_requests = batch.size();
         res.encode_seconds = t.seconds();
@@ -520,13 +644,27 @@ void CompressionService<Sym>::run_batch(std::vector<Request> batch) {
         break;
       } catch (...) {
         err = std::current_exception();
-        if (!is_transient(err) || attempt >= cfg_.retry.max_attempts) break;
+        if (abandon_kind(err) != AbandonKind::kNone) break;
+        if (!is_transient(err) || r.retry_budget <= 0) break;
+        --r.retry_budget;
         reg.counter_add("svc.retries");
         rec.instant("svc.retry", "svc");
-        util::backoff_sleep(cfg_.retry.backoff, attempt, rng);
+        util::backoff_sleep(cfg_.retry.backoff, attempt, rng, *clock_);
       }
     }
     if (err) {
+      const AbandonKind kind = abandon_kind(err);
+      if (kind != AbandonKind::kNone) {
+        reg.counter_add("svc.cancelled_midstage");
+        if (kind == AbandonKind::kCancelled) {
+          fail_request(r, std::make_exception_ptr(CancelledError{}),
+                       "svc.cancelled_requests");
+        } else {
+          fail_request(r, std::make_exception_ptr(DeadlineExceeded{}),
+                       "svc.deadline_exceeded");
+        }
+        continue;
+      }
       if (cfg_.degraded_fallback) {
         run_degraded(r, batch_start_us);
       } else {
@@ -585,6 +723,19 @@ void CompressionService<Sym>::run_degraded(Request& r,
   } catch (...) {
     fail_request(r, std::current_exception(), "svc.requests_failed");
   }
+}
+
+template <typename Sym>
+double CompressionService<Sym>::expected_service_seconds() const {
+  // Triage estimate: a quantile of the observed end-to-end latency
+  // (svc.request_seconds). Until enough samples accumulate the estimate
+  // is 0, which disables triage — a cold service never sheds load on a
+  // guess.
+  if (!cfg_.triage.enabled) return 0.0;
+  const obs::HistoStat stat =
+      obs::MetricsRegistry::global().histo("svc.request_seconds");
+  if (stat.count < cfg_.triage.min_samples) return 0.0;
+  return stat.quantile(cfg_.triage.quantile);
 }
 
 template <typename Sym>

@@ -30,17 +30,26 @@
 //
 //   * Deadlines — submit() takes an optional absolute Deadline
 //     (svc/deadline.hpp). Expired requests are failed with
-//     DeadlineExceeded wherever they wait: a blocked submit() stops
+//     DeadlineExceeded wherever they wait (a blocked submit() stops
 //     waiting at the deadline, the scheduler prunes expired pending
 //     requests before batching, and a batch re-checks members when it
-//     starts. Work that already began encoding always completes.
-//   * Cancellation — submit() returns a RequestHandle whose cancel() is
-//     best-effort: it wins only while the request is still pending, and
-//     the future then fails with CancelledError.
+//     starts), *and* mid-stage: submit() arms the request's CancelToken
+//     with the deadline and the stage kernels poll it per chunk / per
+//     reduce round, abandoning work whose deadline has passed
+//     (svc.cancelled_midstage counts these). Batch admission additionally
+//     triages members whose remaining budget is below the expected
+//     service time — the svc.request_seconds histogram's quantile — and
+//     fails them up front (svc.triage_skipped).
+//   * Cancellation — submit() returns a RequestHandle. cancel() wins
+//     outright while the request is pending; after dispatch it signals
+//     the in-flight token and the stages abandon at their next poll
+//     point. Either way the future fails with CancelledError.
 //   * Retry — failures classified transient (util::TransientError, which
-//     injected faults and overload errors derive from) are retried up to
-//     ServiceConfig::retry.max_attempts with exponential backoff + full
-//     jitter (util/backoff.hpp).
+//     injected faults and overload errors derive from) are retried with
+//     exponential backoff + full jitter (util/backoff.hpp) against a
+//     per-request total budget of ServiceConfig::retry.max_attempts
+//     shared across all stages (shared phase + encode), bounding
+//     worst-case added latency per request rather than per stage.
 //   * Graceful degradation — when the batched path exhausts its retry
 //     budget, each member request falls back to a solo serial pipeline
 //     (serial histogram → serial tree codebook → serial encode), which
@@ -53,7 +62,8 @@
 //
 // Observability (docs/service.md, docs/observability.md): svc.* counters
 // (requests, batches, cache hits/misses/guard rejects, rejections,
-// backpressure events, deadline_exceeded, cancelled_requests, retries,
+// backpressure events, deadline_exceeded, cancelled_requests,
+// cancelled_midstage, triage_skipped, cache_insert_dropped, retries,
 // degraded, inline_dispatches), the svc.queue_depth gauge, svc.histogram/
 // codebook/encode stage timers, svc.request_seconds and
 // svc.queue_wait_seconds latency histograms (p50/p95/p99 in the
@@ -104,9 +114,28 @@ class QueueFullError : public std::runtime_error {
 /// How transient failures are retried before the degraded fallback (see
 /// the fault-tolerance model above).
 struct RetryPolicy {
-  /// Retries (beyond the first attempt) of a transient stage failure.
+  /// Per-request total retry budget (beyond first attempts), shared
+  /// across all stages: a shared-phase retry and an encode retry draw
+  /// from the same budget, so a request never retries more than this
+  /// many times end to end. (The executor-handoff retry in dispatch() is
+  /// a per-batch bound reusing this value — it happens before any stage
+  /// runs.)
   int max_attempts = 2;
   util::BackoffPolicy backoff;
+};
+
+/// Deadline-aware batch admission: members whose remaining deadline
+/// budget is below the expected service time are failed up front
+/// (DeadlineExceeded, counted in svc.triage_skipped) instead of wasting
+/// batch work that cannot finish in time.
+struct TriagePolicy {
+  bool enabled = true;
+  /// Samples the svc.request_seconds histogram must hold before its
+  /// estimate is trusted (cold services never triage).
+  u64 min_samples = 64;
+  /// Which quantile of svc.request_seconds is "the expected service
+  /// time".
+  double quantile = 0.5;
 };
 
 struct ServiceConfig {
@@ -126,9 +155,15 @@ struct ServiceConfig {
   bool enable_cache = true;
   CodebookCache::Config cache;
   RetryPolicy retry;
+  TriagePolicy triage;
   /// Fall back to the solo serial pipeline when the batched path fails
   /// (after retries). Off: the batched path's error fails the future.
   bool degraded_fallback = true;
+  /// Time source for deadlines, backoff sleeps and the scheduler's batch
+  /// window. nullptr = the real steady clock; tests inject a
+  /// util::VirtualClock to drive every time-dependent path
+  /// deterministically. Must outlive the service.
+  const util::Clock* clock = nullptr;
 };
 
 /// Per-request submit() parameters beyond the payload and pipeline config.
@@ -215,6 +250,9 @@ class CompressionService {
     std::shared_ptr<detail::HandleState> handle;
     std::promise<CompressResult<Sym>> promise;
     double enqueue_us = 0;  ///< trace-recorder clock at admission
+    /// Remaining per-request retry budget, shared across stages
+    /// (initialized from RetryPolicy::max_attempts at submit).
+    int retry_budget = 0;
   };
 
   void scheduler_loop();
@@ -240,8 +278,12 @@ class CompressionService {
   /// Mark one outstanding request finished; wakes blocked submitters and
   /// drain().
   void finish_one();
+  /// Triage estimate: the configured quantile of svc.request_seconds, or
+  /// 0 while disabled / too few samples (see TriagePolicy).
+  [[nodiscard]] double expected_service_seconds() const;
 
   ServiceConfig cfg_;
+  const util::Clock* clock_ = nullptr;  // resolved from cfg_.clock
   CodebookCache cache_;
   std::unique_ptr<WorkStealExecutor> pool_;
 

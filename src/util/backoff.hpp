@@ -14,6 +14,7 @@
 #include <chrono>
 #include <thread>
 
+#include "util/clock.hpp"
 #include "util/rng.hpp"
 
 namespace parhuff::util {
@@ -48,6 +49,15 @@ inline double backoff_sleep(const BackoffPolicy& p, int attempt,
   if (s > 0) {
     std::this_thread::sleep_for(std::chrono::duration<double>(s));
   }
+  return s;
+}
+
+/// Clock-injected variant: sleeps on `clock`, so a VirtualClock turns the
+/// delay into an instant advance (util/clock.hpp).
+inline double backoff_sleep(const BackoffPolicy& p, int attempt,
+                            Xoshiro256& rng, const Clock& clock) {
+  const double s = backoff_delay_seconds(p, attempt, rng);
+  if (s > 0) clock.sleep_for(Clock::dur(s));
   return s;
 }
 

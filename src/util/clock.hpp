@@ -1,0 +1,154 @@
+#pragma once
+// Injectable time source for everything in the service stack that reads
+// the clock or sleeps: deadline expiry (svc/deadline.hpp, core/cancel.hpp),
+// retry backoff (util/backoff.hpp) and the scheduler's batch-window sweep.
+//
+// Two implementations:
+//  * Clock::real()  — the process steady clock; the default everywhere, so
+//    production behavior is unchanged when nothing is injected.
+//  * VirtualClock   — a test-controlled clock. Time moves only when the
+//    test advances it: advance() moves it explicitly, sleep_for() advances
+//    instead of blocking (a virtual sleep returns immediately), and
+//    auto_advance_every(n, step) advances `step` on every n-th now() query,
+//    which lets a test expire a deadline deterministically *mid-stage* —
+//    after a chosen number of kernel poll points — with no real sleeping
+//    and no thread races.
+//
+// Both share std::chrono::steady_clock's time_point/duration types, so a
+// virtual clock slots in wherever a steady-clock instant is stored (e.g.
+// svc::Deadline) without conversion.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "util/types.hpp"
+
+namespace parhuff::util {
+
+class Clock {
+ public:
+  using underlying = std::chrono::steady_clock;
+  using time_point = underlying::time_point;
+  using duration = underlying::duration;
+
+  virtual ~Clock() = default;
+
+  [[nodiscard]] virtual time_point now() const = 0;
+
+  /// Block (real clock) or advance (virtual clock) for `d`.
+  virtual void sleep_for(duration d) const = 0;
+
+  /// Wait on `cv` until notified or until this clock reaches `tp`.
+  /// Returns timeout iff `tp` has been reached *on this clock* — for the
+  /// virtual clock that means a bounded real wait per call, re-evaluated
+  /// against virtual time, so callers must loop exactly as they would
+  /// around a spurious wakeup (every caller in this codebase already does).
+  virtual std::cv_status wait_until(std::condition_variable& cv,
+                                    std::unique_lock<std::mutex>& lk,
+                                    time_point tp) const = 0;
+
+  /// Seconds → this clock's duration (saturating on overflow is not
+  /// needed: callers pass bounded backoff/window values).
+  [[nodiscard]] static duration dur(double seconds) {
+    return std::chrono::duration_cast<duration>(
+        std::chrono::duration<double>(seconds));
+  }
+
+  /// The process steady clock.
+  [[nodiscard]] static const Clock& real();
+};
+
+namespace detail {
+
+class RealClock final : public Clock {
+ public:
+  [[nodiscard]] time_point now() const override { return underlying::now(); }
+  void sleep_for(duration d) const override {
+    if (d > duration::zero()) std::this_thread::sleep_for(d);
+  }
+  std::cv_status wait_until(std::condition_variable& cv,
+                            std::unique_lock<std::mutex>& lk,
+                            time_point tp) const override {
+    return cv.wait_until(lk, tp);
+  }
+};
+
+}  // namespace detail
+
+inline const Clock& Clock::real() {
+  static const detail::RealClock instance;
+  return instance;
+}
+
+/// Deterministic test clock (see file comment). Thread-safe: the service's
+/// scheduler, its workers and the test thread may all query concurrently.
+class VirtualClock final : public Clock {
+ public:
+  /// Starts one virtual hour in, so tests can move deadlines both ways.
+  explicit VirtualClock(time_point start = time_point{} +
+                                           std::chrono::hours(1))
+      : now_(start) {}
+
+  [[nodiscard]] time_point now() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++queries_;
+    if (every_ > 0 && queries_ % every_ == 0) now_ += step_;
+    return now_;
+  }
+
+  /// A virtual sleep: advances the clock by `d` and returns immediately.
+  void sleep_for(duration d) const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (d > duration::zero()) now_ += d;
+  }
+
+  std::cv_status wait_until(std::condition_variable& cv,
+                            std::unique_lock<std::mutex>& lk,
+                            time_point tp) const override {
+    if (peek() >= tp) return std::cv_status::timeout;
+    // Bounded real nap so a notify or a concurrent advance() is observed
+    // promptly; the caller's wait loop re-evaluates its predicate either
+    // way, exactly as for a spurious wakeup.
+    cv.wait_for(lk, std::chrono::microseconds(200));
+    return peek() >= tp ? std::cv_status::timeout : std::cv_status::no_timeout;
+  }
+
+  /// Move time forward (a controller/test-thread action).
+  void advance(duration d) {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_ += d;
+  }
+  void advance_seconds(double s) { advance(dur(s)); }
+
+  /// Every `queries`-th now() call advances the clock by `step`
+  /// (0 disables). This ties the passage of time to *observed activity*
+  /// (each deadline poll point queries the clock once), which is what
+  /// makes "the deadline expires after ~K poll points" a deterministic,
+  /// sleep-free test condition.
+  void auto_advance_every(u64 queries, duration step) {
+    std::lock_guard<std::mutex> lock(mu_);
+    every_ = queries;
+    step_ = step;
+  }
+
+  /// now() without counting a query (test assertions).
+  [[nodiscard]] time_point peek() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return now_;
+  }
+  [[nodiscard]] u64 queries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queries_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable time_point now_;
+  mutable u64 queries_ = 0;
+  u64 every_ = 0;
+  duration step_{};
+};
+
+}  // namespace parhuff::util

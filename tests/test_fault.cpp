@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <future>
 #include <memory>
 #include <span>
@@ -14,10 +16,14 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "core/streaming.hpp"
+#include "data/quant.hpp"
+#include "lossy/lossy.hpp"
 #include "obs/metrics.hpp"
 #include "svc/deadline.hpp"
 #include "svc/service.hpp"
 #include "util/backoff.hpp"
+#include "util/clock.hpp"
 #include "util/fault_inject.hpp"
 #include "util/rng.hpp"
 
@@ -31,10 +37,12 @@ using svc::DeadlineExceeded;
 using svc::Priority;
 using svc::ServiceConfig;
 using svc::SubmitOptions;
+using util::Clock;
 using util::FaultInjector;
 using util::InjectedFault;
 using util::ScopedFaults;
 using util::TransientError;
+using util::VirtualClock;
 
 PipelineConfig serial_config(std::size_t nbins = 256) {
   PipelineConfig cfg;
@@ -231,16 +239,20 @@ TEST(ServiceFault, ExpiredDeadlineAtSubmitFailsFastWithoutAdmission) {
 TEST(ServiceFault, PendingRequestPastDeadlineFailsWithDeadlineExceeded) {
   // A leader with config A holds the scheduler in its batch window; a
   // config-B request with a tiny deadline expires while pending and must
-  // be pruned, not dispatched.
+  // be pruned, not dispatched. All on the virtual clock: the batch window
+  // and the deadline tick by query activity, not by real sleeping.
+  VirtualClock vc;
+  vc.auto_advance_every(1, Clock::dur(2e-3));
   ServiceConfig sc;
   sc.workers = 1;
   sc.batch_window_seconds = 0.2;
+  sc.clock = &vc;
   CompressionService<u8> svc(sc);
   const auto data = ramp_data(2000);
   auto leader =
       svc.submit(std::span<const u8>(data), serial_config(256)).share();
   SubmitOptions opts;
-  opts.deadline = Deadline::in(5e-3);
+  opts.deadline = Deadline::in(5e-3, vc);
   auto doomed =
       svc.submit(std::span<const u8>(data), serial_config(128), opts);
   EXPECT_THROW(doomed.result.get(), DeadlineExceeded);
@@ -253,10 +265,14 @@ TEST(ServiceFault, PendingRequestPastDeadlineFailsWithDeadlineExceeded) {
 
 TEST(ServiceFault, CancelWinsWhilePendingAndFailsTheFuture) {
   // Same structure: the config-B request stays pending during the leader's
-  // batch window, so cancel() beats dispatch deterministically.
+  // batch window, so cancel() beats dispatch deterministically. The window
+  // is virtual-clock time — it cannot close before cancel() runs.
+  VirtualClock vc;
+  vc.auto_advance_every(1, Clock::dur(2e-3));
   ServiceConfig sc;
   sc.workers = 1;
   sc.batch_window_seconds = 0.2;
+  sc.clock = &vc;
   CompressionService<u8> svc(sc);
   const auto data = ramp_data(2000);
   auto leader =
@@ -358,6 +374,112 @@ TEST(ServiceFault, CacheFaultsAreSurvivable) {
   EXPECT_EQ(svc::decompress(res), data);
 }
 
+TEST(ServiceFault, CacheInsertFailureDropsWriteAndStaysOnBatchedPath) {
+  // Insert-failure policy: losing the cache write must cost nothing but
+  // the write — the request completes on the batched path with the
+  // freshly built codebook (degraded == false), consuming no retries.
+  ScopedFaults scope(FaultInjector::global());
+  scope.arm("svc.cache.insert", 1.0);
+  auto& reg = obs::MetricsRegistry::global();
+  const u64 dropped0 = reg.counter("svc.cache_insert_dropped");
+  const u64 retries0 = reg.counter("svc.retries");
+
+  ServiceConfig sc;
+  sc.workers = 2;
+  sc.retry = fast_retry();
+  CompressionService<u8> svc(sc);
+  const auto data = ramp_data(4000);
+  const auto res =
+      svc.submit(std::span<const u8>(data), serial_config()).get();
+  EXPECT_FALSE(res.degraded);
+  EXPECT_EQ(svc::decompress(res), data);
+  EXPECT_GT(reg.counter("svc.cache_insert_dropped"), dropped0);
+  EXPECT_EQ(reg.counter("svc.retries"), retries0);
+}
+
+// --- Streaming layer fault sites. --------------------------------------------
+
+TEST(StreamingFault, ObserveFaultLeavesProfileRetryable) {
+  ScopedFaults scope(FaultInjector::global());
+  scope.arm("streaming.observe", 1.0);
+  StreamingCompressor<u8> comp(serial_config());
+  const auto seg = ramp_data(4000);
+  EXPECT_THROW(comp.observe(std::span<const u8>(seg)), InjectedFault);
+  // The site fires before freq_ is touched: the same observe() succeeds
+  // once the fault clears, with nothing double-counted.
+  FaultInjector::global().disarm("streaming.observe");
+  EXPECT_NO_THROW(comp.observe(std::span<const u8>(seg)));
+  comp.freeze();
+  StreamingDecompressor<u8> dec(comp.header());
+  EXPECT_EQ(dec.decode_segment(comp.encode_segment(std::span<const u8>(seg))),
+            seg);
+}
+
+TEST(StreamingFault, FreezeFaultThenResetRecovers) {
+  ScopedFaults scope(FaultInjector::global());
+  StreamingCompressor<u8> comp(serial_config());
+  const auto seg = ramp_data(4000);
+  comp.observe(std::span<const u8>(seg));
+  FaultInjector::global().arm("streaming.freeze", 1.0);
+  EXPECT_THROW(comp.freeze(), InjectedFault);
+  // The failed freeze left the compressor un-frozen...
+  EXPECT_THROW((void)comp.codebook(), std::logic_error);
+  FaultInjector::global().disarm("streaming.freeze");
+  // ...and reset() returns it to a clean slate mid-stream: re-observe,
+  // re-freeze, and the stream round-trips.
+  comp.reset();
+  comp.observe(std::span<const u8>(seg));
+  EXPECT_NO_THROW(comp.freeze());
+  StreamingDecompressor<u8> dec(comp.header());
+  EXPECT_EQ(dec.decode_segment(comp.encode_segment(std::span<const u8>(seg))),
+            seg);
+}
+
+TEST(StreamingFault, EncodeSegmentFaultLosesOnlyThatFrame) {
+  ScopedFaults scope(FaultInjector::global());
+  StreamingCompressor<u8> comp(serial_config());
+  const auto seg = ramp_data(4000);
+  comp.observe(std::span<const u8>(seg));
+  comp.freeze();
+  FaultInjector::global().arm("streaming.encode_segment", 1.0);
+  EXPECT_THROW((void)comp.encode_segment(std::span<const u8>(seg)),
+               InjectedFault);
+  // Codebook and header survive; the caller just re-encodes the segment.
+  FaultInjector::global().disarm("streaming.encode_segment");
+  StreamingDecompressor<u8> dec(comp.header());
+  EXPECT_EQ(dec.decode_segment(comp.encode_segment(std::span<const u8>(seg))),
+            seg);
+}
+
+// --- Lossy layer fault sites. ------------------------------------------------
+
+TEST(LossyFault, QuantizeAndEncodeSitesFireAndAreRecoverable) {
+  ScopedFaults scope(FaultInjector::global());
+  const data::Dims dims{16, 16, 16};
+  const auto field = data::generate_cosmo_field(dims, 11);
+  lossy::Config cfg;
+  cfg.rel_error_bound = 1e-3;
+
+  FaultInjector::global().arm("lossy.quantize", 1.0);
+  EXPECT_THROW((void)lossy::compress_field(field, dims, cfg), InjectedFault);
+  FaultInjector::global().disarm("lossy.quantize");
+  FaultInjector::global().arm("lossy.encode", 1.0);
+  EXPECT_THROW((void)lossy::compress_field(field, dims, cfg), InjectedFault);
+  FaultInjector::global().disarm("lossy.encode");
+
+  // Both sites cleared: the same inputs compress and honor the bound.
+  lossy::Report rep;
+  const auto bytes = lossy::compress_field(field, dims, cfg, &rep);
+  const auto back = lossy::decompress_field(bytes);
+  ASSERT_EQ(back.values.size(), field.size());
+  double worst = 0;
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    worst = std::max(worst, std::abs(static_cast<double>(field[i]) -
+                                     static_cast<double>(back.values[i])));
+  }
+  EXPECT_LE(worst, rep.error_bound * 1.0001);
+}
+
 // --- Service: executor faults → inline dispatch. -----------------------------
 
 TEST(ServiceFault, ExecutorFaultsFallBackToInlineDispatch) {
@@ -397,11 +519,18 @@ TEST(ServiceFault, SoakEveryFutureResolvesUnderFaultStorm) {
   const u64 cancelled0 = reg.counter("svc.cancelled_requests");
   const u64 fired0 = FaultInjector::global().total_fired();
 
+  // Virtual clock with activity-driven advance: every clock query (poll
+  // points, window sweeps, deadline checks) moves time 20 µs, and backoff
+  // sleeps advance instead of blocking — the storm's deadline/retry
+  // machinery runs at full logical coverage with no real sleeping.
+  VirtualClock vc;
+  vc.auto_advance_every(1, Clock::dur(20e-6));
   ServiceConfig sc;
   sc.workers = 4;
   sc.queue_capacity = 64;
   sc.retry = fast_retry();
   sc.batch_window_seconds = 100e-6;
+  sc.clock = &vc;
   CompressionService<u8> svc(sc);
 
   constexpr int kThreads = 8;
@@ -422,9 +551,10 @@ TEST(ServiceFault, SoakEveryFutureResolvesUnderFaultStorm) {
                                     : Priority::kHigh;
         const u64 dl = rng.below(10);
         if (dl < 2) {
-          opts.deadline = Deadline::in(50e-6 * static_cast<double>(1 + dl));
+          opts.deadline =
+              Deadline::in(50e-6 * static_cast<double>(1 + dl), vc);
         } else if (dl < 4) {
-          opts.deadline = Deadline::in(5.0);
+          opts.deadline = Deadline::in(5.0, vc);
         }  // else: no deadline
         auto sub = svc.submit(std::span<const u8>(data),
                               serial_config(rng.below(2) ? 256 : 128), opts);
