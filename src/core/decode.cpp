@@ -9,9 +9,12 @@ namespace parhuff {
 
 template <typename Sym>
 void decode_symbols(BitReader& br, const Codebook& cb, std::size_t count,
-                    Sym* out) {
+                    Sym* out, const CancelToken* cancel) {
   const unsigned max_len = cb.max_len;
   for (std::size_t k = 0; k < count; ++k) {
+    // Cooperative poll, every 64 Ki symbols and at entry (k == 0) — the
+    // same stride as histogram_serial (core/cancel.hpp).
+    if (cancel && (k & 0xFFFFu) == 0) cancel->check();
     u64 v = 0;
     unsigned l = 0;
     for (;;) {
@@ -54,13 +57,13 @@ std::vector<std::size_t> overflow_runs(const EncodedStream& s) {
 template <typename Sym>
 void decode_chunk(const EncodedStream& s, const Codebook& cb,
                   const std::vector<std::size_t>& ovf_begin, std::size_t c,
-                  Sym* dst) {
+                  Sym* dst, const CancelToken* cancel) {
   const std::size_t nc = s.chunk_size(c);
   BitReader br = s.chunk_reader(c);
   const std::size_t e0 = ovf_begin[c];
   const std::size_t e1 = ovf_begin[c + 1];
   if (e0 == e1) {
-    decode_symbols(br, cb, nc, dst);
+    decode_symbols(br, cb, nc, dst, cancel);
     return;
   }
   const std::size_t group_syms = s.group_symbols(c);
@@ -74,13 +77,13 @@ void decode_chunk(const EncodedStream& s, const Codebook& cb,
     if (e < e1 && s.overflow[e].group == group) {
       const OverflowEntry& entry = s.overflow[e];
       obr.seek(entry.bit_offset);
-      decode_symbols(obr, cb, entry.n_symbols, dst + i);
+      decode_symbols(obr, cb, entry.n_symbols, dst + i, cancel);
       i += entry.n_symbols;
       ++e;
     } else {
       const std::size_t next =
           std::min<std::size_t>((group + 1) * group_syms, nc);
-      decode_symbols(br, cb, next - i, dst + i);
+      decode_symbols(br, cb, next - i, dst + i, cancel);
       i = next;
     }
   }
@@ -93,14 +96,15 @@ void decode_chunk(const EncodedStream& s, const Codebook& cb,
 
 template <typename Sym>
 std::vector<Sym> decode_stream(const EncodedStream& s, const Codebook& cb,
-                               int threads) {
+                               int threads, const CancelToken* cancel) {
   std::vector<Sym> out(s.n_symbols);
   if (s.n_symbols == 0) return out;
   const std::vector<std::size_t> ovf_begin = overflow_runs(s);
   parallel_for(
       s.chunks(),
       [&](std::size_t c) {
-        decode_chunk(s, cb, ovf_begin, c, out.data() + c * s.chunk_symbols);
+        decode_chunk(s, cb, ovf_begin, c, out.data() + c * s.chunk_symbols,
+                     cancel);
       },
       threads);
   return out;
@@ -109,7 +113,7 @@ std::vector<Sym> decode_stream(const EncodedStream& s, const Codebook& cb,
 template <typename Sym>
 std::vector<Sym> decode_range(const EncodedStream& s, const Codebook& cb,
                               std::size_t first, std::size_t count,
-                              int threads) {
+                              int threads, const CancelToken* cancel) {
   if (first + count < first || first + count > s.n_symbols) {
     throw std::out_of_range("decode_range: range exceeds stream");
   }
@@ -131,13 +135,14 @@ std::vector<Sym> decode_range(const EncodedStream& s, const Codebook& cb,
             std::min(first + count, chunk_begin + nc);
         if (lo >= hi) return;
         if (lo == chunk_begin && hi == chunk_begin + nc) {
-          decode_chunk(s, cb, ovf_begin, c, out.data() + (lo - first));
+          decode_chunk(s, cb, ovf_begin, c, out.data() + (lo - first),
+                       cancel);
           return;
         }
         // Partial chunk: decode it into scratch, copy the slice. (Huffman
         // streams have no sub-chunk entry points.)
         std::vector<Sym> scratch(nc);
-        decode_chunk(s, cb, ovf_begin, c, scratch.data());
+        decode_chunk(s, cb, ovf_begin, c, scratch.data(), cancel);
         std::copy(scratch.begin() + static_cast<std::ptrdiff_t>(lo -
                                                                 chunk_begin),
                   scratch.begin() + static_cast<std::ptrdiff_t>(hi -
@@ -149,18 +154,22 @@ std::vector<Sym> decode_range(const EncodedStream& s, const Codebook& cb,
 }
 
 template void decode_symbols<u8>(BitReader&, const Codebook&, std::size_t,
-                                 u8*);
+                                 u8*, const CancelToken*);
 template void decode_symbols<u16>(BitReader&, const Codebook&, std::size_t,
-                                  u16*);
+                                  u16*, const CancelToken*);
 template std::vector<u8> decode_stream<u8>(const EncodedStream&,
-                                           const Codebook&, int);
+                                           const Codebook&, int,
+                                           const CancelToken*);
 template std::vector<u16> decode_stream<u16>(const EncodedStream&,
-                                             const Codebook&, int);
+                                             const Codebook&, int,
+                                             const CancelToken*);
 template std::vector<u8> decode_range<u8>(const EncodedStream&,
                                           const Codebook&, std::size_t,
-                                          std::size_t, int);
+                                          std::size_t, int,
+                                          const CancelToken*);
 template std::vector<u16> decode_range<u16>(const EncodedStream&,
                                             const Codebook&, std::size_t,
-                                            std::size_t, int);
+                                            std::size_t, int,
+                                            const CancelToken*);
 
 }  // namespace parhuff

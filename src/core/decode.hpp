@@ -10,10 +10,18 @@
 // decode_stream understands the chunked container, decoding chunks in
 // parallel and splicing overflow (breaking) groups back in at their group
 // boundaries.
+//
+// All entry points take an optional CancelToken polled cooperatively (every
+// 64 Ki symbols inside the bit walk, which also covers every chunk and
+// overflow-group entry) — a decode whose deadline passes or whose request
+// is cancelled abandons mid-stream by throwing, exactly like the encode
+// stages (core/cancel.hpp). The no-token path costs one predictable branch
+// per symbol batch.
 
 #include <span>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "core/canonical.hpp"
 #include "core/encoded.hpp"
 #include "util/types.hpp"
@@ -21,16 +29,19 @@
 namespace parhuff {
 
 /// Decode exactly `count` symbols from `br`. Throws std::runtime_error on a
-/// corrupt stream (code longer than max_len or stream exhaustion).
+/// corrupt stream (code longer than max_len or stream exhaustion);
+/// OperationCancelled / DeadlineExpired from a fired `cancel` poll.
 template <typename Sym>
 void decode_symbols(BitReader& br, const Codebook& cb, std::size_t count,
-                    Sym* out);
+                    Sym* out, const CancelToken* cancel = nullptr);
 
 /// Decode a full chunked stream (any encoder's output).
 template <typename Sym>
 [[nodiscard]] std::vector<Sym> decode_stream(const EncodedStream& s,
                                              const Codebook& cb,
-                                             int threads = 0);
+                                             int threads = 0,
+                                             const CancelToken* cancel =
+                                                 nullptr);
 
 /// Random access: decode only symbols [first, first + count) — the chunked
 /// layout makes this touch just the covering chunks, so reading a slice of
@@ -41,22 +52,28 @@ template <typename Sym>
                                             const Codebook& cb,
                                             std::size_t first,
                                             std::size_t count,
-                                            int threads = 0);
+                                            int threads = 0,
+                                            const CancelToken* cancel =
+                                                nullptr);
 
 extern template void decode_symbols<u8>(BitReader&, const Codebook&,
-                                        std::size_t, u8*);
+                                        std::size_t, u8*, const CancelToken*);
 extern template void decode_symbols<u16>(BitReader&, const Codebook&,
-                                         std::size_t, u16*);
+                                         std::size_t, u16*,
+                                         const CancelToken*);
 extern template std::vector<u8> decode_stream<u8>(const EncodedStream&,
-                                                  const Codebook&, int);
+                                                  const Codebook&, int,
+                                                  const CancelToken*);
 extern template std::vector<u16> decode_stream<u16>(const EncodedStream&,
-                                                    const Codebook&, int);
+                                                    const Codebook&, int,
+                                                    const CancelToken*);
 extern template std::vector<u8> decode_range<u8>(const EncodedStream&,
                                                  const Codebook&, std::size_t,
-                                                 std::size_t, int);
+                                                 std::size_t, int,
+                                                 const CancelToken*);
 extern template std::vector<u16> decode_range<u16>(const EncodedStream&,
                                                    const Codebook&,
                                                    std::size_t, std::size_t,
-                                                   int);
+                                                   int, const CancelToken*);
 
 }  // namespace parhuff

@@ -10,7 +10,8 @@ namespace parhuff {
 
 template <typename Sym>
 std::vector<Sym> decode_simt(const EncodedStream& s, const Codebook& cb,
-                             simt::MemTally* tally) {
+                             simt::MemTally* tally,
+                             const CancelToken* cancel) {
   std::vector<Sym> out(s.n_symbols);
   if (s.n_symbols == 0) return out;
   const std::size_t chunks = s.chunks();
@@ -46,6 +47,9 @@ std::vector<Sym> decode_simt(const EncodedStream& s, const Codebook& cb,
     blk.threads([&](int tid) {
       const std::size_t c = blk.global_id(tid);
       if (c >= chunks) return;
+      // Cooperative poll per chunk, matching the encode kernels' per-block
+      // cadence; decode_symbols adds a finer 64 Ki-symbol stride inside.
+      if (cancel) cancel->check();
       const std::size_t begin = c * s.chunk_symbols;
       const std::size_t nc = s.chunk_size(c);
       Sym* dst = out.data() + begin;
@@ -54,7 +58,7 @@ std::vector<Sym> decode_simt(const EncodedStream& s, const Codebook& cb,
       const std::size_t e0 = ovf_begin[c];
       const std::size_t e1 = ovf_begin[c + 1];
       if (e0 == e1) {
-        decode_symbols(br, cb, nc, dst);
+        decode_symbols(br, cb, nc, dst, cancel);
       } else {
         const std::size_t group_syms = s.group_symbols(c);
         std::size_t e = e0;
@@ -67,13 +71,13 @@ std::vector<Sym> decode_simt(const EncodedStream& s, const Codebook& cb,
           if (e < e1 && s.overflow[e].group == group) {
             const OverflowEntry& entry = s.overflow[e];
             obr.seek(entry.bit_offset);
-            decode_symbols(obr, cb, entry.n_symbols, dst + i);
+            decode_symbols(obr, cb, entry.n_symbols, dst + i, cancel);
             i += entry.n_symbols;
             ++e;
           } else {
             const std::size_t next =
                 std::min<std::size_t>((group + 1) * group_syms, nc);
-            decode_symbols(br, cb, next - i, dst + i);
+            decode_symbols(br, cb, next - i, dst + i, cancel);
             i = next;
           }
         }
@@ -94,8 +98,10 @@ std::vector<Sym> decode_simt(const EncodedStream& s, const Codebook& cb,
 }
 
 template std::vector<u8> decode_simt<u8>(const EncodedStream&,
-                                         const Codebook&, simt::MemTally*);
+                                         const Codebook&, simt::MemTally*,
+                                         const CancelToken*);
 template std::vector<u16> decode_simt<u16>(const EncodedStream&,
-                                           const Codebook&, simt::MemTally*);
+                                           const Codebook&, simt::MemTally*,
+                                           const CancelToken*);
 
 }  // namespace parhuff

@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "core/canonical.hpp"
 #include "core/encoded.hpp"
 #include "simt/mem_model.hpp"
@@ -21,16 +22,23 @@
 
 namespace parhuff {
 
+/// `cancel` is polled cooperatively at every chunk entry (one poll per
+/// simulated thread) and every 64 Ki symbols inside the bit walk; a fired
+/// token aborts the launch by throwing OperationCancelled/DeadlineExpired.
 template <typename Sym>
 [[nodiscard]] std::vector<Sym> decode_simt(const EncodedStream& s,
                                            const Codebook& cb,
-                                           simt::MemTally* tally = nullptr);
+                                           simt::MemTally* tally = nullptr,
+                                           const CancelToken* cancel =
+                                               nullptr);
 
 extern template std::vector<u8> decode_simt<u8>(const EncodedStream&,
                                                 const Codebook&,
-                                                simt::MemTally*);
+                                                simt::MemTally*,
+                                                const CancelToken*);
 extern template std::vector<u16> decode_simt<u16>(const EncodedStream&,
                                                   const Codebook&,
-                                                  simt::MemTally*);
+                                                  simt::MemTally*,
+                                                  const CancelToken*);
 
 }  // namespace parhuff

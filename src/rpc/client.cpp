@@ -1,0 +1,303 @@
+#include "rpc/client.hpp"
+
+#include <cstring>
+#include <exception>
+
+#include "svc/deadline.hpp"
+#include "util/fault_inject.hpp"
+#include "util/rng.hpp"
+
+namespace parhuff::rpc {
+
+namespace {
+
+[[nodiscard]] std::string payload_message(const std::vector<u8>& payload) {
+  return std::string(payload.begin(), payload.end());
+}
+
+/// Map a non-kOk response onto the exception the caller's future carries.
+/// Deadline/cancel reuse the in-process service exception types so callers
+/// handle both transports with one catch.
+[[nodiscard]] std::exception_ptr status_exception(
+    Status s, const std::vector<u8>& payload) {
+  switch (s) {
+    case Status::kDeadlineExceeded:
+      return std::make_exception_ptr(svc::DeadlineExceeded());
+    case Status::kCancelled:
+      return std::make_exception_ptr(svc::CancelledError());
+    default:
+      return std::make_exception_ptr(RpcError(s, payload_message(payload)));
+  }
+}
+
+}  // namespace
+
+RpcClient::RpcClient(Connector connect, ClientConfig cfg)
+    : connector_(std::move(connect)),
+      cfg_(cfg),
+      clock_(cfg.clock ? cfg.clock : &util::Clock::real()) {
+  if (!connector_) {
+    throw std::invalid_argument("RpcClient: null connector");
+  }
+  reader_ = std::thread([this] { reader_loop(); });
+}
+
+RpcClient::~RpcClient() {
+  std::shared_ptr<Connection> conn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    conn = conn_;
+  }
+  conn_cv_.notify_all();
+  if (conn) conn->shutdown();  // unblocks a reader parked in read_exact
+  if (reader_.joinable()) reader_.join();
+
+  // The reader fails its own generation's pendings as connections die; a
+  // request registered after the final connection loss can still be left.
+  std::unordered_map<u64, Pending> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftover.swap(pending_);
+  }
+  for (auto& [id, p] : leftover) {
+    p.promise.set_exception(std::make_exception_ptr(
+        TransportError("rpc client: destroyed with request in flight")));
+  }
+}
+
+RpcCall RpcClient::compress(std::span<const u8> symbol_bytes, u8 sym_width,
+                            const RpcOptions& opts) {
+  Frame f;
+  f.h.op = Op::kCompress;
+  f.h.sym_width = sym_width;
+  f.h.priority = static_cast<u8>(opts.priority);
+  f.h.deadline_micros =
+      opts.deadline_seconds > 0
+          ? static_cast<u64>(opts.deadline_seconds * 1e6)
+          : 0;
+  f.payload.assign(symbol_bytes.begin(), symbol_bytes.end());
+  return submit_frame(std::move(f));
+}
+
+RpcCall RpcClient::decompress(std::span<const u8> container, u8 sym_width,
+                              const RpcOptions& opts) {
+  Frame f;
+  f.h.op = Op::kDecompress;
+  f.h.sym_width = sym_width;
+  f.h.priority = static_cast<u8>(opts.priority);
+  f.h.deadline_micros =
+      opts.deadline_seconds > 0
+          ? static_cast<u64>(opts.deadline_seconds * 1e6)
+          : 0;
+  f.payload.assign(container.begin(), container.end());
+  return submit_frame(std::move(f));
+}
+
+std::future<void> RpcClient::cancel(u64 request_id) {
+  Frame f;
+  f.h.op = Op::kCancel;
+  f.payload.resize(8);
+  std::memcpy(f.payload.data(), &request_id, 8);  // LE hosts only, like bytesio
+  RpcCall call = submit_frame(std::move(f));
+  return std::async(std::launch::deferred,
+                    [fut = std::move(call.result)]() mutable { fut.get(); });
+}
+
+std::future<std::string> RpcClient::stats() {
+  Frame f;
+  f.h.op = Op::kStats;
+  RpcCall call = submit_frame(std::move(f));
+  return std::async(std::launch::deferred,
+                    [fut = std::move(call.result)]() mutable {
+                      return payload_message(fut.get());
+                    });
+}
+
+RpcCall RpcClient::submit_frame(Frame f) {
+  const u64 id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  f.h.kind = Kind::kRequest;
+  f.h.request_id = id;
+  f.h.status = Status::kOk;
+
+  std::promise<std::vector<u8>> promise;
+  RpcCall call{promise.get_future(), id};
+
+  // Check the bound before touching the connection so an oversized
+  // payload fails typed without burning a connect attempt.
+  if (f.payload.size() > cfg_.max_payload_bytes) {
+    promise.set_exception(std::make_exception_ptr(RpcError(
+        Status::kBadRequest, "rpc: frame payload exceeds the protocol bound")));
+    return call;
+  }
+
+  std::lock_guard<std::mutex> send_lock(send_mu_);
+  std::shared_ptr<Connection> conn;
+  u64 gen = 0;
+  try {
+    std::tie(conn, gen) = ensure_connected();
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    return call;
+  }
+
+  // Register before writing: the response can arrive the instant the
+  // bytes land, and the reader must find the pending entry.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.emplace(id, Pending{gen, std::move(promise)});
+  }
+
+  try {
+    util::FaultInjector::global().maybe_throw("rpc.client.send");
+    write_frame(*conn, f, cfg_.max_payload_bytes);
+  } catch (...) {
+    // Fail only our own promise (if the reader didn't already claim it as
+    // part of a generation sweep), then kill the connection; the reader
+    // observes the death, fails the generation's other pendings and
+    // clears conn_ for the next sender to redial.
+    std::promise<std::vector<u8>> mine;
+    bool have = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = pending_.find(id);
+      if (it != pending_.end() && it->second.generation == gen) {
+        mine = std::move(it->second.promise);
+        pending_.erase(it);
+        have = true;
+      }
+    }
+    if (have) {
+      mine.set_exception(std::make_exception_ptr(
+          TransportError("rpc client: send failed")));
+    }
+    conn->shutdown();
+  }
+  return call;
+}
+
+std::pair<std::shared_ptr<Connection>, u64> RpcClient::ensure_connected() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      throw TransportError("rpc client: shutting down");
+    }
+    if (conn_) return {conn_, generation_};
+  }
+
+  Xoshiro256 rng(0x5bd1e995u + next_id_.load(std::memory_order_relaxed));
+  std::string last_error = "no attempt made";
+  const int attempts = cfg_.connect_attempts > 0 ? cfg_.connect_attempts : 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      util::backoff_sleep(cfg_.backoff, attempt - 1, rng, *clock_);
+    }
+    try {
+      util::FaultInjector::global().maybe_throw("rpc.client.connect");
+      std::unique_ptr<Connection> fresh = connector_();
+      if (!fresh) throw TransportError("connector returned null");
+      std::shared_ptr<Connection> conn = std::move(fresh);
+      u64 gen;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_) {
+          conn->shutdown();
+          throw TransportError("rpc client: shutting down");
+        }
+        conn_ = conn;
+        gen = ++generation_;
+      }
+      conn_cv_.notify_all();  // hand the new connection to the reader
+      return {conn, gen};
+    } catch (const TransportError& e) {
+      if (std::string_view(e.what()) == "rpc client: shutting down") throw;
+      last_error = e.what();
+    } catch (const std::exception& e) {
+      last_error = e.what();
+    }
+  }
+  throw TransportError("rpc client: connect failed after " +
+                       std::to_string(attempts) +
+                       " attempts: " + last_error);
+}
+
+void RpcClient::reader_loop() {
+  for (;;) {
+    std::shared_ptr<Connection> conn;
+    u64 gen = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      conn_cv_.wait(lock, [&] { return conn_ != nullptr || stopping_; });
+      if (stopping_) return;
+      conn = conn_;
+      gen = generation_;
+    }
+
+    // Drain responses until the connection dies, then fail whatever this
+    // generation still has pending. The reader is the only actor that
+    // fails a whole generation; senders only ever fail their own request.
+    std::string why = "connection closed";
+    try {
+      for (;;) {
+        util::FaultInjector::global().maybe_throw("rpc.client.read");
+        std::array<u8, kHeaderBytes> hdr;
+        if (!conn->read_exact(hdr.data(), hdr.size())) break;  // clean EOF
+        const Header h = decode_header(
+            std::span<const u8, kHeaderBytes>(hdr),
+            response_payload_bound(cfg_.max_payload_bytes));
+        std::vector<u8> payload(h.payload_len);
+        if (h.payload_len > 0 &&
+            !conn->read_exact(payload.data(), payload.size())) {
+          throw TransportError("rpc client: EOF before payload");
+        }
+        if (h.kind != Kind::kResponse) {
+          throw ProtocolError("request frame on the response stream",
+                              Status::kBadRequest, false, h.request_id);
+        }
+
+        std::promise<std::vector<u8>> promise;
+        bool have = false;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          auto it = pending_.find(h.request_id);
+          if (it != pending_.end() && it->second.generation == gen) {
+            promise = std::move(it->second.promise);
+            pending_.erase(it);
+            have = true;
+          }
+        }
+        // Unmatched ids are tolerated: the sender may have failed the
+        // request locally before the response arrived.
+        if (!have) continue;
+        if (h.status == Status::kOk) {
+          promise.set_value(std::move(payload));
+        } else {
+          promise.set_exception(status_exception(h.status, payload));
+        }
+      }
+    } catch (const std::exception& e) {
+      why = e.what();
+    }
+
+    conn->shutdown();
+    std::vector<std::promise<std::vector<u8>>> orphans;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (conn_ == conn) conn_ = nullptr;  // next sender redials
+      for (auto it = pending_.begin(); it != pending_.end();) {
+        if (it->second.generation == gen) {
+          orphans.push_back(std::move(it->second.promise));
+          it = pending_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (auto& p : orphans) {
+      p.set_exception(std::make_exception_ptr(
+          TransportError("rpc client: connection lost: " + why)));
+    }
+  }
+}
+
+}  // namespace parhuff::rpc

@@ -1,0 +1,146 @@
+#pragma once
+// RPC client: futures over a connection, mirroring the in-process
+// CompressionService::submit() shape (docs/rpc.md).
+//
+//   RpcClient cli(
+//       [&] { return connect_unix("/tmp/parhuff.sock"); });
+//   RpcCall call = cli.compress_data<u8>(symbols,
+//                                        {.deadline_seconds = 0.5});
+//   std::vector<u8> container = call.result.get();   // PHF2 bytes
+//   cli.cancel(call.id);                             // best-effort
+//
+// Every future resolves: with payload bytes on kOk, with
+// svc::DeadlineExceeded / svc::CancelledError on the matching statuses,
+// with RpcError for other typed server errors, or with TransportError
+// when the connection died with the request in flight.
+//
+// Connection management: the client lazily connects on first use and
+// transparently reconnects (util::BackoffPolicy, bounded attempts) after
+// a connection failure — requests in flight across the loss fail with
+// TransportError (the server may or may not have executed them; compress
+// is idempotent, so callers simply resubmit), later requests use the new
+// connection. One background reader thread owns response demultiplexing
+// and is the only actor that fails a connection's pending futures.
+//
+// Fault sites (util::FaultInjector): rpc.client.connect, rpc.client.send,
+// rpc.client.read.
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "rpc/transport.hpp"
+#include "svc/service.hpp"
+#include "util/backoff.hpp"
+
+namespace parhuff::rpc {
+
+struct ClientConfig {
+  /// Bounded connect/reconnect attempts before a send fails with
+  /// TransportError.
+  int connect_attempts = 5;
+  util::BackoffPolicy backoff;
+  /// Time source for the reconnect backoff. nullptr = real clock.
+  const util::Clock* clock = nullptr;
+  /// Bound on request payloads this client sends; responses are accepted
+  /// up to response_payload_bound() of it, matching the server.
+  u32 max_payload_bytes = kMaxPayloadBytes;
+};
+
+struct RpcOptions {
+  svc::Priority priority = svc::Priority::kNormal;
+  /// Relative deadline budget shipped on the wire (re-anchored against
+  /// the server's clock). 0 = none.
+  double deadline_seconds = 0;
+};
+
+/// One in-flight request: the response payload future plus the id to
+/// cancel() with.
+struct RpcCall {
+  std::future<std::vector<u8>> result;
+  u64 id = 0;
+};
+
+class RpcClient {
+ public:
+  /// Factory for a fresh connection; called on first use and on every
+  /// reconnect. Must throw (or return null) on failure.
+  using Connector = std::function<std::unique_ptr<Connection>()>;
+
+  explicit RpcClient(Connector connect, ClientConfig cfg = {});
+  /// Fails every pending future with TransportError, then joins.
+  ~RpcClient();
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  /// Compress raw symbol bytes (`sym_width` 1 or 2; payload length must
+  /// be a multiple). Resolves to PHF2 container bytes.
+  [[nodiscard]] RpcCall compress(std::span<const u8> symbol_bytes,
+                                 u8 sym_width = 1,
+                                 const RpcOptions& opts = {});
+
+  /// Typed convenience over compress(): Sym is u8 or u16.
+  template <typename Sym>
+  [[nodiscard]] RpcCall compress_data(std::span<const Sym> symbols,
+                                      const RpcOptions& opts = {}) {
+    return compress(
+        std::span<const u8>(reinterpret_cast<const u8*>(symbols.data()),
+                            symbols.size() * sizeof(Sym)),
+        sizeof(Sym), opts);
+  }
+
+  /// Decompress a PHF2 container. Resolves to raw symbol bytes of
+  /// `sym_width`-byte symbols.
+  [[nodiscard]] RpcCall decompress(std::span<const u8> container,
+                                   u8 sym_width = 1,
+                                   const RpcOptions& opts = {});
+
+  /// Best-effort cancel of an earlier call on this client. Resolves when
+  /// the server acknowledged (the target may still complete if it passed
+  /// its last poll point — same contract as RequestHandle::cancel()).
+  [[nodiscard]] std::future<void> cancel(u64 request_id);
+
+  /// Server-side parhuff-metrics-v1 snapshot (JSON text).
+  [[nodiscard]] std::future<std::string> stats();
+
+ private:
+  struct Pending {
+    u64 generation = 0;
+    std::promise<std::vector<u8>> promise;
+  };
+
+  [[nodiscard]] RpcCall submit_frame(Frame f);
+  /// Called under send_mu_: returns the live connection and its
+  /// generation, dialing (with backoff) when there is none. Throws
+  /// TransportError after the attempt budget.
+  [[nodiscard]] std::pair<std::shared_ptr<Connection>, u64> ensure_connected();
+  void reader_loop();
+  /// Fail every pending entry of `generation` with TransportError.
+  void fail_generation(u64 generation, const char* why);
+
+  Connector connector_;
+  ClientConfig cfg_;
+  const util::Clock* clock_;
+
+  std::mutex mu_;  // conn_, generation_, pending_, stopping_
+  std::condition_variable conn_cv_;  // reader parks here between conns
+  std::shared_ptr<Connection> conn_;
+  u64 generation_ = 0;
+  std::unordered_map<u64, Pending> pending_;
+  bool stopping_ = false;
+
+  std::mutex send_mu_;  // serializes connect + frame writes
+  std::atomic<u64> next_id_{1};
+  std::thread reader_;
+};
+
+}  // namespace parhuff::rpc

@@ -1,0 +1,118 @@
+#include "rpc/protocol.hpp"
+
+#include <cstring>
+
+namespace parhuff::rpc {
+
+namespace {
+
+template <typename T>
+void put_le(u8* dst, T v) {
+  std::memcpy(dst, &v, sizeof(T));
+}
+
+template <typename T>
+[[nodiscard]] T get_le(const u8* src) {
+  T v;
+  std::memcpy(&v, src, sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kBadRequest: return "bad_request";
+    case Status::kUnsupportedVersion: return "unsupported_version";
+    case Status::kQueueFull: return "queue_full";
+    case Status::kDeadlineExceeded: return "deadline_exceeded";
+    case Status::kCancelled: return "cancelled";
+    case Status::kShuttingDown: return "shutting_down";
+    case Status::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::array<u8, kHeaderBytes> encode_header(const Header& h) {
+  std::array<u8, kHeaderBytes> b{};
+  put_le<u32>(b.data() + 0, kMagic);
+  b[4] = kVersion;
+  b[5] = static_cast<u8>(h.kind);
+  b[6] = static_cast<u8>(h.op);
+  b[7] = h.sym_width;
+  put_le<u64>(b.data() + 8, h.request_id);
+  b[16] = h.priority;
+  b[17] = static_cast<u8>(h.status);
+  put_le<u16>(b.data() + 18, 0);  // reserved
+  put_le<u32>(b.data() + 20, h.payload_len);
+  put_le<u64>(b.data() + 24, h.deadline_micros);
+  return b;
+}
+
+std::vector<u8> encode_frame(const Frame& f, u32 max_payload) {
+  if (f.payload.size() > max_payload) {
+    throw std::length_error("rpc: frame payload exceeds the protocol bound");
+  }
+  Header h = f.h;
+  h.payload_len = static_cast<u32>(f.payload.size());
+  const std::array<u8, kHeaderBytes> hb = encode_header(h);
+  std::vector<u8> out(kHeaderBytes + f.payload.size());
+  std::memcpy(out.data(), hb.data(), kHeaderBytes);
+  if (!f.payload.empty()) {
+    std::memcpy(out.data() + kHeaderBytes, f.payload.data(),
+                f.payload.size());
+  }
+  return out;
+}
+
+Header decode_header(std::span<const u8, kHeaderBytes> b, u32 max_payload) {
+  // Magic first: a mismatch means the stream is not frame-aligned at all,
+  // so no field (not even the request id) can be trusted for a response.
+  if (get_le<u32>(b.data() + 0) != kMagic) {
+    throw ProtocolError("bad magic", Status::kBadRequest,
+                        /*can_respond=*/false, 0);
+  }
+  Header h;
+  h.request_id = get_le<u64>(b.data() + 8);
+  const u8 version = b[4];
+  if (version != kVersion) {
+    throw ProtocolError("unsupported version " + std::to_string(version),
+                        Status::kUnsupportedVersion, /*can_respond=*/true,
+                        h.request_id);
+  }
+  const u8 kind = b[5];
+  if (kind > static_cast<u8>(Kind::kResponse)) {
+    throw ProtocolError("bad kind " + std::to_string(kind),
+                        Status::kBadRequest, /*can_respond=*/true,
+                        h.request_id);
+  }
+  h.kind = static_cast<Kind>(kind);
+  const u8 op = b[6];
+  if (op < static_cast<u8>(Op::kCompress) ||
+      op > static_cast<u8>(Op::kStats)) {
+    throw ProtocolError("bad op " + std::to_string(op), Status::kBadRequest,
+                        /*can_respond=*/true, h.request_id);
+  }
+  h.op = static_cast<Op>(op);
+  h.sym_width = b[7];
+  h.priority = b[16];
+  const u8 status = b[17];
+  if (status > static_cast<u8>(Status::kInternal)) {
+    throw ProtocolError("bad status " + std::to_string(status),
+                        Status::kBadRequest, /*can_respond=*/true,
+                        h.request_id);
+  }
+  h.status = static_cast<Status>(status);
+  h.payload_len = get_le<u32>(b.data() + 20);
+  if (h.payload_len > max_payload) {
+    throw ProtocolError(
+        "payload length " + std::to_string(h.payload_len) +
+            " exceeds the bound " + std::to_string(max_payload),
+        Status::kBadRequest, /*can_respond=*/true, h.request_id);
+  }
+  h.deadline_micros = get_le<u64>(b.data() + 24);
+  return h;
+}
+
+}  // namespace parhuff::rpc

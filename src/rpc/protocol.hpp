@@ -1,0 +1,164 @@
+#pragma once
+// Wire protocol for the cross-process compression service (docs/rpc.md).
+//
+// Every message — request or response — is one length-prefixed frame: a
+// fixed 32-byte little-endian header followed by `payload_len` bytes of
+// payload. Layout:
+//
+//   offset  size  field
+//        0     4  magic            0x43524850 ("PHRC")
+//        4     1  version          kVersion (1)
+//        5     1  kind             0 request / 1 response
+//        6     1  op               Op (compress/decompress/cancel/stats)
+//        7     1  sym_width        payload symbol width in bytes (1 or 2)
+//        8     8  request_id       caller-chosen; echoed on the response
+//       16     1  priority         svc::Priority numeric value
+//       17     1  status           Status; always kOk on requests
+//       18     2  reserved         must-ignore (forward compatibility)
+//       20     4  payload_len      bytes following the header
+//       24     8  deadline_micros  relative budget in µs; 0 = none
+//
+// The deadline is *relative* on the wire (the client and server do not
+// share a clock); the server re-anchors it against its own injected
+// util::Clock on receipt. Payloads by op:
+//
+//   compress    request: raw symbols (sym_width bytes each)
+//               response: PHF2 container (core/format.hpp serialize())
+//   decompress  request: PHF2 container — response: raw symbols
+//   cancel      request: u64 target request id — response: empty
+//   stats       request: empty — response: parhuff-metrics-v1 JSON text
+//
+// A non-kOk response carries a human-readable message as payload. Frame
+// parsing distinguishes two failure classes: ProtocolError (a structurally
+// invalid frame — the server answers with a typed error when enough of the
+// header parsed to address one, else drops the connection) and
+// TransportError (the byte stream itself died mid-frame; always fatal for
+// the connection). See docs/rpc.md for the full error model.
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parhuff::rpc {
+
+inline constexpr u32 kMagic = 0x43524850u;  // "PHRC" when read little-endian
+inline constexpr u8 kVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 32;
+/// Default bound on a single frame's payload; both ends reject bigger
+/// frames (kBadRequest) before allocating.
+inline constexpr u32 kMaxPayloadBytes = 64u << 20;
+
+/// Responses may outgrow the request bound (container overhead on
+/// incompressible input), so the response direction gets 1 MiB of slack —
+/// the server encodes against this bound and the client decodes with it.
+[[nodiscard]] inline constexpr u32 response_payload_bound(u32 request_bound) {
+  const u64 b = static_cast<u64>(request_bound) + (u64{1} << 20);
+  return b > 0xFFFFFFFFull ? 0xFFFFFFFFu : static_cast<u32>(b);
+}
+
+enum class Kind : u8 { kRequest = 0, kResponse = 1 };
+
+enum class Op : u8 {
+  kCompress = 1,
+  kDecompress = 2,
+  kCancel = 3,
+  kStats = 4,
+};
+
+enum class Status : u8 {
+  kOk = 0,
+  kBadRequest = 1,          ///< malformed frame or payload
+  kUnsupportedVersion = 2,  ///< header version != kVersion
+  kQueueFull = 3,           ///< service admission rejected (kReject policy)
+  kDeadlineExceeded = 4,    ///< request deadline passed server-side
+  kCancelled = 5,           ///< request cancelled (cancel op or handle)
+  kShuttingDown = 6,        ///< server stopping; request not admitted
+  kInternal = 7,            ///< unexpected server-side failure
+};
+
+[[nodiscard]] const char* status_name(Status s);
+
+/// The byte stream under a connection failed: mid-frame EOF, short write,
+/// socket error, or the peer vanished. Always connection-fatal; pending
+/// requests on the connection fail with this type.
+class TransportError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A non-kOk response status, surfaced through the client's future.
+/// (Deadline/cancel statuses map to the svc exception types instead —
+/// see RpcClient.)
+class RpcError : public std::runtime_error {
+ public:
+  RpcError(Status status, const std::string& message)
+      : std::runtime_error("rpc: " + std::string(status_name(status)) +
+                           ": " + message),
+        status_(status) {}
+  [[nodiscard]] Status status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// A structurally invalid frame. `can_respond` says whether enough of the
+/// header parsed to address a typed error response (request id known);
+/// otherwise the stream position is unknowable and the connection must be
+/// dropped.
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(const std::string& msg, Status status, bool can_respond,
+                u64 request_id)
+      : std::runtime_error("rpc protocol: " + msg),
+        status_(status),
+        can_respond_(can_respond),
+        request_id_(request_id) {}
+  [[nodiscard]] Status status() const { return status_; }
+  [[nodiscard]] bool can_respond() const { return can_respond_; }
+  [[nodiscard]] u64 request_id() const { return request_id_; }
+
+ private:
+  Status status_;
+  bool can_respond_;
+  u64 request_id_;
+};
+
+/// Decoded frame header (payload read separately).
+struct Header {
+  Kind kind = Kind::kRequest;
+  Op op = Op::kCompress;
+  u8 sym_width = 1;
+  u64 request_id = 0;
+  u8 priority = 1;  ///< svc::Priority numeric value
+  Status status = Status::kOk;
+  u32 payload_len = 0;
+  u64 deadline_micros = 0;  ///< relative budget; 0 = none
+};
+
+/// A whole message: header plus owned payload. `h.payload_len` is derived
+/// from `payload.size()` when encoding.
+struct Frame {
+  Header h;
+  std::vector<u8> payload;
+};
+
+[[nodiscard]] std::array<u8, kHeaderBytes> encode_header(const Header& h);
+
+/// Header + payload in one contiguous buffer (one write syscall per
+/// frame). Throws std::length_error when the payload exceeds
+/// `max_payload`.
+[[nodiscard]] std::vector<u8> encode_frame(
+    const Frame& f, u32 max_payload = kMaxPayloadBytes);
+
+/// Validates magic, version, kind, op, status range and the payload bound.
+/// Throws ProtocolError; never reads beyond the 32 bytes.
+[[nodiscard]] Header decode_header(
+    std::span<const u8, kHeaderBytes> bytes,
+    u32 max_payload = kMaxPayloadBytes);
+
+}  // namespace parhuff::rpc

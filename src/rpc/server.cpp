@@ -1,0 +1,527 @@
+#include "rpc/server.hpp"
+
+#include <array>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+
+#include "core/decode.hpp"
+#include "core/format.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "util/fault_inject.hpp"
+
+namespace parhuff::rpc {
+
+namespace {
+
+[[nodiscard]] Frame error_frame(const Header& req, Status status,
+                                const std::string& message) {
+  Frame f;
+  f.h.kind = Kind::kResponse;
+  f.h.op = req.op;
+  f.h.sym_width = req.sym_width;
+  f.h.request_id = req.request_id;
+  f.h.status = status;
+  f.payload.assign(message.begin(), message.end());
+  return f;
+}
+
+[[nodiscard]] svc::Priority to_priority(u8 p) {
+  if (p >= static_cast<u8>(svc::Priority::kHigh)) return svc::Priority::kHigh;
+  return static_cast<svc::Priority>(p);
+}
+
+}  // namespace
+
+/// Everything the reader and writer of one connection share. The response
+/// slots are copyable std::functions (move-only captures ride behind
+/// shared_ptr, the same boxing the service's dispatch() uses); they hold a
+/// raw ConnState* where needed — safe because the writer keeps the state
+/// alive for as long as any slot exists.
+struct RpcServer::ConnState {
+  std::shared_ptr<Connection> conn;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::function<Frame()>> slots;  // FIFO response order
+  bool reader_done = false;
+
+  // Cancellable in-flight requests on this connection, by request id.
+  std::unordered_map<u64, svc::RequestHandle> compress_inflight;
+  std::unordered_map<u64, std::shared_ptr<CancelToken>> decode_inflight;
+
+  void enqueue(std::function<Frame()> slot) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      slots.push_back(std::move(slot));
+    }
+    cv.notify_all();
+  }
+
+  void enqueue_ready(Frame f) {
+    auto boxed = std::make_shared<Frame>(std::move(f));
+    enqueue([boxed]() { return std::move(*boxed); });
+  }
+
+  void reader_finished() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      reader_done = true;
+    }
+    cv.notify_all();
+  }
+
+  void unregister(u64 id) {
+    std::lock_guard<std::mutex> lock(mu);
+    compress_inflight.erase(id);
+    decode_inflight.erase(id);
+  }
+};
+
+RpcServer::RpcServer(std::unique_ptr<Listener> listener, ServerConfig cfg)
+    : cfg_(cfg),
+      clock_(cfg.service.clock ? cfg.service.clock : &util::Clock::real()),
+      svc8_(std::make_unique<svc::CompressionService<u8>>(cfg.service)),
+      svc16_(std::make_unique<svc::CompressionService<u16>>(cfg.service)),
+      listener_(std::move(listener)) {
+  if (!listener_) {
+    throw std::invalid_argument("RpcServer: listener must not be null");
+  }
+  if (cfg_.max_connections == 0) {
+    throw std::invalid_argument("RpcServer: max_connections must be > 0");
+  }
+  const int io = cfg_.io_threads > 0
+                     ? cfg_.io_threads
+                     : static_cast<int>(1 + 2 * cfg_.max_connections);
+  io_ = std::make_unique<WorkStealExecutor>(io, clock_);
+  io_->submit([this] { accept_loop(); });
+}
+
+RpcServer::~RpcServer() {
+  stop();
+  io_.reset();  // joins accept/reader/writer tasks
+  // Services tear down after the io tasks that use them (member order).
+}
+
+void RpcServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    stopping_ = true;
+  }
+  listener_->close();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& w : conns_) {
+      if (std::shared_ptr<ConnState> cs = w.lock()) cs->conn->shutdown();
+    }
+  }
+  io_->wait_idle();
+}
+
+std::size_t RpcServer::connection_count() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  std::size_t live = 0;
+  for (const auto& w : conns_) {
+    if (!w.expired()) ++live;
+  }
+  return live;
+}
+
+void RpcServer::accept_loop() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  for (;;) {
+    std::unique_ptr<Connection> c;
+    try {
+      c = listener_->accept();
+    } catch (...) {
+      break;  // listener failed: server keeps serving live connections
+    }
+    if (!c) break;  // closed
+
+    bool reject = false;
+    // Fault site: the connection dies right after accept (e.g. a peer
+    // that vanished during the handshake).
+    try {
+      util::FaultInjector::global().maybe_throw("rpc.server.accept");
+    } catch (...) {
+      reject = true;
+    }
+
+    std::shared_ptr<ConnState> cs;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      std::size_t live = 0;
+      std::erase_if(conns_, [](const std::weak_ptr<ConnState>& w) {
+        return w.expired();
+      });
+      live = conns_.size();
+      if (stopping_ || live >= cfg_.max_connections) reject = true;
+      if (!reject) {
+        cs = std::make_shared<ConnState>();
+        cs->conn = std::shared_ptr<Connection>(std::move(c));
+        conns_.push_back(cs);
+      }
+    }
+    if (reject) {
+      if (c) c->shutdown();
+      reg.counter_add("rpc.connections_rejected");
+      continue;
+    }
+    reg.counter_add("rpc.connections_accepted");
+
+    // The writer goes first so a reader-submit failure can still unblock
+    // it via reader_finished(). Executor-submit faults are transient; a
+    // connection that cannot get its tasks scheduled is dropped whole.
+    bool writer_up = false;
+    try {
+      io_->submit([this, cs] { writer_loop(cs); });
+      writer_up = true;
+      io_->submit([this, cs] { reader_loop(cs); });
+    } catch (...) {
+      cs->conn->shutdown();
+      if (writer_up) {
+        cs->reader_finished();
+      }
+      reg.counter_add("rpc.connections_rejected");
+    }
+  }
+}
+
+void RpcServer::reader_loop(std::shared_ptr<ConnState> cs) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  util::FaultInjector& faults = util::FaultInjector::global();
+  for (;;) {
+    std::array<u8, kHeaderBytes> hb;
+    try {
+      // Fault site: the connection dies between frames.
+      faults.maybe_throw("rpc.server.read");
+      if (!cs->conn->read_exact(hb.data(), kHeaderBytes)) break;
+    } catch (...) {
+      break;
+    }
+
+    Header h;
+    try {
+      h = decode_header(std::span<const u8, kHeaderBytes>(hb),
+                        cfg_.max_payload_bytes);
+    } catch (const ProtocolError& e) {
+      reg.counter_add("rpc.protocol_errors");
+      if (!e.can_respond()) break;  // stream not frame-aligned: drop
+      // Stay frame-synced by consuming the declared payload when its
+      // length is sane; an oversized declaration is unskippable, so the
+      // typed error is the connection's last frame.
+      u32 raw_len = 0;
+      std::memcpy(&raw_len, hb.data() + 20, sizeof(raw_len));
+      const bool resync = raw_len <= cfg_.max_payload_bytes;
+      if (resync && raw_len > 0) {
+        std::vector<u8> skip(raw_len);
+        try {
+          if (!cs->conn->read_exact(skip.data(), skip.size())) break;
+        } catch (...) {
+          break;
+        }
+      }
+      reg.counter_add("rpc.protocol_error_responses");
+      cs->enqueue_ready(
+          error_frame(Header{.op = Op::kCompress,
+                             .request_id = e.request_id()},
+                      e.status(), e.what()));
+      if (!resync) break;
+      continue;
+    }
+
+    std::vector<u8> payload(h.payload_len);
+    try {
+      if (!cs->conn->read_exact(payload.data(), payload.size())) break;
+    } catch (...) {
+      break;
+    }
+
+    reg.counter_add("rpc.requests_received");
+    if (!handle_frame(cs, h, std::move(payload))) break;
+  }
+  cs->reader_finished();
+}
+
+bool RpcServer::handle_frame(const std::shared_ptr<ConnState>& cs,
+                             const Header& h, std::vector<u8> payload) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  if (h.kind != Kind::kRequest) {
+    cs->enqueue_ready(error_frame(
+        h, Status::kBadRequest, "response frame sent to a server"));
+    return true;
+  }
+  switch (h.op) {
+    case Op::kCompress:
+      if (h.sym_width == 1) {
+        handle_compress<u8>(cs, h, std::move(payload), cfg_.pipeline8,
+                            *svc8_);
+      } else if (h.sym_width == 2) {
+        handle_compress<u16>(cs, h, std::move(payload), cfg_.pipeline16,
+                             *svc16_);
+      } else {
+        cs->enqueue_ready(error_frame(h, Status::kBadRequest,
+                                      "sym_width must be 1 or 2"));
+      }
+      return true;
+    case Op::kDecompress:
+      if (h.sym_width == 1) {
+        handle_decompress<u8>(cs, h, std::move(payload));
+      } else if (h.sym_width == 2) {
+        handle_decompress<u16>(cs, h, std::move(payload));
+      } else {
+        cs->enqueue_ready(error_frame(h, Status::kBadRequest,
+                                      "sym_width must be 1 or 2"));
+      }
+      return true;
+    case Op::kCancel: {
+      if (payload.size() != sizeof(u64)) {
+        cs->enqueue_ready(error_frame(
+            h, Status::kBadRequest, "cancel payload must be a u64 id"));
+        return true;
+      }
+      u64 target = 0;
+      std::memcpy(&target, payload.data(), sizeof(target));
+      reg.counter_add("rpc.cancels_received");
+      // Apply immediately in the reader — a cancel must not wait behind
+      // the in-order response stream it is trying to shorten.
+      {
+        std::lock_guard<std::mutex> lock(cs->mu);
+        if (auto it = cs->compress_inflight.find(target);
+            it != cs->compress_inflight.end()) {
+          it->second.cancel();
+        } else if (auto jt = cs->decode_inflight.find(target);
+                   jt != cs->decode_inflight.end()) {
+          jt->second->request();
+        }
+        // Unknown id: the request already resolved (or never existed) —
+        // cancel is idempotent best-effort either way.
+      }
+      Frame ack;
+      ack.h.kind = Kind::kResponse;
+      ack.h.op = Op::kCancel;
+      ack.h.request_id = h.request_id;
+      ack.h.status = Status::kOk;
+      cs->enqueue_ready(std::move(ack));
+      return true;
+    }
+    case Op::kStats: {
+      cs->enqueue([id = h.request_id]() {
+        Frame f;
+        f.h.kind = Kind::kResponse;
+        f.h.op = Op::kStats;
+        f.h.request_id = id;
+        f.h.status = Status::kOk;
+        obs::Json j = obs::Json::object();
+        j.set("schema", obs::kMetricsSchema);
+        j.set("name", "rpc-stats");
+        j.set("metrics", obs::MetricsRegistry::global().to_json());
+        const std::string text = j.dump();
+        f.payload.assign(text.begin(), text.end());
+        return f;
+      });
+      return true;
+    }
+  }
+  return true;  // unreachable: decode_header validated the op
+}
+
+template <typename Sym>
+void RpcServer::handle_compress(const std::shared_ptr<ConnState>& cs,
+                                const Header& h, std::vector<u8> payload,
+                                const PipelineConfig& pl,
+                                svc::CompressionService<Sym>& svc) {
+  if (payload.size() % sizeof(Sym) != 0) {
+    cs->enqueue_ready(error_frame(
+        h, Status::kBadRequest, "payload is not a whole number of symbols"));
+    return;
+  }
+  // Byte symbols ride the wire buffer straight through; wider symbols
+  // need the realigning copy.
+  std::vector<Sym> data;
+  if constexpr (std::is_same_v<Sym, u8>) {
+    data = std::move(payload);
+  } else {
+    data.resize(payload.size() / sizeof(Sym));
+    if (!data.empty()) {
+      std::memcpy(data.data(), payload.data(), payload.size());
+    }
+  }
+
+  svc::SubmitOptions opts;
+  opts.priority = to_priority(h.priority);
+  if (h.deadline_micros != 0) {
+    // Relative on the wire; re-anchored against the server's clock.
+    opts.deadline = svc::Deadline::in(
+        static_cast<double>(h.deadline_micros) * 1e-6, *clock_);
+  }
+
+  svc::Submission<Sym> sub;
+  try {
+    sub = svc.submit(std::move(data), pl, opts);
+  } catch (const svc::QueueFullError&) {
+    cs->enqueue_ready(error_frame(h, Status::kQueueFull,
+                                  "service admission queue full"));
+    return;
+  } catch (const std::logic_error&) {
+    cs->enqueue_ready(
+        error_frame(h, Status::kShuttingDown, "server shutting down"));
+    return;
+  } catch (const std::exception& e) {
+    cs->enqueue_ready(error_frame(h, Status::kBadRequest, e.what()));
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(cs->mu);
+    cs->compress_inflight.emplace(h.request_id, sub.handle);
+  }
+
+  auto fut = std::make_shared<std::future<svc::CompressResult<Sym>>>(
+      std::move(sub.result));
+  ConnState* raw = cs.get();  // the writer keeps *cs alive past this slot
+  const double start_us = obs::TraceRecorder::global().now_us();
+  cs->enqueue([raw, fut, hdr = h, start_us]() {
+    Frame f;
+    f.h.kind = Kind::kResponse;
+    f.h.op = Op::kCompress;
+    f.h.sym_width = hdr.sym_width;
+    f.h.request_id = hdr.request_id;
+    try {
+      svc::CompressResult<Sym> res = fut->get();
+      Compressed<Sym> blob;
+      blob.codebook = *res.codebook;
+      blob.stream = std::move(res.stream);
+      f.payload = serialize<Sym>(blob);
+      f.h.status = Status::kOk;
+    } catch (const svc::DeadlineExceeded& e) {
+      f.h.status = Status::kDeadlineExceeded;
+      f.payload.assign(e.what(), e.what() + std::strlen(e.what()));
+    } catch (const svc::CancelledError& e) {
+      f.h.status = Status::kCancelled;
+      f.payload.assign(e.what(), e.what() + std::strlen(e.what()));
+    } catch (const std::exception& e) {
+      f.h.status = Status::kInternal;
+      f.payload.assign(e.what(), e.what() + std::strlen(e.what()));
+    }
+    raw->unregister(hdr.request_id);
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    obs::TraceRecorder& rec = obs::TraceRecorder::global();
+    const double done_us = rec.now_us();
+    reg.histo_record("rpc.request_seconds", (done_us - start_us) / 1e6);
+    rec.complete("rpc.request", "rpc", start_us, done_us - start_us);
+    return f;
+  });
+}
+
+template <typename Sym>
+void RpcServer::handle_decompress(const std::shared_ptr<ConnState>& cs,
+                                  const Header& h, std::vector<u8> payload) {
+  auto token = std::make_shared<CancelToken>();
+  if (h.deadline_micros != 0) {
+    token->arm_deadline(clock_->now() + util::Clock::dur(
+                            static_cast<double>(h.deadline_micros) * 1e-6),
+                        *clock_);
+  }
+  {
+    std::lock_guard<std::mutex> lock(cs->mu);
+    cs->decode_inflight.emplace(h.request_id, token);
+  }
+  auto body = std::make_shared<std::vector<u8>>(std::move(payload));
+  ConnState* raw = cs.get();
+  const double start_us = obs::TraceRecorder::global().now_us();
+  // The decode runs on the writer task itself (requests on one connection
+  // are an ordered stream anyway); the walk polls the token, so a cancel
+  // frame or the deadline aborts it mid-stream (satellite: decode-side
+  // cancellation).
+  cs->enqueue([raw, body, token, hdr = h, start_us]() {
+    Frame f;
+    f.h.kind = Kind::kResponse;
+    f.h.op = Op::kDecompress;
+    f.h.sym_width = hdr.sym_width;
+    f.h.request_id = hdr.request_id;
+    try {
+      token->check();  // cheap pre-flight: already cancelled/expired?
+      const Compressed<Sym> blob = deserialize<Sym>(*body);
+      const std::vector<Sym> out =
+          decode_stream<Sym>(blob.stream, blob.codebook, 0, token.get());
+      f.payload.resize(out.size() * sizeof(Sym));
+      if (!out.empty()) {
+        std::memcpy(f.payload.data(), out.data(), f.payload.size());
+      }
+      f.h.status = Status::kOk;
+    } catch (const OperationCancelled& e) {
+      f.h.status = Status::kCancelled;
+      f.payload.assign(e.what(), e.what() + std::strlen(e.what()));
+    } catch (const DeadlineExpired& e) {
+      f.h.status = Status::kDeadlineExceeded;
+      f.payload.assign(e.what(), e.what() + std::strlen(e.what()));
+    } catch (const std::runtime_error& e) {
+      // Malformed container / corrupt stream: the client's fault.
+      f.h.status = Status::kBadRequest;
+      f.payload.assign(e.what(), e.what() + std::strlen(e.what()));
+    } catch (const std::exception& e) {
+      f.h.status = Status::kInternal;
+      f.payload.assign(e.what(), e.what() + std::strlen(e.what()));
+    }
+    raw->unregister(hdr.request_id);
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    obs::TraceRecorder& rec = obs::TraceRecorder::global();
+    const double done_us = rec.now_us();
+    reg.histo_record("rpc.request_seconds", (done_us - start_us) / 1e6);
+    rec.complete("rpc.request", "rpc", start_us, done_us - start_us);
+    return f;
+  });
+}
+
+void RpcServer::writer_loop(std::shared_ptr<ConnState> cs) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  util::FaultInjector& faults = util::FaultInjector::global();
+  bool conn_ok = true;
+  for (;;) {
+    std::function<Frame()> slot;
+    {
+      std::unique_lock<std::mutex> lock(cs->mu);
+      cs->cv.wait(lock,
+                  [&] { return !cs->slots.empty() || cs->reader_done; });
+      if (cs->slots.empty()) break;  // reader done and everything drained
+      slot = std::move(cs->slots.front());
+      cs->slots.pop_front();
+    }
+    // Resolving a slot never throws (each slot catches internally) but
+    // may block on a service future — which always resolves, so every
+    // slot drains even after the connection died.
+    Frame f = slot();
+    if (!conn_ok) {
+      reg.counter_add("rpc.responses_dropped");
+      continue;
+    }
+    try {
+      // Fault site: the connection dies while a response is in flight.
+      faults.maybe_throw("rpc.server.write");
+      const u32 bound = response_payload_bound(cfg_.max_payload_bytes);
+      try {
+        write_frame(*cs->conn, f, bound);
+      } catch (const std::length_error&) {
+        write_frame(*cs->conn,
+                    error_frame(f.h, Status::kInternal,
+                                "response exceeds the frame bound"),
+                    bound);
+      }
+      reg.counter_add("rpc.responses_written");
+    } catch (...) {
+      conn_ok = false;
+      cs->conn->shutdown();  // unblocks the reader too
+      reg.counter_add("rpc.responses_dropped");
+    }
+  }
+  cs->conn->shutdown();
+}
+
+}  // namespace parhuff::rpc

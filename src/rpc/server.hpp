@@ -1,0 +1,121 @@
+#pragma once
+// RPC server: the cross-process front door for CompressionService
+// (docs/rpc.md). One server owns a u8 and a u16 service instance plus an
+// io WorkStealExecutor; the accept loop, each connection's reader and
+// each connection's writer are long-running tasks on that executor, so
+// the pool is sized 1 + 2 * max_connections by default and connections
+// past max_connections are refused at accept.
+//
+// Per-connection threading:
+//   reader — parses frames, validates, submits compress work to the
+//     service (admission, batching, caching, deadlines and the retry/
+//     degraded machinery all apply exactly as for in-process callers),
+//     registers decompress work, applies cancels immediately, and
+//     enqueues one response slot per request;
+//   writer — resolves response slots strictly in request order (one
+//     connection = one ordered stream, pipelined-HTTP style) and writes
+//     the frames. A compress slot blocks on the service future — which
+//     always resolves (the service's resolve-always invariant) — so no
+//     slot can leak; when the connection dies first, remaining slots are
+//     still drained and counted as rpc.responses_dropped.
+//
+// Cancellation: a cancel frame names an earlier request id on the same
+// connection. For compress that maps onto svc::RequestHandle::cancel()
+// (pending requests die immediately, dispatched ones abandon at the next
+// kernel poll point); for decompress onto the per-request CancelToken the
+// decode walk polls. Deadlines arrive as relative budgets and are
+// re-anchored against the server's injected util::Clock.
+//
+// Fault sites (util::FaultInjector): rpc.server.accept, rpc.server.read,
+// rpc.server.write — each models the connection dying at that point; the
+// tests arm them to prove every client future still resolves.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "rpc/transport.hpp"
+#include "svc/service.hpp"
+#include "util/work_steal.hpp"
+
+namespace parhuff::rpc {
+
+struct ServerConfig {
+  /// io pool size; 0 → 1 + 2 * max_connections (accept + a reader and a
+  /// writer per connection; every task is long-running, so the pool must
+  /// hold them all simultaneously).
+  int io_threads = 0;
+  std::size_t max_connections = 8;
+  /// Bound on a single request frame's payload.
+  u32 max_payload_bytes = kMaxPayloadBytes;
+  /// Passed through to both CompressionService instances. The embedded
+  /// clock (service.clock) also drives the server's deadline re-anchoring
+  /// and the io pool's idle park.
+  svc::ServiceConfig service;
+  /// Server-side pipeline configs per symbol width. Defaults cover the
+  /// full symbol range (256 / 65536 bins) because the histogram kernels
+  /// trust every symbol to be < nbins — required for untrusted payloads.
+  PipelineConfig pipeline8;
+  PipelineConfig pipeline16;
+
+  ServerConfig() {
+    pipeline8.nbins = 256;
+    pipeline16.nbins = 64 * 1024;
+  }
+};
+
+class RpcServer {
+ public:
+  /// Takes ownership of the listener and starts accepting immediately.
+  RpcServer(std::unique_ptr<Listener> listener, ServerConfig cfg = {});
+  /// stop(), then joins everything.
+  ~RpcServer();
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  /// Stop accepting, shut every live connection down, drain the io pool.
+  /// Idempotent. In-flight service requests still resolve; their
+  /// responses are written when the connection survives long enough,
+  /// dropped (rpc.responses_dropped) otherwise.
+  void stop();
+
+  /// Live connections right now (tests / introspection).
+  [[nodiscard]] std::size_t connection_count() const;
+
+  [[nodiscard]] svc::CompressionService<u8>& service8() { return *svc8_; }
+  [[nodiscard]] svc::CompressionService<u16>& service16() { return *svc16_; }
+
+ private:
+  struct ConnState;
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<ConnState> cs);
+  void writer_loop(std::shared_ptr<ConnState> cs);
+  /// Frame-level dispatch; returns false when the connection must drop.
+  bool handle_frame(const std::shared_ptr<ConnState>& cs, const Header& h,
+                    std::vector<u8> payload);
+  template <typename Sym>
+  void handle_compress(const std::shared_ptr<ConnState>& cs, const Header& h,
+                       std::vector<u8> payload, const PipelineConfig& pl,
+                       svc::CompressionService<Sym>& svc);
+  template <typename Sym>
+  void handle_decompress(const std::shared_ptr<ConnState>& cs,
+                         const Header& h, std::vector<u8> payload);
+
+  ServerConfig cfg_;
+  const util::Clock* clock_;  // resolved from cfg_.service.clock
+  std::unique_ptr<svc::CompressionService<u8>> svc8_;
+  std::unique_ptr<svc::CompressionService<u16>> svc16_;
+  std::unique_ptr<Listener> listener_;
+
+  mutable std::mutex conns_mu_;
+  std::vector<std::weak_ptr<ConnState>> conns_;
+  bool stopping_ = false;  // under conns_mu_
+
+  /// Declared last: destroyed first, joining the accept/reader/writer
+  /// tasks while the services they use are still alive.
+  std::unique_ptr<WorkStealExecutor> io_;
+};
+
+}  // namespace parhuff::rpc

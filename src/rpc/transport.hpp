@@ -1,0 +1,93 @@
+#pragma once
+// Pluggable byte-stream transport under the RPC framing (docs/rpc.md).
+//
+// Two implementations ship:
+//   * Unix-domain sockets (transport_unix.cpp) — the production path;
+//   * an in-memory loopback (transport_inmem.hpp) — a deterministic pipe
+//     pair for tests: no sockets, no file system, no real waits beyond
+//     event-driven condition variables, so protocol/fault scenarios run
+//     under util::VirtualClock byte-for-byte reproducibly.
+//
+// The contract is deliberately tiny — blocking exact-read/full-write plus
+// an unblocking shutdown — because the framing above it (rpc/protocol.hpp)
+// needs nothing else, and both implementations can honor it exactly.
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "rpc/protocol.hpp"
+#include "util/types.hpp"
+
+namespace parhuff::rpc {
+
+/// One bidirectional byte stream. All methods are blocking;
+/// shutdown() may be called from any thread to unblock both directions.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Read exactly `n` bytes into `dst`. Returns false on a clean EOF
+  /// *before the first byte* (the peer closed between frames); throws
+  /// TransportError on EOF mid-buffer or any stream error. `n` == 0
+  /// returns true.
+  virtual bool read_exact(u8* dst, std::size_t n) = 0;
+
+  /// Write all `n` bytes or throw TransportError.
+  virtual void write_all(const u8* src, std::size_t n) = 0;
+
+  /// Scatter-write two buffers back to back (header + payload on the hot
+  /// frame path, skipping the contiguous-copy assembly). The default is
+  /// two write_all() calls; transports override it with a genuinely
+  /// vectored write. NOT atomic against concurrent writers — frame
+  /// senders must already hold their side's write serialization.
+  virtual void write_two(const u8* a, std::size_t na, const u8* b,
+                        std::size_t nb) {
+    write_all(a, na);
+    if (nb != 0) write_all(b, nb);
+  }
+
+  /// Close both directions and unblock any blocked reader/writer (they
+  /// observe EOF / TransportError). Idempotent, thread-safe.
+  virtual void shutdown() = 0;
+};
+
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Block for the next connection; nullptr once close() was called.
+  virtual std::unique_ptr<Connection> accept() = 0;
+
+  /// Stop accepting and unblock a blocked accept(). Idempotent.
+  virtual void close() = 0;
+};
+
+/// Encode `f`'s header on the stack and scatter-write header + payload —
+/// the hot-path replacement for encode_frame() + write_all(), which
+/// assembles (and allocates) a contiguous copy of the whole frame first.
+/// Throws std::length_error when the payload exceeds `max_payload`.
+inline void write_frame(Connection& c, const Frame& f,
+                        u32 max_payload = kMaxPayloadBytes) {
+  if (f.payload.size() > max_payload) {
+    throw std::length_error("rpc: frame payload exceeds the protocol bound");
+  }
+  Header h = f.h;
+  h.payload_len = static_cast<u32>(f.payload.size());
+  const std::array<u8, kHeaderBytes> hb = encode_header(h);
+  c.write_two(hb.data(), hb.size(), f.payload.data(), f.payload.size());
+}
+
+// --- Unix-domain-socket transport (transport_unix.cpp). ---------------------
+
+/// Bind + listen on `path` (an existing socket file is replaced). Throws
+/// TransportError on any socket-layer failure.
+[[nodiscard]] std::unique_ptr<Listener> listen_unix(const std::string& path);
+
+/// Connect to a server listening on `path`.
+[[nodiscard]] std::unique_ptr<Connection> connect_unix(
+    const std::string& path);
+
+}  // namespace parhuff::rpc

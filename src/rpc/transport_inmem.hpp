@@ -1,0 +1,93 @@
+#pragma once
+// In-memory loopback transport: a pair of byte pipes per connection, and a
+// hub whose listener()/connect() halves behave exactly like a bound Unix
+// socket — but with no file descriptors, no kernel buffers and no real
+// waits beyond event-driven condition variables. Tests drive every
+// protocol path deterministically (util::VirtualClock for time,
+// util::FaultInjector at the rpc.* sites for failures) and mid-frame
+// disconnects are exact: shutdown() after N written bytes is the same
+// byte-level truncation every run.
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "rpc/transport.hpp"
+#include "util/types.hpp"
+
+namespace parhuff::rpc {
+
+namespace detail {
+
+/// One direction of a loopback connection: an unbounded byte queue.
+/// Unbounded keeps write_all() non-blocking, which rules out the
+/// writer-waits-for-reader deadlocks a bounded test pipe invites; RPC
+/// frames are bounded by kMaxPayloadBytes anyway.
+///
+/// Stored as a flat vector with a read offset rather than a deque: frames
+/// land and drain as whole-buffer memcpys, and once the reader catches up
+/// the buffer resets and its capacity is reused for the next frame — no
+/// per-block allocation churn on the hot path.
+struct Pipe {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<u8> buf;
+  std::size_t head = 0;  // buf[head..) is unread
+  bool closed = false;   // no more writes; readers drain then see EOF
+
+  [[nodiscard]] std::size_t unread() const { return buf.size() - head; }
+
+  /// Drop drained bytes; callers hold `mu`. Cheap no-op until the drained
+  /// prefix dominates the buffer.
+  void compact() {
+    if (head == buf.size()) {
+      buf.clear();
+      head = 0;
+    } else if (head > (1u << 20) && head > buf.size() / 2) {
+      buf.erase(buf.begin(),
+                buf.begin() + static_cast<std::ptrdiff_t>(head));
+      head = 0;
+    }
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      closed = true;
+    }
+    cv.notify_all();
+  }
+};
+
+}  // namespace detail
+
+/// A rendezvous point: server side takes listener() once, clients call
+/// connect() any number of times. Destroying the hub closes everything.
+class LoopbackHub {
+ public:
+  LoopbackHub();
+  ~LoopbackHub();
+  LoopbackHub(const LoopbackHub&) = delete;
+  LoopbackHub& operator=(const LoopbackHub&) = delete;
+
+  /// The accept side. May be called once; the Listener shares the hub's
+  /// lifetime state, so the hub must outlive it.
+  [[nodiscard]] std::unique_ptr<Listener> listener();
+
+  /// Create a connection pair: returns the client half, queues the server
+  /// half for accept(). Throws TransportError once the hub is closed.
+  [[nodiscard]] std::unique_ptr<Connection> connect();
+
+  /// Stop accepting (accept() returns nullptr, connect() throws). Live
+  /// connections are not touched — like closing a listening socket.
+  void close();
+
+  struct State;  // public so the .cpp's listener type can hold it
+
+ private:
+  std::shared_ptr<State> st_;
+};
+
+}  // namespace parhuff::rpc

@@ -1,0 +1,198 @@
+#include "rpc/transport.hpp"
+
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+namespace parhuff::rpc {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw TransportError(std::string("rpc unix transport: ") + what + ": " +
+                       std::strerror(errno));
+}
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw TransportError("rpc unix transport: socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+class UnixConnection final : public Connection {
+ public:
+  explicit UnixConnection(int fd) : fd_(fd) {}
+  ~UnixConnection() override {
+    shutdown();
+    ::close(fd_);
+  }
+
+  bool read_exact(u8* dst, std::size_t n) override {
+    std::size_t got = 0;
+    while (got < n) {
+      const ssize_t r = ::read(fd_, dst + got, n - got);
+      if (r > 0) {
+        got += static_cast<std::size_t>(r);
+        continue;
+      }
+      if (r == 0) {
+        if (got == 0) return false;  // clean EOF between frames
+        throw TransportError("rpc unix transport: EOF mid-frame");
+      }
+      if (errno == EINTR) continue;
+      throw_errno("read");
+    }
+    return true;
+  }
+
+  void write_all(const u8* src, std::size_t n) override {
+    std::size_t sent = 0;
+    while (sent < n) {
+      // MSG_NOSIGNAL: a peer that hung up must surface as EPIPE (a
+      // TransportError), not kill the process with SIGPIPE.
+      const ssize_t w = ::send(fd_, src + sent, n - sent, MSG_NOSIGNAL);
+      if (w >= 0) {
+        sent += static_cast<std::size_t>(w);
+        continue;
+      }
+      if (errno == EINTR) continue;
+      throw_errno("write");
+    }
+  }
+
+  void write_two(const u8* a, std::size_t na, const u8* b,
+                 std::size_t nb) override {
+    // sendmsg() with two iovecs: header + payload leave in one syscall
+    // without assembling a contiguous frame buffer first.
+    iovec iov[2];
+    iov[0] = {const_cast<u8*>(a), na};
+    iov[1] = {const_cast<u8*>(b), nb};
+    int idx = 0;
+    while (idx < 2) {
+      if (iov[idx].iov_len == 0) {
+        ++idx;
+        continue;
+      }
+      msghdr msg{};
+      msg.msg_iov = &iov[idx];
+      msg.msg_iovlen = static_cast<std::size_t>(2 - idx);
+      const ssize_t w = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("write");
+      }
+      std::size_t rem = static_cast<std::size_t>(w);
+      while (idx < 2 && rem >= iov[idx].iov_len) {
+        rem -= iov[idx].iov_len;
+        iov[idx].iov_len = 0;
+        ++idx;
+      }
+      if (idx < 2 && rem != 0) {
+        iov[idx].iov_base = static_cast<u8*>(iov[idx].iov_base) + rem;
+        iov[idx].iov_len -= rem;
+      }
+    }
+  }
+
+  void shutdown() override {
+    if (!down_.exchange(true, std::memory_order_acq_rel)) {
+      ::shutdown(fd_, SHUT_RDWR);  // unblocks both directions
+    }
+  }
+
+ private:
+  int fd_;
+  std::atomic<bool> down_{false};
+};
+
+class UnixListener final : public Listener {
+ public:
+  UnixListener(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~UnixListener() override {
+    close();
+    ::close(fd_);
+    ::unlink(path_.c_str());
+  }
+
+  std::unique_ptr<Connection> accept() override {
+    for (;;) {
+      const int fd = ::accept(fd_, nullptr, nullptr);
+      if (fd >= 0) {
+        if (closed_.load(std::memory_order_acquire)) {
+          ::close(fd);  // raced with close(): refuse, report shutdown
+          return nullptr;
+        }
+        return std::make_unique<UnixConnection>(fd);
+      }
+      if (closed_.load(std::memory_order_acquire)) return nullptr;
+      if (errno == EINTR) continue;
+      // shutdown() on the listening socket surfaces as EINVAL on Linux;
+      // anything else while open is a genuine failure.
+      throw_errno("accept");
+    }
+  }
+
+  void close() override {
+    if (!closed_.exchange(true, std::memory_order_acq_rel)) {
+      ::shutdown(fd_, SHUT_RDWR);  // unblocks a blocked accept()
+    }
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace
+
+std::unique_ptr<Listener> listen_unix(const std::string& path) {
+  const sockaddr_un addr = make_addr(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  ::unlink(path.c_str());  // replace a stale socket file from a dead server
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("bind");
+  }
+  if (::listen(fd, 64) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    ::unlink(path.c_str());
+    errno = saved;
+    throw_errno("listen");
+  }
+  return std::make_unique<UnixListener>(fd, path);
+}
+
+std::unique_ptr<Connection> connect_unix(const std::string& path) {
+  const sockaddr_un addr = make_addr(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return std::make_unique<UnixConnection>(fd);
+    }
+    if (errno == EINTR) continue;
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("connect");
+  }
+}
+
+}  // namespace parhuff::rpc

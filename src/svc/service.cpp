@@ -93,8 +93,9 @@ u64 cache_seed(const PipelineConfig& cfg) {
 }
 
 template <typename Sym>
-std::vector<Sym> decompress(const CompressResult<Sym>& r, int threads) {
-  return decode_stream<Sym>(r.stream, *r.codebook, threads);
+std::vector<Sym> decompress(const CompressResult<Sym>& r, int threads,
+                            const CancelToken* cancel) {
+  return decode_stream<Sym>(r.stream, *r.codebook, threads, cancel);
 }
 
 template <typename Sym>
@@ -102,7 +103,7 @@ CompressionService<Sym>::CompressionService(ServiceConfig cfg)
     : cfg_(cfg),
       clock_(cfg.clock ? cfg.clock : &util::Clock::real()),
       cache_(cfg.cache),
-      pool_(std::make_unique<WorkStealExecutor>(cfg.workers)) {
+      pool_(std::make_unique<WorkStealExecutor>(cfg.workers, clock_)) {
   if (cfg_.queue_capacity == 0) {
     throw std::invalid_argument(
         "CompressionService: queue_capacity must be positive");
@@ -138,13 +139,22 @@ template <typename Sym>
 Submission<Sym> CompressionService<Sym>::submit(std::span<const Sym> data,
                                                 const PipelineConfig& pipeline,
                                                 const SubmitOptions& opts) {
+  // Copy: async lifetime safety — the caller's buffer may be reused
+  // immediately. The rvalue overload below skips this for owned buffers.
+  return submit(std::vector<Sym>(data.begin(), data.end()), pipeline, opts);
+}
+
+template <typename Sym>
+Submission<Sym> CompressionService<Sym>::submit(std::vector<Sym>&& data,
+                                                const PipelineConfig& pipeline,
+                                                const SubmitOptions& opts) {
   if (pipeline.nbins == 0) {
     throw std::invalid_argument("CompressionService: nbins must be positive");
   }
   obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
 
   Request r;
-  r.data.assign(data.begin(), data.end());  // copy: async lifetime safety
+  r.data = std::move(data);
   r.pipeline = pipeline;
   r.priority = opts.priority;
   r.deadline = opts.deadline;
@@ -693,6 +703,15 @@ void CompressionService<Sym>::run_degraded(Request& r,
   obs::TraceRecorder& rec = obs::TraceRecorder::global();
   obs::TraceSpan span("svc.degraded", "svc");
   reg.counter_add("svc.degraded");
+  // The rescue inherits the request's remaining budget: a member whose
+  // deadline already passed (or that was cancelled) while the batched path
+  // failed gets no solo work at all, and the solo stages below poll the
+  // member's own token so a rescue cannot overshoot mid-stage either.
+  if (r.deadline.expired(clock_->now())) {
+    fail_request(r, std::make_exception_ptr(DeadlineExceeded{}),
+                 "svc.deadline_exceeded");
+    return;
+  }
   try {
     // The solo serial path shares nothing with the batched machinery: its
     // own histogram, a serial-tree codebook, the serial encoder — and no
@@ -701,14 +720,16 @@ void CompressionService<Sym>::run_degraded(Request& r,
     solo.histogram = HistogramKind::kSerial;
     solo.codebook = CodebookKind::kSerialTree;
     solo.encoder = EncoderKind::kSerial;
+    const CancelToken* token = &r.handle->token;
     Timer t;
     const std::vector<u64> freq =
-        histogram_serial<Sym>(r.data, solo.nbins);
-    auto cb = std::make_shared<const Codebook>(build_codebook(freq, solo));
+        histogram_serial<Sym>(r.data, solo.nbins, token);
+    auto cb = std::make_shared<const Codebook>(
+        build_codebook(freq, solo, nullptr, token));
     CompressResult<Sym> res;
     res.codebook = cb;
     res.stream = encode_with_codebook<Sym>(std::span<const Sym>(r.data), *cb,
-                                           solo, freq);
+                                           solo, freq, nullptr, token);
     res.degraded = true;
     res.encode_seconds = t.seconds();
     res.queue_seconds = (batch_start_us - r.enqueue_us) / 1e6;
@@ -721,7 +742,19 @@ void CompressionService<Sym>::run_degraded(Request& r,
     r.promise.set_value(std::move(res));
     finish_one();
   } catch (...) {
-    fail_request(r, std::current_exception(), "svc.requests_failed");
+    const std::exception_ptr err = std::current_exception();
+    const AbandonKind kind = abandon_kind(err);
+    if (kind == AbandonKind::kCancelled) {
+      reg.counter_add("svc.cancelled_midstage");
+      fail_request(r, std::make_exception_ptr(CancelledError{}),
+                   "svc.cancelled_requests");
+    } else if (kind == AbandonKind::kDeadline) {
+      reg.counter_add("svc.cancelled_midstage");
+      fail_request(r, std::make_exception_ptr(DeadlineExceeded{}),
+                   "svc.deadline_exceeded");
+    } else {
+      fail_request(r, err, "svc.requests_failed");
+    }
   }
 }
 
@@ -768,7 +801,9 @@ template struct CompressResult<u8>;
 template struct CompressResult<u16>;
 template class CompressionService<u8>;
 template class CompressionService<u16>;
-template std::vector<u8> decompress<u8>(const CompressResult<u8>&, int);
-template std::vector<u16> decompress<u16>(const CompressResult<u16>&, int);
+template std::vector<u8> decompress<u8>(const CompressResult<u8>&, int,
+                                        const CancelToken*);
+template std::vector<u16> decompress<u16>(const CompressResult<u16>&, int,
+                                          const CancelToken*);
 
 }  // namespace parhuff::svc

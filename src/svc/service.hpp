@@ -196,9 +196,13 @@ struct Submission {
 };
 
 /// Decode a service result back to symbols (convenience inverse).
+/// `cancel` is polled cooperatively inside the decode walk, so a caller
+/// with a deadline (e.g. the RPC server's decompress op) can abandon a
+/// decode mid-stream.
 template <typename Sym>
 [[nodiscard]] std::vector<Sym> decompress(const CompressResult<Sym>& r,
-                                          int threads = 0);
+                                          int threads = 0,
+                                          const CancelToken* cancel = nullptr);
 
 /// The fingerprint seed for a config: folds the fields that change which
 /// codebook gets built (alphabet size, builder kind), so configs that
@@ -224,6 +228,13 @@ class CompressionService {
   /// the deadline and the returned future fails with DeadlineExceeded
   /// instead of the caller blocking past it.
   [[nodiscard]] Submission<Sym> submit(std::span<const Sym> data,
+                                       const PipelineConfig& pipeline,
+                                       const SubmitOptions& opts);
+
+  /// Ownership-transfer overload: moves `data` into the request instead
+  /// of copying it. For callers whose buffer has no further use — the RPC
+  /// server's hot path, where the payload was just read off the wire.
+  [[nodiscard]] Submission<Sym> submit(std::vector<Sym>&& data,
                                        const PipelineConfig& pipeline,
                                        const SubmitOptions& opts);
 
@@ -306,8 +317,8 @@ extern template struct CompressResult<u16>;
 extern template class CompressionService<u8>;
 extern template class CompressionService<u16>;
 extern template std::vector<u8> decompress<u8>(const CompressResult<u8>&,
-                                               int);
+                                               int, const CancelToken*);
 extern template std::vector<u16> decompress<u16>(const CompressResult<u16>&,
-                                                 int);
+                                                 int, const CancelToken*);
 
 }  // namespace parhuff::svc

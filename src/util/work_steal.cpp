@@ -14,7 +14,8 @@ thread_local const WorkStealExecutor* tl_owner = nullptr;
 thread_local std::size_t tl_index = 0;
 }  // namespace
 
-WorkStealExecutor::WorkStealExecutor(int threads) {
+WorkStealExecutor::WorkStealExecutor(int threads, const util::Clock* clock)
+    : clock_(clock ? clock : &util::Clock::real()) {
   std::size_t n = threads > 0 ? static_cast<std::size_t>(threads)
                               : std::thread::hardware_concurrency();
   if (n == 0) n = 1;
@@ -111,10 +112,14 @@ void WorkStealExecutor::worker_loop(std::size_t self) {
     std::unique_lock<std::mutex> lock(cv_mu_);
     // Re-check under cv_mu_: a submitter increments queued_ under this
     // mutex before notifying, so the predicate cannot miss a push that
-    // happened between the failed take() and this wait.
-    work_cv_.wait(lock, [&] {
-      return stopping_ || queued_.load(std::memory_order_acquire) > 0;
-    });
+    // happened between the failed take() and this wait. The park itself is
+    // a clock-routed timed wait per quantum (not an unbounded cv wait), so
+    // an injected VirtualClock governs idle time in tests; a notify still
+    // wakes the worker immediately, the timeout is only a backstop.
+    while (!(stopping_ || queued_.load(std::memory_order_acquire) > 0)) {
+      clock_->wait_until(work_cv_, lock,
+                         clock_->now() + std::chrono::milliseconds(50));
+    }
     if (stopping_ && queued_.load(std::memory_order_acquire) == 0) return;
   }
 }

@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/clock.hpp"
 #include "util/types.hpp"
 
 namespace parhuff {
@@ -30,7 +31,11 @@ namespace parhuff {
 class WorkStealExecutor {
  public:
   /// `threads` = 0 → std::thread::hardware_concurrency() (min 1).
-  explicit WorkStealExecutor(int threads = 0);
+  /// `clock` routes the workers' idle park (a bounded timed wait per park
+  /// quantum, re-armed until work arrives) so executor interaction tests
+  /// can run on util::VirtualClock; nullptr → the process steady clock.
+  explicit WorkStealExecutor(int threads = 0,
+                             const util::Clock* clock = nullptr);
   /// Drains every queued task, then joins the workers.
   ~WorkStealExecutor();
   WorkStealExecutor(const WorkStealExecutor&) = delete;
@@ -64,6 +69,7 @@ class WorkStealExecutor {
   /// `stolen` when the task came from another worker's deque.
   bool take(std::size_t self, std::function<void()>& out, bool& stolen);
 
+  const util::Clock* clock_;  // never null after construction
   std::vector<std::unique_ptr<Deque>> queues_;
   std::vector<std::thread> workers_;
 

@@ -17,6 +17,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/decode.hpp"
+#include "core/decode_simt.hpp"
 #include "core/encode_reduceshuffle.hpp"
 #include "core/encode_simt.hpp"
 #include "core/histogram.hpp"
@@ -274,6 +276,61 @@ TEST(CancelSite, ArmedFarDeadlineDoesNotPerturbOutput) {
   EXPECT_EQ(plain.payload, guarded.payload);
   EXPECT_EQ(plain.chunk_bits, guarded.chunk_bits);
   EXPECT_EQ(plain.overflow_bits, guarded.overflow_bits);
+  EXPECT_GT(vc.queries(), 0u);  // the guard really did consult the clock
+}
+
+// --- Decode-side aborts (the reverse direction of the same contract). --------
+
+TEST(CancelSite, HostDecodeAbortsMidStreamOnDeadline) {
+  const auto data = ramp_data(256 * 1024);
+  const Codebook cb = codebook_for(data);
+  ReduceShuffleConfig rs;
+  rs.magnitude = 10;  // 256 chunks: the decode walk polls at every chunk entry
+  const EncodedStream s = encode_reduceshuffle_simt<u8>(data, cb, rs);
+  VirtualClock vc;
+  vc.auto_advance_every(1, Clock::dur(1e-3));
+  CancelToken tok;
+  tok.arm_deadline(vc.peek() + Clock::dur(50e-3), vc);  // ~poll 50 of 256+
+  EXPECT_THROW((void)decode_stream<u8>(s, cb, /*threads=*/1, &tok),
+               DeadlineExpired);
+  CancelToken cancelled;
+  cancelled.request();
+  EXPECT_THROW((void)decode_stream<u8>(s, cb, /*threads=*/1, &cancelled),
+               OperationCancelled);
+}
+
+TEST(CancelSite, SimtDecodeAbortsMidGridOnDeadline) {
+  const auto data = ramp_data(256 * 1024);
+  const Codebook cb = codebook_for(data);
+  ReduceShuffleConfig rs;
+  rs.magnitude = 10;
+  const EncodedStream s = encode_reduceshuffle_simt<u8>(data, cb, rs);
+  VirtualClock vc;
+  vc.auto_advance_every(1, Clock::dur(1e-3));
+  CancelToken tok;
+  tok.arm_deadline(vc.peek() + Clock::dur(50e-3), vc);
+  EXPECT_THROW((void)decode_simt<u8>(s, cb, nullptr, &tok), DeadlineExpired);
+  CancelToken cancelled;
+  cancelled.request();
+  EXPECT_THROW((void)decode_simt<u8>(s, cb, nullptr, &cancelled),
+               OperationCancelled);
+}
+
+TEST(CancelSite, ArmedFarDeadlineDecodeIsBitIdentical) {
+  // Same purity bar as the encode side: a token that never fires must not
+  // perturb the decode in any way.
+  const auto data = ramp_data(64 * 1024);
+  const Codebook cb = codebook_for(data);
+  ReduceShuffleConfig rs;
+  rs.magnitude = 10;
+  const EncodedStream s = encode_reduceshuffle_simt<u8>(data, cb, rs);
+  VirtualClock vc;
+  CancelToken tok;
+  tok.arm_deadline(vc.peek() + Clock::dur(3600.0), vc);
+  const std::vector<u8> plain = decode_stream<u8>(s, cb);
+  const std::vector<u8> guarded = decode_stream<u8>(s, cb, 0, &tok);
+  EXPECT_EQ(plain, guarded);
+  EXPECT_EQ(plain, data);
   EXPECT_GT(vc.queries(), 0u);  // the guard really did consult the clock
 }
 

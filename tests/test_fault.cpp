@@ -320,6 +320,42 @@ TEST(ServiceFault, CodebookFaultsDegradeToSerialPathAndRoundTrip) {
   EXPECT_GT(reg.counter("svc.degraded"), degraded0);
 }
 
+TEST(ServiceFault, DegradedRescueCannotOvershootExpiredDeadline) {
+  // Regression: the batched encode burns the whole retry budget (each
+  // backoff sleep advancing the virtual clock), so by the time the
+  // degraded fallback is reached the request's deadline has passed. The
+  // rescue must fail the future with DeadlineExceeded instead of spending
+  // solo-pipeline work on — and then returning — a result the caller's
+  // budget already disowned.
+  ScopedFaults scope(FaultInjector::global());
+  scope.arm("svc.encode", 1.0);
+  auto& reg = obs::MetricsRegistry::global();
+  const u64 degraded0 = reg.counter("svc.degraded");
+  const u64 completed0 = reg.counter("svc.requests_completed");
+  const u64 expired0 = reg.counter("svc.deadline_exceeded");
+
+  VirtualClock vc;
+  ServiceConfig sc;
+  sc.workers = 1;
+  sc.batch_max_requests = 1;
+  sc.clock = &vc;
+  sc.retry.max_attempts = 1;
+  sc.retry.backoff.initial_seconds = 1.0;  // virtual: one sleep = 1 s
+  sc.retry.backoff.max_seconds = 1.0;
+  sc.retry.backoff.jitter = 0.0;
+  CompressionService<u8> svc(sc);
+
+  const auto data = ramp_data(4000);
+  SubmitOptions opts;
+  opts.deadline = Deadline::in(0.5, vc);  // expires inside the first backoff
+  auto sub = svc.submit(std::span<const u8>(data), serial_config(), opts);
+  EXPECT_THROW(sub.result.get(), DeadlineExceeded);
+  svc.drain();
+  EXPECT_GE(reg.counter("svc.degraded"), degraded0 + 1);  // fallback reached
+  EXPECT_EQ(reg.counter("svc.requests_completed"), completed0);  // no rescue
+  EXPECT_GE(reg.counter("svc.deadline_exceeded"), expired0 + 1);
+}
+
 TEST(ServiceFault, EncodeFaultsWithFallbackDisabledFailTheFuture) {
   ScopedFaults scope(FaultInjector::global());
   scope.arm("svc.encode", 1.0);

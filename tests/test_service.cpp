@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <memory>
 #include <span>
@@ -21,6 +22,7 @@
 #include "svc/codebook_cache.hpp"
 #include "svc/fingerprint.hpp"
 #include "svc/service.hpp"
+#include "util/clock.hpp"
 #include "util/work_steal.hpp"
 
 namespace parhuff {
@@ -94,6 +96,26 @@ TEST(WorkSteal, DestructorDrainsQueuedTasks) {
     }
   }  // dtor must run everything already accepted
   EXPECT_EQ(count.load(), 64);
+}
+
+TEST(WorkSteal, IdleParkRunsOnTheInjectedClock) {
+  // A frozen VirtualClock must not wedge the pool: the idle park is a
+  // bounded timed wait re-armed until work arrives, so tasks submitted
+  // while time stands still run promptly, and the park provably consults
+  // the injected clock rather than the process steady clock.
+  util::VirtualClock vc;
+  WorkStealExecutor ex(2, &vc);
+  // Let the workers reach their first park so the submit below has to
+  // wake a clock-parked worker, not catch one mid-startup.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GT(vc.queries(), 0u);  // parking consulted the virtual clock
+  std::atomic<int> count{0};
+  for (int i = 0; i < 16; ++i) {
+    ex.submit([&] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  ex.wait_idle();
+  EXPECT_EQ(count.load(), 16);
+  EXPECT_EQ(ex.stats().executed, 16u);
 }
 
 // --- Histogram fingerprinting. -----------------------------------------------
