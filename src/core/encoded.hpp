@@ -10,6 +10,17 @@
 // The REDUCE-merge encoder adds an overflow section: groups of 2^r symbols
 // whose merged codeword exceeded the cell width ("breaking points", §IV-C)
 // are re-encoded into a side bitstream and indexed sparsely.
+//
+// Optionally a stream carries gap-array decode metadata (Rivera et al.,
+// "Optimizing Huffman Decoding for Error-Bounded Lossy Compression on
+// GPUs"): each chunk's bitstream is cut into fixed S-bit subsequences and
+// the encoder records, per subsequence, the bit distance from the
+// subsequence boundary to the first codeword boundary at/after it (the
+// "gap") plus the number of codewords starting inside it. With both, every
+// subsequence's decode start AND output offset are known up front, so a
+// fully parallel per-chunk decode needs no synchronization passes at all
+// (core/decode_gaparray.hpp). The metadata is an optional, versioned
+// container field — streams without it decode exactly as before.
 
 #include <cstddef>
 #include <span>
@@ -48,6 +59,29 @@ struct EncodedStream {
   /// Sorted by (chunk, group).
   std::vector<OverflowEntry> overflow;
 
+  /// Sentinel gap value: no codeword starts inside this subsequence (only
+  /// possible in a short tail subsequence, or throughout overflow-bearing
+  /// chunks, which the gap-array decoder skips).
+  static constexpr u8 kNoGap = 0xFF;
+
+  /// Gap-array metadata (annotate_gaps). 0 → absent. When set, `gaps` and
+  /// `gap_counts` hold one entry per S-bit subsequence, concatenated in
+  /// chunk order: gaps[i] is the bit distance from the subsequence boundary
+  /// to the first codeword starting at/after it (kNoGap sentinel when
+  /// none), gap_counts[i] the number of codewords starting inside it.
+  u32 gap_subseq_bits = 0;
+  std::vector<u8> gaps;
+  std::vector<u16> gap_counts;
+
+  [[nodiscard]] bool has_gaps() const { return gap_subseq_bits != 0; }
+
+  /// Subsequences of chunk `c` under the stream's gap granularity.
+  [[nodiscard]] std::size_t gap_subsequences(std::size_t c) const {
+    if (gap_subseq_bits == 0 || chunk_bits[c] == 0) return 0;
+    return static_cast<std::size_t>(
+        (chunk_bits[c] + gap_subseq_bits - 1) / gap_subseq_bits);
+  }
+
   [[nodiscard]] std::size_t chunks() const { return chunk_bits.size(); }
 
   [[nodiscard]] u64 total_payload_bits() const {
@@ -62,7 +96,8 @@ struct EncodedStream {
     return payload.size() * sizeof(word_t) +
            overflow_payload.size() * sizeof(word_t) +
            chunk_bits.size() * sizeof(u64) +
-           overflow.size() * sizeof(OverflowEntry);
+           overflow.size() * sizeof(OverflowEntry) + gaps.size() * sizeof(u8) +
+           gap_counts.size() * sizeof(u16);
   }
 
   /// Fraction of symbols living in breaking groups.

@@ -9,8 +9,62 @@
 namespace parhuff {
 
 namespace {
-constexpr char kMagic[4] = {'P', 'H', 'F', '2'};
+// Two live container versions (docs/format.md). "PHF2" is the original
+// layout and is still what gets written whenever a stream carries no
+// optional metadata — byte-identical to every container the seed wrote.
+// "PHF3" appends a tagged optional-field region after the stream section;
+// readers skip tags they do not understand, so future fields never force
+// another magic bump (the version-bump rule).
+constexpr char kMagicV2[4] = {'P', 'H', 'F', '2'};
+constexpr char kMagicV3[4] = {'P', 'H', 'F', '3'};
+constexpr u32 kMaxOptionalFields = 64;
+
+/// GAP1 field payload: u32 subseq_bits | u64 n | u8 gaps[n] | u16 counts[n].
+std::vector<u8> serialize_gap_field(const EncodedStream& s) {
+  ByteWriter w;
+  w.put<u32>(s.gap_subseq_bits);
+  w.put<u64>(static_cast<u64>(s.gaps.size()));
+  w.put_array(std::span<const u8>(s.gaps));
+  w.put_array(std::span<const u16>(s.gap_counts));
+  return w.take();
 }
+
+/// Parse + validate a GAP1 payload against the already-deserialized stream
+/// geometry. Entry count and bounds are checked BEFORE the arrays are
+/// materialized; the decoder re-validates per-chunk count sums on use.
+void parse_gap_field(std::span<const u8> payload, EncodedStream& s) {
+  ByteReader r(payload);
+  const u32 subseq = r.get<u32>();
+  if (subseq < 64 || subseq > 32768) {
+    throw std::runtime_error(
+        "parhuff container: gap subsequence size out of range");
+  }
+  const u64 n = r.get<u64>();
+  u64 expect = 0;
+  for (std::size_t c = 0; c < s.chunks(); ++c) {
+    if (s.chunk_bits[c] != 0) expect += (s.chunk_bits[c] + subseq - 1) / subseq;
+  }
+  if (n != expect) {
+    throw std::runtime_error("parhuff container: gap metadata count mismatch");
+  }
+  s.gap_subseq_bits = subseq;
+  s.gaps = r.get_array<u8>(static_cast<std::size_t>(n));
+  s.gap_counts = r.get_array<u16>(static_cast<std::size_t>(n));
+  if (!r.done()) {
+    throw std::runtime_error("parhuff container: gap field trailing bytes");
+  }
+  for (std::size_t i = 0; i < s.gaps.size(); ++i) {
+    if (s.gaps[i] == EncodedStream::kNoGap) {
+      if (s.gap_counts[i] != 0) {
+        throw std::runtime_error(
+            "parhuff container: gap sentinel with nonzero count");
+      }
+    } else if (s.gaps[i] >= subseq) {
+      throw std::runtime_error("parhuff container: gap exceeds subsequence");
+    }
+  }
+}
+}  // namespace
 
 // --- Codebook section. --------------------------------------------------------
 
@@ -194,12 +248,21 @@ EncodedStream deserialize_stream(std::span<const u8> bytes,
 template <typename Sym>
 std::vector<u8> serialize(const Compressed<Sym>& blob) {
   ByteWriter w;
-  w.put_array(std::span<const char>(kMagic, 4));
+  const bool v3 = blob.stream.has_gaps();
+  w.put_array(std::span<const char>(v3 ? kMagicV3 : kMagicV2, 4));
   w.put<u8>(static_cast<u8>(sizeof(Sym)));
   const auto cb = serialize_codebook(blob.codebook);
   w.put_bytes(cb);
   const auto st = serialize_stream(blob.stream);
   w.put_bytes(st);
+  if (v3) {
+    const auto field = serialize_gap_field(blob.stream);
+    w.put<u32>(1);  // n_fields
+    w.put<u32>(kContainerFieldGap);
+    w.put<u64>(static_cast<u64>(field.size()));
+    w.put_bytes(field);
+    w.put<u64>(fnv1a(field));
+  }
   return w.take();
 }
 
@@ -207,7 +270,8 @@ template <typename Sym>
 Compressed<Sym> deserialize(std::span<const u8> bytes) {
   ByteReader r(bytes);
   const auto magic = r.get_array<char>(4);
-  if (std::memcmp(magic.data(), kMagic, 4) != 0) {
+  const bool v3 = std::memcmp(magic.data(), kMagicV3, 4) == 0;
+  if (!v3 && std::memcmp(magic.data(), kMagicV2, 4) != 0) {
     throw std::runtime_error("parhuff container: bad magic");
   }
   const u8 sym_bytes = r.get<u8>();
@@ -221,7 +285,40 @@ Compressed<Sym> deserialize(std::span<const u8> bytes) {
   const std::size_t stream_at = r.position() + used;
   std::size_t stream_used = 0;
   blob.stream = deserialize_stream(bytes.subspan(stream_at), &stream_used);
-  if (stream_at + stream_used != bytes.size()) {
+  std::size_t at = stream_at + stream_used;
+  if (v3) {
+    // Optional-field region. Every field is length-prefixed and carries its
+    // own checksum, so a reader can verify and skip fields whose tags it
+    // does not understand — the fallback-to-self-sync semantics: a stream
+    // whose GAP1 field was skipped simply decodes via the older tiers.
+    ByteReader fr(bytes.subspan(at));
+    const u32 n_fields = fr.get<u32>();
+    if (n_fields > kMaxOptionalFields) {
+      throw std::runtime_error(
+          "parhuff container: implausible optional field count");
+    }
+    bool saw_gap = false;
+    for (u32 i = 0; i < n_fields; ++i) {
+      const u32 tag = fr.get<u32>();
+      const u64 len = fr.get<u64>();
+      const auto payload = fr.get_view(static_cast<std::size_t>(len));
+      if (fr.get<u64>() != fnv1a(payload)) {
+        throw std::runtime_error(
+            "parhuff container: optional field checksum mismatch");
+      }
+      if (tag == kContainerFieldGap) {
+        if (saw_gap) {
+          throw std::runtime_error(
+              "parhuff container: duplicate optional field");
+        }
+        saw_gap = true;
+        parse_gap_field(payload, blob.stream);
+      }
+      // Unknown tag: verified, skipped.
+    }
+    at += fr.position();
+  }
+  if (at != bytes.size()) {
     throw std::runtime_error("parhuff container: trailing bytes");
   }
   return blob;

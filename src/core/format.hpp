@@ -2,8 +2,18 @@
 // Self-contained compressed container format (and its two sections, which
 // the streaming API reuses independently).
 //
-// Container layout (little-endian):
-//   magic "PHF2" | u8 sym_bytes | codebook section | stream section
+// Container layout (little-endian), two live versions — see docs/format.md
+// for the byte-level reference and compatibility rules:
+//   v2: magic "PHF2" | u8 sym_bytes | codebook section | stream section
+//   v3: magic "PHF3" | u8 sym_bytes | codebook section | stream section
+//       | optional-field region
+// "PHF2" is still written whenever the stream carries no optional metadata,
+// so those containers stay byte-identical across versions. The v3 region:
+//   u32 n_fields | { u32 tag | u64 len | u8 payload[len] | u64 fnv1a }*
+// Readers verify each field's checksum and skip tags they do not know
+// (forward compatibility: new optional fields never bump the magic).
+// Known tags: kContainerFieldGap ("GAP1") — gap-array decode metadata,
+//   payload u32 subseq_bits | u64 n | u8 gaps[n] | u16 counts[n].
 //
 // Codebook section:
 //   u8 max_len | u32 nbins | u8 lens[nbins]
@@ -28,6 +38,9 @@
 #include "util/types.hpp"
 
 namespace parhuff {
+
+/// Optional-field tag for gap-array decode metadata ("GAP1" little-endian).
+inline constexpr u32 kContainerFieldGap = 0x31504147;
 
 // --- Whole-container API. ----------------------------------------------------
 

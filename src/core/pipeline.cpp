@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/decode.hpp"
+#include "core/decode_gaparray.hpp"
 #include "core/decode_selfsync.hpp"
 #include "core/decode_simt.hpp"
 #include "core/encode_adaptive.hpp"
@@ -166,15 +167,51 @@ Compressed<Sym> compress(std::span<const Sym> data, const PipelineConfig& cfg,
   // --- Stage 4: encode. ----------------------------------------------------
   out.stream =
       encode_with_codebook<Sym>(data, out.codebook, cfg, freq, &rep, cancel);
+
+  // --- Stage 5 (optional): gap-array decode metadata. ----------------------
+  if (cfg.gap_subseq_bits != 0) {
+    if (cancel) cancel->check();
+    obs::TraceSpan span("pipeline.gap_annotate", "pipeline");
+    Timer tg;
+    annotate_gaps(out.stream, out.codebook, cfg.gap_subseq_bits);
+    rep.gap_seconds = tg.seconds();
+  }
   rep.compressed_bytes = out.stream.stored_bytes();
   obs::publish(obs::MetricsRegistry::global(), rep);
   return out;
 }
 
 template <typename Sym>
+std::vector<Sym> decode_auto(const EncodedStream& s, const Codebook& cb,
+                             int threads, const CancelToken* cancel) {
+  auto& reg = obs::MetricsRegistry::global();
+  if (s.has_gaps()) {
+    obs::TraceSpan span("pipeline.decode.gaparray", "pipeline");
+    Timer t;
+    GapArrayStats st;
+    auto out = decode_gaparray<Sym>(s, cb, nullptr, &st, cancel);
+    reg.stage_add("decode.gaparray", t.seconds());
+    reg.counter_add("decode.gaparray");
+    reg.counter_add("decode.symbols", out.size());
+    reg.counter_add("decode.gaparray_subsequences", st.subsequences);
+    if (st.fallback_chunks != 0) {
+      reg.counter_add("decode.gaparray_fallback_chunks", st.fallback_chunks);
+    }
+    return out;
+  }
+  obs::TraceSpan span("pipeline.decode.host", "pipeline");
+  Timer t;
+  auto out = decode_stream<Sym>(s, cb, threads, cancel);
+  reg.stage_add("decode.host", t.seconds());
+  reg.counter_add("decode.host");
+  reg.counter_add("decode.symbols", out.size());
+  return out;
+}
+
+template <typename Sym>
 std::vector<Sym> decompress(const Compressed<Sym>& blob, int threads) {
   obs::TraceSpan span("pipeline.decompress", "pipeline");
-  return decode_stream<Sym>(blob.stream, blob.codebook, threads);
+  return decode_auto<Sym>(blob.stream, blob.codebook, threads);
 }
 
 template <typename Sym>
@@ -185,6 +222,8 @@ std::vector<Sym> decompress_with(const Compressed<Sym>& blob,
       return decode_simt<Sym>(blob.stream, blob.codebook, tally);
     case DecoderKind::kSelfSync:
       return decode_selfsync<Sym>(blob.stream, blob.codebook, {}, tally);
+    case DecoderKind::kGapArray:
+      return decode_gaparray<Sym>(blob.stream, blob.codebook, tally);
     case DecoderKind::kHost:
       break;
   }
@@ -211,6 +250,11 @@ template Compressed<u16> compress<u16>(std::span<const u16>,
                                        const CancelToken*);
 template std::vector<u8> decompress<u8>(const Compressed<u8>&, int);
 template std::vector<u16> decompress<u16>(const Compressed<u16>&, int);
+template std::vector<u8> decode_auto<u8>(const EncodedStream&, const Codebook&,
+                                         int, const CancelToken*);
+template std::vector<u16> decode_auto<u16>(const EncodedStream&,
+                                           const Codebook&, int,
+                                           const CancelToken*);
 template std::vector<u8> decompress_with<u8>(const Compressed<u8>&,
                                              DecoderKind, simt::MemTally*);
 template std::vector<u16> decompress_with<u16>(const Compressed<u16>&,

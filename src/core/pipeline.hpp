@@ -51,6 +51,12 @@ struct PipelineConfig {
   /// (decide_reduce_factor).
   std::optional<u32> reduce_factor;
   int cpu_threads = 0;  ///< for the OpenMP stages (0 = library default)
+  /// When nonzero, annotate the encoded stream with gap-array decode
+  /// metadata at this subsequence granularity (core/decode_gaparray.hpp):
+  /// decoders then skip the self-sync passes entirely. Stored as a
+  /// versioned optional container field; 0 (default) keeps the container
+  /// byte-identical to the previous format version.
+  u32 gap_subseq_bits = 0;
 
   /// Memberwise equality — the service layer's request batcher coalesces
   /// requests whose configs compare equal.
@@ -62,6 +68,7 @@ struct PipelineReport {
   double hist_seconds = 0;
   double codebook_seconds = 0;
   double encode_seconds = 0;
+  double gap_seconds = 0;  ///< gap-array annotation (0 unless enabled)
   simt::MemTally hist_tally;
   simt::MemTally codebook_tally;
   simt::MemTally encode_tally;
@@ -80,7 +87,7 @@ struct PipelineReport {
                      static_cast<double>(compressed_bytes);
   }
   [[nodiscard]] double total_seconds() const {
-    return hist_seconds + codebook_seconds + encode_seconds;
+    return hist_seconds + codebook_seconds + encode_seconds + gap_seconds;
   }
 };
 
@@ -141,7 +148,8 @@ template <typename Sym>
     std::span<const u64> freq = {}, PipelineReport* report = nullptr,
     const CancelToken* cancel = nullptr);
 
-/// Inverse of compress (any encoder kind).
+/// Inverse of compress (any encoder kind). Routes through decode_auto, so
+/// streams carrying gap metadata take the gap-array tier.
 template <typename Sym>
 [[nodiscard]] std::vector<Sym> decompress(const Compressed<Sym>& blob,
                                           int threads = 0);
@@ -150,7 +158,20 @@ enum class DecoderKind {
   kHost,      ///< chunk-parallel host decoding (default)
   kSimt,      ///< thread-per-chunk simulated kernel (tallied)
   kSelfSync,  ///< CUHD-style self-synchronizing kernel (tallied)
+  kGapArray,  ///< gap-array kernel; requires annotated metadata (tallied)
 };
+
+/// Tier selection for the read path (docs/decode.md): gap-array when the
+/// stream carries metadata (per-chunk overflow fallback included), the
+/// chunk-parallel host decoder otherwise. Emits `decode.*` counters and
+/// stage timings to the global metrics registry — this is what the service
+/// and RPC decompress paths call. `cancel` follows the decode-side
+/// contract (polled at least once per 64 Ki symbols).
+template <typename Sym>
+[[nodiscard]] std::vector<Sym> decode_auto(const EncodedStream& s,
+                                           const Codebook& cb,
+                                           int threads = 0,
+                                           const CancelToken* cancel = nullptr);
 
 /// Decoder-selectable variant; `tally` collects transaction counts for the
 /// SIMT decoders (ignored for kHost).
@@ -181,6 +202,12 @@ extern template Compressed<u16> compress<u16>(std::span<const u16>,
                                               const CancelToken*);
 extern template std::vector<u8> decompress<u8>(const Compressed<u8>&, int);
 extern template std::vector<u16> decompress<u16>(const Compressed<u16>&, int);
+extern template std::vector<u8> decode_auto<u8>(const EncodedStream&,
+                                                const Codebook&, int,
+                                                const CancelToken*);
+extern template std::vector<u16> decode_auto<u16>(const EncodedStream&,
+                                                  const Codebook&, int,
+                                                  const CancelToken*);
 extern template std::vector<u8> decompress_with<u8>(const Compressed<u8>&,
                                                     DecoderKind,
                                                     simt::MemTally*);

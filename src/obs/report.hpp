@@ -148,6 +148,9 @@ inline constexpr const char* kMetricsSchema = "parhuff-metrics-v1";
                          Json::object()
                              .set("seconds", r.encode_seconds)
                              .set("tally", to_json(r.encode_tally)));
+  if (r.gap_seconds != 0) {
+    stages.set("gap_annotate", Json::object().set("seconds", r.gap_seconds));
+  }
   return Json::object()
       .set("stages", std::move(stages))
       .set("entropy_bits", r.entropy_bits)
@@ -205,6 +208,9 @@ inline void publish(MetricsRegistry& reg, const PipelineReport& r,
   reg.stage_add(prefix + ".histogram", r.hist_seconds);
   reg.stage_add(prefix + ".codebook", r.codebook_seconds);
   reg.stage_add(prefix + ".encode", r.encode_seconds);
+  if (r.gap_seconds != 0) {
+    reg.stage_add(prefix + ".gap_annotate", r.gap_seconds);
+  }
   reg.counter_add(prefix + ".runs");
   reg.counter_add(prefix + ".input_bytes", r.input_bytes);
   reg.counter_add(prefix + ".compressed_bytes", r.compressed_bytes);

@@ -13,6 +13,7 @@
 
 #include "core/canonical.hpp"      // Codebook, canonize_from_lengths
 #include "core/decode.hpp"         // decode_stream, decode_range
+#include "core/decode_gaparray.hpp"  // annotate_gaps, decode_gaparray
 #include "core/decode_selfsync.hpp"
 #include "core/decode_simt.hpp"
 #include "core/decode_table.hpp"

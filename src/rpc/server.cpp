@@ -449,8 +449,10 @@ void RpcServer::handle_decompress(const std::shared_ptr<ConnState>& cs,
     try {
       token->check();  // cheap pre-flight: already cancelled/expired?
       const Compressed<Sym> blob = deserialize<Sym>(*body);
+      // decode_auto picks the gap-array kernel when the container carried
+      // gap metadata (a "PHF3" + GAP1 blob), the host decoder otherwise.
       const std::vector<Sym> out =
-          decode_stream<Sym>(blob.stream, blob.codebook, 0, token.get());
+          decode_auto<Sym>(blob.stream, blob.codebook, 0, token.get());
       f.payload.resize(out.size() * sizeof(Sym));
       if (!out.empty()) {
         std::memcpy(f.payload.data(), out.data(), f.payload.size());

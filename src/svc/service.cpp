@@ -95,7 +95,10 @@ u64 cache_seed(const PipelineConfig& cfg) {
 template <typename Sym>
 std::vector<Sym> decompress(const CompressResult<Sym>& r, int threads,
                             const CancelToken* cancel) {
-  return decode_stream<Sym>(r.stream, *r.codebook, threads, cancel);
+  // Tier selection lives in decode_auto: streams the pipeline annotated
+  // with gap metadata take the fully parallel gap-array kernel, everything
+  // else the chunk-parallel host decoder.
+  return decode_auto<Sym>(r.stream, *r.codebook, threads, cancel);
 }
 
 template <typename Sym>
