@@ -1,0 +1,199 @@
+// Horizontal scaling through the shard router: the same open-loop compress
+// burst driven three ways — one RpcServer on a loopback hub (the bench_rpc
+// baseline shape), a ShardRouter fronting ONE shard (pure proxy overhead),
+// and a ShardRouter fanning out across THREE shards.
+//
+// Open-loop means the whole burst is in flight before the first response
+// is awaited, so the fleet's parallelism — not the client's issue rate —
+// bounds the makespan. Every server (single or shard) gets an identical
+// one-worker service, so speedup_vs_single measures added capacity, not a
+// config difference: on a >= 4-core host the 3-shard case is expected to
+// reach >= 2x the single server; on fewer cores the bench reports whatever
+// the host can actually deliver (the JSON records host_threads so readers
+// can tell which regime they are looking at).
+//
+// The burst cycles through distinct histogram shapes, so rendezvous
+// routing spreads it across the fleet; BENCH_router.json also snapshots
+// the router.* terminal counters per routed case, whose balance
+// (routed == forwarded + failed_over + shed) must survive the run.
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "obs/metrics.hpp"
+#include "router/harness.hpp"
+#include "router/router.hpp"
+#include "rpc/client.hpp"
+#include "rpc/server.hpp"
+#include "rpc/transport_inmem.hpp"
+
+namespace {
+
+using namespace parhuff;
+
+constexpr std::size_t kRequests = 48;
+constexpr std::size_t kRequestBytes = 64 * 1024;
+constexpr std::size_t kShapes = 24;  // distinct routing keys in the burst
+constexpr int kReps = 3;
+
+PipelineConfig host_config() {
+  PipelineConfig cfg;
+  cfg.nbins = 256;
+  cfg.histogram = HistogramKind::kSerial;
+  cfg.codebook = CodebookKind::kSerialTree;
+  cfg.encoder = EncoderKind::kSerial;
+  return cfg;
+}
+
+/// One worker per server: fleet size is the only capacity variable.
+rpc::ServerConfig shard_config() {
+  rpc::ServerConfig sc;
+  sc.service.workers = 1;
+  sc.service.batch_max_requests = 1;  // one codebook build per request
+  sc.max_connections = 2;
+  sc.pipeline8 = host_config();
+  return sc;
+}
+
+/// Payload `i` draws from an alphabet of (i % kShapes) + 2 symbols: each
+/// shape is a distinct support set, hence a distinct rendezvous key.
+std::vector<std::vector<u8>> make_payloads() {
+  std::vector<std::vector<u8>> payloads(kRequests);
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    payloads[i].resize(kRequestBytes);
+    const std::size_t alphabet = (i % kShapes) + 2;
+    for (std::size_t b = 0; b < kRequestBytes; ++b) {
+      payloads[i][b] = static_cast<u8>(b % alphabet);
+    }
+  }
+  return payloads;
+}
+
+/// Fire the whole burst, then await it: the makespan of an open-loop burst.
+double run_burst(rpc::RpcClient& cli,
+                 const std::vector<std::vector<u8>>& payloads) {
+  std::vector<rpc::RpcCall> calls;
+  calls.reserve(payloads.size());
+  Timer t;
+  for (const auto& p : payloads) {
+    calls.push_back(cli.compress(std::span<const u8>(p)));
+  }
+  for (auto& c : calls) {
+    if (c.result.get().empty()) std::abort();  // keep the work live
+  }
+  return t.seconds();
+}
+
+double best_of(rpc::RpcClient& cli,
+               const std::vector<std::vector<u8>>& payloads) {
+  (void)run_burst(cli, payloads);  // warm-up
+  double best = run_burst(cli, payloads);
+  for (int r = 1; r < kReps; ++r) {
+    best = std::min(best, run_burst(cli, payloads));
+  }
+  return best;
+}
+
+double run_router_case(std::size_t shards_n,
+                       const std::vector<std::vector<u8>>& payloads,
+                       obs::Json* counters_out) {
+  auto& reg = obs::MetricsRegistry::global();
+  const u64 routed0 = reg.counter("router.routed");
+  const u64 forwarded0 = reg.counter("router.forwarded");
+  const u64 failed_over0 = reg.counter("router.failed_over");
+  const u64 shed0 = reg.counter("router.shed");
+
+  router::ShardHarness shards(shards_n, shard_config());
+  rpc::LoopbackHub front;
+  router::RouterConfig rc;
+  rc.start_prober = false;  // steady-state burst: no probe traffic
+  rc.max_connections = 2;
+  auto rt = std::make_unique<router::ShardRouter>(front.listener(),
+                                                  shards.endpoints(), rc);
+  rpc::RpcClient cli([&] { return front.connect(); });
+  const double best = best_of(cli, payloads);
+
+  rt->stop();  // quiesce so the terminal counters are final
+  if (counters_out) {
+    counters_out->set("routed", reg.counter("router.routed") - routed0)
+        .set("forwarded", reg.counter("router.forwarded") - forwarded0)
+        .set("failed_over",
+             reg.counter("router.failed_over") - failed_over0)
+        .set("shed", reg.counter("router.shed") - shed0);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Driver run("router", argc, argv);
+  bench::banner(
+      "SHARD ROUTER: open-loop burst vs single server, 1-shard and 3-shard "
+      "fleets");
+
+  const auto payloads = make_payloads();
+  const unsigned host_threads = std::thread::hardware_concurrency();
+  run.config()
+      .set("requests", static_cast<u64>(kRequests))
+      .set("request_bytes", static_cast<u64>(kRequestBytes))
+      .set("shapes", static_cast<u64>(kShapes))
+      .set("workers_per_server", u64{1})
+      .set("host_threads", static_cast<u64>(host_threads));
+
+  double single_s = 0;
+  {
+    rpc::LoopbackHub hub;
+    rpc::RpcServer server(hub.listener(), shard_config());
+    rpc::RpcClient cli([&] { return hub.connect(); });
+    single_s = best_of(cli, payloads);
+  }
+
+  obs::Json counters1 = obs::Json::object();
+  const double router1_s = run_router_case(1, payloads, &counters1);
+  obs::Json counters3 = obs::Json::object();
+  const double router3_s = run_router_case(3, payloads, &counters3);
+
+  const std::size_t total = kRequests * kRequestBytes;
+  TextTable table(
+      "open-loop: 48 x 64 KiB compress burst (u8), 1 worker/server, best "
+      "of 3");
+  table.header({"case", "req/s", "MB/s", "speedup vs single"});
+  const auto row = [&](const char* name, double seconds) {
+    table.row({name,
+               fmt(static_cast<double>(kRequests) / seconds, 0),
+               fmt(static_cast<double>(total) / seconds / 1e6, 1),
+               fmt(single_s / seconds, 2)});
+  };
+  row("single server loopback", single_s);
+  row("router, 1 shard", router1_s);
+  row("router, 3 shards", router3_s);
+  table.print();
+  if (host_threads < 4) {
+    std::printf(
+        "note: only %u hardware thread(s) — the 3-shard fleet cannot run "
+        "its workers in parallel here; expect >= 2x on a >= 4-core host.\n",
+        host_threads);
+  }
+
+  const auto record = [&](const char* name, double seconds,
+                          obs::Json* counters) {
+    obs::Json rec = obs::Json::object();
+    rec.set("case", name)
+        .set("seconds", seconds)
+        .set("requests_per_second",
+             static_cast<double>(kRequests) / seconds)
+        .set("throughput_gbps", gbps(total, seconds))
+        .set("speedup_vs_single", single_s / seconds);
+    if (counters) rec.set("router_counters", std::move(*counters));
+    run.record(std::move(rec));
+  };
+  record("single_server_loopback", single_s, nullptr);
+  record("router_1shard_loopback", router1_s, &counters1);
+  record("router_3shard_loopback", router3_s, &counters3);
+
+  return run.finish();
+}

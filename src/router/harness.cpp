@@ -1,0 +1,88 @@
+#include "router/harness.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace parhuff::router {
+
+ShardHarness::ShardHarness(std::size_t n, rpc::ServerConfig cfg)
+    : cfg_(std::move(cfg)) {
+  if (n == 0) {
+    throw std::invalid_argument("ShardHarness: at least one shard");
+  }
+  shards_.resize(n);
+  for (auto& s : shards_) {
+    s.hub = std::make_shared<rpc::LoopbackHub>();
+    s.server = std::make_unique<rpc::RpcServer>(s.hub->listener(), cfg_);
+  }
+}
+
+ShardHarness::~ShardHarness() {
+  for (std::size_t i = 0; i < shards_.size(); ++i) kill(i);
+}
+
+std::vector<ShardEndpoint> ShardHarness::endpoints() {
+  std::vector<ShardEndpoint> eps;
+  eps.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    eps.push_back(ShardEndpoint{
+        "shard" + std::to_string(i),
+        // Capture the harness, not the hub: each dial reads the slot's
+        // *current* hub so a restarted shard is reachable through the
+        // same endpoint.
+        [this, i]() { return connect(i); }});
+  }
+  return eps;
+}
+
+void ShardHarness::kill(std::size_t i) {
+  std::shared_ptr<rpc::LoopbackHub> hub;
+  std::unique_ptr<rpc::RpcServer> server;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Slot& s = shards_.at(i);
+    hub = std::move(s.hub);
+    server = std::move(s.server);
+  }
+  // Hub first: dials racing the kill get TransportError immediately
+  // instead of reaching a server mid-teardown.
+  if (hub) hub->close();
+  server.reset();  // stop() + join; in-flight connections die here
+}
+
+void ShardHarness::restart(std::size_t i) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& s = shards_.at(i);
+  if (s.server) return;
+  s.hub = std::make_shared<rpc::LoopbackHub>();
+  s.server = std::make_unique<rpc::RpcServer>(s.hub->listener(), cfg_);
+}
+
+bool ShardHarness::alive(std::size_t i) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_.at(i).server != nullptr;
+}
+
+rpc::RpcServer& ShardHarness::server(std::size_t i) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& s = shards_.at(i);
+  if (!s.server) {
+    throw std::logic_error("ShardHarness: shard is down");
+  }
+  return *s.server;
+}
+
+std::unique_ptr<rpc::Connection> ShardHarness::connect(std::size_t i) {
+  std::shared_ptr<rpc::LoopbackHub> hub;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hub = shards_.at(i).hub;
+  }
+  if (!hub) {
+    throw rpc::TransportError("shard harness: shard " + std::to_string(i) +
+                              " is down");
+  }
+  return hub->connect();  // throws TransportError once closed
+}
+
+}  // namespace parhuff::router

@@ -1,0 +1,67 @@
+#pragma once
+// In-process shard fleet for router tests and benches: N RpcServer shards,
+// each behind its own LoopbackHub, plus the endpoint list a ShardRouter
+// dials them with. kill()/restart() model a shard crashing and coming
+// back: kill closes the shard's hub *before* tearing the server down, so
+// the router's redials fail fast with TransportError instead of parking on
+// a listener that will never accept — the same observable order a real
+// process death gives (connection refused first, in-flight frames dead).
+//
+// The harness owns only backend machinery; the client-facing listener the
+// router itself accepts on is the caller's to provide (tests usually use
+// one more LoopbackHub, bench_router too).
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "router/router.hpp"
+#include "rpc/server.hpp"
+#include "rpc/transport_inmem.hpp"
+
+namespace parhuff::router {
+
+class ShardHarness {
+ public:
+  /// Spin up `n` shards, each its own RpcServer on a fresh LoopbackHub.
+  /// `cfg` is cloned per shard (workers, queue capacity, clock...).
+  explicit ShardHarness(std::size_t n, rpc::ServerConfig cfg = {});
+  ~ShardHarness();
+  ShardHarness(const ShardHarness&) = delete;
+  ShardHarness& operator=(const ShardHarness&) = delete;
+
+  /// Endpoints for ShardRouter: shard `i` is named "shard<i>" and its
+  /// connector dials shard `i`'s *current* hub — after restart(i) new
+  /// dials reach the new incarnation, so the router's generation-swept
+  /// RpcClients recover without reconfiguration.
+  [[nodiscard]] std::vector<ShardEndpoint> endpoints();
+
+  /// Crash shard `i`: close its hub (future dials fail fast), then stop
+  /// the server (in-flight frames die). Idempotent.
+  void kill(std::size_t i);
+
+  /// Bring shard `i` back on a fresh hub + server. No-op when alive.
+  void restart(std::size_t i);
+
+  [[nodiscard]] std::size_t size() const { return shards_.size(); }
+  [[nodiscard]] bool alive(std::size_t i) const;
+  /// The live RpcServer (throws when killed) — for per-shard service
+  /// introspection in tests.
+  [[nodiscard]] rpc::RpcServer& server(std::size_t i);
+  /// Dial shard `i` directly, bypassing the router (baseline benches).
+  [[nodiscard]] std::unique_ptr<rpc::Connection> connect(std::size_t i);
+
+ private:
+  struct Slot {
+    std::shared_ptr<rpc::LoopbackHub> hub;   // swapped atomically-ish
+    std::unique_ptr<rpc::RpcServer> server;  // under mu
+  };
+
+  rpc::ServerConfig cfg_;
+  mutable std::mutex mu_;
+  std::vector<Slot> shards_;
+};
+
+}  // namespace parhuff::router

@@ -1,0 +1,61 @@
+#pragma once
+// Rendezvous (highest-random-weight) hashing for the shard router
+// (docs/router.md).
+//
+// Every (key, shard) pair gets an independent pseudo-random score; a key's
+// candidate order is the shards sorted by score. Two properties make this
+// the right shape for codebook-affinity routing:
+//
+//   * Determinism — the order depends only on (key, shard index, seed), so
+//     every router instance with the same seed routes the same traffic to
+//     the same shards, and a restarted router re-derives the same map
+//     (warm shard caches stay warm across router restarts).
+//   * Minimal disruption — removing a shard only remaps the keys whose
+//     top-ranked candidate *was* that shard (they fall through to their
+//     second choice); every other key keeps its shard and its warm cache.
+//     A consistent-hash ring gives the same guarantee with more machinery;
+//     for a handful of shards rendezvous is simpler and exactly as good.
+//
+// The score mixer is splitmix64's finalizer — full-avalanche in 64 bits,
+// so nearby keys and nearby shard indices decorrelate completely.
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace parhuff::router {
+
+/// splitmix64 finalizer: a cheap full-avalanche 64-bit mixer.
+[[nodiscard]] constexpr u64 mix64(u64 x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// The rendezvous score of `shard` for `key` under `seed`.
+[[nodiscard]] constexpr u64 rendezvous_score(u64 key, u32 shard, u64 seed) {
+  return mix64(mix64(key ^ seed) ^ (0x9e3779b97f4a7c15ull * (shard + 1)));
+}
+
+/// All `n` shard indices ordered by descending score for `key`: index 0 is
+/// the key's home shard, the rest are its failover candidates in
+/// preference order. Ties (vanishingly rare in 64 bits) break toward the
+/// lower index so the order is total and reproducible.
+[[nodiscard]] inline std::vector<u32> rendezvous_order(u64 key,
+                                                       std::size_t n,
+                                                       u64 seed) {
+  std::vector<u32> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](u32 a, u32 b) {
+    const u64 sa = rendezvous_score(key, a, seed);
+    const u64 sb = rendezvous_score(key, b, seed);
+    return sa != sb ? sa > sb : a < b;
+  });
+  return order;
+}
+
+}  // namespace parhuff::router

@@ -1,0 +1,98 @@
+#pragma once
+// Per-shard health state for the router (docs/router.md "Health model").
+//
+// Two signal sources feed one tiny state machine:
+//
+//   * passive — every proxied request is a health sample: a transport
+//     failure on the forward path counts a failure, a served response
+//     counts a success;
+//   * active — the router's prober sends the in-band kHealth verb
+//     (rpc/protocol.hpp) on an interval and feeds the returned HealthInfo
+//     in. A probe also *clears* failure state on success, which is what
+//     lets a restarted shard rejoin without waiting for risky live
+//     traffic.
+//
+// `healthy` trips after `unhealthy_after` consecutive failures and resets
+// on the first success. `saturated` mirrors the last probe's queue
+// occupancy against `saturation_fraction` — a saturated shard is routed
+// around like an unhealthy one, but sheds load instead of losing it, so
+// the two states are tracked separately for observability.
+//
+// Everything is atomic: the reader threads, the writer threads (failover
+// path) and the prober all touch the same state lock-free.
+
+#include <atomic>
+
+#include "rpc/protocol.hpp"
+#include "util/types.hpp"
+
+namespace parhuff::router {
+
+struct HealthPolicy {
+  /// Consecutive failures (passive or probe) before a shard is routed
+  /// around.
+  int unhealthy_after = 2;
+  /// Background probe cadence on the router's clock.
+  double probe_interval_seconds = 0.25;
+  /// Probe-reported queue_depth / queue_capacity at or above this marks
+  /// the shard saturated (capacity 0 = never saturated).
+  double saturation_fraction = 1.0;
+};
+
+class ShardHealth {
+ public:
+  void note_success() {
+    consecutive_failures_.store(0, std::memory_order_relaxed);
+    healthy_.store(true, std::memory_order_relaxed);
+  }
+
+  void note_failure(const HealthPolicy& policy) {
+    const int fails =
+        consecutive_failures_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (fails >= policy.unhealthy_after) {
+      healthy_.store(false, std::memory_order_relaxed);
+    }
+  }
+
+  /// Fold a probe's HealthInfo in. A shard that answered but is draining
+  /// (accepting == false) is as unroutable as a dead one.
+  void note_probe(const rpc::HealthInfo& info, const HealthPolicy& policy) {
+    if (!info.accepting) {
+      note_failure(policy);
+      return;
+    }
+    note_success();
+    const bool sat =
+        info.queue_capacity > 0 &&
+        static_cast<double>(info.queue_depth) >=
+            policy.saturation_fraction *
+                static_cast<double>(info.queue_capacity);
+    saturated_.store(sat, std::memory_order_relaxed);
+  }
+
+  /// A live kQueueFull answer: the shard is up but shedding. Stickier
+  /// than the probe-derived flag — the next successful probe (queue
+  /// drained below the saturation line) clears it.
+  void note_queue_full() {
+    saturated_.store(true, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool healthy() const {
+    return healthy_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool saturated() const {
+    return saturated_.load(std::memory_order_relaxed);
+  }
+  /// Preferred for routing: up and not shedding.
+  [[nodiscard]] bool available() const { return healthy() && !saturated(); }
+  [[nodiscard]] int consecutive_failures() const {
+    return consecutive_failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int> consecutive_failures_{0};
+  std::atomic<bool> healthy_{true};
+  std::atomic<bool> saturated_{false};
+};
+
+}  // namespace parhuff::router

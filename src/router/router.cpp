@@ -1,0 +1,702 @@
+#include "router/router.hpp"
+
+#include <algorithm>
+#include <array>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "svc/deadline.hpp"
+#include "svc/fingerprint.hpp"
+#include "util/fault_inject.hpp"
+#include "util/hash.hpp"
+
+namespace parhuff::router {
+
+using rpc::Frame;
+using rpc::Header;
+using rpc::Kind;
+using rpc::Op;
+using rpc::Status;
+
+namespace {
+
+[[nodiscard]] Frame error_frame(const Header& req, Status status,
+                                const std::string& message) {
+  Frame f;
+  f.h.kind = Kind::kResponse;
+  f.h.op = req.op;
+  f.h.sym_width = req.sym_width;
+  f.h.request_id = req.request_id;
+  f.h.status = status;
+  f.payload.assign(message.begin(), message.end());
+  return f;
+}
+
+[[nodiscard]] svc::Priority to_priority(u8 p) {
+  if (p >= static_cast<u8>(svc::Priority::kHigh)) return svc::Priority::kHigh;
+  return static_cast<svc::Priority>(p);
+}
+
+}  // namespace
+
+/// One backend shard: endpoint, its long-lived RpcClient (lazy connect,
+/// backoff+redial, generation-swept reconnect — the failover machinery
+/// the router builds on) and its health state.
+struct ShardRouter::Shard {
+  ShardEndpoint ep;
+  std::unique_ptr<rpc::RpcClient> client;
+  ShardHealth health;
+  std::atomic<u64> served{0};
+};
+
+/// Everything one client connection's reader and writer share — the same
+/// in-order response-slot design as RpcServer::ConnState, plus the
+/// client-id → (shard, backend-id) bindings a cancel frame needs to chase
+/// its target across the proxy hop.
+struct ShardRouter::ConnState {
+  std::shared_ptr<rpc::Connection> conn;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::function<Frame()>> slots;  // FIFO response order
+  bool reader_done = false;
+
+  struct Binding {
+    u32 shard = 0;
+    u64 backend_id = 0;
+  };
+  std::unordered_map<u64, Binding> routes;  // client request id → binding
+
+  void enqueue(std::function<Frame()> slot) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      slots.push_back(std::move(slot));
+    }
+    cv.notify_all();
+  }
+
+  void enqueue_ready(Frame f) {
+    auto boxed = std::make_shared<Frame>(std::move(f));
+    enqueue([boxed]() { return std::move(*boxed); });
+  }
+
+  void reader_finished() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      reader_done = true;
+    }
+    cv.notify_all();
+  }
+
+  void bind(u64 client_id, u32 shard, u64 backend_id) {
+    std::lock_guard<std::mutex> lock(mu);
+    routes[client_id] = Binding{shard, backend_id};
+  }
+
+  void unbind(u64 client_id) {
+    std::lock_guard<std::mutex> lock(mu);
+    routes.erase(client_id);
+  }
+};
+
+ShardRouter::ShardRouter(std::unique_ptr<rpc::Listener> listener,
+                         std::vector<ShardEndpoint> shards, RouterConfig cfg)
+    : cfg_(cfg),
+      clock_(cfg.clock ? cfg.clock : &util::Clock::real()),
+      listener_(std::move(listener)) {
+  if (!listener_) {
+    throw std::invalid_argument("ShardRouter: listener must not be null");
+  }
+  if (shards.empty()) {
+    throw std::invalid_argument("ShardRouter: at least one shard required");
+  }
+  if (cfg_.max_connections == 0) {
+    throw std::invalid_argument("ShardRouter: max_connections must be > 0");
+  }
+  rpc::ClientConfig cc = cfg_.client;
+  cc.clock = clock_;
+  for (auto& ep : shards) {
+    auto sh = std::make_unique<Shard>();
+    sh->ep = std::move(ep);
+    if (!sh->ep.connect) {
+      throw std::invalid_argument("ShardRouter: shard '" + sh->ep.name +
+                                  "' has no connector");
+    }
+    sh->client = std::make_unique<rpc::RpcClient>(sh->ep.connect, cc);
+    shards_.push_back(std::move(sh));
+  }
+
+  const int io = cfg_.io_threads > 0
+                     ? cfg_.io_threads
+                     : static_cast<int>(1 + 2 * cfg_.max_connections);
+  io_ = std::make_unique<WorkStealExecutor>(io, clock_);
+  io_->submit([this] { accept_loop(); });
+  if (cfg_.start_prober) {
+    prober_ = std::thread([this] { prober_loop(); });
+  }
+}
+
+ShardRouter::~ShardRouter() {
+  stop();
+  io_.reset();  // joins accept/reader/writer tasks
+  // Backend clients (and their pending-future sweeps) tear down after the
+  // io tasks that wait on them (member order).
+}
+
+void ShardRouter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    stopping_ = true;
+  }
+  listener_->close();
+  {
+    std::lock_guard<std::mutex> lock(prober_mu_);
+    prober_stop_ = true;
+  }
+  prober_cv_.notify_all();
+  if (prober_.joinable()) prober_.join();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& w : conns_) {
+      if (std::shared_ptr<ConnState> cs = w.lock()) cs->conn->shutdown();
+    }
+  }
+  io_->wait_idle();
+}
+
+std::size_t ShardRouter::connection_count() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  std::size_t live = 0;
+  for (const auto& w : conns_) {
+    if (!w.expired()) ++live;
+  }
+  return live;
+}
+
+bool ShardRouter::shard_healthy(std::size_t i) const {
+  return shards_.at(i)->health.healthy();
+}
+
+bool ShardRouter::shard_available(std::size_t i) const {
+  return shards_.at(i)->health.available();
+}
+
+u64 ShardRouter::shard_served(std::size_t i) const {
+  return shards_.at(i)->served.load(std::memory_order_relaxed);
+}
+
+u64 ShardRouter::route_key(Op op, u8 sym_width,
+                           std::span<const u8> payload) {
+  if (op == Op::kCompress && (sym_width == 1 || sym_width == 2)) {
+    // The same scale-invariant shape key the shards' codebook caches use
+    // (svc/fingerprint.hpp): config-equal traffic lands on the shard
+    // whose cache already holds its codebook.
+    if (sym_width == 1) {
+      std::vector<u64> freq(256, 0);
+      for (const u8 b : payload) ++freq[b];
+      return svc::fingerprint_histogram(freq, sym_width).hash;
+    }
+    std::vector<u64> freq(64 * 1024, 0);
+    const std::size_t n = payload.size() / 2;
+    for (std::size_t i = 0; i < n; ++i) {
+      const u16 s = static_cast<u16>(payload[2 * i] |
+                                     (payload[2 * i + 1] << 8));
+      ++freq[s];
+    }
+    return svc::fingerprint_histogram(freq, sym_width).hash;
+  }
+  // Decompress (and anything else): the container prefix holds the
+  // codebook, which is exactly as distribution-stable as the histogram
+  // shape — same book, same shard.
+  const std::size_t n = std::min<std::size_t>(payload.size(), 4096);
+  return fnv1a(payload.subspan(0, n));
+}
+
+std::vector<u32> ShardRouter::candidates(u64 key) const {
+  std::vector<u32> order =
+      rendezvous_order(key, shards_.size(), cfg_.hash_seed);
+  // Available shards keep their hash order at the front; unhealthy or
+  // saturated ones sink to the back as fail-open last resorts (routing
+  // around a wrongly-suspected shard must not turn into shedding).
+  std::stable_partition(order.begin(), order.end(), [&](u32 i) {
+    return shards_[i]->health.available();
+  });
+  const std::size_t cap = cfg_.max_route_attempts > 0
+                              ? std::min(cfg_.max_route_attempts, order.size())
+                              : order.size();
+  order.resize(cap);
+  return order;
+}
+
+rpc::RpcCall ShardRouter::forward(u32 idx, const Header& h,
+                                  const std::vector<u8>& payload) {
+  // Fault site: the forward write to the shard fails (connection died
+  // under the frame, shard-side kernel buffer gone...).
+  util::FaultInjector::global().maybe_throw("router.proxy.write");
+  rpc::RpcOptions opts;
+  opts.priority = to_priority(h.priority);
+  // The wire deadline is a relative budget; the proxy hop forwards it
+  // unchanged (the shard re-anchors on its own clock — router queueing
+  // time is deliberately inside the budget the shard sees, matching what
+  // a direct client would experience).
+  opts.deadline_seconds =
+      static_cast<double>(h.deadline_micros) * 1e-6;
+  Shard& sh = *shards_[idx];
+  if (h.op == Op::kCompress) {
+    return sh.client->compress(std::span<const u8>(payload), h.sym_width,
+                               opts);
+  }
+  return sh.client->decompress(std::span<const u8>(payload), h.sym_width,
+                               opts);
+}
+
+void ShardRouter::accept_loop() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  for (;;) {
+    std::unique_ptr<rpc::Connection> c;
+    try {
+      c = listener_->accept();
+    } catch (...) {
+      break;  // listener failed: router keeps serving live connections
+    }
+    if (!c) break;  // closed
+
+    std::shared_ptr<ConnState> cs;
+    bool reject = false;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      std::erase_if(conns_, [](const std::weak_ptr<ConnState>& w) {
+        return w.expired();
+      });
+      if (stopping_ || conns_.size() >= cfg_.max_connections) reject = true;
+      if (!reject) {
+        cs = std::make_shared<ConnState>();
+        cs->conn = std::shared_ptr<rpc::Connection>(std::move(c));
+        conns_.push_back(cs);
+      }
+    }
+    if (reject) {
+      if (c) c->shutdown();
+      reg.counter_add("router.connections_rejected");
+      continue;
+    }
+    reg.counter_add("router.connections_accepted");
+
+    bool writer_up = false;
+    try {
+      io_->submit([this, cs] { writer_loop(cs); });
+      writer_up = true;
+      io_->submit([this, cs] { reader_loop(cs); });
+    } catch (...) {
+      cs->conn->shutdown();
+      if (writer_up) cs->reader_finished();
+      reg.counter_add("router.connections_rejected");
+    }
+  }
+}
+
+void ShardRouter::reader_loop(std::shared_ptr<ConnState> cs) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  for (;;) {
+    std::array<u8, rpc::kHeaderBytes> hb;
+    try {
+      if (!cs->conn->read_exact(hb.data(), rpc::kHeaderBytes)) break;
+    } catch (...) {
+      break;
+    }
+
+    Header h;
+    try {
+      h = rpc::decode_header(std::span<const u8, rpc::kHeaderBytes>(hb),
+                             cfg_.max_payload_bytes);
+    } catch (const rpc::ProtocolError& e) {
+      reg.counter_add("router.protocol_errors");
+      if (!e.can_respond()) break;
+      u32 raw_len = 0;
+      std::memcpy(&raw_len, hb.data() + 20, sizeof(raw_len));
+      const bool resync = raw_len <= cfg_.max_payload_bytes;
+      if (resync && raw_len > 0) {
+        std::vector<u8> skip(raw_len);
+        try {
+          if (!cs->conn->read_exact(skip.data(), skip.size())) break;
+        } catch (...) {
+          break;
+        }
+      }
+      reg.counter_add("router.protocol_error_responses");
+      cs->enqueue_ready(
+          error_frame(Header{.op = Op::kCompress,
+                             .request_id = e.request_id()},
+                      e.status(), e.what()));
+      if (!resync) break;
+      continue;
+    }
+
+    std::vector<u8> payload(h.payload_len);
+    try {
+      if (!cs->conn->read_exact(payload.data(), payload.size())) break;
+    } catch (...) {
+      break;
+    }
+
+    reg.counter_add("router.requests_received");
+    if (!handle_frame(cs, h, std::move(payload))) break;
+  }
+  cs->reader_finished();
+}
+
+bool ShardRouter::handle_frame(const std::shared_ptr<ConnState>& cs,
+                               const Header& h, std::vector<u8> payload) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  if (h.kind != Kind::kRequest) {
+    cs->enqueue_ready(error_frame(
+        h, Status::kBadRequest, "response frame sent to a router"));
+    return true;
+  }
+  switch (h.op) {
+    case Op::kCompress:
+    case Op::kDecompress:
+      handle_proxy(cs, h, std::move(payload));
+      return true;
+    case Op::kCancel: {
+      if (payload.size() != sizeof(u64)) {
+        cs->enqueue_ready(error_frame(
+            h, Status::kBadRequest, "cancel payload must be a u64 id"));
+        return true;
+      }
+      u64 target = 0;
+      std::memcpy(&target, payload.data(), sizeof(target));
+      reg.counter_add("router.cancels_received");
+      // Chase the target across the proxy hop immediately (a cancel must
+      // not wait behind the response stream it is trying to shorten);
+      // only the ack rides the ordered stream.
+      ConnState::Binding b;
+      bool bound = false;
+      {
+        std::lock_guard<std::mutex> lock(cs->mu);
+        if (auto it = cs->routes.find(target); it != cs->routes.end()) {
+          b = it->second;
+          bound = true;
+        }
+      }
+      Frame ack;
+      ack.h.kind = Kind::kResponse;
+      ack.h.op = Op::kCancel;
+      ack.h.request_id = h.request_id;
+      ack.h.status = Status::kOk;
+      if (!bound) {
+        // Already resolved, shed, or never existed — idempotent
+        // best-effort either way, same as RpcServer.
+        cs->enqueue_ready(std::move(ack));
+        return true;
+      }
+      auto fut = std::make_shared<std::future<void>>(
+          shards_[b.shard]->client->cancel(b.backend_id));
+      auto boxed = std::make_shared<Frame>(std::move(ack));
+      cs->enqueue([fut, boxed]() {
+        try {
+          fut->get();  // ack after the shard acked (ordering contract)
+        } catch (...) {
+          // The shard died around the cancel; the target's own future
+          // resolves through failover or TransportError regardless.
+        }
+        return std::move(*boxed);
+      });
+      return true;
+    }
+    case Op::kStats: {
+      cs->enqueue([id = h.request_id]() {
+        Frame f;
+        f.h.kind = Kind::kResponse;
+        f.h.op = Op::kStats;
+        f.h.request_id = id;
+        f.h.status = Status::kOk;
+        obs::Json j = obs::Json::object();
+        j.set("schema", obs::kMetricsSchema);
+        j.set("name", "router-stats");
+        j.set("metrics", obs::MetricsRegistry::global().to_json());
+        const std::string text = j.dump();
+        f.payload.assign(text.begin(), text.end());
+        return f;
+      });
+      return true;
+    }
+    case Op::kHealth: {
+      rpc::HealthInfo info;
+      info.connections = connection_count();
+      info.max_connections = cfg_.max_connections;
+      u64 up = 0;
+      for (const auto& sh : shards_) {
+        if (sh->health.available()) ++up;
+      }
+      // Shards stand in for queue slots: depth = unavailable shards,
+      // capacity = all shards, so occupancy reads as "fraction of the
+      // fleet that cannot take traffic".
+      info.queue_depth = static_cast<u64>(shards_.size()) - up;
+      info.queue_capacity = shards_.size();
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        info.accepting = !stopping_;
+      }
+      Frame f;
+      f.h.kind = Kind::kResponse;
+      f.h.op = Op::kHealth;
+      f.h.request_id = h.request_id;
+      f.h.status = Status::kOk;
+      f.payload = rpc::encode_health_info(info);
+      cs->enqueue_ready(std::move(f));
+      return true;
+    }
+  }
+  return true;  // unreachable: decode_header validated the op
+}
+
+void ShardRouter::handle_proxy(const std::shared_ptr<ConnState>& cs,
+                               const Header& h, std::vector<u8> payload) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::TraceRecorder& rec = obs::TraceRecorder::global();
+  util::FaultInjector& faults = util::FaultInjector::global();
+  reg.counter_add("router.routed");
+  const double start_us = rec.now_us();
+
+  // Route lookup: the key and the candidate list. A failure here (the
+  // router.route fault site) sheds the request — exactly one terminal
+  // counter per routed request, always.
+  std::vector<u32> order;
+  try {
+    faults.maybe_throw("router.route");
+    const u64 key =
+        route_key(h.op, h.sym_width, std::span<const u8>(payload));
+    order = candidates(key);
+    const double route_us = rec.now_us();
+    reg.stage_add("router.route", (route_us - start_us) / 1e6);
+  } catch (...) {
+    reg.counter_add("router.shed");
+    cs->enqueue_ready(
+        error_frame(h, Status::kInternal, "router: route lookup failed"));
+    return;
+  }
+
+  // First forward happens in the reader so the shard starts working
+  // before the writer reaches this request's slot. Later attempts (the
+  // failover path) run in the slot itself — they only happen after the
+  // first shard's answer came back bad, which the slot is the first to
+  // see.
+  auto body = std::make_shared<std::vector<u8>>(std::move(payload));
+  auto call = std::make_shared<rpc::RpcCall>();
+  std::size_t attempt = 0;
+  bool in_flight = false;
+  for (; attempt < order.size(); ++attempt) {
+    try {
+      *call = forward(order[attempt], h, *body);
+      cs->bind(h.request_id, order[attempt], call->id);
+      in_flight = true;
+      break;
+    } catch (...) {
+      shards_[order[attempt]]->health.note_failure(cfg_.health);
+    }
+  }
+  if (!in_flight) {
+    reg.counter_add("router.shed");
+    cs->enqueue_ready(error_frame(h, Status::kQueueFull,
+                                  "router: no shard accepted the request"));
+    return;
+  }
+
+  ConnState* raw = cs.get();  // the writer keeps *cs alive past this slot
+  cs->enqueue([this, raw, body, call, hdr = h, order,
+               first = attempt, start_us]() {
+    obs::MetricsRegistry& mreg = obs::MetricsRegistry::global();
+    Frame f;
+    f.h.kind = Kind::kResponse;
+    f.h.op = hdr.op;
+    f.h.sym_width = hdr.sym_width;
+    f.h.request_id = hdr.request_id;
+
+    std::size_t attempts_done = 0;  // terminal answers obtained
+    std::size_t idx = first;        // current candidate index
+    bool terminal = false;
+    for (;;) {
+      const u32 shard = order[idx];
+      try {
+        f.payload = call->result.get();
+        f.h.status = Status::kOk;
+        shards_[shard]->health.note_success();
+        terminal = true;
+      } catch (const svc::DeadlineExceeded& e) {
+        // The shard answered: alive, just out of budget. Terminal — a
+        // second shard cannot beat a deadline the first already missed.
+        f.h.status = Status::kDeadlineExceeded;
+        f.payload.assign(e.what(), e.what() + std::strlen(e.what()));
+        shards_[shard]->health.note_success();
+        terminal = true;
+      } catch (const svc::CancelledError& e) {
+        f.h.status = Status::kCancelled;
+        f.payload.assign(e.what(), e.what() + std::strlen(e.what()));
+        shards_[shard]->health.note_success();
+        terminal = true;
+      } catch (const rpc::RpcError& e) {
+        if (e.status() == Status::kQueueFull ||
+            e.status() == Status::kShuttingDown) {
+          // The shard is alive but shedding/draining: route around it.
+          shards_[shard]->health.note_queue_full();
+        } else {
+          f.h.status = e.status();
+          f.payload.assign(e.what(), e.what() + std::strlen(e.what()));
+          shards_[shard]->health.note_success();
+          terminal = true;
+        }
+      } catch (const rpc::TransportError&) {
+        shards_[shard]->health.note_failure(cfg_.health);
+      } catch (const std::exception& e) {
+        f.h.status = Status::kInternal;
+        f.payload.assign(e.what(), e.what() + std::strlen(e.what()));
+        terminal = true;
+      }
+      ++attempts_done;
+      if (terminal) {
+        shards_[shard]->served.fetch_add(1, std::memory_order_relaxed);
+        mreg.counter_add("router.shard." + shards_[shard]->ep.name +
+                         ".served");
+        break;
+      }
+      // Failover: the next candidate, re-forwarded from the slot.
+      // Compress and decompress are idempotent, so re-execution after an
+      // ambiguous transport death is safe (same contract as a direct
+      // RpcClient caller resubmitting).
+      std::size_t next = idx + 1;
+      bool reforwarded = false;
+      for (; next < order.size(); ++next) {
+        try {
+          *call = forward(order[next], hdr, *body);
+          raw->bind(hdr.request_id, order[next], call->id);
+          reforwarded = true;
+          break;
+        } catch (...) {
+          shards_[order[next]]->health.note_failure(cfg_.health);
+        }
+      }
+      if (!reforwarded) {
+        f.h.status = Status::kQueueFull;
+        const std::string msg = "router: all shards unavailable";
+        f.payload.assign(msg.begin(), msg.end());
+        break;
+      }
+      idx = next;
+    }
+
+    if (terminal) {
+      // A request that needed anything beyond its first forward attempt —
+      // a reader-side forward failure (first > 0) or a retried answer —
+      // counts as failed over, even though it still resolved.
+      const bool clean = first == 0 && attempts_done <= 1;
+      mreg.counter_add(clean ? "router.forwarded" : "router.failed_over");
+    } else {
+      mreg.counter_add("router.shed");
+    }
+    raw->unbind(hdr.request_id);
+    obs::TraceRecorder& mrec = obs::TraceRecorder::global();
+    const double done_us = mrec.now_us();
+    mreg.histo_record("router.request_seconds", (done_us - start_us) / 1e6);
+    mrec.complete("router.request", "router", start_us, done_us - start_us);
+    return f;
+  });
+}
+
+void ShardRouter::writer_loop(std::shared_ptr<ConnState> cs) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  bool conn_ok = true;
+  for (;;) {
+    std::function<Frame()> slot;
+    {
+      std::unique_lock<std::mutex> lock(cs->mu);
+      cs->cv.wait(lock,
+                  [&] { return !cs->slots.empty() || cs->reader_done; });
+      if (cs->slots.empty()) break;  // reader done and everything drained
+      slot = std::move(cs->slots.front());
+      cs->slots.pop_front();
+    }
+    // Resolving a slot never throws (each slot catches internally) but
+    // may block on a backend future — which always resolves (RpcClient's
+    // contract), so every slot drains even after the client died.
+    Frame f = slot();
+    if (!conn_ok) {
+      reg.counter_add("router.responses_dropped");
+      continue;
+    }
+    try {
+      const u32 bound = rpc::response_payload_bound(cfg_.max_payload_bytes);
+      try {
+        rpc::write_frame(*cs->conn, f, bound);
+      } catch (const std::length_error&) {
+        rpc::write_frame(*cs->conn,
+                         error_frame(f.h, Status::kInternal,
+                                     "response exceeds the frame bound"),
+                         bound);
+      }
+      reg.counter_add("router.responses_written");
+    } catch (...) {
+      conn_ok = false;
+      cs->conn->shutdown();  // unblocks the reader too
+      reg.counter_add("router.responses_dropped");
+    }
+  }
+  cs->conn->shutdown();
+}
+
+void ShardRouter::probe_shard(Shard& sh) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  try {
+    // Fault site: the probe itself dies (connection refused, probe frame
+    // lost) — must count as evidence against the shard, never hang.
+    util::FaultInjector::global().maybe_throw("router.health.probe");
+    const rpc::HealthInfo info = sh.client->health().get();
+    sh.health.note_probe(info, cfg_.health);
+    reg.counter_add("router.probes");
+  } catch (const rpc::RpcError&) {
+    // A typed answer proves liveness even when the peer doesn't speak the
+    // health verb (legacy v1 server): healthy, load unknown.
+    sh.health.note_success();
+    reg.counter_add("router.probes");
+  } catch (...) {
+    sh.health.note_failure(cfg_.health);
+    reg.counter_add("router.probe_failures");
+  }
+  reg.gauge_set("router.shard." + sh.ep.name + ".healthy",
+                sh.health.healthy() ? 1.0 : 0.0);
+  reg.gauge_set("router.shard." + sh.ep.name + ".saturated",
+                sh.health.saturated() ? 1.0 : 0.0);
+}
+
+void ShardRouter::probe_now() {
+  for (auto& sh : shards_) probe_shard(*sh);
+}
+
+void ShardRouter::prober_loop() {
+  const auto interval = util::Clock::dur(
+      cfg_.health.probe_interval_seconds > 0
+          ? cfg_.health.probe_interval_seconds
+          : 0.25);
+  std::unique_lock<std::mutex> lock(prober_mu_);
+  while (!prober_stop_) {
+    const auto wake = clock_->now() + interval;
+    while (!prober_stop_ &&
+           clock_->wait_until(prober_cv_, lock, wake) !=
+               std::cv_status::timeout) {
+    }
+    if (prober_stop_) break;
+    lock.unlock();
+    probe_now();
+    lock.lock();
+  }
+}
+
+}  // namespace parhuff::router

@@ -114,6 +114,16 @@ std::future<std::string> RpcClient::stats() {
                     });
 }
 
+std::future<HealthInfo> RpcClient::health() {
+  Frame f;
+  f.h.op = Op::kHealth;
+  RpcCall call = submit_frame(std::move(f));
+  return std::async(std::launch::deferred,
+                    [fut = std::move(call.result)]() mutable {
+                      return decode_health_info(fut.get());
+                    });
+}
+
 RpcCall RpcClient::submit_frame(Frame f) {
   const u64 id = next_id_.fetch_add(1, std::memory_order_relaxed);
   f.h.kind = Kind::kRequest;

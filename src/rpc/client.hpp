@@ -112,6 +112,12 @@ class RpcClient {
   /// Server-side parhuff-metrics-v1 snapshot (JSON text).
   [[nodiscard]] std::future<std::string> stats();
 
+  /// In-band health probe (protocol v2). Resolves with the server's
+  /// HealthInfo; a v1 peer answers the unknown version with a typed
+  /// RpcError (kUnsupportedVersion) rather than hanging, so probers can
+  /// tell "legacy" from "dead" (TransportError).
+  [[nodiscard]] std::future<HealthInfo> health();
+
  private:
   struct Pending {
     u64 generation = 0;

@@ -76,7 +76,7 @@ Header decode_header(std::span<const u8, kHeaderBytes> b, u32 max_payload) {
   Header h;
   h.request_id = get_le<u64>(b.data() + 8);
   const u8 version = b[4];
-  if (version != kVersion) {
+  if (version < kMinVersion || version > kVersion) {
     throw ProtocolError("unsupported version " + std::to_string(version),
                         Status::kUnsupportedVersion, /*can_respond=*/true,
                         h.request_id);
@@ -90,7 +90,7 @@ Header decode_header(std::span<const u8, kHeaderBytes> b, u32 max_payload) {
   h.kind = static_cast<Kind>(kind);
   const u8 op = b[6];
   if (op < static_cast<u8>(Op::kCompress) ||
-      op > static_cast<u8>(Op::kStats)) {
+      op > static_cast<u8>(Op::kHealth)) {
     throw ProtocolError("bad op " + std::to_string(op), Status::kBadRequest,
                         /*can_respond=*/true, h.request_id);
   }
@@ -113,6 +113,37 @@ Header decode_header(std::span<const u8, kHeaderBytes> b, u32 max_payload) {
   }
   h.deadline_micros = get_le<u64>(b.data() + 24);
   return h;
+}
+
+std::vector<u8> encode_health_info(const HealthInfo& info) {
+  std::vector<u8> b(kHealthInfoBytes, 0);
+  put_le<u32>(b.data() + 0, info.info_version);
+  b[4] = info.accepting ? 1 : 0;
+  put_le<u64>(b.data() + 8, info.queue_depth);
+  put_le<u64>(b.data() + 16, info.queue_capacity);
+  put_le<u64>(b.data() + 24, info.connections);
+  put_le<u64>(b.data() + 32, info.max_connections);
+  return b;
+}
+
+HealthInfo decode_health_info(std::span<const u8> payload) {
+  if (payload.size() < kHealthInfoBytes) {
+    throw ProtocolError("health payload too short (" +
+                            std::to_string(payload.size()) + " bytes)",
+                        Status::kBadRequest, /*can_respond=*/false, 0);
+  }
+  HealthInfo info;
+  info.info_version = get_le<u32>(payload.data() + 0);
+  if (info.info_version == 0) {
+    throw ProtocolError("health payload unversioned", Status::kBadRequest,
+                        /*can_respond=*/false, 0);
+  }
+  info.accepting = payload[4] != 0;
+  info.queue_depth = get_le<u64>(payload.data() + 8);
+  info.queue_capacity = get_le<u64>(payload.data() + 16);
+  info.connections = get_le<u64>(payload.data() + 24);
+  info.max_connections = get_le<u64>(payload.data() + 32);
+  return info;
 }
 
 }  // namespace parhuff::rpc

@@ -7,9 +7,9 @@
 //
 //   offset  size  field
 //        0     4  magic            0x43524850 ("PHRC")
-//        4     1  version          kVersion (1)
+//        4     1  version          kMinVersion..kVersion accepted
 //        5     1  kind             0 request / 1 response
-//        6     1  op               Op (compress/decompress/cancel/stats)
+//        6     1  op               Op (compress/decompress/cancel/stats/health)
 //        7     1  sym_width        payload symbol width in bytes (1 or 2)
 //        8     8  request_id       caller-chosen; echoed on the response
 //       16     1  priority         svc::Priority numeric value
@@ -27,6 +27,12 @@
 //   decompress  request: PHF2 container — response: raw symbols
 //   cancel      request: u64 target request id — response: empty
 //   stats       request: empty — response: parhuff-metrics-v1 JSON text
+//   health      request: empty — response: HealthInfo (fixed LE layout);
+//               protocol v2. A v1 server never sees the op (the version
+//               gate answers kUnsupportedVersion first); a v2 server that
+//               somehow receives an op it does not know answers
+//               kBadRequest — both typed, so a health prober can always
+//               distinguish "legacy peer" from "dead peer".
 //
 // A non-kOk response carries a human-readable message as payload. Frame
 // parsing distinguishes two failure classes: ProtocolError (a structurally
@@ -47,7 +53,11 @@
 namespace parhuff::rpc {
 
 inline constexpr u32 kMagic = 0x43524850u;  // "PHRC" when read little-endian
-inline constexpr u8 kVersion = 1;
+/// Current protocol version. v2 added the health op (kHealth) for in-band
+/// shard probing; the header layout and every v1 op are unchanged, so
+/// kMinVersion frames are still accepted.
+inline constexpr u8 kVersion = 2;
+inline constexpr u8 kMinVersion = 1;
 inline constexpr std::size_t kHeaderBytes = 32;
 /// Default bound on a single frame's payload; both ends reject bigger
 /// frames (kBadRequest) before allocating.
@@ -68,6 +78,7 @@ enum class Op : u8 {
   kDecompress = 2,
   kCancel = 3,
   kStats = 4,
+  kHealth = 5,  ///< protocol v2: compact load/liveness snapshot (HealthInfo)
 };
 
 enum class Status : u8 {
@@ -146,6 +157,29 @@ struct Frame {
   Header h;
   std::vector<u8> payload;
 };
+
+/// Payload of a kHealth response: the compact load/liveness snapshot a
+/// router's in-band probe consumes. Fixed little-endian layout
+/// (kHealthInfoBytes): u32 info_version | u8 accepting | u8[3] reserved |
+/// u64 queue_depth | u64 queue_capacity | u64 connections |
+/// u64 max_connections. Decoders ignore trailing bytes, so future servers
+/// may append fields without breaking old probers.
+struct HealthInfo {
+  u32 info_version = 1;
+  bool accepting = true;    ///< false once the server began shutting down
+  u64 queue_depth = 0;      ///< outstanding service requests right now
+  u64 queue_capacity = 0;   ///< admission bound (0 = unknown)
+  u64 connections = 0;      ///< live transport connections
+  u64 max_connections = 0;  ///< accept cap
+};
+
+inline constexpr std::size_t kHealthInfoBytes = 40;
+
+[[nodiscard]] std::vector<u8> encode_health_info(const HealthInfo& info);
+
+/// Throws ProtocolError (kBadRequest, can_respond=false) on a short or
+/// unversioned payload; trailing bytes beyond the known layout are ignored.
+[[nodiscard]] HealthInfo decode_health_info(std::span<const u8> payload);
 
 [[nodiscard]] std::array<u8, kHeaderBytes> encode_header(const Header& h);
 

@@ -311,6 +311,29 @@ bool RpcServer::handle_frame(const std::shared_ptr<ConnState>& cs,
       cs->enqueue_ready(std::move(ack));
       return true;
     }
+    case Op::kHealth: {
+      // Answered from the reader with current values (no future to wait
+      // on): a router probe must see load *now*, not after the response
+      // stream drains.
+      HealthInfo info;
+      info.queue_depth = svc8_->queue_depth() + svc16_->queue_depth();
+      info.queue_capacity = 2 * cfg_.service.queue_capacity;
+      info.connections = connection_count();
+      info.max_connections = cfg_.max_connections;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        info.accepting = !stopping_;
+      }
+      Frame f;
+      f.h.kind = Kind::kResponse;
+      f.h.op = Op::kHealth;
+      f.h.request_id = h.request_id;
+      f.h.status = Status::kOk;
+      f.payload = encode_health_info(info);
+      reg.counter_add("rpc.health_probes");
+      cs->enqueue_ready(std::move(f));
+      return true;
+    }
     case Op::kStats: {
       cs->enqueue([id = h.request_id]() {
         Frame f;

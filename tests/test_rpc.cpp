@@ -164,6 +164,47 @@ TEST(RpcProtocol, DecodeRejectsBadKindOpStatusAndOversizedLen) {
       std::span<const u8, rpc::kHeaderBytes>(bytes), 100));
 }
 
+TEST(RpcProtocol, V1FramesAreStillAcceptedByV2Decoders) {
+  // The v2 bump widened the accepted range to [kMinVersion, kVersion]; a
+  // v1 peer's frames must keep decoding unchanged (compat matrix in
+  // docs/router.md).
+  Header h;
+  h.request_id = 11;
+  auto bytes = rpc::encode_header(h);
+  bytes[4] = rpc::kMinVersion;
+  const Header d =
+      rpc::decode_header(std::span<const u8, rpc::kHeaderBytes>(bytes));
+  EXPECT_EQ(d.request_id, 11u);
+}
+
+TEST(RpcProtocol, HealthInfoRoundTripsAndIgnoresTrailingBytes) {
+  rpc::HealthInfo info;
+  info.accepting = false;
+  info.queue_depth = 12;
+  info.queue_capacity = 512;
+  info.connections = 3;
+  info.max_connections = 8;
+  auto bytes = rpc::encode_health_info(info);
+  ASSERT_EQ(bytes.size(), rpc::kHealthInfoBytes);
+  bytes.push_back(0xEE);  // a future field: v2 readers must not care
+  const rpc::HealthInfo d = rpc::decode_health_info(bytes);
+  EXPECT_EQ(d.accepting, info.accepting);
+  EXPECT_EQ(d.queue_depth, info.queue_depth);
+  EXPECT_EQ(d.queue_capacity, info.queue_capacity);
+  EXPECT_EQ(d.connections, info.connections);
+  EXPECT_EQ(d.max_connections, info.max_connections);
+}
+
+TEST(RpcProtocol, HealthInfoRejectsShortPayloadAndZeroVersion) {
+  const auto bytes = rpc::encode_health_info(rpc::HealthInfo{});
+  EXPECT_THROW((void)rpc::decode_health_info(
+                   std::span<const u8>(bytes.data(), bytes.size() - 1)),
+               ProtocolError);
+  auto zeroed = bytes;
+  zeroed[0] = zeroed[1] = zeroed[2] = zeroed[3] = 0;  // info_version = 0
+  EXPECT_THROW((void)rpc::decode_health_info(zeroed), ProtocolError);
+}
+
 TEST(RpcProtocol, ReservedBytesAreIgnored) {
   auto bytes = rpc::encode_header(Header{});
   bytes[18] = 0xAA;  // future extensions write here; v1 must not care
@@ -335,6 +376,93 @@ TEST(RpcClientTest, ServerRestartIsSurvivedByRedialing) {
   }
   EXPECT_TRUE(ok);
   ::unlink(path.c_str());
+}
+
+TEST(RpcClientTest, ServerDeathMidStreamSweepsEveryPendingFuture) {
+  // Several requests park behind a frozen batch window; the server then
+  // dies under them. The client's generation sweep must resolve every
+  // parked future — no hangs — and a redial after restart must succeed.
+  VirtualClock vc;
+  auto hub = std::make_shared<LoopbackHub>();
+  std::mutex hub_mu;
+  ServerConfig sc;
+  sc.service.clock = &vc;
+  sc.service.workers = 1;
+  sc.service.batch_window_seconds = 60.0;
+  sc.service.batch_max_requests = 32;
+  auto server = std::make_unique<RpcServer>(hub->listener(), sc);
+  RpcClient cli([&] {
+    std::shared_ptr<LoopbackHub> h;
+    {
+      std::lock_guard<std::mutex> lock(hub_mu);
+      h = hub;
+    }
+    return h->connect();
+  });
+
+  const auto data = ramp_data(8000);
+  std::vector<RpcCall> calls;
+  for (int i = 0; i < 6; ++i) {
+    calls.push_back(cli.compress(std::span<const u8>(data)));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // in flight
+
+  // Restart mid-stream: close the hub first so redials fail fast, then
+  // tear the server down under the parked requests. The teardown runs on
+  // a helper thread because it drains writer slots that block on the
+  // frozen batch window — the clock advance below is what releases them;
+  // the client-side sweep must NOT need it (connections are shut at the
+  // start of stop(), before the drain).
+  hub->close();
+  std::thread teardown([&] { server.reset(); });
+  int resolved = 0, transport = 0;
+  for (auto& c : calls) {
+    try {
+      (void)c.result.get();
+    } catch (const TransportError&) {
+      ++transport;
+    } catch (const std::exception&) {
+    }
+    ++resolved;  // value or typed error both count: nothing may hang
+  }
+  EXPECT_EQ(resolved, 6);
+  EXPECT_GT(transport, 0) << "a mid-stream death must surface as transport";
+  vc.advance_seconds(120.0);  // close the window; parked slots drain
+  teardown.join();
+
+  // New incarnation on a fresh hub: the same client redials into it.
+  auto hub2 = std::make_shared<LoopbackHub>();
+  {
+    std::lock_guard<std::mutex> lock(hub_mu);
+    hub = hub2;
+  }
+  ServerConfig sc2;
+  sc2.service.workers = 1;
+  sc2.service.batch_max_requests = 1;
+  server = std::make_unique<RpcServer>(hub2->listener(), sc2);
+  bool ok = false;
+  for (int i = 0; i < 10 && !ok; ++i) {
+    try {
+      ok = !cli.compress(std::span<const u8>(data)).result.get().empty();
+    } catch (const TransportError&) {
+    }
+  }
+  EXPECT_TRUE(ok);
+}
+
+TEST(RpcHealthVerb, ServerAnswersInBandProbe) {
+  LoopbackHub hub;
+  ServerConfig sc;
+  sc.max_connections = 3;
+  sc.service.queue_capacity = 64;
+  RpcServer server(hub.listener(), sc);
+  RpcClient cli([&] { return hub.connect(); });
+
+  const rpc::HealthInfo info = cli.health().get();
+  EXPECT_TRUE(info.accepting);
+  EXPECT_EQ(info.max_connections, 3u);
+  EXPECT_EQ(info.queue_capacity, 2u * 64u);  // u8 + u16 service queues
+  EXPECT_GE(info.connections, 1u);           // at least the probing client
 }
 
 TEST(RpcCancelFlow, CancelOfPendingCompressResolvesAsCancelled) {
