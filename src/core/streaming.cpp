@@ -23,7 +23,6 @@
 namespace parhuff {
 
 namespace {
-constexpr char kStreamMagic[4] = {'P', 'H', 'S', '2'};
 constexpr u32 kFrameMagic = 0x50485346u;  // "PHSF"
 }  // namespace
 
@@ -97,7 +96,7 @@ std::vector<u8> StreamingCompressor<Sym>::header() const {
     throw std::logic_error("StreamingCompressor: header() before freeze()");
   }
   ByteWriter w;
-  w.put_array(std::span<const char>(kStreamMagic, 4));
+  w.put_array(std::span<const char>(kStreamHeaderMagic, 4));
   w.put<u8>(static_cast<u8>(sizeof(Sym)));
   w.put_bytes(serialize_codebook(cb_));
   return w.take();
@@ -105,7 +104,7 @@ std::vector<u8> StreamingCompressor<Sym>::header() const {
 
 template <typename Sym>
 std::vector<u8> StreamingCompressor<Sym>::encode_segment(
-    std::span<const Sym> segment) {
+    std::span<const Sym> segment, const CancelToken* cancel) {
   if (!frozen_) {
     throw std::logic_error(
         "StreamingCompressor: encode_segment() before freeze()");
@@ -115,7 +114,8 @@ std::vector<u8> StreamingCompressor<Sym>::encode_segment(
   util::FaultInjector::global().maybe_throw("streaming.encode_segment");
   obs::TraceSpan span("streaming.encode_segment", "streaming");
   Timer seg_timer;
-  const EncodedStream s = encode_with_codebook<Sym>(segment, cb_, cfg_, freq_);
+  const EncodedStream s = encode_with_codebook<Sym>(segment, cb_, cfg_, freq_,
+                                                    nullptr, cancel);
   const std::vector<u8> body = serialize_stream(s);
   ByteWriter w;
   w.put<u32>(kFrameMagic);
@@ -135,7 +135,7 @@ StreamingDecompressor<Sym>::StreamingDecompressor(
     std::span<const u8> header) {
   ByteReader r(header);
   const auto magic = r.get_array<char>(4);
-  if (std::memcmp(magic.data(), kStreamMagic, 4) != 0) {
+  if (std::memcmp(magic.data(), kStreamHeaderMagic, 4) != 0) {
     throw std::runtime_error("parhuff stream: bad header magic");
   }
   const u8 sym_bytes = r.get<u8>();
@@ -151,7 +151,7 @@ StreamingDecompressor<Sym>::StreamingDecompressor(
 
 template <typename Sym>
 std::vector<Sym> StreamingDecompressor<Sym>::decode_segment(
-    std::span<const u8> frame) const {
+    std::span<const u8> frame, const CancelToken* cancel) const {
   obs::TraceSpan span("streaming.decode_segment", "streaming");
   obs::MetricsRegistry::global().counter_add("streaming.segments_decoded");
   ByteReader r(frame);
@@ -168,7 +168,38 @@ std::vector<Sym> StreamingDecompressor<Sym>::decode_segment(
   if (used != body.size()) {
     throw std::runtime_error("parhuff stream: frame length mismatch");
   }
-  return decode_stream<Sym>(s, cb_, 0);
+  return decode_stream<Sym>(s, cb_, 0, cancel);
+}
+
+template <typename Sym>
+std::size_t StreamingDecompressor<Sym>::header_length(
+    std::span<const u8> bytes) {
+  ByteReader r(bytes);
+  const auto magic = r.get_array<char>(4);
+  if (std::memcmp(magic.data(), kStreamHeaderMagic, 4) != 0) {
+    throw std::runtime_error("parhuff stream: bad header magic");
+  }
+  const u8 sym_bytes = r.get<u8>();
+  if (sym_bytes != sizeof(Sym)) {
+    throw std::runtime_error("parhuff stream: symbol width mismatch");
+  }
+  std::size_t used = 0;
+  (void)deserialize_codebook(bytes.subspan(r.position()), &used);
+  return r.position() + used;
+}
+
+template <typename Sym>
+bool StreamingDecompressor<Sym>::frame_length(std::span<const u8> bytes,
+                                              std::size_t* total) {
+  constexpr std::size_t kPreamble = sizeof(u32) + sizeof(u64);
+  if (bytes.size() < kPreamble) return false;
+  ByteReader r(bytes);
+  if (r.get<u32>() != kFrameMagic) {
+    throw std::runtime_error("parhuff stream: bad frame magic");
+  }
+  const u64 body_len = r.get<u64>();
+  *total = kPreamble + static_cast<std::size_t>(body_len);
+  return true;
 }
 
 template <typename Sym>

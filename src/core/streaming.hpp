@@ -45,6 +45,11 @@
 
 namespace parhuff {
 
+/// First four bytes of a StreamingCompressor header ("PHS2") — public so
+/// callers (the RPC streaming verbs, the client's container sniffing) can
+/// recognize a streamed container without parsing it.
+inline constexpr char kStreamHeaderMagic[4] = {'P', 'H', 'S', '2'};
+
 template <typename Sym>
 class StreamingCompressor {
  public:
@@ -75,8 +80,12 @@ class StreamingCompressor {
   [[nodiscard]] std::vector<u8> header() const;
 
   /// Pass 2: one framed segment. Symbols absent from the observed
-  /// histogram throw (the codebook cannot encode them).
-  [[nodiscard]] std::vector<u8> encode_segment(std::span<const Sym> segment);
+  /// histogram throw (the codebook cannot encode them). `cancel` follows
+  /// the encode-side contract (checked at stage entry, polled per chunk
+  /// inside the SIMT encoders) — the RPC streaming verbs thread the
+  /// per-stream token through here.
+  [[nodiscard]] std::vector<u8> encode_segment(
+      std::span<const Sym> segment, const CancelToken* cancel = nullptr);
 
  private:
   PipelineConfig cfg_;
@@ -96,14 +105,34 @@ class StreamingDecompressor {
   /// Decodes one framed segment (a frame produced by encode_segment).
   /// Const and touches only the immutable codebook, so segments of one
   /// stream can be decoded from many threads concurrently (tested in
-  /// test_streaming).
+  /// test_streaming). `cancel` is polled per the decode-side contract
+  /// (at least every 64 Ki symbols).
   [[nodiscard]] std::vector<Sym> decode_segment(
-      std::span<const u8> frame) const;
+      std::span<const u8> frame, const CancelToken* cancel = nullptr) const;
 
   /// Splits a concatenation of frames into individual frames (views into
   /// the input).
   [[nodiscard]] static std::vector<std::span<const u8>> split_frames(
       std::span<const u8> bytes);
+
+  /// Length in bytes of the stream header (magic + width + codebook) at
+  /// the front of `bytes`. Throws std::runtime_error when the prefix is
+  /// not a parsable header for this symbol width — including the
+  /// truncated case, so incremental readers treat a throw as "need more
+  /// bytes" until their own buffering bound says otherwise. This is what
+  /// lets the RPC streaming verbs find the header/segment boundary in a
+  /// chunked byte stream without a copy.
+  [[nodiscard]] static std::size_t header_length(std::span<const u8> bytes);
+
+  /// Incremental frame scan: `bytes` starts at a frame boundary. Returns
+  /// false when fewer than the frame-preamble bytes are available (need
+  /// more data); otherwise validates the frame magic (throwing
+  /// std::runtime_error on a mismatch) and sets `*total` to the whole
+  /// frame's byte length (preamble + body). The caller decides whether
+  /// `*total` is within its buffering bound and whether that many bytes
+  /// have arrived yet.
+  [[nodiscard]] static bool frame_length(std::span<const u8> bytes,
+                                         std::size_t* total);
 
  private:
   Codebook cb_;

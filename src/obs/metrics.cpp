@@ -60,6 +60,12 @@ void MetricsRegistry::gauge_set(const std::string& name, double value) {
   gauges_[name] = value;
 }
 
+void MetricsRegistry::gauge_max(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  double& g = gauges_[name];
+  if (value > g) g = value;
+}
+
 void MetricsRegistry::stage_add(const std::string& name, double seconds) {
   std::lock_guard<std::mutex> lock(mu_);
   StageStat& s = stages_[name];

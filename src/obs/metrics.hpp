@@ -59,6 +59,9 @@ class MetricsRegistry {
  public:
   void counter_add(const std::string& name, u64 delta = 1);
   void gauge_set(const std::string& name, double value);
+  /// Raise the gauge to `value` if it is below it (high-water marks, e.g.
+  /// the RPC server's per-stream buffering bound); no-op otherwise.
+  void gauge_max(const std::string& name, double value);
   void stage_add(const std::string& name, double seconds);
   /// Record one sample into the named distribution (see HistoStat).
   void histo_record(const std::string& name, double value);

@@ -105,6 +105,44 @@ struct ShardRouter::ConnState {
     std::lock_guard<std::mutex> lock(mu);
     routes.erase(client_id);
   }
+
+  /// One pinned stream: client-facing id → the shard it lives on, the
+  /// shard's own stream id (ids from different shards may collide, so the
+  /// router always translates) and the backend Begin call id (the handle
+  /// a teardown cancel chases).
+  struct StreamRoute {
+    u32 shard = 0;
+    u64 backend_sid = 0;
+    u64 backend_begin_id = 0;
+    /// The family's End op — teardown forces the shard's half of an
+    /// orphaned stream closed with a poisoned End.
+    Op end_op = Op::kCompressStreamEnd;
+  };
+  u64 next_stream_id = 0;                             // under mu
+  std::unordered_map<u64, StreamRoute> stream_routes;  // under mu
+
+  u64 bind_stream(StreamRoute r) {
+    std::lock_guard<std::mutex> lock(mu);
+    const u64 sid = ++next_stream_id;
+    stream_routes.emplace(sid, r);
+    return sid;
+  }
+
+  [[nodiscard]] bool find_stream(u64 sid, StreamRoute* out) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = stream_routes.find(sid);
+    if (it == stream_routes.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
+  /// Returns whether the id was still bound — abort and complete race
+  /// (a slot aborting while the reader forwards the next chunk), and
+  /// only the actor that wins the erase may count the terminal.
+  [[nodiscard]] bool unbind_stream(u64 sid) {
+    std::lock_guard<std::mutex> lock(mu);
+    return stream_routes.erase(sid) > 0;
+  }
 };
 
 ShardRouter::ShardRouter(std::unique_ptr<rpc::Listener> listener,
@@ -366,6 +404,16 @@ bool ShardRouter::handle_frame(const std::shared_ptr<ConnState>& cs,
     case Op::kDecompress:
       handle_proxy(cs, h, std::move(payload));
       return true;
+    case Op::kCompressStreamBegin:
+    case Op::kDecompressStreamBegin:
+      handle_stream_begin(cs, h);
+      return true;
+    case Op::kCompressStreamChunk:
+    case Op::kCompressStreamEnd:
+    case Op::kDecompressStreamChunk:
+    case Op::kDecompressStreamEnd:
+      handle_stream_frame(cs, h, std::move(payload));
+      return true;
     case Op::kCancel: {
       if (payload.size() != sizeof(u64)) {
         cs->enqueue_ready(error_frame(
@@ -611,6 +659,180 @@ void ShardRouter::handle_proxy(const std::shared_ptr<ConnState>& cs,
   });
 }
 
+void ShardRouter::handle_stream_begin(const std::shared_ptr<ConnState>& cs,
+                                      const Header& h) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  util::FaultInjector& faults = util::FaultInjector::global();
+
+  // Begin frames carry no payload to hash, so placement is a uniform
+  // nonce spread over the candidate order rather than histogram affinity
+  // (the stream's chunks aren't known yet when the pin is chosen).
+  std::vector<u32> order;
+  try {
+    faults.maybe_throw("router.route");
+    u8 key_bytes[8];
+    const u64 nonce = stream_nonce_.fetch_add(1, std::memory_order_relaxed);
+    std::memcpy(key_bytes, &nonce, sizeof(nonce));
+    order = candidates(fnv1a(std::span<const u8>(key_bytes, 8)));
+  } catch (...) {
+    cs->enqueue_ready(
+        error_frame(h, Status::kInternal, "router: route lookup failed"));
+    return;
+  }
+
+  rpc::RpcOptions opts;
+  opts.priority = to_priority(h.priority);
+  opts.deadline_seconds = static_cast<double>(h.deadline_micros) * 1e-6;
+  const Op end_op = h.op == Op::kCompressStreamBegin
+                        ? Op::kCompressStreamEnd
+                        : Op::kDecompressStreamEnd;
+
+  // Begin-time failover — the only point a stream may move between
+  // shards. It runs to completion here in the reader (one shard round
+  // trip) so every later chunk finds the binding already pinned; chunks
+  // the client pipelines behind Begin just wait in the socket meanwhile.
+  for (const u32 idx : order) {
+    Shard& sh = *shards_[idx];
+    try {
+      faults.maybe_throw("router.proxy.write");
+      rpc::RpcCall begin = sh.client->stream_begin(h.op, h.sym_width, opts);
+      const std::vector<u8> sid_bytes = begin.result.get();
+      if (sid_bytes.size() < 8) {
+        throw rpc::RpcError(Status::kInternal,
+                            "router: short stream id from shard");
+      }
+      u64 backend_sid = 0;
+      std::memcpy(&backend_sid, sid_bytes.data(), 8);  // LE, like bytesio
+      sh.health.note_success();
+      const u64 client_sid = cs->bind_stream(
+          ConnState::StreamRoute{idx, backend_sid, begin.id, end_op});
+      reg.counter_add("router.streams_opened");
+      Frame f;
+      f.h.kind = Kind::kResponse;
+      f.h.op = h.op;
+      f.h.sym_width = h.sym_width;
+      f.h.request_id = h.request_id;
+      f.h.status = Status::kOk;
+      f.payload.resize(8);
+      std::memcpy(f.payload.data(), &client_sid, 8);
+      cs->enqueue_ready(std::move(f));
+      return;
+    } catch (const svc::DeadlineExceeded& e) {
+      // The shard answered: alive, just out of budget. Terminal.
+      sh.health.note_success();
+      cs->enqueue_ready(error_frame(h, Status::kDeadlineExceeded, e.what()));
+      return;
+    } catch (const svc::CancelledError& e) {
+      sh.health.note_success();
+      cs->enqueue_ready(error_frame(h, Status::kCancelled, e.what()));
+      return;
+    } catch (const rpc::RpcError& e) {
+      if (e.status() == Status::kQueueFull ||
+          e.status() == Status::kShuttingDown) {
+        sh.health.note_queue_full();  // alive but shedding: next candidate
+        continue;
+      }
+      // Any other typed answer (bad width, stream cap...) is terminal —
+      // the next shard would reject the same Begin the same way.
+      sh.health.note_success();
+      cs->enqueue_ready(error_frame(h, e.status(), e.what()));
+      return;
+    } catch (...) {
+      sh.health.note_failure(cfg_.health);
+    }
+  }
+  cs->enqueue_ready(error_frame(h, Status::kQueueFull,
+                                "router: no shard accepted the stream"));
+}
+
+void ShardRouter::handle_stream_frame(const std::shared_ptr<ConnState>& cs,
+                                      const Header& h,
+                                      std::vector<u8> payload) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  ConnState::StreamRoute route;
+  if (!cs->find_stream(h.stream_id, &route)) {
+    cs->enqueue_ready(error_frame(
+        h, Status::kBadRequest,
+        "router: unknown stream id (never opened or already terminal)"));
+    return;
+  }
+
+  Shard& sh = *shards_[route.shard];
+  rpc::RpcCall call;
+  try {
+    util::FaultInjector::global().maybe_throw("router.proxy.write");
+    // Zero-copy proxy hop: the span is a view into this reader's payload
+    // buffer, written to the shard synchronously inside stream_frame —
+    // the chunk is never copied into an owned backend frame.
+    call = sh.client->stream_frame(h.op, route.backend_sid,
+                                   std::span<const u8>(payload));
+  } catch (...) {
+    sh.health.note_failure(cfg_.health);
+    if (cs->unbind_stream(h.stream_id)) {
+      reg.counter_add("router.streams_aborted");
+    }
+    cs->enqueue_ready(error_frame(
+        h, Status::kInternal,
+        "router: stream forward failed (mid-stream failover is terminal: "
+        "chunks the shard already consumed cannot be replayed)"));
+    return;
+  }
+
+  ConnState* raw = cs.get();  // the writer keeps *cs alive past this slot
+  auto fut = std::make_shared<std::future<std::vector<u8>>>(
+      std::move(call.result));
+  const bool is_end =
+      h.op == Op::kCompressStreamEnd || h.op == Op::kDecompressStreamEnd;
+  cs->enqueue([this, raw, fut, hdr = h, shard = route.shard, is_end]() {
+    obs::MetricsRegistry& mreg = obs::MetricsRegistry::global();
+    Frame f;
+    f.h.kind = Kind::kResponse;
+    f.h.op = hdr.op;
+    f.h.sym_width = hdr.sym_width;
+    f.h.request_id = hdr.request_id;
+    f.h.stream_id = hdr.stream_id;
+    bool ok = false;
+    try {
+      f.payload = fut->get();
+      f.h.status = Status::kOk;
+      shards_[shard]->health.note_success();
+      ok = true;
+    } catch (const svc::DeadlineExceeded& e) {
+      f.h.status = Status::kDeadlineExceeded;
+      f.payload.assign(e.what(), e.what() + std::strlen(e.what()));
+      shards_[shard]->health.note_success();
+    } catch (const svc::CancelledError& e) {
+      f.h.status = Status::kCancelled;
+      f.payload.assign(e.what(), e.what() + std::strlen(e.what()));
+      shards_[shard]->health.note_success();
+    } catch (const rpc::RpcError& e) {
+      f.h.status = e.status();
+      f.payload.assign(e.what(), e.what() + std::strlen(e.what()));
+      shards_[shard]->health.note_success();
+    } catch (const rpc::TransportError&) {
+      f.h.status = Status::kInternal;
+      const std::string msg =
+          "router: shard connection lost mid-stream (terminal)";
+      f.payload.assign(msg.begin(), msg.end());
+      shards_[shard]->health.note_failure(cfg_.health);
+    } catch (const std::exception& e) {
+      f.h.status = Status::kInternal;
+      f.payload.assign(e.what(), e.what() + std::strlen(e.what()));
+    }
+    if (ok && !is_end) return f;  // mid-stream ack, stream stays pinned
+    // Terminal: End acked, or any failure at all (mid-stream failover is
+    // terminal — a second shard never saw the earlier chunks). The erase
+    // winner counts it: a slot aborting can race the reader forwarding
+    // the next chunk of the same stream, which then answers "unknown
+    // stream id" without re-counting.
+    if (raw->unbind_stream(hdr.stream_id)) {
+      mreg.counter_add(ok ? "router.streams_completed"
+                          : "router.streams_aborted");
+    }
+    return f;
+  });
+}
+
 void ShardRouter::writer_loop(std::shared_ptr<ConnState> cs) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
   bool conn_ok = true;
@@ -650,6 +872,33 @@ void ShardRouter::writer_loop(std::shared_ptr<ConnState> cs) {
     }
   }
   cs->conn->shutdown();
+
+  // Streams still bound when the client connection dies never reach their
+  // End: abort them here (all slots drained, so nothing can race the
+  // sweep) and force the shard's half closed too — cancel() interrupts an
+  // in-flight encode (the cancel frame is sent synchronously; the
+  // deferred ack future may be dropped), and a poisoned End (a byte total
+  // no real stream can reach) makes the shard erase its state with a
+  // typed abort instead of leaking toward its per-connection stream cap.
+  std::vector<ConnState::StreamRoute> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(cs->mu);
+    for (const auto& [sid, route] : cs->stream_routes) {
+      orphaned.push_back(route);
+    }
+    cs->stream_routes.clear();
+  }
+  for (const ConnState::StreamRoute& route : orphaned) {
+    reg.counter_add("router.streams_aborted");
+    rpc::RpcClient& backend = *shards_[route.shard]->client;
+    try {
+      (void)backend.cancel(route.backend_begin_id);
+      (void)backend.stream_end(route.end_op, route.backend_sid,
+                               ~0ull, 0);
+    } catch (...) {
+      // Backend gone too — its connection teardown reaps the stream.
+    }
+  }
 }
 
 void ShardRouter::probe_shard(Shard& sh) {

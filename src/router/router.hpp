@@ -31,11 +31,25 @@
 // is exact: router.routed == router.forwarded + router.failed_over +
 // router.shed after quiesce.
 //
+// Streams (protocol v3): a Begin frame pins the whole stream to one shard
+// — failover candidates are only tried at Begin (the frame carries no
+// payload, so placement is a uniform spread, not histogram affinity). The
+// router assigns its own client-facing stream id and translates to the
+// shard's id on every forwarded Chunk/End (ids from different shards may
+// collide, so pass-through would be ambiguous). Chunk payloads are lent
+// to the backend send as views into the reader's buffer — the proxy hop
+// never copies a chunk. Mid-stream shard loss is *terminal* for the
+// stream (chunks already consumed by the dead shard cannot be replayed):
+// the client gets a typed error and restarts the stream, and
+// router.streams_opened == router.streams_completed +
+// router.streams_aborted stays exact after quiesce.
+//
 // Fault sites (util::FaultInjector): router.route (key/candidate
 // computation), router.proxy.write (the forward to a shard),
 // router.health.probe (the background probe) — armed by the router
 // fault-storm soak to prove the resolve-always invariant survives.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <memory>
@@ -135,6 +149,14 @@ class ShardRouter {
                     const rpc::Header& h, std::vector<u8> payload);
   void handle_proxy(const std::shared_ptr<ConnState>& cs,
                     const rpc::Header& h, std::vector<u8> payload);
+  /// Open a stream: pick a shard (Begin-time failover), run the backend
+  /// Begin to completion, bind client id → (shard, backend id).
+  void handle_stream_begin(const std::shared_ptr<ConnState>& cs,
+                           const rpc::Header& h);
+  /// Forward one Chunk/End on a pinned stream; any failure is terminal
+  /// for the stream.
+  void handle_stream_frame(const std::shared_ptr<ConnState>& cs,
+                           const rpc::Header& h, std::vector<u8> payload);
   /// Candidate order for a key: available shards first (hash order),
   /// then the rest (fail-open last resorts), truncated to the attempt
   /// budget.
@@ -155,6 +177,9 @@ class ShardRouter {
   mutable std::mutex conns_mu_;
   std::vector<std::weak_ptr<ConnState>> conns_;
   bool stopping_ = false;  // under conns_mu_
+
+  /// Spreads stream placement (Begin frames carry no payload to hash).
+  std::atomic<u64> stream_nonce_{0};
 
   std::mutex prober_mu_;
   std::condition_variable prober_cv_;

@@ -1,10 +1,14 @@
 #include "rpc/client.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <deque>
 #include <exception>
 
+#include "core/streaming.hpp"
 #include "svc/deadline.hpp"
 #include "util/fault_inject.hpp"
+#include "util/hash.hpp"
 #include "util/rng.hpp"
 
 namespace parhuff::rpc {
@@ -64,10 +68,33 @@ RpcClient::~RpcClient() {
     p.promise.set_exception(std::make_exception_ptr(
         TransportError("rpc client: destroyed with request in flight")));
   }
+
+  // Stream drivers join last: every future a driver still holds resolved
+  // above (reader generation sweep, the sender's own failure path, or the
+  // leftover sweep), and a driver submitting after stopping_ fails fast in
+  // ensure_connected without ever registering, so no join can hang.
+  std::vector<Driver> drivers;
+  {
+    std::lock_guard<std::mutex> lock(drivers_mu_);
+    drivers.swap(drivers_);
+  }
+  for (Driver& d : drivers) {
+    if (d.t.joinable()) d.t.join();
+  }
 }
 
 RpcCall RpcClient::compress(std::span<const u8> symbol_bytes, u8 sym_width,
                             const RpcOptions& opts) {
+  return compress(std::vector<u8>(symbol_bytes.begin(), symbol_bytes.end()),
+                  sym_width, opts);
+}
+
+RpcCall RpcClient::compress(std::vector<u8>&& symbol_bytes, u8 sym_width,
+                            const RpcOptions& opts) {
+  if (use_streaming(symbol_bytes.size())) {
+    return submit_stream(Op::kCompressStreamBegin, std::move(symbol_bytes),
+                         sym_width, opts);
+  }
   Frame f;
   f.h.op = Op::kCompress;
   f.h.sym_width = sym_width;
@@ -76,12 +103,28 @@ RpcCall RpcClient::compress(std::span<const u8> symbol_bytes, u8 sym_width,
       opts.deadline_seconds > 0
           ? static_cast<u64>(opts.deadline_seconds * 1e6)
           : 0;
-  f.payload.assign(symbol_bytes.begin(), symbol_bytes.end());
+  f.payload = std::move(symbol_bytes);
   return submit_frame(std::move(f));
 }
 
 RpcCall RpcClient::decompress(std::span<const u8> container, u8 sym_width,
                               const RpcOptions& opts) {
+  return decompress(std::vector<u8>(container.begin(), container.end()),
+                    sym_width, opts);
+}
+
+RpcCall RpcClient::decompress(std::vector<u8>&& container, u8 sym_width,
+                              const RpcOptions& opts) {
+  // Only a PHS2 streamed container can be split at segment boundaries on
+  // the server; a monolithic PHF container past the frame bound keeps the
+  // typed kBadRequest from submit_frame's bound check.
+  const bool streamed_container =
+      container.size() >= 4 &&
+      std::memcmp(container.data(), kStreamHeaderMagic, 4) == 0;
+  if (streamed_container && use_streaming(container.size())) {
+    return submit_stream(Op::kDecompressStreamBegin, std::move(container),
+                         sym_width, opts);
+  }
   Frame f;
   f.h.op = Op::kDecompress;
   f.h.sym_width = sym_width;
@@ -90,8 +133,45 @@ RpcCall RpcClient::decompress(std::span<const u8> container, u8 sym_width,
       opts.deadline_seconds > 0
           ? static_cast<u64>(opts.deadline_seconds * 1e6)
           : 0;
-  f.payload.assign(container.begin(), container.end());
+  f.payload = std::move(container);
   return submit_frame(std::move(f));
+}
+
+RpcCall RpcClient::stream_begin(Op op, u8 sym_width, const RpcOptions& opts) {
+  if (!is_stream_begin_op(op)) {
+    throw std::invalid_argument("stream_begin: op is not a stream Begin op");
+  }
+  Frame f;
+  f.h.op = op;
+  f.h.sym_width = sym_width;
+  f.h.priority = static_cast<u8>(opts.priority);
+  f.h.deadline_micros =
+      opts.deadline_seconds > 0
+          ? static_cast<u64>(opts.deadline_seconds * 1e6)
+          : 0;
+  return submit_frame(std::move(f));
+}
+
+RpcCall RpcClient::stream_frame(Op op, u64 stream_id,
+                                std::span<const u8> payload) {
+  if (!is_stream_ref_op(op)) {
+    throw std::invalid_argument(
+        "stream_frame: op is not a stream Chunk/End op");
+  }
+  Header h;
+  h.op = op;
+  h.stream_id = stream_id;
+  return submit_frame(h, payload);
+}
+
+RpcCall RpcClient::stream_end(Op op, u64 stream_id, u64 total_bytes,
+                              u64 checksum) {
+  if (op != Op::kCompressStreamEnd && op != Op::kDecompressStreamEnd) {
+    throw std::invalid_argument("stream_end: op is not a stream End op");
+  }
+  const std::vector<u8> body =
+      encode_stream_end_request(StreamEndRequest{total_bytes, checksum});
+  return stream_frame(op, stream_id, std::span<const u8>(body));
 }
 
 std::future<void> RpcClient::cancel(u64 request_id) {
@@ -124,18 +204,129 @@ std::future<HealthInfo> RpcClient::health() {
                     });
 }
 
+bool RpcClient::use_streaming(std::size_t payload_bytes) const {
+  if (!cfg_.enable_streaming) return false;
+  const std::size_t threshold = cfg_.stream_threshold_bytes > 0
+                                    ? cfg_.stream_threshold_bytes
+                                    : cfg_.max_payload_bytes;
+  return payload_bytes > threshold;
+}
+
+RpcCall RpcClient::submit_stream(Op begin_op, std::vector<u8> data,
+                                 u8 sym_width, RpcOptions opts) {
+  // Begin goes out inline so the returned id is the Begin id — the handle
+  // cancel() takes for the whole stream — and so a connect failure
+  // surfaces on the caller's thread, not inside a detached driver.
+  RpcCall begin = stream_begin(begin_op, sym_width, opts);
+  auto out = std::make_shared<std::promise<std::vector<u8>>>();
+  RpcCall call{out->get_future(), begin.id};
+
+  auto done = std::make_shared<std::atomic<bool>>(false);
+  std::thread t([this, begin_op, sym_width, d = std::move(data),
+                 bf = std::move(begin.result), out, done]() mutable {
+    drive_stream(begin_op, std::move(d), sym_width, std::move(bf), out);
+    done->store(true, std::memory_order_release);
+  });
+
+  std::lock_guard<std::mutex> lock(drivers_mu_);
+  // Reap drivers that already finished — joins are instant — so a
+  // long-lived client streaming forever keeps a bounded thread roster.
+  for (auto it = drivers_.begin(); it != drivers_.end();) {
+    if (it->done->load(std::memory_order_acquire)) {
+      if (it->t.joinable()) it->t.join();
+      it = drivers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  drivers_.push_back(Driver{std::move(t), std::move(done)});
+  return call;
+}
+
+void RpcClient::drive_stream(Op begin_op, std::vector<u8> data, u8 sym_width,
+                             std::future<std::vector<u8>> begin,
+                             std::shared_ptr<std::promise<std::vector<u8>>> out) {
+  std::deque<std::future<std::vector<u8>>> window;
+  try {
+    const std::vector<u8> sid_bytes = begin.get();  // typed/transport throws
+    if (sid_bytes.size() < 8) {
+      throw RpcError(Status::kInternal,
+                     "rpc stream: short stream-id payload in Begin response");
+    }
+    u64 sid = 0;
+    std::memcpy(&sid, sid_bytes.data(), 8);  // LE hosts only, like bytesio
+
+    const bool compressing = begin_op == Op::kCompressStreamBegin;
+    const Op chunk_op =
+        compressing ? Op::kCompressStreamChunk : Op::kDecompressStreamChunk;
+    const Op end_op =
+        compressing ? Op::kCompressStreamEnd : Op::kDecompressStreamEnd;
+
+    // Chunks carry whole symbols: a u16 symbol split across two chunks
+    // would make the server's codec see a torn alphabet.
+    const std::size_t width = sym_width > 0 ? sym_width : 1;
+    std::size_t chunk_bytes = cfg_.stream_chunk_bytes > 0
+                                  ? cfg_.stream_chunk_bytes
+                                  : kDefaultStreamChunkBytes;
+    chunk_bytes -= chunk_bytes % width;
+    if (chunk_bytes == 0) chunk_bytes = width;
+    const std::size_t window_cap =
+        cfg_.stream_window > 0 ? cfg_.stream_window : 1;
+
+    std::vector<u8> result;
+    u64 checksum = kFnv1aSeed;
+    auto drain_one = [&] {
+      std::vector<u8> ack = window.front().get();
+      window.pop_front();
+      result.insert(result.end(), ack.begin(), ack.end());
+    };
+
+    for (std::size_t off = 0; off < data.size(); off += chunk_bytes) {
+      const std::size_t n = std::min(chunk_bytes, data.size() - off);
+      // The span is a view into `data` — stream_frame writes it to the
+      // wire synchronously, so nothing is copied into an owned frame.
+      const std::span<const u8> piece(data.data() + off, n);
+      checksum = stream_checksum(piece, checksum);
+      while (window.size() >= window_cap) drain_one();
+      window.push_back(stream_frame(chunk_op, sid, piece).result);
+    }
+    while (!window.empty()) drain_one();
+
+    RpcCall end = stream_end(end_op, sid, data.size(), checksum);
+    (void)end.result.get();  // StreamSummary ack; throws typed on abort
+    out->set_value(std::move(result));
+  } catch (...) {
+    // In-flight chunk acks behind the failure still resolve (the reader's
+    // generation sweep or the sender's own failure path guarantees it);
+    // drain them so no future outlives this frame's stack.
+    const std::exception_ptr err = std::current_exception();
+    while (!window.empty()) {
+      try {
+        (void)window.front().get();
+      } catch (...) {
+      }
+      window.pop_front();
+    }
+    out->set_exception(err);
+  }
+}
+
 RpcCall RpcClient::submit_frame(Frame f) {
+  return submit_frame(f.h, std::span<const u8>(f.payload));
+}
+
+RpcCall RpcClient::submit_frame(Header h, std::span<const u8> payload) {
   const u64 id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  f.h.kind = Kind::kRequest;
-  f.h.request_id = id;
-  f.h.status = Status::kOk;
+  h.kind = Kind::kRequest;
+  h.request_id = id;
+  h.status = Status::kOk;
 
   std::promise<std::vector<u8>> promise;
   RpcCall call{promise.get_future(), id};
 
   // Check the bound before touching the connection so an oversized
   // payload fails typed without burning a connect attempt.
-  if (f.payload.size() > cfg_.max_payload_bytes) {
+  if (payload.size() > cfg_.max_payload_bytes) {
     promise.set_exception(std::make_exception_ptr(RpcError(
         Status::kBadRequest, "rpc: frame payload exceeds the protocol bound")));
     return call;
@@ -160,7 +351,7 @@ RpcCall RpcClient::submit_frame(Frame f) {
 
   try {
     util::FaultInjector::global().maybe_throw("rpc.client.send");
-    write_frame(*conn, f, cfg_.max_payload_bytes);
+    write_frame(*conn, h, payload, cfg_.max_payload_bytes);
   } catch (...) {
     // Fail only our own promise (if the reader didn't already claim it as
     // part of a generation sweep), then kill the connection; the reader

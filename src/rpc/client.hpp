@@ -54,6 +54,22 @@ struct ClientConfig {
   /// Bound on request payloads this client sends; responses are accepted
   /// up to response_payload_bound() of it, matching the server.
   u32 max_payload_bytes = kMaxPayloadBytes;
+  /// Transparently switch oversized compress/decompress submits onto the
+  /// v3 streaming verbs instead of failing them typed. Off restores the
+  /// pre-v3 behavior: payloads past the bound answer kBadRequest without
+  /// touching the connection or the pending map.
+  bool enable_streaming = true;
+  /// Chunk payload size the transparent chunker sends (rounded down to a
+  /// whole number of symbols). Must not exceed the server's
+  /// stream_chunk_bytes.
+  u32 stream_chunk_bytes = kDefaultStreamChunkBytes;
+  /// Payload size above which a submit streams instead of riding one
+  /// frame. 0 = max_payload_bytes (stream only what a single frame
+  /// cannot carry).
+  u32 stream_threshold_bytes = 0;
+  /// Chunk frames kept in flight per stream before the driver waits on
+  /// the oldest ack — the transfer/encode-overlap pipelining depth.
+  std::size_t stream_window = 8;
 };
 
 struct RpcOptions {
@@ -83,8 +99,21 @@ class RpcClient {
   RpcClient& operator=(const RpcClient&) = delete;
 
   /// Compress raw symbol bytes (`sym_width` 1 or 2; payload length must
-  /// be a multiple). Resolves to PHF2 container bytes.
+  /// be a multiple). Resolves to serialized container bytes: a PHF
+  /// container when the payload rode one frame, a PHS2 streamed container
+  /// when the transparent chunker streamed it (both decompress through
+  /// this client and the server's decompress verb identically).
   [[nodiscard]] RpcCall compress(std::span<const u8> symbol_bytes,
+                                 u8 sym_width = 1,
+                                 const RpcOptions& opts = {});
+
+  /// Ownership-transfer overload: the vector is moved, never copied —
+  /// single-frame submits send straight from it, and a streamed submit's
+  /// chunks are lent to the transport as views into it (the
+  /// submit(vector&&) zero-copy path extended across the wire). Prefer
+  /// this for large payloads; the span overload of a streamed submit
+  /// must copy once to outlive the call.
+  [[nodiscard]] RpcCall compress(std::vector<u8>&& symbol_bytes,
                                  u8 sym_width = 1,
                                  const RpcOptions& opts = {});
 
@@ -98,11 +127,43 @@ class RpcClient {
         sizeof(Sym), opts);
   }
 
-  /// Decompress a PHF2 container. Resolves to raw symbol bytes of
-  /// `sym_width`-byte symbols.
+  /// Decompress a serialized container (PHF single-frame or PHS2
+  /// streamed). Resolves to raw symbol bytes of `sym_width`-byte symbols.
+  /// Oversized PHS2 containers stream transparently; an oversized PHF
+  /// container cannot be split and fails typed (kBadRequest).
   [[nodiscard]] RpcCall decompress(std::span<const u8> container,
                                    u8 sym_width = 1,
                                    const RpcOptions& opts = {});
+
+  /// Ownership-transfer overload of decompress() — same zero-copy
+  /// contract as the compress overload.
+  [[nodiscard]] RpcCall decompress(std::vector<u8>&& container,
+                                   u8 sym_width = 1,
+                                   const RpcOptions& opts = {});
+
+  // --- v3 streaming verbs (protocol.hpp). compress()/decompress() use
+  // these transparently for oversized payloads; they are public for
+  // callers that want manual chunk control (the shard router forwards
+  // streams with them). A stream is stream_begin(), N stream_frame()
+  // chunks, stream_end(); every call returns an ordinary RpcCall and the
+  // Begin id is the one cancel() accepts for the whole stream.
+
+  /// Open a stream (`op` is kCompressStreamBegin or kDecompressStreamBegin;
+  /// opts.deadline_seconds is anchored once, covering the whole stream).
+  /// Resolves to the 8-byte LE server-assigned stream id.
+  [[nodiscard]] RpcCall stream_begin(Op op, u8 sym_width = 1,
+                                     const RpcOptions& opts = {});
+
+  /// Send one Chunk/End frame on an open stream. The payload span is
+  /// borrowed — written to the wire during this call, never copied into
+  /// an owned frame — so callers may lend views into buffers they keep.
+  [[nodiscard]] RpcCall stream_frame(Op op, u64 stream_id,
+                                     std::span<const u8> payload);
+
+  /// Close a stream: ships the byte total and chained stream_checksum for
+  /// the server to verify. Resolves to a StreamSummary payload.
+  [[nodiscard]] RpcCall stream_end(Op op, u64 stream_id, u64 total_bytes,
+                                   u64 checksum);
 
   /// Best-effort cancel of an earlier call on this client. Resolves when
   /// the server acknowledged (the target may still complete if it passed
@@ -124,7 +185,24 @@ class RpcClient {
     std::promise<std::vector<u8>> promise;
   };
 
+  /// True when a compress/decompress payload of this size should ride the
+  /// v3 streaming verbs instead of one frame.
+  [[nodiscard]] bool use_streaming(std::size_t payload_bytes) const;
   [[nodiscard]] RpcCall submit_frame(Frame f);
+  /// Borrowed-payload submit: registers the pending entry, then writes
+  /// header + payload straight from the caller's span (read only during
+  /// the call). Every other submit funnels through here.
+  [[nodiscard]] RpcCall submit_frame(Header h, std::span<const u8> payload);
+  /// Transparent chunking for oversized compress/decompress submits:
+  /// sends Begin inline (so the returned id is the cancellable Begin id),
+  /// then hands the moved payload to a driver thread that pipelines
+  /// Chunk frames and resolves the outer future from the concatenated
+  /// chunk acks + End summary.
+  [[nodiscard]] RpcCall submit_stream(Op begin_op, std::vector<u8> data,
+                                      u8 sym_width, RpcOptions opts);
+  void drive_stream(Op begin_op, std::vector<u8> data, u8 sym_width,
+                    std::future<std::vector<u8>> begin,
+                    std::shared_ptr<std::promise<std::vector<u8>>> out);
   /// Called under send_mu_: returns the live connection and its
   /// generation, dialing (with backoff) when there is none. Throws
   /// TransportError after the attempt budget.
@@ -147,6 +225,18 @@ class RpcClient {
   std::mutex send_mu_;  // serializes connect + frame writes
   std::atomic<u64> next_id_{1};
   std::thread reader_;
+
+  /// One driver thread per in-flight streamed submit. Finished drivers
+  /// are reaped opportunistically on the next streamed submit; the dtor
+  /// joins whatever is left after failing the pending map (safe: every
+  /// future a driver waits on resolves — the reader's generation sweep or
+  /// the sender's own failure path guarantees it).
+  struct Driver {
+    std::thread t;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::mutex drivers_mu_;
+  std::vector<Driver> drivers_;
 };
 
 }  // namespace parhuff::rpc

@@ -46,7 +46,10 @@ std::array<u8, kHeaderBytes> encode_header(const Header& h) {
   b[17] = static_cast<u8>(h.status);
   put_le<u16>(b.data() + 18, 0);  // reserved
   put_le<u32>(b.data() + 20, h.payload_len);
-  put_le<u64>(b.data() + 24, h.deadline_micros);
+  // Stream Chunk/End frames carry the stream id where every other op
+  // carries the relative deadline (anchored once at Begin).
+  put_le<u64>(b.data() + 24,
+              is_stream_ref_op(h.op) ? h.stream_id : h.deadline_micros);
   return b;
 }
 
@@ -90,7 +93,7 @@ Header decode_header(std::span<const u8, kHeaderBytes> b, u32 max_payload) {
   h.kind = static_cast<Kind>(kind);
   const u8 op = b[6];
   if (op < static_cast<u8>(Op::kCompress) ||
-      op > static_cast<u8>(Op::kHealth)) {
+      op > static_cast<u8>(Op::kDecompressStreamEnd)) {
     throw ProtocolError("bad op " + std::to_string(op), Status::kBadRequest,
                         /*can_respond=*/true, h.request_id);
   }
@@ -111,8 +114,53 @@ Header decode_header(std::span<const u8, kHeaderBytes> b, u32 max_payload) {
             " exceeds the bound " + std::to_string(max_payload),
         Status::kBadRequest, /*can_respond=*/true, h.request_id);
   }
-  h.deadline_micros = get_le<u64>(b.data() + 24);
+  const u64 slot24 = get_le<u64>(b.data() + 24);
+  if (is_stream_ref_op(h.op)) {
+    h.stream_id = slot24;
+  } else {
+    h.deadline_micros = slot24;
+  }
   return h;
+}
+
+std::vector<u8> encode_stream_end_request(const StreamEndRequest& req) {
+  std::vector<u8> b(kStreamEndRequestBytes, 0);
+  put_le<u64>(b.data() + 0, req.total_bytes);
+  put_le<u64>(b.data() + 8, req.checksum);
+  return b;
+}
+
+StreamEndRequest decode_stream_end_request(std::span<const u8> payload) {
+  if (payload.size() < kStreamEndRequestBytes) {
+    throw ProtocolError("stream end payload too short (" +
+                            std::to_string(payload.size()) + " bytes)",
+                        Status::kBadRequest, /*can_respond=*/false, 0);
+  }
+  StreamEndRequest req;
+  req.total_bytes = get_le<u64>(payload.data() + 0);
+  req.checksum = get_le<u64>(payload.data() + 8);
+  return req;
+}
+
+std::vector<u8> encode_stream_summary(const StreamSummary& s) {
+  std::vector<u8> b(kStreamSummaryBytes, 0);
+  put_le<u64>(b.data() + 0, s.bytes_in);
+  put_le<u64>(b.data() + 8, s.bytes_out);
+  put_le<u64>(b.data() + 16, s.checksum);
+  return b;
+}
+
+StreamSummary decode_stream_summary(std::span<const u8> payload) {
+  if (payload.size() < kStreamSummaryBytes) {
+    throw ProtocolError("stream summary payload too short (" +
+                            std::to_string(payload.size()) + " bytes)",
+                        Status::kBadRequest, /*can_respond=*/false, 0);
+  }
+  StreamSummary s;
+  s.bytes_in = get_le<u64>(payload.data() + 0);
+  s.bytes_out = get_le<u64>(payload.data() + 8);
+  s.checksum = get_le<u64>(payload.data() + 16);
+  return s;
 }
 
 std::vector<u8> encode_health_info(const HealthInfo& info) {

@@ -9,14 +9,20 @@
 //        0     4  magic            0x43524850 ("PHRC")
 //        4     1  version          kMinVersion..kVersion accepted
 //        5     1  kind             0 request / 1 response
-//        6     1  op               Op (compress/decompress/cancel/stats/health)
+//        6     1  op               Op (compress/decompress/cancel/stats/
+//                                  health/stream begin-chunk-end)
 //        7     1  sym_width        payload symbol width in bytes (1 or 2)
 //        8     8  request_id       caller-chosen; echoed on the response
 //       16     1  priority         svc::Priority numeric value
 //       17     1  status           Status; always kOk on requests
 //       18     2  reserved         must-ignore (forward compatibility)
 //       20     4  payload_len      bytes following the header
-//       24     8  deadline_micros  relative budget in µs; 0 = none
+//       24     8  deadline_micros  relative budget in µs; 0 = none.
+//                                  On stream *Chunk/End* frames (both
+//                                  kinds) this slot carries the u64
+//                                  stream_id instead — the stream's
+//                                  deadline was anchored once at Begin,
+//                                  which frees the field.
 //
 // The deadline is *relative* on the wire (the client and server do not
 // share a clock); the server re-anchors it against its own injected
@@ -33,6 +39,31 @@
 //               somehow receives an op it does not know answers
 //               kBadRequest — both typed, so a health prober can always
 //               distinguish "legacy peer" from "dead peer".
+//
+// Protocol v3 adds the streaming verbs (kCompressStreamBegin/Chunk/End
+// and the decompress mirror) so payloads larger than one frame's bound
+// stream as a sequence of bounded chunk frames and wire transfer overlaps
+// encode/decode server-side:
+//
+//   *StreamBegin  request: empty — response: u64 LE server-assigned
+//                 stream id. The Begin frame's deadline_micros anchors the
+//                 budget for the WHOLE stream (re-anchored once, server
+//                 clock); chunk frames carry the stream id where the
+//                 deadline would live.
+//   *StreamChunk  request: ≤ stream_chunk_bytes of raw symbols (compress)
+//                 or PHS2 stream bytes (decompress) — response: the
+//                 output produced so far by this chunk (possibly empty
+//                 for decompress while a segment straddles chunks).
+//   *StreamEnd    request: StreamEndRequest (u64 total bytes | u64
+//                 stream_checksum over every chunk payload byte, in
+//                 order) — response: StreamSummary (u64 bytes_in |
+//                 u64 bytes_out | u64 checksum). A mismatch aborts the
+//                 stream with kBadRequest.
+//
+// Any stream error (unknown id, oversized chunk, checksum mismatch,
+// deadline, cancel, fault) answers typed on the offending frame and
+// aborts the stream: the id is forgotten and later frames for it answer
+// kBadRequest ("unknown stream"). Streams never stall silently.
 //
 // A non-kOk response carries a human-readable message as payload. Frame
 // parsing distinguishes two failure classes: ProtocolError (a structurally
@@ -54,14 +85,19 @@ namespace parhuff::rpc {
 
 inline constexpr u32 kMagic = 0x43524850u;  // "PHRC" when read little-endian
 /// Current protocol version. v2 added the health op (kHealth) for in-band
-/// shard probing; the header layout and every v1 op are unchanged, so
-/// kMinVersion frames are still accepted.
-inline constexpr u8 kVersion = 2;
+/// shard probing; v3 adds the streaming verbs (Begin/Chunk/End pairs).
+/// The header layout and every v1/v2 op are unchanged, so the whole
+/// [kMinVersion, kVersion] range is still accepted.
+inline constexpr u8 kVersion = 3;
 inline constexpr u8 kMinVersion = 1;
 inline constexpr std::size_t kHeaderBytes = 32;
 /// Default bound on a single frame's payload; both ends reject bigger
 /// frames (kBadRequest) before allocating.
 inline constexpr u32 kMaxPayloadBytes = 64u << 20;
+/// Default bound on one stream chunk's payload (v3 streaming verbs).
+/// Deliberately much smaller than kMaxPayloadBytes: it is the server's
+/// per-stream buffering bound and the unit of transfer/encode overlap.
+inline constexpr u32 kDefaultStreamChunkBytes = 4u << 20;
 
 /// Responses may outgrow the request bound (container overhead on
 /// incompressible input), so the response direction gets 1 MiB of slack —
@@ -79,7 +115,34 @@ enum class Op : u8 {
   kCancel = 3,
   kStats = 4,
   kHealth = 5,  ///< protocol v2: compact load/liveness snapshot (HealthInfo)
+  // Protocol v3 streaming verbs. A stream is Begin, then N Chunk frames,
+  // then End; the server assigns the stream id (Begin response payload)
+  // and Chunk/End frames carry it in the header's offset-24 slot.
+  kCompressStreamBegin = 6,
+  kCompressStreamChunk = 7,
+  kCompressStreamEnd = 8,
+  kDecompressStreamBegin = 9,
+  kDecompressStreamChunk = 10,
+  kDecompressStreamEnd = 11,
 };
+
+/// True for all six v3 streaming ops.
+[[nodiscard]] inline constexpr bool is_stream_op(Op op) {
+  return op >= Op::kCompressStreamBegin && op <= Op::kDecompressStreamEnd;
+}
+
+/// True for ops that open a stream (and therefore still carry a deadline
+/// in the offset-24 slot).
+[[nodiscard]] inline constexpr bool is_stream_begin_op(Op op) {
+  return op == Op::kCompressStreamBegin || op == Op::kDecompressStreamBegin;
+}
+
+/// True for Chunk/End ops, whose offset-24 slot carries the stream id
+/// instead of a deadline (the deadline was anchored at Begin).
+[[nodiscard]] inline constexpr bool is_stream_ref_op(Op op) {
+  return op == Op::kCompressStreamChunk || op == Op::kCompressStreamEnd ||
+         op == Op::kDecompressStreamChunk || op == Op::kDecompressStreamEnd;
+}
 
 enum class Status : u8 {
   kOk = 0,
@@ -149,6 +212,10 @@ struct Header {
   Status status = Status::kOk;
   u32 payload_len = 0;
   u64 deadline_micros = 0;  ///< relative budget; 0 = none
+  /// v3 streaming: the server-assigned stream this Chunk/End frame
+  /// belongs to. Shares the offset-24 wire slot with deadline_micros
+  /// (is_stream_ref_op decides which one is on the wire); 0 elsewhere.
+  u64 stream_id = 0;
 };
 
 /// A whole message: header plus owned payload. `h.payload_len` is derived
@@ -180,6 +247,37 @@ inline constexpr std::size_t kHealthInfoBytes = 40;
 /// Throws ProtocolError (kBadRequest, can_respond=false) on a short or
 /// unversioned payload; trailing bytes beyond the known layout are ignored.
 [[nodiscard]] HealthInfo decode_health_info(std::span<const u8> payload);
+
+/// Payload of a *StreamEnd request: what the sender believes it streamed.
+/// 16-byte LE layout: u64 total_bytes | u64 checksum, where checksum is
+/// stream_checksum() chained over every chunk payload byte in send order
+/// (util/hash.hpp). The server verifies both before completing.
+struct StreamEndRequest {
+  u64 total_bytes = 0;
+  u64 checksum = 0;
+};
+
+/// Payload of a *StreamEnd kOk response. 24-byte LE layout:
+/// u64 bytes_in | u64 bytes_out | u64 checksum (the verified input
+/// checksum, echoed).
+struct StreamSummary {
+  u64 bytes_in = 0;
+  u64 bytes_out = 0;
+  u64 checksum = 0;
+};
+
+inline constexpr std::size_t kStreamEndRequestBytes = 16;
+inline constexpr std::size_t kStreamSummaryBytes = 24;
+
+[[nodiscard]] std::vector<u8> encode_stream_end_request(
+    const StreamEndRequest& req);
+/// Throws ProtocolError (kBadRequest, can_respond=false) on a short
+/// payload; trailing bytes are ignored (forward slack).
+[[nodiscard]] StreamEndRequest decode_stream_end_request(
+    std::span<const u8> payload);
+
+[[nodiscard]] std::vector<u8> encode_stream_summary(const StreamSummary& s);
+[[nodiscard]] StreamSummary decode_stream_summary(std::span<const u8> payload);
 
 [[nodiscard]] std::array<u8, kHeaderBytes> encode_header(const Header& h);
 

@@ -5,16 +5,19 @@
 #include <cstring>
 #include <deque>
 #include <functional>
+#include <optional>
 #include <type_traits>
 #include <unordered_map>
 #include <utility>
 
 #include "core/decode.hpp"
 #include "core/format.hpp"
+#include "core/streaming.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "util/fault_inject.hpp"
+#include "util/hash.hpp"
 
 namespace parhuff::rpc {
 
@@ -27,6 +30,7 @@ namespace {
   f.h.op = req.op;
   f.h.sym_width = req.sym_width;
   f.h.request_id = req.request_id;
+  f.h.stream_id = req.stream_id;
   f.h.status = status;
   f.payload.assign(message.begin(), message.end());
   return f;
@@ -37,7 +41,214 @@ namespace {
   return static_cast<svc::Priority>(p);
 }
 
+[[nodiscard]] bool is_compress_stream_op(Op op) {
+  return op == Op::kCompressStreamBegin || op == Op::kCompressStreamChunk ||
+         op == Op::kCompressStreamEnd;
+}
+
+/// Incremental per-stream transcoder behind the v3 chunk verbs. One
+/// instance per open stream, driven strictly sequentially by the
+/// connection's writer slots, so no internal locking is needed. process()
+/// consumes one chunk's payload (taking ownership — for u8 compress the
+/// wire buffer IS the kernel input, no copy) and returns whatever output
+/// that chunk produced; finish() validates that nothing is left dangling.
+class StreamChunkCodec {
+ public:
+  virtual ~StreamChunkCodec() = default;
+  virtual std::vector<u8> process(std::vector<u8> chunk,
+                                  const CancelToken* cancel) = 0;
+  virtual void finish(const CancelToken* cancel) = 0;
+  /// Most bytes ever buffered across chunk boundaries — the bounded-
+  /// buffering contract's measurable quantity.
+  [[nodiscard]] virtual u64 buffered_high_water() const = 0;
+};
+
+/// Compress direction: first chunk trains, smooths and freezes the
+/// stream codebook (add-one smoothing keeps every alphabet symbol
+/// encodable however later chunks drift) and emits the PHS2 header +
+/// first framed segment; each later chunk emits one framed segment.
+/// Nothing is buffered between chunks.
+template <typename Sym>
+class CompressStreamCodec final : public StreamChunkCodec {
+ public:
+  explicit CompressStreamCodec(PipelineConfig pl) : sc_(std::move(pl)) {}
+
+  std::vector<u8> process(std::vector<u8> chunk,
+                          const CancelToken* cancel) override {
+    if (chunk.size() % sizeof(Sym) != 0) {
+      throw std::invalid_argument("chunk is not a whole number of symbols");
+    }
+    std::span<const Sym> syms;
+    [[maybe_unused]] std::vector<Sym> realigned;
+    if constexpr (std::is_same_v<Sym, u8>) {
+      syms = std::span<const Sym>(chunk);
+    } else {
+      // Wider symbols need the realigning copy (the wire buffer has no
+      // alignment guarantee); the u8 path has none.
+      realigned.resize(chunk.size() / sizeof(Sym));
+      if (!realigned.empty()) {
+        std::memcpy(realigned.data(), chunk.data(), chunk.size());
+      }
+      syms = realigned;
+    }
+    std::vector<u8> out;
+    if (syms.empty()) return out;
+    if (!sc_.frozen()) {
+      sc_.observe(syms);
+      sc_.smooth();
+      sc_.freeze();
+      out = sc_.header();
+    }
+    std::vector<u8> frame = sc_.encode_segment(syms, cancel);
+    out.insert(out.end(), frame.begin(), frame.end());
+    return out;
+  }
+
+  void finish(const CancelToken*) override {}
+
+  [[nodiscard]] u64 buffered_high_water() const override { return 0; }
+
+ private:
+  StreamingCompressor<Sym> sc_;
+};
+
+/// Decompress direction: chunks carry an arbitrary split of PHS2 header +
+/// framed segments. Bytes accumulate only until the current header/
+/// segment completes (never the whole stream): each complete segment is
+/// decoded immediately and its symbols returned in that chunk's response.
+/// `unit_bound` caps a single header or segment (so a forged length can
+/// never balloon the buffer) and `output_bound` caps one response's
+/// decoded bytes.
+template <typename Sym>
+class DecompressStreamCodec final : public StreamChunkCodec {
+ public:
+  DecompressStreamCodec(u64 unit_bound, u64 output_bound)
+      : unit_bound_(unit_bound), output_bound_(output_bound) {}
+
+  std::vector<u8> process(std::vector<u8> chunk,
+                          const CancelToken* cancel) override {
+    if (pending_.empty()) {
+      pending_ = std::move(chunk);
+    } else {
+      pending_.insert(pending_.end(), chunk.begin(), chunk.end());
+    }
+    if (pending_.size() > high_water_) high_water_ = pending_.size();
+    std::vector<u8> out;
+    std::size_t head = 0;
+    if (!dec_) {
+      // Fast-fail a stream that is not PHS2 at all (e.g. a monolithic
+      // PHF container pushed through the chunk verbs) instead of
+      // buffering up to the bound first.
+      if (pending_.size() >= 4 &&
+          std::memcmp(pending_.data(), kStreamHeaderMagic, 4) != 0) {
+        throw std::invalid_argument(
+            "stream is not a PHS2 streamed container");
+      }
+      try {
+        const std::size_t hl =
+            StreamingDecompressor<Sym>::header_length(pending_);
+        dec_.emplace(std::span<const u8>(pending_).first(hl));
+        head = hl;
+      } catch (const std::runtime_error&) {
+        // Not parsable yet: either truncated (wait for more bytes) or
+        // corrupt — the unit bound decides when waiting stops being an
+        // option.
+        if (pending_.size() > unit_bound_) {
+          throw std::invalid_argument(
+              "stream header unparsable within the buffering bound");
+        }
+        return out;
+      }
+    }
+    for (;;) {
+      const std::span<const u8> rest =
+          std::span<const u8>(pending_).subspan(head);
+      std::size_t total = 0;
+      if (!StreamingDecompressor<Sym>::frame_length(rest, &total)) break;
+      if (total > unit_bound_) {
+        throw std::invalid_argument(
+            "stream segment exceeds the buffering bound");
+      }
+      if (rest.size() < total) break;
+      const std::vector<Sym> syms =
+          dec_->decode_segment(rest.first(total), cancel);
+      const std::size_t nbytes = syms.size() * sizeof(Sym);
+      if (out.size() + nbytes > output_bound_) {
+        throw std::invalid_argument(
+            "chunk decodes beyond the response bound; stream smaller "
+            "chunks");
+      }
+      const std::size_t at = out.size();
+      out.resize(at + nbytes);
+      if (nbytes != 0) std::memcpy(out.data() + at, syms.data(), nbytes);
+      head += total;
+    }
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<std::ptrdiff_t>(head));
+    return out;
+  }
+
+  void finish(const CancelToken*) override {
+    if (!pending_.empty()) {
+      throw std::invalid_argument(
+          "stream ended with " + std::to_string(pending_.size()) +
+          " bytes of an incomplete header/segment");
+    }
+  }
+
+  [[nodiscard]] u64 buffered_high_water() const override {
+    return high_water_;
+  }
+
+ private:
+  u64 unit_bound_;
+  u64 output_bound_;
+  std::vector<u8> pending_;
+  u64 high_water_ = 0;
+  std::optional<StreamingDecompressor<Sym>> dec_;
+};
+
+[[nodiscard]] std::unique_ptr<StreamChunkCodec> make_stream_codec(
+    Op begin_op, u8 sym_width, const ServerConfig& cfg) {
+  const bool compress = begin_op == Op::kCompressStreamBegin;
+  // A segment framing a whole chunk outgrows the chunk slightly
+  // (codebook/stream metadata) — same reasoning as the response bound's
+  // slack.
+  const u64 unit_bound =
+      static_cast<u64>(cfg.stream_chunk_bytes) + (u64{1} << 20);
+  const u64 output_bound = response_payload_bound(cfg.max_payload_bytes);
+  if (sym_width == 1) {
+    if (compress) {
+      return std::make_unique<CompressStreamCodec<u8>>(cfg.pipeline8);
+    }
+    return std::make_unique<DecompressStreamCodec<u8>>(unit_bound,
+                                                       output_bound);
+  }
+  if (compress) {
+    return std::make_unique<CompressStreamCodec<u16>>(cfg.pipeline16);
+  }
+  return std::make_unique<DecompressStreamCodec<u16>>(unit_bound,
+                                                      output_bound);
+}
+
 }  // namespace
+
+/// One open v3 stream. Created by Begin, destroyed by End, an error or
+/// connection teardown. Chunk processing happens in writer slots, which
+/// run strictly sequentially per connection, so the mutable fields need
+/// no lock of their own; the token is shared with the reader's cancel
+/// path (CancelToken is thread-safe).
+struct RpcServer::StreamState {
+  u64 id = 0;
+  Op begin_op = Op::kCompressStreamBegin;
+  u8 sym_width = 1;
+  u64 begin_request_id = 0;
+  std::shared_ptr<CancelToken> token;
+  u64 bytes_in = 0;
+  u64 bytes_out = 0;
+  u64 checksum = kFnv1aSeed;
+  std::unique_ptr<StreamChunkCodec> codec;
+};
 
 /// Everything the reader and writer of one connection share. The response
 /// slots are copyable std::functions (move-only captures ride behind
@@ -55,6 +266,11 @@ struct RpcServer::ConnState {
   // Cancellable in-flight requests on this connection, by request id.
   std::unordered_map<u64, svc::RequestHandle> compress_inflight;
   std::unordered_map<u64, std::shared_ptr<CancelToken>> decode_inflight;
+
+  // Open v3 streams, by server-assigned stream id. The map is guarded by
+  // mu (reader opens, writer slots look up and close); the pointed-to
+  // state is mutated only by the strictly-sequential writer slots.
+  std::unordered_map<u64, std::shared_ptr<StreamState>> streams;
 
   void enqueue(std::function<Frame()> slot) {
     {
@@ -334,6 +550,16 @@ bool RpcServer::handle_frame(const std::shared_ptr<ConnState>& cs,
       cs->enqueue_ready(std::move(f));
       return true;
     }
+    case Op::kCompressStreamBegin:
+    case Op::kDecompressStreamBegin:
+      handle_stream_begin(cs, h);
+      return true;
+    case Op::kCompressStreamChunk:
+    case Op::kCompressStreamEnd:
+    case Op::kDecompressStreamChunk:
+    case Op::kDecompressStreamEnd:
+      handle_stream_frame(cs, h, std::move(payload));
+      return true;
     case Op::kStats: {
       cs->enqueue([id = h.request_id]() {
         Frame f;
@@ -471,14 +697,37 @@ void RpcServer::handle_decompress(const std::shared_ptr<ConnState>& cs,
     f.h.request_id = hdr.request_id;
     try {
       token->check();  // cheap pre-flight: already cancelled/expired?
-      const Compressed<Sym> blob = deserialize<Sym>(*body);
-      // decode_auto picks the gap-array kernel when the container carried
-      // gap metadata (a "PHF3" + GAP1 blob), the host decoder otherwise.
-      const std::vector<Sym> out =
-          decode_auto<Sym>(blob.stream, blob.codebook, 0, token.get());
-      f.payload.resize(out.size() * sizeof(Sym));
-      if (!out.empty()) {
-        std::memcpy(f.payload.data(), out.data(), f.payload.size());
+      if (body->size() >= 4 &&
+          std::memcmp(body->data(), kStreamHeaderMagic, 4) == 0) {
+        // A PHS2 streamed container (StreamingCompressor output — what
+        // the v3 compress stream produces). Decode its framed segments
+        // in order so streamed-compress results round-trip through the
+        // plain decompress verb too, when they fit one frame.
+        const std::span<const u8> bytes(*body);
+        const std::size_t hl =
+            StreamingDecompressor<Sym>::header_length(bytes);
+        const StreamingDecompressor<Sym> sd(bytes.first(hl));
+        for (const std::span<const u8> seg :
+             StreamingDecompressor<Sym>::split_frames(bytes.subspan(hl))) {
+          const std::vector<Sym> out = sd.decode_segment(seg, token.get());
+          const std::size_t at = f.payload.size();
+          f.payload.resize(at + out.size() * sizeof(Sym));
+          if (!out.empty()) {
+            std::memcpy(f.payload.data() + at, out.data(),
+                        out.size() * sizeof(Sym));
+          }
+        }
+      } else {
+        const Compressed<Sym> blob = deserialize<Sym>(*body);
+        // decode_auto picks the gap-array kernel when the container
+        // carried gap metadata (a "PHF3" + GAP1 blob), the host decoder
+        // otherwise.
+        const std::vector<Sym> out =
+            decode_auto<Sym>(blob.stream, blob.codebook, 0, token.get());
+        f.payload.resize(out.size() * sizeof(Sym));
+        if (!out.empty()) {
+          std::memcpy(f.payload.data(), out.data(), f.payload.size());
+        }
       }
       f.h.status = Status::kOk;
     } catch (const OperationCancelled& e) {
@@ -497,6 +746,181 @@ void RpcServer::handle_decompress(const std::shared_ptr<ConnState>& cs,
     }
     raw->unregister(hdr.request_id);
     obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    obs::TraceRecorder& rec = obs::TraceRecorder::global();
+    const double done_us = rec.now_us();
+    reg.histo_record("rpc.request_seconds", (done_us - start_us) / 1e6);
+    rec.complete("rpc.request", "rpc", start_us, done_us - start_us);
+    return f;
+  });
+}
+
+void RpcServer::handle_stream_begin(const std::shared_ptr<ConnState>& cs,
+                                    const Header& h) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  if (h.sym_width != 1 && h.sym_width != 2) {
+    cs->enqueue_ready(
+        error_frame(h, Status::kBadRequest, "sym_width must be 1 or 2"));
+    return;
+  }
+  auto st = std::make_shared<StreamState>();
+  st->id = next_stream_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  st->begin_op = h.op;
+  st->sym_width = h.sym_width;
+  st->begin_request_id = h.request_id;
+  st->token = std::make_shared<CancelToken>();
+  if (h.deadline_micros != 0) {
+    // The one and only anchoring point: the whole stream runs on this
+    // budget; chunk frames carry the stream id where a deadline would be.
+    st->token->arm_deadline(
+        clock_->now() + util::Clock::dur(
+                            static_cast<double>(h.deadline_micros) * 1e-6),
+        *clock_);
+  }
+  st->codec = make_stream_codec(h.op, h.sym_width, cfg_);
+  bool over_cap = false;
+  {
+    std::lock_guard<std::mutex> lock(cs->mu);
+    if (cs->streams.size() >= cfg_.max_streams_per_connection) {
+      over_cap = true;
+    } else {
+      cs->streams.emplace(st->id, st);
+      // Registered under the Begin request id: a kCancel naming it aborts
+      // the stream at the next chunk, exactly like single-frame requests.
+      cs->decode_inflight.emplace(h.request_id, st->token);
+    }
+  }
+  if (over_cap) {
+    cs->enqueue_ready(error_frame(
+        h, Status::kQueueFull, "per-connection open-stream cap reached"));
+    return;
+  }
+  reg.counter_add("rpc.streams_opened");
+  Frame f;
+  f.h.kind = Kind::kResponse;
+  f.h.op = h.op;
+  f.h.sym_width = h.sym_width;
+  f.h.request_id = h.request_id;
+  f.h.status = Status::kOk;
+  f.payload.resize(sizeof(u64));
+  std::memcpy(f.payload.data(), &st->id, sizeof(u64));
+  cs->enqueue_ready(std::move(f));
+}
+
+void RpcServer::handle_stream_frame(const std::shared_ptr<ConnState>& cs,
+                                    const Header& h,
+                                    std::vector<u8> payload) {
+  auto body = std::make_shared<std::vector<u8>>(std::move(payload));
+  ConnState* raw = cs.get();  // the writer keeps *cs alive past this slot
+  const double start_us = obs::TraceRecorder::global().now_us();
+  // Processed in the writer slot: while this chunk encodes/decodes, the
+  // reader is already pulling the next chunk off the wire — that overlap
+  // is the whole point of the streaming verbs.
+  cs->enqueue([this, raw, body, hdr = h, start_us]() {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    const bool is_end = hdr.op == Op::kCompressStreamEnd ||
+                        hdr.op == Op::kDecompressStreamEnd;
+    std::shared_ptr<StreamState> st;
+    {
+      std::lock_guard<std::mutex> lock(raw->mu);
+      if (auto it = raw->streams.find(hdr.stream_id);
+          it != raw->streams.end()) {
+        st = it->second;
+      }
+    }
+    if (!st) {
+      return error_frame(hdr, Status::kBadRequest,
+                         "unknown stream id (never opened, completed, or "
+                         "already aborted)");
+    }
+    Frame f;
+    f.h.kind = Kind::kResponse;
+    f.h.op = hdr.op;
+    f.h.sym_width = hdr.sym_width;
+    f.h.request_id = hdr.request_id;
+    f.h.stream_id = hdr.stream_id;
+    bool completed = false;
+    try {
+      // Fault site: the stream's processing dies mid-chunk (a kernel
+      // failure, an allocation failure...). The stream aborts typed.
+      util::FaultInjector::global().maybe_throw("rpc.server.stream_chunk");
+      if (is_compress_stream_op(hdr.op) !=
+          is_compress_stream_op(st->begin_op)) {
+        throw std::invalid_argument(
+            "stream op family does not match the Begin op");
+      }
+      st->token->check();
+      if (!is_end) {
+        if (body->size() > cfg_.stream_chunk_bytes) {
+          throw std::invalid_argument(
+              "chunk exceeds stream_chunk_bytes (" +
+              std::to_string(cfg_.stream_chunk_bytes) + ")");
+        }
+        st->checksum = stream_checksum(*body, st->checksum);
+        st->bytes_in += body->size();
+        reg.counter_add("rpc.stream_chunks");
+        reg.counter_add("rpc.stream_bytes_in", body->size());
+        std::vector<u8> out =
+            st->codec->process(std::move(*body), st->token.get());
+        st->bytes_out += out.size();
+        reg.counter_add("rpc.stream_bytes_out", out.size());
+        f.payload = std::move(out);
+      } else {
+        const StreamEndRequest end = decode_stream_end_request(*body);
+        if (end.total_bytes != st->bytes_in) {
+          throw std::invalid_argument(
+              "stream length mismatch: sender claims " +
+              std::to_string(end.total_bytes) + " bytes, server received " +
+              std::to_string(st->bytes_in));
+        }
+        if (end.checksum != st->checksum) {
+          throw std::invalid_argument("stream checksum mismatch");
+        }
+        st->codec->finish(st->token.get());
+        f.payload = encode_stream_summary(
+            StreamSummary{st->bytes_in, st->bytes_out, st->checksum});
+        completed = true;
+      }
+      f.h.status = Status::kOk;
+    } catch (const OperationCancelled& e) {
+      f = error_frame(hdr, Status::kCancelled, e.what());
+    } catch (const DeadlineExpired& e) {
+      f = error_frame(hdr, Status::kDeadlineExceeded, e.what());
+    } catch (const util::TransientError& e) {
+      f = error_frame(hdr, Status::kInternal, e.what());
+    } catch (const ProtocolError& e) {
+      f = error_frame(hdr, Status::kBadRequest, e.what());
+    } catch (const std::invalid_argument& e) {
+      f = error_frame(hdr, Status::kBadRequest, e.what());
+    } catch (const std::runtime_error& e) {
+      // Corrupt stream bytes (bad segment payload etc.): the client's
+      // fault.
+      f = error_frame(hdr, Status::kBadRequest, e.what());
+    } catch (const std::exception& e) {
+      f = error_frame(hdr, Status::kInternal, e.what());
+    }
+    // Track the bounded-buffering high water even on failure paths.
+    const u64 buffered = st->codec ? st->codec->buffered_high_water() : 0;
+    u64 cur = stream_buffer_high_water_.load(std::memory_order_relaxed);
+    while (buffered > cur && !stream_buffer_high_water_.compare_exchange_weak(
+                                 cur, buffered, std::memory_order_relaxed)) {
+    }
+    reg.gauge_max("rpc.stream_buffered_bytes_high_water",
+                  static_cast<double>(buffered));
+    // Completion and every error are terminal for the stream: forget the
+    // id (later frames answer "unknown stream") and settle the
+    // opened == completed + aborted balance.
+    if (f.h.status != Status::kOk || completed) {
+      bool was_open = false;
+      {
+        std::lock_guard<std::mutex> lock(raw->mu);
+        was_open = raw->streams.erase(st->id) > 0;
+        raw->decode_inflight.erase(st->begin_request_id);
+      }
+      if (was_open) {
+        reg.counter_add(completed ? "rpc.streams_completed"
+                                  : "rpc.streams_aborted");
+      }
+    }
     obs::TraceRecorder& rec = obs::TraceRecorder::global();
     const double done_us = rec.now_us();
     reg.histo_record("rpc.request_seconds", (done_us - start_us) / 1e6);
@@ -544,6 +968,16 @@ void RpcServer::writer_loop(std::shared_ptr<ConnState> cs) {
       conn_ok = false;
       cs->conn->shutdown();  // unblocks the reader too
       reg.counter_add("rpc.responses_dropped");
+    }
+  }
+  // Every slot has drained, so no stream can make further progress:
+  // whatever is still open died with the connection and settles the
+  // opened == completed + aborted balance as aborted.
+  {
+    std::lock_guard<std::mutex> lock(cs->mu);
+    if (!cs->streams.empty()) {
+      reg.counter_add("rpc.streams_aborted", cs->streams.size());
+      cs->streams.clear();
     }
   }
   cs->conn->shutdown();

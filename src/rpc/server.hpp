@@ -26,10 +26,28 @@
 // decode walk polls. Deadlines arrive as relative budgets and are
 // re-anchored against the server's injected util::Clock.
 //
+// Streaming (protocol v3): a *StreamBegin frame opens per-connection
+// stream state (bounded by max_streams_per_connection) and answers with
+// the server-assigned stream id; each Chunk frame is processed in its
+// writer slot — encode/decode of chunk N overlaps the reader pulling
+// chunk N+1 off the wire — and answers with the output produced so far;
+// End verifies the whole-stream byte count + stream_checksum and answers
+// a StreamSummary. The stream's deadline is anchored once at Begin and
+// its CancelToken is registered under the Begin request id, so kCancel
+// aborts a stream exactly like a single-frame request. Any stream error
+// answers typed on the offending frame and forgets the id; because every
+// stream frame still drains exactly one response slot, the existing
+// written+dropped == received balance holds unchanged, and streams add
+// their own: rpc.streams_opened == rpc.streams_completed +
+// rpc.streams_aborted (connection teardown counts still-open streams as
+// aborted).
+//
 // Fault sites (util::FaultInjector): rpc.server.accept, rpc.server.read,
-// rpc.server.write — each models the connection dying at that point; the
-// tests arm them to prove every client future still resolves.
+// rpc.server.write, rpc.server.stream_chunk — each models the connection
+// (or a chunk's processing) dying at that point; the tests arm them to
+// prove every client future still resolves.
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <string>
@@ -49,6 +67,14 @@ struct ServerConfig {
   std::size_t max_connections = 8;
   /// Bound on a single request frame's payload.
   u32 max_payload_bytes = kMaxPayloadBytes;
+  /// Bound on one v3 stream chunk's payload — the server's per-stream
+  /// buffering bound and the unit of transfer/encode overlap. Bigger
+  /// chunks answer kBadRequest.
+  u32 stream_chunk_bytes = kDefaultStreamChunkBytes;
+  /// Open v3 streams one connection may hold at once; a Begin past the
+  /// cap answers kQueueFull (also the typed answer a Begin-replay flood
+  /// gets, so replays can never accrete unbounded state).
+  std::size_t max_streams_per_connection = 4;
   /// Passed through to both CompressionService instances. The embedded
   /// clock (service.clock) also drives the server's deadline re-anchoring
   /// and the io pool's idle park.
@@ -83,11 +109,20 @@ class RpcServer {
   /// Live connections right now (tests / introspection).
   [[nodiscard]] std::size_t connection_count() const;
 
+  /// Largest per-stream buffered byte count any v3 stream reached since
+  /// the server started — the bounded-buffering contract made testable:
+  /// it stays a small constant multiple of stream_chunk_bytes no matter
+  /// how large the streamed payload is.
+  [[nodiscard]] u64 stream_buffer_high_water() const {
+    return stream_buffer_high_water_.load(std::memory_order_relaxed);
+  }
+
   [[nodiscard]] svc::CompressionService<u8>& service8() { return *svc8_; }
   [[nodiscard]] svc::CompressionService<u16>& service16() { return *svc16_; }
 
  private:
   struct ConnState;
+  struct StreamState;
 
   void accept_loop();
   void reader_loop(std::shared_ptr<ConnState> cs);
@@ -102,6 +137,10 @@ class RpcServer {
   template <typename Sym>
   void handle_decompress(const std::shared_ptr<ConnState>& cs,
                          const Header& h, std::vector<u8> payload);
+  void handle_stream_begin(const std::shared_ptr<ConnState>& cs,
+                           const Header& h);
+  void handle_stream_frame(const std::shared_ptr<ConnState>& cs,
+                           const Header& h, std::vector<u8> payload);
 
   ServerConfig cfg_;
   const util::Clock* clock_;  // resolved from cfg_.service.clock
@@ -112,6 +151,9 @@ class RpcServer {
   mutable std::mutex conns_mu_;
   std::vector<std::weak_ptr<ConnState>> conns_;
   bool stopping_ = false;  // under conns_mu_
+
+  std::atomic<u64> next_stream_id_{0};
+  std::atomic<u64> stream_buffer_high_water_{0};
 
   /// Declared last: destroyed first, joining the accept/reader/writer
   /// tasks while the services they use are still alive.

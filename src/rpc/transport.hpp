@@ -15,6 +15,7 @@
 #include <array>
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <stdexcept>
 #include <string>
 
@@ -65,19 +66,31 @@ class Listener {
   virtual void close() = 0;
 };
 
-/// Encode `f`'s header on the stack and scatter-write header + payload —
-/// the hot-path replacement for encode_frame() + write_all(), which
-/// assembles (and allocates) a contiguous copy of the whole frame first.
-/// Throws std::length_error when the payload exceeds `max_payload`.
-inline void write_frame(Connection& c, const Frame& f,
+/// Encode the header on the stack and scatter-write header + borrowed
+/// payload — the zero-copy send path: a streamed chunk's bytes go from
+/// the caller's buffer straight into the socket without ever being
+/// assembled into a contiguous frame (or even into a Frame's owned
+/// vector). The span is only read during the call, so callers may lend
+/// views into buffers they keep. Throws std::length_error when the
+/// payload exceeds `max_payload`.
+inline void write_frame(Connection& c, const Header& header,
+                        std::span<const u8> payload,
                         u32 max_payload = kMaxPayloadBytes) {
-  if (f.payload.size() > max_payload) {
+  if (payload.size() > max_payload) {
     throw std::length_error("rpc: frame payload exceeds the protocol bound");
   }
-  Header h = f.h;
-  h.payload_len = static_cast<u32>(f.payload.size());
+  Header h = header;
+  h.payload_len = static_cast<u32>(payload.size());
   const std::array<u8, kHeaderBytes> hb = encode_header(h);
-  c.write_two(hb.data(), hb.size(), f.payload.data(), f.payload.size());
+  c.write_two(hb.data(), hb.size(), payload.data(), payload.size());
+}
+
+/// Owned-frame convenience over the span overload — the hot-path
+/// replacement for encode_frame() + write_all(), which assembles (and
+/// allocates) a contiguous copy of the whole frame first.
+inline void write_frame(Connection& c, const Frame& f,
+                        u32 max_payload = kMaxPayloadBytes) {
+  write_frame(c, f.h, std::span<const u8>(f.payload), max_payload);
 }
 
 // --- Unix-domain-socket transport (transport_unix.cpp). ---------------------

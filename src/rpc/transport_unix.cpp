@@ -60,9 +60,15 @@ class UnixConnection final : public Connection {
       // MSG_NOSIGNAL: a peer that hung up must surface as EPIPE (a
       // TransportError), not kill the process with SIGPIPE.
       const ssize_t w = ::send(fd_, src + sent, n - sent, MSG_NOSIGNAL);
-      if (w >= 0) {
+      if (w > 0) {
         sent += static_cast<std::size_t>(w);
         continue;
+      }
+      if (w == 0) {
+        // A blocking send() never legitimately accepts zero of a non-empty
+        // buffer; treating it as progress would spin forever on a wedged
+        // descriptor. Surface it as the stream dying instead.
+        throw TransportError("rpc unix transport: zero-length write");
       }
       if (errno == EINTR) continue;
       throw_errno("write");
@@ -72,7 +78,13 @@ class UnixConnection final : public Connection {
   void write_two(const u8* a, std::size_t na, const u8* b,
                  std::size_t nb) override {
     // sendmsg() with two iovecs: header + payload leave in one syscall
-    // without assembling a contiguous frame buffer first.
+    // without assembling a contiguous frame buffer first. Streaming makes
+    // multi-MiB payloads routine, and a unix socket's send buffer is a few
+    // hundred KiB — so PARTIAL writes are the common case here, not the
+    // exception: every resume path below (short write inside either iovec,
+    // short write landing exactly on the iovec boundary, EINTR between
+    // attempts) is exercised by the large-frame socket test in
+    // tests/test_stream.cpp.
     iovec iov[2];
     iov[0] = {const_cast<u8*>(a), na};
     iov[1] = {const_cast<u8*>(b), nb};
@@ -89,6 +101,10 @@ class UnixConnection final : public Connection {
       if (w < 0) {
         if (errno == EINTR) continue;
         throw_errno("write");
+      }
+      if (w == 0) {
+        // Same zero-progress guard as write_all(): never spin.
+        throw TransportError("rpc unix transport: zero-length write");
       }
       std::size_t rem = static_cast<std::size_t>(w);
       while (idx < 2 && rem >= iov[idx].iov_len) {

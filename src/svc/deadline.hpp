@@ -24,6 +24,14 @@
 // passed its last poll point it completes normally. Both deadline expiry
 // and cancellation resolve the request's future with a typed exception —
 // every submitted future resolves, always.
+//
+// The RPC v3 streaming verbs stretch the same two primitives over a
+// multi-frame request: a stream's CancelToken is armed from the wire
+// budget once, at the Begin frame (chunk frames carry the stream id where
+// a deadline would ride), registered under the Begin request id so a
+// kCancel naming it aborts the whole stream, and polled by every chunk's
+// encode/decode exactly like a single-frame request's kernels. One
+// request, one token, one deadline — however many frames it spans.
 
 #include <atomic>
 #include <chrono>

@@ -4,18 +4,47 @@
 // bit rot and truncation, like the CRCs in gzip/zstd frames.
 
 #include <cstddef>
+#include <cstring>
 #include <span>
 
 #include "util/types.hpp"
 
 namespace parhuff {
 
+/// FNV-1a offset basis — the seed an incremental hash starts from. Feeding
+/// a previous result back as `seed` chains the hash across buffers without
+/// ever holding the whole input (the v3 RPC stream checksum chains
+/// stream_checksum() over chunk payloads this way).
+inline constexpr u64 kFnv1aSeed = 0xcbf29ce484222325ull;
+
 [[nodiscard]] constexpr u64 fnv1a(std::span<const u8> bytes,
-                                  u64 seed = 0xcbf29ce484222325ull) {
+                                  u64 seed = kFnv1aSeed) {
   u64 h = seed;
   for (const u8 b : bytes) {
     h ^= b;
     h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Wide-lane variant for the v3 RPC stream checksum: FNV-1a mixing over
+/// 8-byte little-endian lanes (one multiply per 8 input bytes instead of
+/// per byte — ~6x the throughput, which matters when the hash sits on the
+/// streamed-chunk hot path on both ends of the wire) with a byte-wise
+/// tail. Chains across chunks through `seed` exactly like fnv1a(), but it
+/// is a DIFFERENT function — sender and receiver must both use it
+/// (docs/rpc.md pins the choice as part of the v3 wire contract).
+[[nodiscard]] inline u64 stream_checksum(std::span<const u8> bytes,
+                                         u64 seed = kFnv1aSeed) {
+  u64 h = seed;
+  std::size_t i = 0;
+  for (; i + 8 <= bytes.size(); i += 8) {
+    u64 lane;
+    std::memcpy(&lane, bytes.data() + i, 8);  // LE, like the frame header
+    h = (h ^ lane) * 0x100000001b3ull;
+  }
+  for (; i < bytes.size(); ++i) {
+    h = (h ^ bytes[i]) * 0x100000001b3ull;
   }
   return h;
 }

@@ -149,7 +149,8 @@ TEST(RpcProtocol, DecodeRejectsBadKindOpStatusAndOversizedLen) {
   };
   for (const auto& bytes :
        {corrupt(5, 9) /*kind*/, corrupt(6, 0) /*op low*/,
-        corrupt(6, 9) /*op high*/, corrupt(17, 200) /*status*/}) {
+        corrupt(6, 12) /*op past kDecompressStreamEnd*/,
+        corrupt(17, 200) /*status*/}) {
     EXPECT_THROW(
         (void)rpc::decode_header(std::span<const u8, rpc::kHeaderBytes>(bytes)),
         ProtocolError);

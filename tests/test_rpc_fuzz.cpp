@@ -334,5 +334,162 @@ TEST_F(RpcFuzz, MidFrameDisconnectDuringPayloadIsClean) {
   EXPECT_EQ(written + dropped, received + perr);
 }
 
+// --- Stream-op fuzz (protocol v3). The bar is unchanged: typed error or
+// dropped connection, never UB, never a stuck stream slot, and the
+// opened == completed + aborted balance holds over the whole episode.
+
+/// Open a stream over a raw connection; returns the server-assigned id.
+u64 raw_stream_begin(rpc::Connection& conn, Op op, u64 request_id) {
+  Frame f;
+  f.h.op = op;
+  f.h.sym_width = 1;
+  f.h.request_id = request_id;
+  send_frame(conn, f);
+  const Frame ack = read_frame(conn);
+  EXPECT_EQ(ack.h.status, Status::kOk);
+  EXPECT_EQ(ack.payload.size(), 8u);
+  u64 sid = 0;
+  std::memcpy(&sid, ack.payload.data(), 8);
+  return sid;
+}
+
+TEST_F(RpcFuzz, InterleavedStreamIdsStayIsolated) {
+  auto conn = hub_.connect();
+  const u64 a = raw_stream_begin(*conn, Op::kCompressStreamBegin, 1);
+  const u64 b = raw_stream_begin(*conn, Op::kCompressStreamBegin, 2);
+  ASSERT_NE(a, b);
+
+  // Alternate chunks across the two streams on one connection: each must
+  // land in its own codec (a cross-feed would corrupt both containers).
+  u64 rid = 10;
+  for (int round = 0; round < 3; ++round) {
+    for (const u64 sid : {a, b}) {
+      Frame chunk;
+      chunk.h.op = Op::kCompressStreamChunk;
+      chunk.h.request_id = rid++;
+      chunk.h.stream_id = sid;
+      chunk.payload = ramp_data(700, sid);
+      send_frame(*conn, chunk);
+      EXPECT_EQ(read_frame(*conn).h.status, Status::kOk);
+    }
+  }
+
+  // Swapping an id to the WRONG family is typed and kills only that
+  // stream — the sibling keeps accepting chunks.
+  Frame wrong;
+  wrong.h.op = Op::kDecompressStreamChunk;
+  wrong.h.request_id = rid++;
+  wrong.h.stream_id = a;
+  wrong.payload = ramp_data(100);
+  send_frame(*conn, wrong);
+  EXPECT_EQ(read_frame(*conn).h.status, Status::kBadRequest);
+
+  Frame still_ok;
+  still_ok.h.op = Op::kCompressStreamChunk;
+  still_ok.h.request_id = rid++;
+  still_ok.h.stream_id = b;
+  still_ok.payload = ramp_data(700, b);
+  send_frame(*conn, still_ok);
+  EXPECT_EQ(read_frame(*conn).h.status, Status::kOk);
+}
+
+TEST_F(RpcFuzz, TruncatedEndPayloadIsTypedNotFatal) {
+  auto conn = hub_.connect();
+  const u64 sid = raw_stream_begin(*conn, Op::kCompressStreamBegin, 1);
+  Frame end;
+  end.h.op = Op::kCompressStreamEnd;
+  end.h.request_id = 2;
+  end.h.stream_id = sid;
+  end.payload.resize(rpc::kStreamEndRequestBytes - 9);  // 7 of 16 bytes
+  send_frame(*conn, end);
+  EXPECT_EQ(read_frame(*conn).h.status, Status::kBadRequest);
+  expect_server_alive(hub_);
+}
+
+TEST_F(RpcFuzz, ForgedChecksumOnRawEndIsTyped) {
+  auto conn = hub_.connect();
+  const u64 sid = raw_stream_begin(*conn, Op::kCompressStreamBegin, 1);
+  Frame chunk;
+  chunk.h.op = Op::kCompressStreamChunk;
+  chunk.h.request_id = 2;
+  chunk.h.stream_id = sid;
+  chunk.payload = ramp_data(900);
+  send_frame(*conn, chunk);
+  EXPECT_EQ(read_frame(*conn).h.status, Status::kOk);
+
+  Frame end;
+  end.h.op = Op::kCompressStreamEnd;
+  end.h.request_id = 3;
+  end.h.stream_id = sid;
+  end.payload = rpc::encode_stream_end_request(
+      rpc::StreamEndRequest{900, 0xdeadbeef});  // checksum is a lie
+  send_frame(*conn, end);
+  EXPECT_EQ(read_frame(*conn).h.status, Status::kBadRequest);
+  expect_server_alive(hub_);
+}
+
+TEST_F(RpcFuzz, BeginReplayFloodShedsPastTheCapAndNeverWedges) {
+  auto conn = hub_.connect();
+  // Default cap: 4 concurrent streams per connection. A replayed Begin
+  // flood gets 4 grants and then typed kQueueFull for every extra —
+  // never a hang, never a dropped connection.
+  int granted = 0;
+  int shed = 0;
+  for (u64 i = 0; i < 16; ++i) {
+    Frame f;
+    f.h.op = Op::kDecompressStreamBegin;
+    f.h.sym_width = 1;
+    f.h.request_id = i;
+    send_frame(*conn, f);
+    const Frame ack = read_frame(*conn);
+    if (ack.h.status == Status::kOk) {
+      ++granted;
+    } else {
+      EXPECT_EQ(ack.h.status, Status::kQueueFull);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(granted, 4);
+  EXPECT_EQ(shed, 12);
+  expect_server_alive(hub_);
+}
+
+TEST_F(RpcFuzz, RandomStreamOpStormKeepsTheBalance) {
+  auto& reg = obs::MetricsRegistry::global();
+  const u64 opened0 = reg.counter("rpc.streams_opened");
+  const u64 completed0 = reg.counter("rpc.streams_completed");
+  const u64 aborted0 = reg.counter("rpc.streams_aborted");
+
+  Xoshiro256 rng(777);
+  for (int round = 0; round < 24; ++round) {
+    auto conn = hub_.connect();
+    try {
+      for (u64 i = 0; i < 8; ++i) {
+        Frame f;
+        // Ops 6..11: the whole v3 stream family, valid and forged mixes.
+        f.h.op = static_cast<Op>(6 + rng.below(6));
+        f.h.sym_width = static_cast<u8>(1 + rng.below(2));
+        f.h.request_id = i;
+        f.h.stream_id = rng.below(4);  // mostly-unknown ids
+        if (rng.below(2) == 1) f.payload = ramp_data(rng.below(600), i);
+        send_frame(*conn, f);
+        const Frame resp = read_frame(*conn);
+        EXPECT_EQ(resp.h.request_id, i);  // typed answer, right slot
+      }
+      conn->shutdown();  // any stream the storm opened is now an orphan
+    } catch (const TransportError&) {
+      // Dropping us is an acceptable answer to garbage.
+    }
+  }
+  expect_server_alive(hub_);
+  // Quiesce, then the stream ledger must balance: everything the storm
+  // opened was either completed or counted aborted at teardown.
+  server_->stop();
+  const u64 opened = reg.counter("rpc.streams_opened") - opened0;
+  const u64 completed = reg.counter("rpc.streams_completed") - completed0;
+  const u64 aborted = reg.counter("rpc.streams_aborted") - aborted0;
+  EXPECT_EQ(opened, completed + aborted);
+}
+
 }  // namespace
 }  // namespace parhuff
