@@ -75,6 +75,25 @@ struct EncodedStream {
 
   [[nodiscard]] bool has_gaps() const { return gap_subseq_bits != 0; }
 
+  /// RLE/sparsification side channel (cuSZ+-style, src/lossy/fused.hpp):
+  /// long runs of one dominant symbol (the lossy quantizer's
+  /// perfect-prediction code) are extracted *before* Huffman, so the
+  /// encoded stream holds only the residual symbols. `rle_orig_symbols` is
+  /// the pre-extraction symbol count (0 → no RLE, the stream is the whole
+  /// payload); `rle_run_pos[k]` is the original-stream index where a run
+  /// of `rle_run_len[k]` copies of `rle_symbol` was removed. Runs are
+  /// ascending and non-overlapping, and sum(rle_run_len) + n_symbols ==
+  /// rle_orig_symbols — enforced when the metadata is deserialized
+  /// (format.cpp) and again by rle_expand (core/rle.hpp). Carried as the
+  /// checksummed optional container field "RLE1" under the same evolution
+  /// rules as the gap metadata above.
+  u32 rle_symbol = 0;
+  u64 rle_orig_symbols = 0;
+  std::vector<u64> rle_run_pos;
+  std::vector<u32> rle_run_len;
+
+  [[nodiscard]] bool has_rle() const { return rle_orig_symbols != 0; }
+
   /// Subsequences of chunk `c` under the stream's gap granularity.
   [[nodiscard]] std::size_t gap_subsequences(std::size_t c) const {
     if (gap_subseq_bits == 0 || chunk_bits[c] == 0) return 0;
@@ -97,7 +116,8 @@ struct EncodedStream {
            overflow_payload.size() * sizeof(word_t) +
            chunk_bits.size() * sizeof(u64) +
            overflow.size() * sizeof(OverflowEntry) + gaps.size() * sizeof(u8) +
-           gap_counts.size() * sizeof(u16);
+           gap_counts.size() * sizeof(u16) + rle_run_pos.size() * sizeof(u64) +
+           rle_run_len.size() * sizeof(u32);
   }
 
   /// Fraction of symbols living in breaking groups.

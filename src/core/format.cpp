@@ -64,6 +64,64 @@ void parse_gap_field(std::span<const u8> payload, EncodedStream& s) {
     }
   }
 }
+
+/// RLE1 field payload: u32 run_symbol | u64 orig_symbols | u64 n_runs |
+/// u64 pos[n_runs] | u32 len[n_runs].
+std::vector<u8> serialize_rle_field(const EncodedStream& s) {
+  ByteWriter w;
+  w.put<u32>(s.rle_symbol);
+  w.put<u64>(s.rle_orig_symbols);
+  w.put<u64>(static_cast<u64>(s.rle_run_pos.size()));
+  w.put_array(std::span<const u64>(s.rle_run_pos));
+  w.put_array(std::span<const u32>(s.rle_run_len));
+  return w.take();
+}
+
+/// Parse + validate an RLE1 payload against the already-deserialized
+/// stream. Every structural invariant — ascending non-overlapping runs,
+/// in-range extents, the exact residual + runs == original symbol-count
+/// balance — is an enforced check here, not a decoder-side assert: a
+/// forged field must fail typed before rle_expand ever touches it.
+void parse_rle_field(std::span<const u8> payload, EncodedStream& s) {
+  ByteReader r(payload);
+  const u32 run_symbol = r.get<u32>();
+  const u64 orig = r.get<u64>();
+  if (orig == 0) {
+    throw std::runtime_error("parhuff container: rle with zero originals");
+  }
+  const u64 n_runs = r.get<u64>();
+  // Every run removes >= 1 symbol and the residual stream is never empty
+  // (the accumulator guarantees it), so n_runs is strictly below orig.
+  if (n_runs >= orig) {
+    throw std::runtime_error("parhuff container: rle run count range");
+  }
+  std::vector<u64> pos = r.get_array<u64>(static_cast<std::size_t>(n_runs));
+  std::vector<u32> len = r.get_array<u32>(static_cast<std::size_t>(n_runs));
+  if (!r.done()) {
+    throw std::runtime_error("parhuff container: rle field trailing bytes");
+  }
+  u64 removed = 0;
+  u64 next_free = 0;  // first original index not covered by earlier runs
+  for (std::size_t k = 0; k < pos.size(); ++k) {
+    if (len[k] == 0) {
+      throw std::runtime_error("parhuff container: rle zero-length run");
+    }
+    // Subtraction forms: pos + len could wrap for forged values near 2^64.
+    if (pos[k] < next_free || pos[k] > orig ||
+        static_cast<u64>(len[k]) > orig - pos[k]) {
+      throw std::runtime_error("parhuff container: rle run out of range");
+    }
+    next_free = pos[k] + len[k];
+    removed += len[k];
+  }
+  if (removed + static_cast<u64>(s.n_symbols) != orig) {
+    throw std::runtime_error("parhuff container: rle symbol-count mismatch");
+  }
+  s.rle_symbol = run_symbol;
+  s.rle_orig_symbols = orig;
+  s.rle_run_pos = std::move(pos);
+  s.rle_run_len = std::move(len);
+}
 }  // namespace
 
 // --- Codebook section. --------------------------------------------------------
@@ -248,7 +306,7 @@ EncodedStream deserialize_stream(std::span<const u8> bytes,
 template <typename Sym>
 std::vector<u8> serialize(const Compressed<Sym>& blob) {
   ByteWriter w;
-  const bool v3 = blob.stream.has_gaps();
+  const bool v3 = blob.stream.has_gaps() || blob.stream.has_rle();
   w.put_array(std::span<const char>(v3 ? kMagicV3 : kMagicV2, 4));
   w.put<u8>(static_cast<u8>(sizeof(Sym)));
   const auto cb = serialize_codebook(blob.codebook);
@@ -256,12 +314,23 @@ std::vector<u8> serialize(const Compressed<Sym>& blob) {
   const auto st = serialize_stream(blob.stream);
   w.put_bytes(st);
   if (v3) {
-    const auto field = serialize_gap_field(blob.stream);
-    w.put<u32>(1);  // n_fields
-    w.put<u32>(kContainerFieldGap);
-    w.put<u64>(static_cast<u64>(field.size()));
-    w.put_bytes(field);
-    w.put<u64>(fnv1a(field));
+    // Fields are written in tag-introduction order (GAP1 then RLE1), so a
+    // gap-only container is byte-identical to what the previous revision
+    // wrote (pinned by the golden tests).
+    const auto put_field = [&w](u32 tag, const std::vector<u8>& field) {
+      w.put<u32>(tag);
+      w.put<u64>(static_cast<u64>(field.size()));
+      w.put_bytes(field);
+      w.put<u64>(fnv1a(field));
+    };
+    w.put<u32>(static_cast<u32>(blob.stream.has_gaps()) +
+               static_cast<u32>(blob.stream.has_rle()));  // n_fields
+    if (blob.stream.has_gaps()) {
+      put_field(kContainerFieldGap, serialize_gap_field(blob.stream));
+    }
+    if (blob.stream.has_rle()) {
+      put_field(kContainerFieldRle, serialize_rle_field(blob.stream));
+    }
   }
   return w.take();
 }
@@ -297,7 +366,7 @@ Compressed<Sym> deserialize(std::span<const u8> bytes) {
       throw std::runtime_error(
           "parhuff container: implausible optional field count");
     }
-    bool saw_gap = false;
+    bool saw_gap = false, saw_rle = false;
     for (u32 i = 0; i < n_fields; ++i) {
       const u32 tag = fr.get<u32>();
       const u64 len = fr.get<u64>();
@@ -313,6 +382,13 @@ Compressed<Sym> deserialize(std::span<const u8> bytes) {
         }
         saw_gap = true;
         parse_gap_field(payload, blob.stream);
+      } else if (tag == kContainerFieldRle) {
+        if (saw_rle) {
+          throw std::runtime_error(
+              "parhuff container: duplicate optional field");
+        }
+        saw_rle = true;
+        parse_rle_field(payload, blob.stream);
       }
       // Unknown tag: verified, skipped.
     }

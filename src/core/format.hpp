@@ -13,7 +13,11 @@
 // Readers verify each field's checksum and skip tags they do not know
 // (forward compatibility: new optional fields never bump the magic).
 // Known tags: kContainerFieldGap ("GAP1") — gap-array decode metadata,
-//   payload u32 subseq_bits | u64 n | u8 gaps[n] | u16 counts[n].
+//   payload u32 subseq_bits | u64 n | u8 gaps[n] | u16 counts[n];
+// kContainerFieldRle ("RLE1") — run-length side channel extracted before
+//   Huffman (the fused lossy path, src/lossy/fused.hpp), payload
+//   u32 run_symbol | u64 orig_symbols | u64 n_runs | u64 pos[n_runs] |
+//   u32 len[n_runs].
 //
 // Codebook section:
 //   u8 max_len | u32 nbins | u8 lens[nbins]
@@ -41,6 +45,10 @@ namespace parhuff {
 
 /// Optional-field tag for gap-array decode metadata ("GAP1" little-endian).
 inline constexpr u32 kContainerFieldGap = 0x31504147;
+
+/// Optional-field tag for the pre-Huffman run-length side channel
+/// ("RLE1" little-endian).
+inline constexpr u32 kContainerFieldRle = 0x31454C52;
 
 // --- Whole-container API. ----------------------------------------------------
 

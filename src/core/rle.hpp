@@ -1,0 +1,120 @@
+#pragma once
+// Pre-Huffman run-length extraction for the fused lossy path (cuSZ+-style
+// sparsification, src/lossy/fused.hpp). On smooth fields the Lorenzo
+// quantizer emits the perfect-prediction code for the overwhelming
+// majority of elements; Huffman already prices that code at 1 bit, so the
+// remaining win is to pull *long runs* of it out of the stream entirely —
+// 12 bytes of (pos, len) metadata instead of min_run+ bits — and Huffman
+// only the residual. The extracted runs ride the container's checksummed
+// "RLE1" optional field (core/format.hpp).
+//
+// RleAccumulator is the streaming half: the fused quantize loop push()es
+// each code as it is produced and the accumulator maintains the residual
+// stream, the run table and the residual histogram in one pass — the full
+// code buffer is never materialized. rle_expand() is the decode half,
+// re-validating the run table against the residual before allocating the
+// output (deserialization already checked it once; defense in depth for
+// callers that assemble streams in memory).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/encoded.hpp"
+#include "util/types.hpp"
+
+namespace parhuff {
+
+class RleAccumulator {
+ public:
+  /// `run_symbol` is the code whose runs are extracted; `min_run` the
+  /// threshold below which a run stays inline (0 disables extraction —
+  /// every code lands in the residual). `freq` (histogram over the
+  /// residual stream, sized nbins) is updated in place as codes arrive.
+  RleAccumulator(u16 run_symbol, u32 min_run, std::vector<u64>& freq)
+      : run_symbol_(run_symbol), min_run_(min_run), freq_(freq) {}
+
+  void push(u16 code) {
+    if (min_run_ != 0 && code == run_symbol_) {
+      ++pending_;
+      ++n_;
+      return;
+    }
+    flush_pending(n_ - pending_);
+    residual_.push_back(code);
+    ++freq_[code];
+    ++n_;
+  }
+
+  /// Flush the trailing run. Guarantees a non-empty residual: a stream
+  /// that was one giant run keeps its final symbol inline, so the Huffman
+  /// stage always has at least one symbol (and the run-table invariant
+  /// n_runs < orig_symbols holds).
+  void finish() {
+    if (pending_ > 0 && residual_.empty() && pending_ >= min_run_) {
+      --pending_;
+      flush_pending(n_ - 1 - pending_);
+      residual_.push_back(run_symbol_);
+      ++freq_[run_symbol_];
+      return;
+    }
+    flush_pending(n_ - pending_);
+  }
+
+  [[nodiscard]] const std::vector<u16>& residual() const { return residual_; }
+  [[nodiscard]] std::vector<u16> take_residual() { return std::move(residual_); }
+  [[nodiscard]] u64 pushed() const { return n_; }
+  [[nodiscard]] std::size_t runs() const { return run_pos_.size(); }
+  [[nodiscard]] u64 run_symbols() const { return removed_; }
+
+  /// Attach the finished run table to `s` (no-op when no run was
+  /// extracted, keeping the container on the RLE-less layout).
+  void annotate(EncodedStream& s) {
+    if (run_pos_.empty()) return;
+    s.rle_symbol = run_symbol_;
+    s.rle_orig_symbols = n_;
+    s.rle_run_pos = std::move(run_pos_);
+    s.rle_run_len = std::move(run_len_);
+  }
+
+ private:
+  void flush_pending(u64 start) {
+    if (pending_ == 0) return;
+    if (pending_ >= min_run_) {
+      // A run can exceed the u32 length field; split it (adjacent runs are
+      // legal — validation only requires non-overlap).
+      u64 left = pending_;
+      while (left > 0) {
+        const u64 take = left > 0xFFFFFFFFull ? 0xFFFFFFFFull : left;
+        run_pos_.push_back(start);
+        run_len_.push_back(static_cast<u32>(take));
+        start += take;
+        left -= take;
+      }
+      removed_ += pending_;
+    } else {
+      for (u64 i = 0; i < pending_; ++i) residual_.push_back(run_symbol_);
+      freq_[run_symbol_] += pending_;
+    }
+    pending_ = 0;
+  }
+
+  u16 run_symbol_;
+  u32 min_run_;
+  std::vector<u64>& freq_;
+  std::vector<u16> residual_;
+  std::vector<u64> run_pos_;
+  std::vector<u32> run_len_;
+  u64 n_ = 0;        ///< codes pushed so far (original-stream length)
+  u64 pending_ = 0;  ///< current open run of run_symbol_
+  u64 removed_ = 0;  ///< symbols extracted into runs
+};
+
+/// Inverse: merge the residual symbols and the stream's run table back
+/// into the original code sequence. Validates the table (same invariants
+/// as the container parser) and throws std::runtime_error on any
+/// violation.
+[[nodiscard]] std::vector<u16> rle_expand(std::span<const u16> residual,
+                                          const EncodedStream& s);
+
+}  // namespace parhuff

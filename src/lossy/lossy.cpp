@@ -6,6 +6,7 @@
 
 #include "core/bytesio.hpp"
 #include "core/format.hpp"
+#include "lossy/fused.hpp"
 #include "util/fault_inject.hpp"
 #include "util/timer.hpp"
 
@@ -13,6 +14,7 @@ namespace parhuff::lossy {
 
 namespace {
 constexpr char kMagic[4] = {'P', 'H', 'L', '1'};
+constexpr char kMagicFused[4] = {'P', 'H', 'L', '2'};
 }
 
 std::vector<u8> compress_field(std::span<const float> field, data::Dims dims,
@@ -83,9 +85,12 @@ std::vector<u8> compress_field(std::span<const float> field, data::Dims dims,
   return bytes;
 }
 
-Field decompress_field(std::span<const u8> bytes) {
+Field decompress_field(std::span<const u8> bytes, const CancelToken* cancel) {
   ByteReader r(bytes);
   const auto magic = r.get_array<char>(4);
+  if (std::memcmp(magic.data(), kMagicFused, 4) == 0) {
+    return decompress_field_fused(bytes, cancel);
+  }
   if (std::memcmp(magic.data(), kMagic, 4) != 0) {
     throw std::runtime_error("lossy container: bad magic");
   }
@@ -121,7 +126,7 @@ Field decompress_field(std::span<const u8> bytes) {
     throw std::runtime_error("lossy container: trailing bytes");
   }
   const Compressed<u16> blob = deserialize<u16>(huff_bytes);
-  q.codes = decompress(blob, 0);
+  q.codes = decode_auto<u16>(blob.stream, blob.codebook, 0, cancel);
   if (q.codes.size() != total) {
     throw std::runtime_error("lossy container: code count mismatch");
   }

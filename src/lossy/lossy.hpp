@@ -60,7 +60,12 @@ struct Field {
   std::vector<float> values;
 };
 
-/// Inverse of compress_field. Throws std::runtime_error on malformed input.
-[[nodiscard]] Field decompress_field(std::span<const u8> bytes);
+/// Inverse of compress_field / compress_field_fused: dispatches on the
+/// container magic ("PHL1" glued, "PHL2" fused — lossy/fused.hpp), so one
+/// entry point reads both generations. Throws std::runtime_error on
+/// malformed input. `cancel` is polled inside the decode and reconstruct
+/// walks.
+[[nodiscard]] Field decompress_field(std::span<const u8> bytes,
+                                     const CancelToken* cancel = nullptr);
 
 }  // namespace parhuff::lossy

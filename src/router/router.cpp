@@ -251,9 +251,19 @@ u64 ShardRouter::route_key(Op op, u8 sym_width,
     }
     return svc::fingerprint_histogram(freq, sym_width).hash;
   }
-  // Decompress (and anything else): the container prefix holds the
-  // codebook, which is exactly as distribution-stable as the histogram
-  // shape — same book, same shard.
+  if (op == Op::kLossyCompress) {
+    // Config affinity: the 48-byte LossyRequestHeader (shape + quantizer)
+    // is the key, not the samples. Fields of one simulation variable share
+    // shape and error bound across timesteps, and their residual
+    // histograms are near-identical — landing them on one shard keeps its
+    // codebook cache hot even as the data drifts.
+    const std::size_t n = std::min<std::size_t>(
+        payload.size(), rpc::kLossyRequestHeaderBytes);
+    return fnv1a(payload.subspan(0, n));
+  }
+  // Decompress — lossless or lossy — (and anything else): the container
+  // prefix holds the codebook / quantizer header, which is exactly as
+  // distribution-stable as the histogram shape — same book, same shard.
   const std::size_t n = std::min<std::size_t>(payload.size(), 4096);
   return fnv1a(payload.subspan(0, n));
 }
@@ -291,6 +301,15 @@ rpc::RpcCall ShardRouter::forward(u32 idx, const Header& h,
   if (h.op == Op::kCompress) {
     return sh.client->compress(std::span<const u8>(payload), h.sym_width,
                                opts);
+  }
+  if (h.op == Op::kLossyCompress) {
+    // Pass-through: the payload is already LossyRequestHeader + f32s; the
+    // shard re-validates it, so the proxy hop never parses float data.
+    return sh.client->lossy_compress_raw(std::span<const u8>(payload),
+                                         h.sym_width, opts);
+  }
+  if (h.op == Op::kLossyDecompress) {
+    return sh.client->lossy_decompress(std::span<const u8>(payload), opts);
   }
   return sh.client->decompress(std::span<const u8>(payload), h.sym_width,
                                opts);
@@ -402,6 +421,8 @@ bool ShardRouter::handle_frame(const std::shared_ptr<ConnState>& cs,
   switch (h.op) {
     case Op::kCompress:
     case Op::kDecompress:
+    case Op::kLossyCompress:
+    case Op::kLossyDecompress:
       handle_proxy(cs, h, std::move(payload));
       return true;
     case Op::kCompressStreamBegin:

@@ -137,6 +137,55 @@ RpcCall RpcClient::decompress(std::vector<u8>&& container, u8 sym_width,
   return submit_frame(std::move(f));
 }
 
+RpcCall RpcClient::lossy_compress(std::span<const float> field,
+                                  const LossyRequestHeader& cfg,
+                                  const RpcOptions& opts) {
+  Frame f;
+  f.h.op = Op::kLossyCompress;
+  // Informational: the residual Huffman alphabet the server will use.
+  f.h.sym_width = cfg.nbins <= 256 ? 1 : 2;
+  f.h.priority = static_cast<u8>(opts.priority);
+  f.h.deadline_micros =
+      opts.deadline_seconds > 0
+          ? static_cast<u64>(opts.deadline_seconds * 1e6)
+          : 0;
+  f.payload = encode_lossy_request_header(cfg);
+  const std::size_t at = f.payload.size();
+  f.payload.resize(at + field.size() * sizeof(float));
+  if (!field.empty()) {
+    std::memcpy(f.payload.data() + at, field.data(),
+                field.size() * sizeof(float));
+  }
+  return submit_frame(std::move(f));
+}
+
+RpcCall RpcClient::lossy_compress_raw(std::span<const u8> payload,
+                                      u8 sym_width, const RpcOptions& opts) {
+  Frame f;
+  f.h.op = Op::kLossyCompress;
+  f.h.sym_width = sym_width;
+  f.h.priority = static_cast<u8>(opts.priority);
+  f.h.deadline_micros =
+      opts.deadline_seconds > 0
+          ? static_cast<u64>(opts.deadline_seconds * 1e6)
+          : 0;
+  f.payload.assign(payload.begin(), payload.end());
+  return submit_frame(std::move(f));
+}
+
+RpcCall RpcClient::lossy_decompress(std::span<const u8> container,
+                                    const RpcOptions& opts) {
+  Frame f;
+  f.h.op = Op::kLossyDecompress;
+  f.h.priority = static_cast<u8>(opts.priority);
+  f.h.deadline_micros =
+      opts.deadline_seconds > 0
+          ? static_cast<u64>(opts.deadline_seconds * 1e6)
+          : 0;
+  f.payload.assign(container.begin(), container.end());
+  return submit_frame(std::move(f));
+}
+
 RpcCall RpcClient::stream_begin(Op op, u8 sym_width, const RpcOptions& opts) {
   if (!is_stream_begin_op(op)) {
     throw std::invalid_argument("stream_begin: op is not a stream Begin op");

@@ -141,6 +141,28 @@ class RpcClient {
                                    u8 sym_width = 1,
                                    const RpcOptions& opts = {});
 
+  /// v4 fused lossy compress (docs/lossy.md): ships the 48-byte quantizer
+  /// config followed by the f32 field; resolves to a PHL2 container.
+  /// cfg.nx*ny*nz must equal field.size(). A pre-v4 server answers the
+  /// version gate with a typed RpcError (kUnsupportedVersion) — a
+  /// feature probe, never a hang.
+  [[nodiscard]] RpcCall lossy_compress(std::span<const float> field,
+                                       const LossyRequestHeader& cfg,
+                                       const RpcOptions& opts = {});
+
+  /// Raw pass-through overload for proxies (the shard router's forward
+  /// hop): `payload` must already be a LossyRequestHeader + f32 stream —
+  /// exactly what the typed overload builds. The shard re-validates it.
+  [[nodiscard]] RpcCall lossy_compress_raw(std::span<const u8> payload,
+                                           u8 sym_width,
+                                           const RpcOptions& opts = {});
+
+  /// v4 fused lossy decompress: ships a PHL1/PHL2 container; resolves to
+  /// a LossyFieldHeader + f32 payload (split it with
+  /// decode_lossy_field_payload).
+  [[nodiscard]] RpcCall lossy_decompress(std::span<const u8> container,
+                                         const RpcOptions& opts = {});
+
   // --- v3 streaming verbs (protocol.hpp). compress()/decompress() use
   // these transparently for oversized payloads; they are public for
   // callers that want manual chunk control (the shard router forwards

@@ -93,7 +93,7 @@ Header decode_header(std::span<const u8, kHeaderBytes> b, u32 max_payload) {
   h.kind = static_cast<Kind>(kind);
   const u8 op = b[6];
   if (op < static_cast<u8>(Op::kCompress) ||
-      op > static_cast<u8>(Op::kDecompressStreamEnd)) {
+      op > static_cast<u8>(Op::kLossyDecompress)) {
     throw ProtocolError("bad op " + std::to_string(op), Status::kBadRequest,
                         /*can_respond=*/true, h.request_id);
   }
@@ -161,6 +161,77 @@ StreamSummary decode_stream_summary(std::span<const u8> payload) {
   s.bytes_out = get_le<u64>(payload.data() + 8);
   s.checksum = get_le<u64>(payload.data() + 16);
   return s;
+}
+
+std::vector<u8> encode_lossy_request_header(const LossyRequestHeader& h) {
+  std::vector<u8> b(kLossyRequestHeaderBytes, 0);
+  put_le<u64>(b.data() + 0, h.nx);
+  put_le<u64>(b.data() + 8, h.ny);
+  put_le<u64>(b.data() + 16, h.nz);
+  put_le<double>(b.data() + 24, h.rel_error_bound);
+  put_le<double>(b.data() + 32, h.abs_error_bound);
+  put_le<u32>(b.data() + 40, h.nbins);
+  put_le<u32>(b.data() + 44, h.rle_min_run);
+  return b;
+}
+
+LossyRequestHeader decode_lossy_request_header(std::span<const u8> payload) {
+  if (payload.size() < kLossyRequestHeaderBytes) {
+    throw ProtocolError("lossy request payload too short (" +
+                            std::to_string(payload.size()) + " bytes)",
+                        Status::kBadRequest, /*can_respond=*/false, 0);
+  }
+  LossyRequestHeader h;
+  h.nx = get_le<u64>(payload.data() + 0);
+  h.ny = get_le<u64>(payload.data() + 8);
+  h.nz = get_le<u64>(payload.data() + 16);
+  h.rel_error_bound = get_le<double>(payload.data() + 24);
+  h.abs_error_bound = get_le<double>(payload.data() + 32);
+  h.nbins = get_le<u32>(payload.data() + 40);
+  h.rle_min_run = get_le<u32>(payload.data() + 44);
+  return h;
+}
+
+std::vector<u8> encode_lossy_field_header(const LossyFieldHeader& h) {
+  std::vector<u8> b(kLossyFieldHeaderBytes, 0);
+  put_le<u64>(b.data() + 0, h.nx);
+  put_le<u64>(b.data() + 8, h.ny);
+  put_le<u64>(b.data() + 16, h.nz);
+  put_le<double>(b.data() + 24, h.error_bound);
+  return b;
+}
+
+LossyFieldHeader decode_lossy_field_header(std::span<const u8> payload) {
+  if (payload.size() < kLossyFieldHeaderBytes) {
+    throw ProtocolError("lossy field payload too short (" +
+                            std::to_string(payload.size()) + " bytes)",
+                        Status::kBadRequest, /*can_respond=*/false, 0);
+  }
+  LossyFieldHeader h;
+  h.nx = get_le<u64>(payload.data() + 0);
+  h.ny = get_le<u64>(payload.data() + 8);
+  h.nz = get_le<u64>(payload.data() + 16);
+  h.error_bound = get_le<double>(payload.data() + 24);
+  return h;
+}
+
+std::pair<LossyFieldHeader, std::vector<float>> decode_lossy_field_payload(
+    std::span<const u8> payload) {
+  const LossyFieldHeader h = decode_lossy_field_header(payload);
+  const std::span<const u8> body = payload.subspan(kLossyFieldHeaderBytes);
+  const u64 n = body.size() / sizeof(float);
+  bool ok = body.size() % sizeof(float) == 0 && n != 0 && h.nx != 0 &&
+            h.ny != 0 && h.nz != 0;
+  ok = ok && h.nx <= n / h.ny;
+  ok = ok && h.nx * h.ny <= n / h.nz;
+  ok = ok && h.nx * h.ny * h.nz == n;
+  if (!ok) {
+    throw ProtocolError("lossy field payload dims mismatch",
+                        Status::kBadRequest, /*can_respond=*/false, 0);
+  }
+  std::vector<float> values(static_cast<std::size_t>(n));
+  std::memcpy(values.data(), body.data(), body.size());
+  return {h, std::move(values)};
 }
 
 std::vector<u8> encode_health_info(const HealthInfo& info) {

@@ -65,6 +65,20 @@
 // aborts the stream: the id is forgotten and later frames for it answer
 // kBadRequest ("unknown stream"). Streams never stall silently.
 //
+// Protocol v4 adds the fused lossy verbs (docs/lossy.md):
+//
+//   lossy_compress    request: LossyRequestHeader (48-byte LE quantizer
+//                     config) followed by nx*ny*nz little-endian f32
+//                     samples — response: PHL2 container.
+//   lossy_decompress  request: PHL1/PHL2 container — response:
+//                     LossyFieldHeader (32-byte LE dims + resolved bound)
+//                     followed by the reconstructed f32 samples.
+//
+// Version negotiation is unchanged: a v3 server that receives a v4 frame
+// answers kUnsupportedVersion at the version gate, and a v3 frame that
+// somehow carries a lossy op fails the op range check with kBadRequest —
+// typed either way, never a hang.
+//
 // A non-kOk response carries a human-readable message as payload. Frame
 // parsing distinguishes two failure classes: ProtocolError (a structurally
 // invalid frame — the server answers with a typed error when enough of the
@@ -77,6 +91,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/types.hpp"
@@ -85,10 +100,11 @@ namespace parhuff::rpc {
 
 inline constexpr u32 kMagic = 0x43524850u;  // "PHRC" when read little-endian
 /// Current protocol version. v2 added the health op (kHealth) for in-band
-/// shard probing; v3 adds the streaming verbs (Begin/Chunk/End pairs).
-/// The header layout and every v1/v2 op are unchanged, so the whole
+/// shard probing; v3 added the streaming verbs (Begin/Chunk/End pairs);
+/// v4 adds the fused lossy verbs (kLossyCompress/kLossyDecompress).
+/// The header layout and every earlier op are unchanged, so the whole
 /// [kMinVersion, kVersion] range is still accepted.
-inline constexpr u8 kVersion = 3;
+inline constexpr u8 kVersion = 4;
 inline constexpr u8 kMinVersion = 1;
 inline constexpr std::size_t kHeaderBytes = 32;
 /// Default bound on a single frame's payload; both ends reject bigger
@@ -124,6 +140,12 @@ enum class Op : u8 {
   kDecompressStreamBegin = 9,
   kDecompressStreamChunk = 10,
   kDecompressStreamEnd = 11,
+  // Protocol v4 fused lossy verbs (lossy/fused.hpp). sym_width on these
+  // frames describes the residual Huffman alphabet the server should use
+  // on compress (derived from nbins; informational) and is ignored on
+  // decompress (the container is self-describing).
+  kLossyCompress = 12,
+  kLossyDecompress = 13,
 };
 
 /// True for all six v3 streaming ops.
@@ -278,6 +300,57 @@ inline constexpr std::size_t kStreamSummaryBytes = 24;
 
 [[nodiscard]] std::vector<u8> encode_stream_summary(const StreamSummary& s);
 [[nodiscard]] StreamSummary decode_stream_summary(std::span<const u8> payload);
+
+/// Leading bytes of a kLossyCompress request payload: the quantizer
+/// configuration, followed immediately by nx*ny*nz LE f32 samples.
+/// 48-byte LE layout: u64 nx | u64 ny | u64 nz | f64 rel_error_bound |
+/// f64 abs_error_bound | u32 nbins | u32 rle_min_run. This header is also
+/// the router's affinity key for lossy traffic: fields with the same
+/// shape and quantizer land on the same shard, so their residual
+/// histograms can share its codebook cache.
+struct LossyRequestHeader {
+  u64 nx = 0;
+  u64 ny = 0;
+  u64 nz = 0;
+  double rel_error_bound = 0;
+  double abs_error_bound = 0;
+  u32 nbins = 0;
+  u32 rle_min_run = 0;
+};
+
+/// Leading bytes of a kLossyDecompress kOk response payload: the field's
+/// shape and the resolved absolute error bound, followed by nx*ny*nz LE
+/// f32 reconstructed samples. 32-byte LE layout: u64 nx | u64 ny | u64 nz
+/// | f64 error_bound.
+struct LossyFieldHeader {
+  u64 nx = 0;
+  u64 ny = 0;
+  u64 nz = 0;
+  double error_bound = 0;
+};
+
+inline constexpr std::size_t kLossyRequestHeaderBytes = 48;
+inline constexpr std::size_t kLossyFieldHeaderBytes = 32;
+
+[[nodiscard]] std::vector<u8> encode_lossy_request_header(
+    const LossyRequestHeader& h);
+/// Throws ProtocolError (kBadRequest, can_respond=false) on a short
+/// payload; bytes beyond the header belong to the sample stream and are
+/// not examined here.
+[[nodiscard]] LossyRequestHeader decode_lossy_request_header(
+    std::span<const u8> payload);
+
+[[nodiscard]] std::vector<u8> encode_lossy_field_header(
+    const LossyFieldHeader& h);
+[[nodiscard]] LossyFieldHeader decode_lossy_field_header(
+    std::span<const u8> payload);
+
+/// Split a kLossyDecompress kOk response payload into its header and the
+/// reconstructed f32 samples. Throws ProtocolError (kBadRequest) when the
+/// sample byte count disagrees with the header's dims (overflow-safe — a
+/// forged header can never wrap the product into a plausible count).
+[[nodiscard]] std::pair<LossyFieldHeader, std::vector<float>>
+decode_lossy_field_payload(std::span<const u8> payload);
 
 [[nodiscard]] std::array<u8, kHeaderBytes> encode_header(const Header& h);
 

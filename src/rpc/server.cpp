@@ -13,6 +13,7 @@
 #include "core/decode.hpp"
 #include "core/format.hpp"
 #include "core/streaming.hpp"
+#include "lossy/lossy.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -550,6 +551,12 @@ bool RpcServer::handle_frame(const std::shared_ptr<ConnState>& cs,
       cs->enqueue_ready(std::move(f));
       return true;
     }
+    case Op::kLossyCompress:
+      handle_lossy_compress(cs, h, std::move(payload));
+      return true;
+    case Op::kLossyDecompress:
+      handle_lossy_decompress(cs, h, std::move(payload));
+      return true;
     case Op::kCompressStreamBegin:
     case Op::kDecompressStreamBegin:
       handle_stream_begin(cs, h);
@@ -728,6 +735,190 @@ void RpcServer::handle_decompress(const std::shared_ptr<ConnState>& cs,
         if (!out.empty()) {
           std::memcpy(f.payload.data(), out.data(), f.payload.size());
         }
+      }
+      f.h.status = Status::kOk;
+    } catch (const OperationCancelled& e) {
+      f.h.status = Status::kCancelled;
+      f.payload.assign(e.what(), e.what() + std::strlen(e.what()));
+    } catch (const DeadlineExpired& e) {
+      f.h.status = Status::kDeadlineExceeded;
+      f.payload.assign(e.what(), e.what() + std::strlen(e.what()));
+    } catch (const std::runtime_error& e) {
+      // Malformed container / corrupt stream: the client's fault.
+      f.h.status = Status::kBadRequest;
+      f.payload.assign(e.what(), e.what() + std::strlen(e.what()));
+    } catch (const std::exception& e) {
+      f.h.status = Status::kInternal;
+      f.payload.assign(e.what(), e.what() + std::strlen(e.what()));
+    }
+    raw->unregister(hdr.request_id);
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    obs::TraceRecorder& rec = obs::TraceRecorder::global();
+    const double done_us = rec.now_us();
+    reg.histo_record("rpc.request_seconds", (done_us - start_us) / 1e6);
+    rec.complete("rpc.request", "rpc", start_us, done_us - start_us);
+    return f;
+  });
+}
+
+void RpcServer::handle_lossy_compress(const std::shared_ptr<ConnState>& cs,
+                                      const Header& h,
+                                      std::vector<u8> payload) {
+  // Validate the shape before any allocation is committed to it: header
+  // present, sample stream a whole number of f32s, dims matching the
+  // stream exactly (overflow-safe stepwise product — nx*ny*nz of forged
+  // u64 dims must never wrap into a plausible count).
+  LossyRequestHeader lh;
+  try {
+    lh = decode_lossy_request_header(payload);
+  } catch (const ProtocolError& e) {
+    cs->enqueue_ready(error_frame(h, Status::kBadRequest, e.what()));
+    return;
+  }
+  const std::size_t body_bytes = payload.size() - kLossyRequestHeaderBytes;
+  if (body_bytes % sizeof(float) != 0) {
+    cs->enqueue_ready(error_frame(
+        h, Status::kBadRequest, "payload is not a whole number of f32s"));
+    return;
+  }
+  const u64 n_floats = body_bytes / sizeof(float);
+  bool dims_ok = lh.nx != 0 && lh.ny != 0 && lh.nz != 0 && n_floats != 0;
+  dims_ok = dims_ok && lh.nx <= n_floats / lh.ny;
+  dims_ok = dims_ok && lh.nx * lh.ny <= n_floats / lh.nz;
+  dims_ok = dims_ok && lh.nx * lh.ny * lh.nz == n_floats;
+  if (!dims_ok) {
+    cs->enqueue_ready(error_frame(
+        h, Status::kBadRequest, "dims do not match the f32 sample count"));
+    return;
+  }
+  if (lh.nbins < 4 || lh.nbins > 65536) {
+    cs->enqueue_ready(
+        error_frame(h, Status::kBadRequest, "nbins out of range [4, 65536]"));
+    return;
+  }
+
+  std::vector<float> field(static_cast<std::size_t>(n_floats));
+  std::memcpy(field.data(), payload.data() + kLossyRequestHeaderBytes,
+              body_bytes);
+  data::Dims dims{static_cast<std::size_t>(lh.nx),
+                  static_cast<std::size_t>(lh.ny),
+                  static_cast<std::size_t>(lh.nz)};
+  lossy::FusedConfig fc;
+  fc.rel_error_bound = lh.rel_error_bound;
+  fc.abs_error_bound = lh.abs_error_bound;
+  fc.nbins = lh.nbins;
+  fc.rle_min_run = lh.rle_min_run;
+  fc.pipeline = lh.nbins <= 256 ? cfg_.pipeline8 : cfg_.pipeline16;
+
+  svc::SubmitOptions opts;
+  opts.priority = to_priority(h.priority);
+  if (h.deadline_micros != 0) {
+    opts.deadline = svc::Deadline::in(
+        static_cast<double>(h.deadline_micros) * 1e-6, *clock_);
+  }
+
+  // Route on the residual alphabet: the u8 service owns narrow quantizers,
+  // the u16 service everything wider (submit_lossy enforces the same
+  // predicate, so a routing bug fails loudly instead of silently).
+  svc::LossySubmission sub;
+  try {
+    sub = lh.nbins <= 256
+              ? svc8_->submit_lossy(std::move(field), dims, fc, opts)
+              : svc16_->submit_lossy(std::move(field), dims, fc, opts);
+  } catch (const svc::QueueFullError&) {
+    cs->enqueue_ready(error_frame(h, Status::kQueueFull,
+                                  "service admission queue full"));
+    return;
+  } catch (const std::logic_error&) {
+    cs->enqueue_ready(
+        error_frame(h, Status::kShuttingDown, "server shutting down"));
+    return;
+  } catch (const std::exception& e) {
+    cs->enqueue_ready(error_frame(h, Status::kBadRequest, e.what()));
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(cs->mu);
+    cs->compress_inflight.emplace(h.request_id, sub.handle);
+  }
+
+  auto fut = std::make_shared<std::future<svc::LossyResult>>(
+      std::move(sub.result));
+  ConnState* raw = cs.get();  // the writer keeps *cs alive past this slot
+  const double start_us = obs::TraceRecorder::global().now_us();
+  cs->enqueue([raw, fut, hdr = h, start_us]() {
+    Frame f;
+    f.h.kind = Kind::kResponse;
+    f.h.op = Op::kLossyCompress;
+    f.h.sym_width = hdr.sym_width;
+    f.h.request_id = hdr.request_id;
+    try {
+      svc::LossyResult res = fut->get();
+      f.payload = std::move(res.container);
+      f.h.status = Status::kOk;
+    } catch (const svc::DeadlineExceeded& e) {
+      f.h.status = Status::kDeadlineExceeded;
+      f.payload.assign(e.what(), e.what() + std::strlen(e.what()));
+    } catch (const svc::CancelledError& e) {
+      f.h.status = Status::kCancelled;
+      f.payload.assign(e.what(), e.what() + std::strlen(e.what()));
+    } catch (const std::invalid_argument& e) {
+      f.h.status = Status::kBadRequest;
+      f.payload.assign(e.what(), e.what() + std::strlen(e.what()));
+    } catch (const std::exception& e) {
+      f.h.status = Status::kInternal;
+      f.payload.assign(e.what(), e.what() + std::strlen(e.what()));
+    }
+    raw->unregister(hdr.request_id);
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    obs::TraceRecorder& rec = obs::TraceRecorder::global();
+    const double done_us = rec.now_us();
+    reg.histo_record("rpc.request_seconds", (done_us - start_us) / 1e6);
+    rec.complete("rpc.request", "rpc", start_us, done_us - start_us);
+    return f;
+  });
+}
+
+void RpcServer::handle_lossy_decompress(const std::shared_ptr<ConnState>& cs,
+                                        const Header& h,
+                                        std::vector<u8> payload) {
+  auto token = std::make_shared<CancelToken>();
+  if (h.deadline_micros != 0) {
+    token->arm_deadline(clock_->now() + util::Clock::dur(
+                            static_cast<double>(h.deadline_micros) * 1e-6),
+                        *clock_);
+  }
+  {
+    std::lock_guard<std::mutex> lock(cs->mu);
+    cs->decode_inflight.emplace(h.request_id, token);
+  }
+  auto body = std::make_shared<std::vector<u8>>(std::move(payload));
+  ConnState* raw = cs.get();
+  const double start_us = obs::TraceRecorder::global().now_us();
+  // Runs on the writer task like plain decompress; the container magic
+  // (PHL1/PHL2) picks the path and the decode/reconstruct walks poll the
+  // token.
+  cs->enqueue([raw, body, token, hdr = h, start_us]() {
+    Frame f;
+    f.h.kind = Kind::kResponse;
+    f.h.op = Op::kLossyDecompress;
+    f.h.sym_width = hdr.sym_width;
+    f.h.request_id = hdr.request_id;
+    try {
+      token->check();  // cheap pre-flight: already cancelled/expired?
+      const lossy::Field field = lossy::decompress_field(*body, token.get());
+      LossyFieldHeader fh;
+      fh.nx = static_cast<u64>(field.dims.nx);
+      fh.ny = static_cast<u64>(field.dims.ny);
+      fh.nz = static_cast<u64>(field.dims.nz);
+      fh.error_bound = field.error_bound;
+      f.payload = encode_lossy_field_header(fh);
+      const std::size_t at = f.payload.size();
+      f.payload.resize(at + field.values.size() * sizeof(float));
+      if (!field.values.empty()) {
+        std::memcpy(f.payload.data() + at, field.values.data(),
+                    field.values.size() * sizeof(float));
       }
       f.h.status = Status::kOk;
     } catch (const OperationCancelled& e) {

@@ -141,6 +141,14 @@ class RpcServer {
                            const Header& h);
   void handle_stream_frame(const std::shared_ptr<ConnState>& cs,
                            const Header& h, std::vector<u8> payload);
+  /// v4 fused lossy verbs. Compress routes on the request's nbins — the
+  /// residual alphabet decides which service instance (u8 for nbins <=
+  /// 256, u16 otherwise) owns the request; decompress is self-describing
+  /// and runs on the writer task like plain decompress.
+  void handle_lossy_compress(const std::shared_ptr<ConnState>& cs,
+                             const Header& h, std::vector<u8> payload);
+  void handle_lossy_decompress(const std::shared_ptr<ConnState>& cs,
+                               const Header& h, std::vector<u8> payload);
 
   ServerConfig cfg_;
   const util::Clock* clock_;  // resolved from cfg_.service.clock

@@ -249,6 +249,111 @@ std::future<CompressResult<Sym>> CompressionService<Sym>::submit(
 }
 
 template <typename Sym>
+LossySubmission CompressionService<Sym>::submit_lossy(
+    std::vector<float>&& field, data::Dims dims, const lossy::FusedConfig& cfg,
+    const SubmitOptions& opts) {
+  // The quantizer alphabet must match this instance's symbol width — the
+  // fused path Huffman-codes the residual over Sym, so a u8 service can
+  // only serve nbins <= 256 and a u16 service only wider alphabets. The
+  // RPC front end routes on exactly this predicate.
+  if ((cfg.nbins <= 256) != (sizeof(Sym) == 1)) {
+    throw std::invalid_argument(
+        "CompressionService: lossy nbins does not match this service's "
+        "symbol width (nbins <= 256 belongs on the u8 instance)");
+  }
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+
+  LossyJob j;
+  j.field = std::move(field);
+  j.dims = dims;
+  j.cfg = cfg;
+  j.deadline = opts.deadline;
+  j.handle = std::make_shared<detail::HandleState>();
+  if (!opts.deadline.unlimited()) {
+    j.handle->token.arm_deadline(opts.deadline.at, *clock_);
+  }
+  RequestHandle handle(j.handle);
+  std::future<LossyResult> fut = j.promise.get_future();
+
+  // Dead on arrival: resolve without touching the queue. Counts as a
+  // request AND a failure so lossy.requests == completed + failed holds.
+  if (opts.deadline.expired(clock_->now())) {
+    j.handle->try_transition(ReqPhase::kPending, ReqPhase::kResolved);
+    j.promise.set_exception(std::make_exception_ptr(DeadlineExceeded{}));
+    reg.counter_add("lossy.requests");
+    reg.counter_add("lossy.failed");
+    reg.counter_add("svc.deadline_exceeded");
+    return LossySubmission{std::move(fut), std::move(handle)};
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) {
+      throw std::logic_error("CompressionService: submit() after shutdown");
+    }
+    if (outstanding_ >= cfg_.queue_capacity) {
+      if (cfg_.overflow == OverflowPolicy::kReject) {
+        // Rejected before admission: svc.rejected_requests only — never a
+        // lossy.requests tick (the caller's throw IS the resolution).
+        reg.counter_add("svc.rejected_requests");
+        throw QueueFullError();
+      }
+      reg.counter_add("svc.backpressure_events");
+      const auto has_space = [&] {
+        return stopping_ || outstanding_ < cfg_.queue_capacity;
+      };
+      ++waiting_submitters_;
+      bool admitted = true;
+      if (j.deadline.unlimited()) {
+        space_cv_.wait(lock, has_space);
+      } else {
+        while (!has_space()) {
+          if (clock_->wait_until(space_cv_, lock, j.deadline.at) ==
+                  std::cv_status::timeout &&
+              !has_space()) {
+            admitted = false;
+            break;
+          }
+        }
+      }
+      --waiting_submitters_;
+      if (stopping_) {
+        drain_cv_.notify_all();  // the destructor waits for us to leave
+        throw std::logic_error("CompressionService: submit() after shutdown");
+      }
+      if (!admitted) {
+        lock.unlock();
+        j.handle->try_transition(ReqPhase::kPending, ReqPhase::kResolved);
+        j.promise.set_exception(std::make_exception_ptr(DeadlineExceeded{}));
+        reg.counter_add("lossy.requests");
+        reg.counter_add("lossy.failed");
+        reg.counter_add("svc.deadline_exceeded");
+        return LossySubmission{std::move(fut), std::move(handle)};
+      }
+    }
+    ++outstanding_;
+    j.enqueue_us = obs::TraceRecorder::global().now_us();
+    reg.gauge_set("svc.queue_depth", static_cast<double>(outstanding_));
+  }
+  reg.counter_add("lossy.requests");
+  obs::TraceRecorder::global().instant("svc.lossy_enqueue", "svc");
+
+  // Solo dispatch, straight to the pool — a float field amortizes its own
+  // codebook build, so the batching scheduler has nothing to add. The
+  // shared_ptr box gives std::function the copyable callable it needs; the
+  // inline fallback preserves the resolve-always invariant when the
+  // executor refuses the handoff (matching dispatch()'s last resort).
+  auto boxed = std::make_shared<LossyJob>(std::move(j));
+  try {
+    pool_->submit([this, boxed] { run_lossy(*boxed); });
+  } catch (...) {
+    reg.counter_add("svc.inline_dispatches");
+    run_lossy(*boxed);
+  }
+  return LossySubmission{std::move(fut), std::move(handle)};
+}
+
+template <typename Sym>
 void CompressionService<Sym>::prune_pending(std::vector<Request>& expired,
                                             std::vector<Request>& cancelled) {
   const auto now = clock_->now();
@@ -758,6 +863,105 @@ void CompressionService<Sym>::run_degraded(Request& r,
     } else {
       fail_request(r, err, "svc.requests_failed");
     }
+  }
+}
+
+template <typename Sym>
+void CompressionService<Sym>::run_lossy(LossyJob& job) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::TraceRecorder& rec = obs::TraceRecorder::global();
+  obs::TraceSpan span("svc.lossy", "svc");
+  const double start_us = rec.now_us();
+  reg.histo_record("svc.queue_wait_seconds",
+                   (start_us - job.enqueue_us) / 1e6);
+
+  // cancel() wins outright while the job waited for a worker.
+  if (!job.handle->try_transition(ReqPhase::kPending, ReqPhase::kDispatched)) {
+    job.promise.set_exception(std::make_exception_ptr(CancelledError{}));
+    reg.counter_add("lossy.failed");
+    reg.counter_add("svc.cancelled_requests");
+    finish_one();
+    return;
+  }
+  // Deadline boundary re-check before any quantization work is spent.
+  if (job.deadline.expired(clock_->now())) {
+    job.promise.set_exception(std::make_exception_ptr(DeadlineExceeded{}));
+    reg.counter_add("lossy.failed");
+    reg.counter_add("svc.deadline_exceeded");
+    finish_one();
+    return;
+  }
+
+  // Splice the service's sharded-LRU cache into the fused path. The hooks
+  // run synchronously inside compress_field_fused, so capturing locals by
+  // reference is safe. Keying mirrors run_batch: the residual histogram's
+  // fingerprint under cache_seed(pc), guarded by covers() so an aliased
+  // hit can never drop symbols.
+  bool cache_hit = false;
+  lossy::CodebookSource books;
+  if (cfg_.enable_cache) {
+    books.find = [this, &reg, &cache_hit](std::span<const u64> freq,
+                                          const PipelineConfig& pc)
+        -> std::shared_ptr<const Codebook> {
+      const Fingerprint fp = fingerprint_histogram(freq, cache_seed(pc));
+      if (std::shared_ptr<const Codebook> hit = cache_.find(fp)) {
+        if (CodebookCache::covers(*hit, freq)) {
+          cache_hit = true;
+          reg.counter_add("lossy.cache_hits");
+          return hit;
+        }
+        reg.counter_add("svc.cache_guard_rejects");
+      }
+      reg.counter_add("lossy.cache_misses");
+      return nullptr;
+    };
+    books.store = [this, &reg](std::span<const u64> freq,
+                               const PipelineConfig& pc,
+                               const std::shared_ptr<const Codebook>& cb) {
+      try {
+        cache_.insert(fingerprint_histogram(freq, cache_seed(pc)), cb);
+      } catch (...) {
+        reg.counter_add("svc.cache_insert_dropped");
+      }
+    };
+  }
+
+  // One attempt, no retry tier: the fused pass has no batch machinery to
+  // fall back from, and re-running a whole-field quantization on a
+  // transient blip costs more than letting the caller decide.
+  try {
+    LossyResult res;
+    res.container = lossy::compress_field_fused(
+        job.field, job.dims, job.cfg, &res.report,
+        cfg_.enable_cache ? &books : nullptr, &job.handle->token);
+    res.cache_hit = cache_hit;
+    res.queue_seconds = (start_us - job.enqueue_us) / 1e6;
+    reg.counter_add("lossy.completed");
+    reg.counter_add("svc.input_bytes", job.field.size() * sizeof(float));
+    reg.counter_add("svc.output_bytes", res.container.size());
+    const double done_us = rec.now_us();
+    reg.histo_record("svc.request_seconds", (done_us - job.enqueue_us) / 1e6);
+    rec.complete("svc.request", "svc", job.enqueue_us,
+                 done_us - job.enqueue_us);
+    job.promise.set_value(std::move(res));
+    finish_one();
+  } catch (...) {
+    const std::exception_ptr err = std::current_exception();
+    const AbandonKind kind = abandon_kind(err);
+    reg.counter_add("lossy.failed");
+    if (kind == AbandonKind::kCancelled) {
+      reg.counter_add("svc.cancelled_midstage");
+      job.promise.set_exception(std::make_exception_ptr(CancelledError{}));
+      reg.counter_add("svc.cancelled_requests");
+    } else if (kind == AbandonKind::kDeadline) {
+      reg.counter_add("svc.cancelled_midstage");
+      job.promise.set_exception(std::make_exception_ptr(DeadlineExceeded{}));
+      reg.counter_add("svc.deadline_exceeded");
+    } else {
+      job.promise.set_exception(err);
+      reg.counter_add("svc.requests_failed");
+    }
+    finish_one();
   }
 }
 

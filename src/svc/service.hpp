@@ -83,6 +83,7 @@
 #include "core/canonical.hpp"
 #include "core/encoded.hpp"
 #include "core/pipeline.hpp"
+#include "lossy/fused.hpp"
 #include "svc/codebook_cache.hpp"
 #include "svc/deadline.hpp"
 #include "util/backoff.hpp"
@@ -195,6 +196,23 @@ struct Submission {
   RequestHandle handle;
 };
 
+/// Result of a fused lossy request (submit_lossy): the self-contained
+/// PHL2 container plus the fused-path report. Lossy requests dispatch
+/// solo (a float field amortizes its own codebook build) but share the
+/// service's admission bound, worker pool, deadline/cancel machinery and
+/// — through the residual-histogram fingerprint — its codebook cache.
+struct LossyResult {
+  std::vector<u8> container;
+  lossy::FusedReport report;
+  bool cache_hit = false;    ///< codebook came from the sharded-LRU cache
+  double queue_seconds = 0;  ///< admission → fused pass start
+};
+
+struct LossySubmission {
+  std::future<LossyResult> result;
+  RequestHandle handle;
+};
+
 /// Decode a service result back to symbols (convenience inverse).
 /// `cancel` is polled cooperatively inside the decode walk, so a caller
 /// with a deadline (e.g. the RPC server's decompress op) can abandon a
@@ -243,6 +261,24 @@ class CompressionService {
       std::span<const Sym> data, const PipelineConfig& pipeline,
       Priority priority = Priority::kNormal);
 
+  /// Submit a float field for fused error-bounded lossy compression
+  /// (lossy/fused.hpp). The field is moved in; the request takes the solo
+  /// dispatch path under the same admission bound, deadline and
+  /// cancellation semantics as submit(). The quantizer width must match
+  /// this service's symbol width: cfg.nbins <= 256 on the u8 instance,
+  /// larger alphabets on the u16 instance (std::invalid_argument
+  /// otherwise — the RPC server routes by nbins). Codebooks are looked up
+  /// in / inserted into cache() under the residual quant-code histogram's
+  /// fingerprint; there is no retry/degraded tier (the fused pass has no
+  /// batch machinery to fall back from), so a failure reaches the future
+  /// after at most one attempt. Counters: lossy.requests ==
+  /// lossy.completed + lossy.failed (rejected submissions throw before
+  /// counting as requests).
+  [[nodiscard]] LossySubmission submit_lossy(std::vector<float>&& field,
+                                             data::Dims dims,
+                                             const lossy::FusedConfig& cfg,
+                                             const SubmitOptions& opts = {});
+
   /// Block until every request admitted before this call has completed.
   void drain();
 
@@ -266,7 +302,20 @@ class CompressionService {
     int retry_budget = 0;
   };
 
+  struct LossyJob {
+    std::vector<float> field;
+    data::Dims dims;
+    lossy::FusedConfig cfg;
+    Deadline deadline;
+    std::shared_ptr<detail::HandleState> handle;
+    std::promise<LossyResult> promise;
+    double enqueue_us = 0;
+  };
+
   void scheduler_loop();
+  /// Execute one fused lossy request on a pool worker (or inline when the
+  /// executor handoff fails — the resolve-always invariant).
+  void run_lossy(LossyJob& job);
   /// Move cancelled / deadline-expired pending requests into the doom
   /// lists (caller holds mu_; resolution happens unlocked later).
   void prune_pending(std::vector<Request>& expired,

@@ -1,0 +1,249 @@
+#pragma once
+// Property-based testing harness for the lossy stack (and byte-stream
+// round trips generally). Deliberately tiny — a seeded generator, a
+// library of adversarial float-field families, and a runner with
+// halving-shrink — because the properties under test are simple
+// ("|x - x'| <= eb elementwise", "decode(encode(x)) == x") and the value
+// is in the *inputs*: hundreds of seeded cases across field families that
+// each break a different assumption (denormals underflow bin widths,
+// turbulence defeats the Lorenzo stencil, constants starve the histogram,
+// NaN/Inf must never reach llround).
+//
+// Every case is reproducible from (family, case index): the runner derives
+// the case seed as fnv1a-style mix of a fixed harness seed, so a CI
+// failure names the exact field that broke and `--gtest_filter` +
+// the logged seed replays it locally. On failure the runner shrinks by
+// halving the largest dimension while the property still fails, then
+// reports the minimal failing shape.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/quant.hpp"
+#include "util/rng.hpp"
+
+namespace parhuff::proptest {
+
+/// Fixed harness seed: changing it reshuffles every generated case, so it
+/// only moves deliberately.
+inline constexpr std::uint64_t kHarnessSeed = 0x9e3779b97f4a7c15ull;
+
+/// Derive the deterministic seed of one case from its family and index.
+[[nodiscard]] inline std::uint64_t case_seed(std::uint64_t family_tag,
+                                             std::uint64_t index) {
+  std::uint64_t h = kHarnessSeed;
+  h ^= family_tag;
+  h *= 0x100000001b3ull;
+  h ^= index;
+  h *= 0x100000001b3ull;
+  h ^= h >> 29;
+  return h;
+}
+
+/// Uniform double in [lo, hi).
+[[nodiscard]] inline double uniform(Xoshiro256& rng, double lo, double hi) {
+  const double u =
+      static_cast<double>(rng.next() >> 11) * (1.0 / 9007199254740992.0);
+  return lo + u * (hi - lo);
+}
+
+// ---------------------------------------------------------------------------
+// Float-field families. Each produces dims.total() samples from a seed;
+// together they cover the quantizer's failure modes.
+
+enum class FieldKind {
+  kSmooth,        ///< separable trig field: Lorenzo's best case
+  kTurbulent,     ///< smooth base + heavy noise: prediction mostly misses
+  kConstant,      ///< one value everywhere: RLE's best case, histogram's worst
+  kDenormal,      ///< values straddling FLT_MIN: bin widths can underflow
+  kSpiky,         ///< smooth with injected outlier spikes and non-finites
+};
+
+[[nodiscard]] inline const char* field_kind_name(FieldKind k) {
+  switch (k) {
+    case FieldKind::kSmooth: return "smooth";
+    case FieldKind::kTurbulent: return "turbulent";
+    case FieldKind::kConstant: return "constant";
+    case FieldKind::kDenormal: return "denormal";
+    case FieldKind::kSpiky: return "spiky";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline std::vector<float> make_field(FieldKind kind,
+                                                   data::Dims dims,
+                                                   std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<float> f(dims.total());
+  const double fx = uniform(rng, 0.02, 0.3);
+  const double fy = uniform(rng, 0.02, 0.3);
+  const double fz = uniform(rng, 0.02, 0.3);
+  const double amp = uniform(rng, 0.5, 50.0);
+  std::size_t i = 0;
+  for (std::size_t z = 0; z < dims.nz; ++z) {
+    for (std::size_t y = 0; y < dims.ny; ++y) {
+      for (std::size_t x = 0; x < dims.nx; ++x, ++i) {
+        const double base = amp * (std::sin(static_cast<double>(x) * fx) *
+                                       std::cos(static_cast<double>(y) * fy) +
+                                   std::sin(static_cast<double>(z) * fz));
+        switch (kind) {
+          case FieldKind::kSmooth:
+            f[i] = static_cast<float>(base);
+            break;
+          case FieldKind::kTurbulent:
+            f[i] = static_cast<float>(base +
+                                      amp * uniform(rng, -0.9, 0.9));
+            break;
+          case FieldKind::kConstant:
+            f[i] = static_cast<float>(amp);
+            break;
+          case FieldKind::kDenormal: {
+            // Straddle the subnormal range: magnitudes around and below
+            // FLT_MIN, signs mixed, exact zeros and -0.0 sprinkled in.
+            const double mag = std::ldexp(uniform(rng, 0.5, 2.0),
+                                          -120 - static_cast<int>(
+                                                     rng.below(30)));
+            const double s = rng.below(2) == 0 ? mag : -mag;
+            const std::uint64_t pick = rng.below(16);
+            f[i] = pick == 0 ? 0.0f : pick == 1 ? -0.0f
+                                     : static_cast<float>(s);
+            break;
+          }
+          case FieldKind::kSpiky: {
+            f[i] = static_cast<float>(base);
+            const std::uint64_t pick = rng.below(257);
+            if (pick == 0) f[i] = static_cast<float>(amp * 1e8);
+            if (pick == 1) f[i] = std::numeric_limits<float>::quiet_NaN();
+            if (pick == 2) f[i] = std::numeric_limits<float>::infinity();
+            if (pick == 3) f[i] = -std::numeric_limits<float>::infinity();
+            if (pick == 4) f[i] = -0.0f;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return f;
+}
+
+/// Random small dims mixing 1-D, 2-D and 3-D shapes. Bounded so a full
+/// suite of hundreds of cases stays fast.
+[[nodiscard]] inline data::Dims make_dims(Xoshiro256& rng) {
+  const std::uint64_t shape = rng.below(3);
+  if (shape == 0) {  // 1-D series
+    return data::Dims{2 + rng.below(2000), 1, 1};
+  }
+  if (shape == 1) {  // 2-D slice
+    return data::Dims{2 + rng.below(48), 2 + rng.below(48), 1};
+  }
+  return data::Dims{2 + rng.below(18), 2 + rng.below(18), 2 + rng.below(18)};
+}
+
+/// Random byte buffer (for lossless byte-stream round-trip properties).
+[[nodiscard]] inline std::vector<std::uint8_t> make_bytes(Xoshiro256& rng,
+                                                          std::size_t max_len) {
+  std::vector<std::uint8_t> b(rng.below(max_len + 1));
+  // Mix of uniform noise and runs, so both histogram shapes appear.
+  std::size_t i = 0;
+  while (i < b.size()) {
+    if (rng.below(4) == 0) {
+      const std::uint8_t v = static_cast<std::uint8_t>(rng.below(256));
+      const std::size_t run = std::min<std::size_t>(
+          b.size() - i, 1 + rng.below(64));
+      std::fill_n(b.begin() + static_cast<std::ptrdiff_t>(i), run, v);
+      i += run;
+    } else {
+      b[i++] = static_cast<std::uint8_t>(rng.below(256));
+    }
+  }
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// Runner. A property receives the field and its shape and returns
+// std::nullopt on success or a failure message. The runner shrinks a
+// failing case by repeatedly halving its largest dimension while the
+// property keeps failing, then reports the smallest failing shape — small
+// enough to eyeball, still seeded for exact replay.
+
+struct CaseId {
+  FieldKind kind;
+  std::uint64_t index;
+  std::uint64_t seed;
+  data::Dims dims;
+};
+
+using FieldProperty = std::function<std::optional<std::string>(
+    const std::vector<float>&, data::Dims, const CaseId&)>;
+
+/// Run `cases` seeded cases of one family against `prop`. Returns
+/// std::nullopt when every case passes, else a report naming the (shrunk)
+/// minimal failing case. Use check_fields() for the asserting wrapper.
+[[nodiscard]] inline std::optional<std::string> find_field_failure(
+    FieldKind kind, std::size_t cases, const FieldProperty& prop) {
+  for (std::uint64_t idx = 0; idx < cases; ++idx) {
+    const std::uint64_t seed =
+        case_seed(static_cast<std::uint64_t>(kind) + 1, idx);
+    Xoshiro256 rng(seed);
+    data::Dims dims = make_dims(rng);
+    CaseId id{kind, idx, seed, dims};
+    auto run = [&](data::Dims d) {
+      id.dims = d;
+      return prop(make_field(kind, d, seed), d, id);
+    };
+    std::optional<std::string> failure = run(dims);
+    if (!failure) continue;
+
+    // Shrink: halve the largest dimension while the failure reproduces.
+    for (;;) {
+      data::Dims smaller = dims;
+      std::size_t* largest = &smaller.nx;
+      if (smaller.ny > *largest) largest = &smaller.ny;
+      if (smaller.nz > *largest) largest = &smaller.nz;
+      if (*largest < 4) break;
+      *largest /= 2;
+      const std::optional<std::string> again = run(smaller);
+      if (!again) break;
+      dims = smaller;
+      failure = again;
+    }
+    std::ostringstream out;
+    out << "property failed: family=" << field_kind_name(kind)
+        << " case=" << idx << " seed=0x" << std::hex << seed << std::dec
+        << " dims={" << dims.nx << "," << dims.ny << "," << dims.nz
+        << "}: " << *failure;
+    return out.str();
+  }
+  return std::nullopt;
+}
+
+/// Largest elementwise |a - b|; infinity on shape mismatch or when one
+/// side is non-finite while the other is not (non-finites must round-trip
+/// bit-for-bit as outliers, which the caller checks separately).
+[[nodiscard]] inline double max_abs_error(const std::vector<float>& a,
+                                          const std::vector<float>& b) {
+  if (a.size() != b.size()) return std::numeric_limits<double>::infinity();
+  double worst = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!std::isfinite(a[i]) || !std::isfinite(b[i])) {
+      // Bit-identical non-finites (NaN payload aside) are fine; anything
+      // else is a reconstruction failure.
+      const bool same_class =
+          (std::isnan(a[i]) && std::isnan(b[i])) || (a[i] == b[i]);
+      if (!same_class) return std::numeric_limits<double>::infinity();
+      continue;
+    }
+    worst = std::max(worst, std::abs(static_cast<double>(a[i]) -
+                                     static_cast<double>(b[i])));
+  }
+  return worst;
+}
+
+}  // namespace parhuff::proptest

@@ -4,8 +4,15 @@
 // refresh the golden digest.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
 #include "core/format.hpp"
 #include "core/pipeline.hpp"
+#include "data/quant.hpp"
+#include "lossy/fused.hpp"
+#include "lossy/lossy.hpp"
 #include "util/hash.hpp"
 
 namespace parhuff {
@@ -64,6 +71,150 @@ TEST(Golden, AdaptiveContainerBytesAreStable) {
     EXPECT_EQ(digest, kGoldenDigest);
   } else {
     std::printf("golden adaptive digest: 0x%016llx size=%zu\n",
+                static_cast<unsigned long long>(digest), bytes.size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The v4 lossy additions. Two contracts frozen here:
+//  1. The PHL2 container (and the RLE1 optional field inside its embedded
+//     PHF3 stream) serializes to stable bytes — the fused format is now
+//     on disk.
+//  2. A PHF3 container *without* RLE stays byte-identical to the pre-RLE1
+//     serializer: adding the optional field must not move a single byte
+//     of streams that don't carry it (the GAP1 evolution rule).
+
+/// Deterministic field whose fused container carries both RLE runs and a
+/// residual stream: a structured prefix over a constant bulk. No RNG — the
+/// bytes must be identical on every build.
+std::vector<float> golden_field(data::Dims dims) {
+  std::vector<float> f(dims.total(), 4.5f);
+  for (std::size_t i = 0; i < f.size() / 4; ++i) {
+    f[i] = static_cast<float>(std::sin(static_cast<double>(i) * 0.05) * 3.0);
+  }
+  return f;
+}
+
+TEST(Golden, LossyFusedContainerBytesAreStable) {
+  const data::Dims dims{24, 24, 16};
+  lossy::FusedConfig cfg;
+  cfg.abs_error_bound = 0.01;
+  cfg.nbins = 256;
+  cfg.rle_min_run = 64;
+  cfg.pipeline.magnitude = 8;
+  cfg.pipeline.reduce_factor = 2;
+  lossy::FusedReport rep;
+  const auto bytes =
+      lossy::compress_field_fused(golden_field(dims), dims, cfg, &rep);
+  ASSERT_GE(rep.rle_runs, 1u);  // the digest must cover RLE1 bytes
+
+  // Self-consistency first (protects the digest's meaning).
+  const auto back = lossy::decompress_field(bytes);
+  ASSERT_EQ(back.values.size(), dims.total());
+
+  const u64 digest = fnv1a(bytes);
+  constexpr u64 kGoldenDigest = 0xfd830d0bff914f00ull;
+  if (kGoldenDigest != 0) {
+    EXPECT_EQ(digest, kGoldenDigest)
+        << "PHL2 container bytes changed; if intentional, bump the magic "
+           "and refresh kGoldenDigest (new value: 0x" << std::hex << digest
+        << ")";
+  } else {
+    std::printf("golden lossy digest: 0x%016llx size=%zu\n",
+                static_cast<unsigned long long>(digest), bytes.size());
+  }
+}
+
+TEST(Golden, RleFieldByteLayoutIsPinned) {
+  // Walk the serialized RLE1 field by hand, offset arithmetic and all —
+  // this is the byte-layout contract readers of every future version must
+  // honor: tag 'RLE1' | u64 len | { u32 run_symbol | u64 orig_symbols |
+  // u64 n_runs | u64 pos[n] asc | u32 len[n] } | u64 fnv1a digest.
+  const data::Dims dims{24, 24, 16};
+  lossy::FusedConfig cfg;
+  cfg.abs_error_bound = 0.01;
+  cfg.nbins = 256;
+  cfg.rle_min_run = 64;
+  lossy::FusedReport rep;
+  const auto bytes =
+      lossy::compress_field_fused(golden_field(dims), dims, cfg, &rep);
+
+  static constexpr u8 kTag[4] = {'R', 'L', 'E', '1'};
+  const auto it =
+      std::search(bytes.begin(), bytes.end(), std::begin(kTag), std::end(kTag));
+  ASSERT_NE(it, bytes.end());
+  const std::size_t tag_at = static_cast<std::size_t>(it - bytes.begin());
+
+  u64 field_len = 0;
+  std::memcpy(&field_len, bytes.data() + tag_at + 4, 8);
+  const std::size_t payload_at = tag_at + 12;
+  ASSERT_LE(payload_at + field_len + 8, bytes.size());
+
+  u32 run_symbol = 0;
+  u64 orig_symbols = 0, n_runs = 0;
+  std::memcpy(&run_symbol, bytes.data() + payload_at, 4);
+  std::memcpy(&orig_symbols, bytes.data() + payload_at + 4, 8);
+  std::memcpy(&n_runs, bytes.data() + payload_at + 12, 8);
+  EXPECT_EQ(run_symbol, cfg.nbins / 2);  // the perfect-prediction code
+  EXPECT_EQ(orig_symbols, dims.total());
+  EXPECT_EQ(n_runs, rep.rle_runs);
+  EXPECT_EQ(field_len, 20 + n_runs * 12);  // fixed part + pos[] + len[]
+
+  // Runs: ascending, non-overlapping, each >= rle_min_run, summing to the
+  // report's extracted-symbol count.
+  u64 prev_end = 0, total_run = 0;
+  for (u64 i = 0; i < n_runs; ++i) {
+    u64 pos = 0;
+    u32 len = 0;
+    std::memcpy(&pos, bytes.data() + payload_at + 20 + i * 8, 8);
+    std::memcpy(&len, bytes.data() + payload_at + 20 + n_runs * 8 + i * 4, 4);
+    EXPECT_GE(len, cfg.rle_min_run);
+    if (i > 0) {
+      EXPECT_GE(pos, prev_end);
+    }
+    prev_end = pos + len;
+    total_run += len;
+  }
+  EXPECT_EQ(total_run, rep.rle_run_symbols);
+  EXPECT_LE(prev_end, orig_symbols);
+
+  // The per-field digest is fnv1a over the payload alone.
+  u64 stored = 0;
+  std::memcpy(&stored, bytes.data() + payload_at + field_len, 8);
+  EXPECT_EQ(stored, fnv1a(std::span<const u8>(bytes.data() + payload_at,
+                                              field_len)));
+}
+
+TEST(Golden, Phf3WithoutRleStaysByteIdentical) {
+  // A gap-annotated container that carries no RLE field must serialize
+  // exactly as it did before RLE1 existed: same magic, same field count,
+  // same digest. This is the format-evolution promise that lets old
+  // readers keep working on new writers' RLE-less output.
+  PipelineConfig cfg;
+  cfg.nbins = 16;
+  cfg.magnitude = 8;
+  cfg.encoder = EncoderKind::kReduceShuffleSimt;
+  cfg.reduce_factor = 2;
+  cfg.gap_subseq_bits = 1024;
+  const auto input = golden_input();
+  const auto bytes = serialize(compress<u8>(input, cfg));
+  ASSERT_EQ(std::memcmp(bytes.data(), "PHF3", 4), 0);
+  EXPECT_EQ(decompress(deserialize<u8>(bytes)), input);
+
+  // No RLE1 tag anywhere in the container.
+  static constexpr u8 kTag[4] = {'R', 'L', 'E', '1'};
+  EXPECT_EQ(std::search(bytes.begin(), bytes.end(), std::begin(kTag),
+                        std::end(kTag)),
+            bytes.end());
+
+  const u64 digest = fnv1a(bytes);
+  constexpr u64 kGoldenDigest = 0xd8f470fb07a2fa67ull;
+  if (kGoldenDigest != 0) {
+    EXPECT_EQ(digest, kGoldenDigest)
+        << "PHF3-without-RLE bytes changed — the optional-field evolution "
+           "rule is violated (new value: 0x" << std::hex << digest << ")";
+  } else {
+    std::printf("golden phf3 digest: 0x%016llx size=%zu\n",
                 static_cast<unsigned long long>(digest), bytes.size());
   }
 }

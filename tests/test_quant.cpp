@@ -1,33 +1,77 @@
 // Mini-SZ quantizer substrate: the error-bound guarantee, outlier handling,
-// reconstruction round trip, and the Nyx-Quant statistical profile.
+// reconstruction round trip, and the Nyx-Quant statistical profile. The
+// bound/round-trip coverage is property-based (proptest.hpp): seeded field
+// families × bin counts, every case replayable from the printed seed.
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 #include "data/quant.hpp"
 #include "core/entropy.hpp"
+#include "proptest.hpp"
 
 namespace parhuff {
 namespace {
 
 using data::Dims;
+namespace pt = proptest;
 
-TEST(Quantizer, ErrorBoundHolds) {
-  const Dims dims{32, 32, 32};
-  const auto field = data::generate_cosmo_field(dims, 11);
-  for (const double eb : {1e-1, 1e-2, 1e-3}) {
-    const auto q = data::lorenzo_quantize(field, dims, eb, 1024);
-    const auto recon = data::lorenzo_reconstruct(q);
-    ASSERT_EQ(recon.size(), field.size());
-    double worst = 0;
-    for (std::size_t i = 0; i < field.size(); ++i) {
-      worst = std::max(
-          worst, std::abs(static_cast<double>(field[i]) -
-                          static_cast<double>(recon[i])));
-    }
-    // Outliers are exact; quantized values within eb (plus float rounding).
-    EXPECT_LE(worst, eb * 1.0001) << "eb=" << eb;
+// ---------------------------------------------------------------------------
+// Property suites: quantize → reconstruct must land within eb elementwise
+// for every finite field family, across both Huffman-alphabet bin counts
+// and an in-between size — 72 seeded cases.
+
+class QuantRoundTrip : public ::testing::TestWithParam<u32> {};
+
+TEST_P(QuantRoundTrip, ErrorBoundHolds) {
+  const u32 nbins = GetParam();
+  for (const pt::FieldKind kind :
+       {pt::FieldKind::kSmooth, pt::FieldKind::kTurbulent,
+        pt::FieldKind::kConstant}) {
+    const auto failure = pt::find_field_failure(
+        kind, 8,
+        [&](const std::vector<float>& field, Dims dims,
+            const pt::CaseId& id) -> std::optional<std::string> {
+          // Vary the bound per case, seeded: 1e-1 .. 1e-3.
+          Xoshiro256 rng(id.seed ^ 0x5bd1e995);
+          const double eb = std::pow(10.0, -1.0 - 2.0 * pt::uniform(rng, 0, 1));
+          const auto q = data::lorenzo_quantize(field, dims, eb, nbins);
+          for (const u16 c : q.codes) {
+            if (c >= nbins) return "code out of range";
+          }
+          const auto recon = data::lorenzo_reconstruct(q);
+          const double worst = pt::max_abs_error(field, recon);
+          if (worst > eb * 1.0001) {
+            return "worst error " + std::to_string(worst) + " > eb " +
+                   std::to_string(eb);
+          }
+          return std::nullopt;
+        });
+    EXPECT_FALSE(failure.has_value()) << *failure;
   }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bins, QuantRoundTrip,
+                         ::testing::Values(64u, 256u, 1024u),
+                         [](const ::testing::TestParamInfo<u32>& pi) {
+                           return "nbins" + std::to_string(pi.param);
+                         });
+
+TEST(QuantProp, OutliersReconstructExactly) {
+  // Every (index, value) pair in the outlier table must come back
+  // bit-identical — the error bound only covers quantized elements.
+  const auto failure = pt::find_field_failure(
+      pt::FieldKind::kTurbulent, 8,
+      [&](const std::vector<float>& field, Dims dims,
+          const pt::CaseId&) -> std::optional<std::string> {
+        const auto q = data::lorenzo_quantize(field, dims, 1e-4, 64);
+        const auto recon = data::lorenzo_reconstruct(q);
+        for (const auto& [oi, value] : q.outliers) {
+          if (recon[oi] != value) return "outlier not exact";
+        }
+        return std::nullopt;
+      });
+  EXPECT_FALSE(failure.has_value()) << *failure;
 }
 
 TEST(Quantizer, TighterBoundMoreOutliersOrCodes) {
@@ -36,13 +80,6 @@ TEST(Quantizer, TighterBoundMoreOutliersOrCodes) {
   const auto loose = data::lorenzo_quantize(field, dims, 1e-1, 64);
   const auto tight = data::lorenzo_quantize(field, dims, 1e-4, 64);
   EXPECT_GE(tight.outliers.size(), loose.outliers.size());
-}
-
-TEST(Quantizer, CodesStayInRange) {
-  const Dims dims{16, 16, 16};
-  const auto field = data::generate_cosmo_field(dims, 5);
-  const auto q = data::lorenzo_quantize(field, dims, 1e-2, 256);
-  for (u16 c : q.codes) EXPECT_LT(c, 256);
 }
 
 TEST(Quantizer, RejectsBadParameters) {
@@ -79,12 +116,7 @@ TEST(Quantizer, TwoDimensionalFields) {
   const double eb = 1e-2;
   const auto q = data::lorenzo_quantize(field, dims, eb, 256);
   const auto recon = data::lorenzo_reconstruct(q);
-  double worst = 0;
-  for (std::size_t i = 0; i < field.size(); ++i) {
-    worst = std::max(worst, std::abs(static_cast<double>(field[i]) -
-                                     static_cast<double>(recon[i])));
-  }
-  EXPECT_LE(worst, eb * 1.0001);
+  EXPECT_LE(pt::max_abs_error(field, recon), eb * 1.0001);
   // Smooth 2-D data: the center bin dominates.
   std::size_t center = 0;
   for (u16 c : q.codes) center += c == 128 ? 1 : 0;
@@ -101,11 +133,7 @@ TEST(Quantizer, OneDimensionalSeries) {
   const double eb = 1e-2;
   const auto q = data::lorenzo_quantize(series, dims, eb, 512);
   const auto recon = data::lorenzo_reconstruct(q);
-  for (std::size_t i = 0; i < series.size(); ++i) {
-    ASSERT_LE(std::abs(static_cast<double>(series[i]) -
-                       static_cast<double>(recon[i])),
-              eb * 1.0001);
-  }
+  ASSERT_LE(pt::max_abs_error(series, recon), eb * 1.0001);
 }
 
 TEST(NyxQuant, ProfileMatchesPaper) {

@@ -12,6 +12,7 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <future>
 #include <map>
@@ -22,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "data/quant.hpp"
 #include "obs/metrics.hpp"
 #include "router/harness.hpp"
 #include "router/hash.hpp"
@@ -337,6 +339,96 @@ TEST(RouterProxy, CancelOfUnknownIdIsIdempotent) {
   EXPECT_NO_THROW(cli.cancel(0xfeedfaceull).get());
   const auto data = ramp_data(1000);
   EXPECT_FALSE(cli.compress(std::span<const u8>(data)).result.get().empty());
+}
+
+TEST(RouterProxy, LossyVerbsRoundTripThroughRouter) {
+  ShardHarness shards(3, shard_config());
+  LoopbackHub front;
+  RouterConfig rc = router_config();
+  ShardRouter rt(front.listener(), shards.endpoints(), rc);
+  RpcClient cli([&] { return front.connect(); });
+
+  const data::Dims dims{24, 24, 12};
+  std::vector<float> field(dims.total());
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    field[i] = static_cast<float>(std::sin(static_cast<double>(i) * 0.01));
+  }
+  rpc::LossyRequestHeader cfg;
+  cfg.nx = dims.nx;
+  cfg.ny = dims.ny;
+  cfg.nz = dims.nz;
+  cfg.rel_error_bound = 1e-3;
+  cfg.nbins = 1024;
+  cfg.rle_min_run = 64;
+
+  const std::vector<u8> container =
+      cli.lossy_compress(std::span<const float>(field), cfg).result.get();
+  ASSERT_FALSE(container.empty());
+  EXPECT_EQ(0, std::memcmp(container.data(), "PHL2", 4));
+
+  const auto [fh, values] = rpc::decode_lossy_field_payload(
+      cli.lossy_decompress(std::span<const u8>(container)).result.get());
+  ASSERT_EQ(values.size(), field.size());
+  double worst = 0;
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    worst = std::max(worst, std::abs(static_cast<double>(field[i]) -
+                                     static_cast<double>(values[i])));
+  }
+  EXPECT_LE(worst, fh.error_bound * 1.0001);
+
+  // Bad lossy requests come back typed through the proxy hop, not hung.
+  rpc::LossyRequestHeader bad = cfg;
+  bad.nx = dims.nx + 1;
+  try {
+    (void)cli.lossy_compress(std::span<const float>(field), bad)
+        .result.get();
+    FAIL() << "dims mismatch must fail typed through the router";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.status(), Status::kBadRequest);
+  }
+}
+
+TEST(RouterAffinity, LossyConfigEqualTrafficSticksToItsHomeShard) {
+  // The lossy route key hashes the 48-byte request header (the quantizer
+  // config), not the field samples — successive timesteps of one variable
+  // share dims/eb/nbins and must keep landing on the shard whose codebook
+  // cache they warmed.
+  ShardHarness shards(3, shard_config());
+  LoopbackHub front;
+  RouterConfig rc = router_config();
+  ShardRouter rt(front.listener(), shards.endpoints(), rc);
+  RpcClient cli([&] { return front.connect(); });
+
+  const data::Dims dims{16, 16, 8};
+  rpc::LossyRequestHeader cfg;
+  cfg.nx = dims.nx;
+  cfg.ny = dims.ny;
+  cfg.nz = dims.nz;
+  cfg.rel_error_bound = 1e-3;
+  cfg.nbins = 1024;
+
+  // Predict the home shard from the wire payload the client will build.
+  std::vector<u8> wire = rpc::encode_lossy_request_header(cfg);
+  const u64 key = ShardRouter::route_key(Op::kLossyCompress, 2,
+                                         std::span<const u8>(wire));
+  const u32 home = router::rendezvous_order(key, 3, rc.hash_seed)[0];
+  const u64 home_before = rt.shard_served(home);
+
+  constexpr int kRepeats = 4;
+  for (int r = 0; r < kRepeats; ++r) {
+    // A different "timestep" each round: same config, different samples.
+    std::vector<float> field(dims.total());
+    for (std::size_t i = 0; i < field.size(); ++i) {
+      field[i] = static_cast<float>(
+          std::sin(static_cast<double>(i) * 0.01 + 0.3 * r));
+    }
+    ASSERT_FALSE(cli.lossy_compress(std::span<const float>(field), cfg)
+                     .result.get()
+                     .empty());
+  }
+  EXPECT_EQ(rt.shard_served(home) - home_before,
+            static_cast<u64>(kRepeats))
+      << "config-equal lossy traffic strayed from its home shard";
 }
 
 // --- Affinity. ---------------------------------------------------------------

@@ -5,8 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <future>
 #include <memory>
 #include <span>
@@ -18,11 +20,13 @@
 #include "core/pipeline.hpp"
 #include "data/quant.hpp"
 #include "data/textgen.hpp"
+#include "lossy/lossy.hpp"
 #include "obs/metrics.hpp"
 #include "svc/codebook_cache.hpp"
 #include "svc/fingerprint.hpp"
 #include "svc/service.hpp"
 #include "util/clock.hpp"
+#include "util/rng.hpp"
 #include "util/work_steal.hpp"
 
 namespace parhuff {
@@ -510,6 +514,134 @@ TEST(Service, DestructorWakesSubmitterBlockedAtCapacity) {
   // admitted request must still resolve.
   EXPECT_TRUE(submitter_threw.load() || submitter_admitted.load());
   EXPECT_EQ(svc::decompress(first.get()), text);
+}
+
+// --- Lossy submissions. ------------------------------------------------------
+
+std::vector<float> lossy_test_field(data::Dims dims, u64 seed = 17) {
+  std::vector<float> f(dims.total());
+  Xoshiro256 rng(seed);
+  const double phase = 0.001 * static_cast<double>(rng.below(1000));
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    f[i] = static_cast<float>(
+        std::sin(static_cast<double>(i) * 0.02 + phase));
+  }
+  return f;
+}
+
+lossy::FusedConfig lossy_serial_config(u32 nbins) {
+  lossy::FusedConfig cfg;
+  cfg.rel_error_bound = 1e-3;
+  cfg.nbins = nbins;
+  cfg.rle_min_run = 64;
+  cfg.pipeline = serial_config(nbins);
+  return cfg;
+}
+
+TEST(ServiceLossy, SubmitRoundTripsWithinTheBound) {
+  svc::ServiceConfig sc;
+  sc.workers = 2;
+  svc::CompressionService<u16> service(sc);
+  const data::Dims dims{24, 24, 12};
+  const auto field = lossy_test_field(dims);
+
+  svc::LossySubmission sub = service.submit_lossy(
+      std::vector<float>(field), dims, lossy_serial_config(1024));
+  const svc::LossyResult res = sub.result.get();
+  ASSERT_FALSE(res.container.empty());
+  EXPECT_GT(res.report.ratio(), 1.0);
+  EXPECT_EQ(res.report.rle_run_symbols + res.report.residual_symbols,
+            dims.total());
+
+  const lossy::Field back = lossy::decompress_field(res.container);
+  ASSERT_EQ(back.values.size(), field.size());
+  double worst = 0;
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    worst = std::max(worst, std::abs(static_cast<double>(field[i]) -
+                                     static_cast<double>(back.values[i])));
+  }
+  EXPECT_LE(worst, res.report.error_bound * 1.0001);
+}
+
+TEST(ServiceLossy, WidthPredicateIsEnforcedAtSubmit) {
+  // nbins <= 256 belongs to the u8 service, wider to the u16 service —
+  // the same invariant the RPC server's routing relies on.
+  svc::CompressionService<u8> narrow;
+  svc::CompressionService<u16> wide;
+  const data::Dims dims{8, 8, 8};
+  const auto field = lossy_test_field(dims);
+  EXPECT_THROW((void)narrow.submit_lossy(std::vector<float>(field), dims,
+                                         lossy_serial_config(1024)),
+               std::invalid_argument);
+  EXPECT_THROW((void)wide.submit_lossy(std::vector<float>(field), dims,
+                                       lossy_serial_config(256)),
+               std::invalid_argument);
+  // The valid pairings go through.
+  EXPECT_FALSE(narrow
+                   .submit_lossy(std::vector<float>(field), dims,
+                                 lossy_serial_config(256))
+                   .result.get()
+                   .container.empty());
+  EXPECT_FALSE(wide
+                   .submit_lossy(std::vector<float>(field), dims,
+                                 lossy_serial_config(1024))
+                   .result.get()
+                   .container.empty());
+}
+
+TEST(ServiceLossy, RepeatedConfigHitsTheCodebookCache) {
+  svc::ServiceConfig sc;
+  sc.workers = 1;
+  sc.batch_window_seconds = 0;
+  svc::CompressionService<u16> service(sc);
+  const data::Dims dims{24, 24, 12};
+  const lossy::FusedConfig cfg = lossy_serial_config(1024);
+
+  // Same field → same residual histogram → same fingerprint.
+  const auto field = lossy_test_field(dims, 23);
+  const svc::LossyResult first =
+      service.submit_lossy(std::vector<float>(field), dims, cfg).result.get();
+  EXPECT_FALSE(first.cache_hit);
+  const svc::LossyResult second =
+      service.submit_lossy(std::vector<float>(field), dims, cfg).result.get();
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_TRUE(second.report.cache_hit);
+  // The hit must not have changed the bytes.
+  EXPECT_EQ(second.container, first.container);
+}
+
+TEST(ServiceLossy, CountersBalanceAcrossSuccessAndFailure) {
+  auto& reg = obs::MetricsRegistry::global();
+  const u64 req0 = reg.counter("lossy.requests");
+  const u64 done0 = reg.counter("lossy.completed");
+  const u64 fail0 = reg.counter("lossy.failed");
+
+  svc::ServiceConfig sc;
+  sc.workers = 1;
+  svc::CompressionService<u16> service(sc);
+  const data::Dims dims{16, 16, 8};
+  const auto field = lossy_test_field(dims, 29);
+
+  // Two successes.
+  for (int i = 0; i < 2; ++i) {
+    (void)service
+        .submit_lossy(std::vector<float>(field), dims,
+                      lossy_serial_config(1024))
+        .result.get();
+  }
+  // One failure past admission: a dead-on-arrival deadline counts a
+  // request AND a failure (the reject-at-submit width error above counts
+  // neither — it never became a request).
+  svc::SubmitOptions doa;
+  doa.deadline = svc::Deadline::in(-1.0);
+  svc::LossySubmission sub = service.submit_lossy(
+      std::vector<float>(field), dims, lossy_serial_config(1024), doa);
+  EXPECT_THROW((void)sub.result.get(), svc::DeadlineExceeded);
+
+  EXPECT_EQ(reg.counter("lossy.requests") - req0, 3u);
+  EXPECT_EQ(reg.counter("lossy.requests") - req0,
+            (reg.counter("lossy.completed") - done0) +
+                (reg.counter("lossy.failed") - fail0));
 }
 
 }  // namespace
