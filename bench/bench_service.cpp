@@ -25,7 +25,9 @@
 #include <thread>
 #include <vector>
 
+#include "../tests/proptest.hpp"
 #include "common.hpp"
+#include "core/entropy.hpp"
 #include "data/quant.hpp"
 #include "svc/service.hpp"
 
@@ -268,6 +270,93 @@ int main(int argc, char** argv) {
     run.record(std::move(rec));
   }
   open.print();
+
+  // Drifting distribution: the adaptive codebook lifecycle
+  // (svc/codebook_manager.hpp) against the proptest harness's gradual
+  // drift family, whose batches stay inside one cache fingerprint — the
+  // covers() guard never fires, so without the manager the service
+  // silently pays the stale book's ratio loss forever. One request per
+  // batch, sequenced with quiesce() so every triggered hot-swap lands
+  // before the next batch (the ratio-over-time samples are deterministic
+  // in content, only timings vary). Recorded per batch: achieved
+  // bits/symbol of the book the request actually encoded with, alongside
+  // the batch's entropy floor; plus the full svc.adaptive.* lifecycle
+  // totals, which CI checks for exact balance.
+  {
+    TextTable drift_tbl(
+        "drifting open-loop: gradual drift within one fingerprint");
+    drift_tbl.header({"case", "adaptive", "end bits/sym", "entropy",
+                      "rebuilds", "applied", "hits"});
+    proptest::DriftSpec spec;
+    spec.batches = 40;
+    const proptest::DriftSource src(spec,
+                                    proptest::case_seed(0xbe4c4000ull, 0));
+    PipelineConfig dcfg;
+    dcfg.nbins = 64;
+    dcfg.histogram = HistogramKind::kSerial;
+    dcfg.codebook = CodebookKind::kSerialTree;
+    dcfg.encoder = EncoderKind::kSerial;
+    for (const bool adaptive : {false, true}) {
+      obs::MetricsRegistry::global().clear();
+      svc::ServiceConfig sc;
+      sc.workers = 2;
+      sc.batch_window_seconds = 0;  // one request per batch: no coalescing
+      sc.adaptive.enabled = adaptive;
+      sc.adaptive.window_decay = 0.5;
+      sc.adaptive.min_window_symbols = 1024;
+      sc.adaptive.divergence_high_bits = 0.05;
+      sc.adaptive.divergence_low_bits = 0.02;
+      svc::CompressionService<u16> service(sc);
+
+      obs::Json samples = obs::Json::array();
+      double end_bits = 0, end_entropy = 0;
+      for (std::size_t t = 0; t < spec.batches; ++t) {
+        const std::vector<u16> batch = src.batch<u16>(t);
+        const std::vector<u64> hist = src.histogram(t);
+        const auto res =
+            service.submit(std::span<const u16>(batch), dcfg).get();
+        end_bits = res.codebook->average_bits(hist);
+        end_entropy = shannon_entropy(hist);
+        samples.push(obs::Json::object()
+                         .set("batch", static_cast<u64>(t))
+                         .set("bits_per_symbol", end_bits)
+                         .set("entropy_bits", end_entropy)
+                         .set("cache_hit", res.cache_hit));
+        if (service.adaptive()) service.adaptive()->quiesce();
+      }
+      service.drain();
+
+      obs::Json rec = obs::Json::object();
+      rec.set("case", "drifting_open_loop")
+          .set("adaptive", adaptive)
+          .set("batches", static_cast<u64>(spec.batches))
+          .set("batch_symbols", static_cast<u64>(src.batch_symbols()))
+          .set("end_bits_per_symbol", end_bits)
+          .set("end_entropy_bits", end_entropy)
+          .set("ratio_over_time", std::move(samples));
+      u64 started = 0, applied = 0;
+      if (service.adaptive()) {
+        const auto c = service.adaptive()->counters();
+        started = c.rebuilds_started;
+        applied = c.rebuilds_applied;
+        rec.set("rebuilds_started", c.rebuilds_started)
+            .set("rebuilds_applied", c.rebuilds_applied)
+            .set("rebuilds_superseded", c.rebuilds_superseded)
+            .set("rebuilds_cancelled", c.rebuilds_cancelled)
+            .set("rebuilds_failed", c.rebuilds_failed)
+            .set("budget_deferred", c.budget_deferred)
+            .set("observations", c.observations);
+      }
+      const obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+      rec.set("cache_hits", reg.counter("svc.cache_hits"));
+      drift_tbl.row({"drifting", adaptive ? "on" : "off", fmt(end_bits, 3),
+                     fmt(end_entropy, 3), std::to_string(started),
+                     std::to_string(applied),
+                     std::to_string(reg.counter("svc.cache_hits"))});
+      run.record(std::move(rec));
+    }
+    drift_tbl.print();
+  }
   run.config().set("best_batched_cached_speedup_vs_naive", best_speedup);
 
   std::printf(

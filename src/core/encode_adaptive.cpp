@@ -68,6 +68,8 @@ EncodedStream encode_adaptive_simt(std::span<const Sym> data,
       ((N >> cfg.min_reduce) * kCellsPerSlot) + 1;
   std::vector<word_t> work(chunks * ws_stride, 0);
   std::vector<ChunkOverflow> chunk_ovf(chunks);
+  // Per-chunk lookup-phase bit totals (each block writes its own slot).
+  std::vector<u64> chunk_lookup_bits(chunks, 0);
 
   if (tally) {
     tally->global_read(cb.cw.size(), sizeof(Codeword),
@@ -103,6 +105,7 @@ EncodedStream encode_adaptive_simt(std::span<const Sym> data,
         t.global_read(nc, sizeof(Sym), simt::Pattern::kCoalesced);
         t.shared_access(N, 12);
         t.ops(N * 8);
+        chunk_lookup_bits[c] = chunk_code_bits;
         blk.sync();
 
         // --- Per-chunk reduce decision (a block-local reduction on GPU). -
@@ -252,6 +255,7 @@ EncodedStream encode_adaptive_simt(std::span<const Sym> data,
   if (stats) {
     for (std::size_t c = 0; c < chunks; ++c) {
       stats->r_histogram[out.chunk_reduce[c]] += 1;
+      stats->total_code_bits += chunk_lookup_bits[c];
     }
   }
   return out;

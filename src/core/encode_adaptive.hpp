@@ -42,6 +42,13 @@ struct AdaptiveConfig {
 struct AdaptiveStats {
   u64 breaking_groups = 0;
   u64 breaking_symbols = 0;
+  /// Total codeword bits across the input — the lookup phase's free
+  /// byproduct, summed over chunks. total_code_bits / n_symbols is the
+  /// exact achieved bits-per-symbol of this (data, codebook) pairing,
+  /// which is what the service's adaptive lifecycle manager compares
+  /// against the window entropy to price a stale book without a second
+  /// pass over the data.
+  u64 total_code_bits = 0;
   /// Histogram of chosen per-chunk reduce factors (index = r).
   std::array<u64, 16> r_histogram{};
 };

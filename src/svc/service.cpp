@@ -119,6 +119,23 @@ CompressionService<Sym>::CompressionService(ServiceConfig cfg)
     throw std::invalid_argument(
         "CompressionService: triage.quantile must be in [0, 1]");
   }
+  if (cfg_.adaptive.enabled) {
+    if (cfg_.adaptive.window_decay < 0.0 || cfg_.adaptive.window_decay >= 1.0) {
+      throw std::invalid_argument(
+          "CompressionService: adaptive.window_decay must be in [0, 1)");
+    }
+    if (cfg_.adaptive.divergence_low_bits > cfg_.adaptive.divergence_high_bits) {
+      throw std::invalid_argument(
+          "CompressionService: adaptive.divergence_low_bits must not exceed "
+          "divergence_high_bits");
+    }
+    // The manager watches cache-served books; without the cache there is
+    // no book to watch and no insert path to swap through.
+    if (cfg_.enable_cache) {
+      adaptive_ = std::make_unique<CodebookManager>(cfg_.adaptive, cache_,
+                                                    *pool_, *clock_);
+    }
+  }
   scheduler_ = std::thread([this] { scheduler_loop(); });
 }
 
@@ -135,7 +152,12 @@ CompressionService<Sym>::~CompressionService() {
   }
   sched_cv_.notify_all();
   scheduler_.join();  // flushes pending_ into the pool without lingering
-  pool_.reset();      // drains dispatched batches, joins workers
+  // Stop the adaptive manager before draining the pool: queued rebuilds
+  // then resolve as cancelled instead of building books nobody will read.
+  // pool_.reset() runs every queued rebuild task while the manager is
+  // still alive, so its later member destruction quiesces trivially.
+  if (adaptive_) adaptive_->stop();
+  pool_.reset();  // drains dispatched batches, joins workers
 }
 
 template <typename Sym>
@@ -630,8 +652,9 @@ void CompressionService<Sym>::run_batch(std::vector<Request> batch) {
       t.reset();
       cb = nullptr;
       cache_hit = false;
+      Fingerprint fp{};
       if (cfg_.enable_cache) {
-        const Fingerprint fp = fingerprint_histogram(freq, cache_seed(cfg));
+        fp = fingerprint_histogram(freq, cache_seed(cfg));
         if (std::shared_ptr<const Codebook> hit = cache_.find(fp)) {
           if (CodebookCache::covers(*hit, freq)) {
             cb = std::move(hit);
@@ -664,6 +687,13 @@ void CompressionService<Sym>::run_batch(std::vector<Request> batch) {
             build_codebook(freq, cfg, nullptr, shared_cancel));
       }
       reg.stage_add("svc.codebook", t.seconds());
+      // Feed the adaptive lifecycle manager (never throws, never fails
+      // the batch). The degraded per-request fallback below deliberately
+      // does not observe: its serial books are built outside the cache's
+      // fingerprint discipline.
+      if (adaptive_ && cfg_.enable_cache) {
+        adaptive_->observe(fp, freq, cb, cfg, cache_hit);
+      }
       shared_err = nullptr;
       break;
     } catch (...) {

@@ -85,6 +85,7 @@
 #include "core/pipeline.hpp"
 #include "lossy/fused.hpp"
 #include "svc/codebook_cache.hpp"
+#include "svc/codebook_manager.hpp"
 #include "svc/deadline.hpp"
 #include "util/backoff.hpp"
 #include "util/types.hpp"
@@ -155,6 +156,13 @@ struct ServiceConfig {
   std::size_t batch_eligible_symbols = 64 * 1024;
   bool enable_cache = true;
   CodebookCache::Config cache;
+  /// Adaptive codebook lifecycle under drifting traffic
+  /// (svc/codebook_manager.hpp): tracks the divergence between each
+  /// cached book and live traffic, rebuilds asynchronously past a
+  /// threshold, hot-swaps between batches. Requires enable_cache; off by
+  /// default. New fault sites: svc.adaptive.estimate,
+  /// svc.adaptive.rebuild.
+  AdaptivePolicy adaptive;
   RetryPolicy retry;
   TriagePolicy triage;
   /// Fall back to the solo serial pipeline when the batched path fails
@@ -287,6 +295,9 @@ class CompressionService {
 
   [[nodiscard]] CodebookCache& cache() { return cache_; }
   [[nodiscard]] const ServiceConfig& config() const { return cfg_; }
+  /// The adaptive lifecycle manager, or nullptr when
+  /// ServiceConfig::adaptive.enabled is false (or the cache is off).
+  [[nodiscard]] CodebookManager* adaptive() { return adaptive_.get(); }
 
  private:
   struct Request {
@@ -346,6 +357,9 @@ class CompressionService {
   const util::Clock* clock_ = nullptr;  // resolved from cfg_.clock
   CodebookCache cache_;
   std::unique_ptr<WorkStealExecutor> pool_;
+  /// Created after pool_ (rebuilds run on it) and stopped before pool_
+  /// teardown in the dtor; null unless cfg_.adaptive.enabled.
+  std::unique_ptr<CodebookManager> adaptive_;
 
   mutable std::mutex mu_;
   std::condition_variable sched_cv_;  // scheduler sleeps here

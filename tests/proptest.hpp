@@ -167,6 +167,231 @@ enum class FieldKind {
 }
 
 // ---------------------------------------------------------------------------
+// Drifting-source families (the adaptive codebook lifecycle's harness,
+// tests/test_adaptive_drift.cpp). A DriftSource emits a deterministic
+// sequence of batches whose symbol distribution moves over time along one
+// of three schedules:
+//
+//   kGradual   — linear interpolation between two histograms over the run
+//   kAbrupt    — regime switch: histogram A for the first half, B after
+//   kPeriodic  — sinusoidal mixture of A and B with a fixed period
+//
+// The construction is band-aware with respect to the codebook cache's
+// fingerprint (svc/fingerprint.hpp): every batch totals exactly
+// 2^log2_batch_symbols symbols (a ballast bin absorbs rounding), so a
+// bin's fingerprint band is a pure function of its count, and drifting
+// bins oscillate between complementary multipliers inside one power-of-2
+// band. With the default swing the whole run therefore keeps ONE
+// fingerprint — the drift is invisible to the cache (a pure soft miss),
+// which is exactly the blind spot the adaptive manager exists to cover.
+// Raising swing above ~1.0 pushes bins across band boundaries and mixes
+// hard misses in. Histograms are fully deterministic given (spec, seed);
+// the only sampled randomness is symbol order within a batch.
+
+enum class DriftKind {
+  kGradual,   ///< endpoints interpolated linearly across the run
+  kAbrupt,    ///< regime switch at the half-way batch
+  kPeriodic,  ///< sinusoidal mixture with spec.period
+};
+
+[[nodiscard]] inline const char* drift_kind_name(DriftKind k) {
+  switch (k) {
+    case DriftKind::kGradual: return "gradual";
+    case DriftKind::kAbrupt: return "abrupt";
+    case DriftKind::kPeriodic: return "periodic";
+  }
+  return "?";
+}
+
+struct DriftSpec {
+  DriftKind kind = DriftKind::kGradual;
+  std::size_t nbins = 64;  ///< alphabet size; >= 8
+  std::size_t batches = 60;
+  /// Every batch holds exactly 2^this symbols (the ballast bin absorbs
+  /// per-bin rounding, keeping fingerprint bands a function of counts).
+  std::size_t log2_batch_symbols = 13;
+  /// Per-bin multiplier travel: a drifting bin's count swings between
+  /// scale*(1.5 - swing/2) and scale*(1.5 + swing/2). Up to ~0.76 the
+  /// range [1.12, 1.88]*2^m stays inside one fingerprint band; larger
+  /// swings cross band boundaries and produce cache hard misses too.
+  double swing = 0.76;
+  std::size_t period = 12;  ///< kPeriodic only
+};
+
+class DriftSource {
+ public:
+  DriftSource(DriftSpec spec, std::uint64_t seed)
+      : spec_(spec), seed_(seed), fixed_(spec.nbins, 0) {
+    const std::size_t total = std::size_t{1} << spec_.log2_batch_symbols;
+    // Role assignment: a seeded permutation spreads ballast / fixed /
+    // paired roles across bin indices so cases differ structurally.
+    Xoshiro256 rng(seed);
+    std::vector<std::size_t> order(spec_.nbins);
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.below(i)]);
+    }
+    ballast_bin_ = order[0];
+
+    // Pair scales: powers of two (2^m * jitter with jitter in [0.95,
+    // 1.04], so the swung range stays inside the (2^m, 2^{m+1}) band),
+    // geometric down the pair list, floored so rounding noise stays well
+    // under the band margin. Pairs consume at most ~60% of the batch;
+    // the rest is ballast + fixed bins.
+    const std::size_t max_pairs = (spec_.nbins - 2) / 2;
+    const double budget = 0.60 * static_cast<double>(total);
+    double committed = 0;
+    std::size_t next = 1;  // order[] cursor
+    for (std::size_t k = 0; k < max_pairs; ++k) {
+      // Geometric levels: 2^(q-6), halving every 6 pairs, floored at 32
+      // (below that, llround noise nears the band margin).
+      const long shift = static_cast<long>(spec_.log2_batch_symbols) - 6 -
+                         static_cast<long>(k / 6);
+      double scale =
+          shift >= 5 ? static_cast<double>(std::uint64_t{1} << shift) : 32.0;
+      scale *= uniform(rng, 0.95, 1.04);
+      if (committed + 3.0 * scale > budget) break;
+      committed += 3.0 * scale;
+      Pair p;
+      p.a = order[next++];
+      p.b = order[next++];
+      p.scale = scale;
+      p.flip = rng.below(2) == 1;
+      pairs_.push_back(p);
+    }
+    // Remaining bins hold small constant counts: present every batch
+    // (support never changes) but never drifting.
+    while (next < order.size()) fixed_[order[next++]] = 48;
+  }
+
+  [[nodiscard]] const DriftSpec& spec() const { return spec_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] std::size_t batch_symbols() const {
+    return std::size_t{1} << spec_.log2_batch_symbols;
+  }
+
+  /// Mixture coordinate of batch `t` in [0, 1] per the family schedule.
+  [[nodiscard]] double lambda(std::size_t t) const {
+    switch (spec_.kind) {
+      case DriftKind::kGradual:
+        return spec_.batches <= 1 ? 1.0
+                                  : static_cast<double>(t) /
+                                        static_cast<double>(spec_.batches - 1);
+      case DriftKind::kAbrupt:
+        return t < spec_.batches / 2 ? 0.0 : 1.0;
+      case DriftKind::kPeriodic: {
+        const double phase = 2.0 * 3.14159265358979323846 *
+                             static_cast<double>(t) /
+                             static_cast<double>(std::max<std::size_t>(
+                                 spec_.period, 2));
+        return 0.5 - 0.5 * std::cos(phase);
+      }
+    }
+    return 0.0;
+  }
+
+  /// Batch `t`'s exact histogram: deterministic, sums to exactly
+  /// 2^log2_batch_symbols.
+  [[nodiscard]] std::vector<std::uint64_t> histogram(std::size_t t) const {
+    const double u = lambda(t);
+    std::vector<std::uint64_t> h = fixed_;
+    std::uint64_t used = 0;
+    for (const std::uint64_t c : h) used += c;
+    for (const Pair& p : pairs_) {
+      const double x = p.flip ? 1.0 - u : u;
+      const double m0 = 1.5 + (x - 0.5) * spec_.swing;
+      const double m1 = 3.0 - m0;
+      h[p.a] = static_cast<std::uint64_t>(std::llround(p.scale * m0));
+      h[p.b] = static_cast<std::uint64_t>(std::llround(p.scale * m1));
+      used += h[p.a] + h[p.b];
+    }
+    const std::uint64_t total = std::uint64_t{1} << spec_.log2_batch_symbols;
+    h[ballast_bin_] = total > used ? total - used : 1;  // absorbs rounding
+    return h;
+  }
+
+  /// Batch `t` materialized as symbols (the histogram's counts in a
+  /// seeded shuffle — the histogram drives everything; order is noise).
+  template <typename Sym>
+  [[nodiscard]] std::vector<Sym> batch(std::size_t t) const {
+    const std::vector<std::uint64_t> h = histogram(t);
+    std::vector<Sym> out;
+    out.reserve(batch_symbols());
+    for (std::size_t s = 0; s < h.size(); ++s) {
+      out.insert(out.end(), static_cast<std::size_t>(h[s]),
+                 static_cast<Sym>(s));
+    }
+    Xoshiro256 rng(case_seed(seed_, 0x7a5a5a5aull + t));
+    for (std::size_t i = out.size(); i > 1; --i) {
+      std::swap(out[i - 1], out[rng.below(i)]);
+    }
+    return out;
+  }
+
+ private:
+  struct Pair {
+    std::size_t a = 0, b = 0;
+    double scale = 0;
+    bool flip = false;  ///< which member rises as lambda rises
+  };
+
+  DriftSpec spec_;
+  std::uint64_t seed_;
+  std::vector<Pair> pairs_;
+  std::vector<std::uint64_t> fixed_;  ///< constant counts; 0 = drifting
+  std::size_t ballast_bin_ = 0;
+};
+
+struct DriftCaseId {
+  DriftKind kind;
+  std::uint64_t index;
+  std::uint64_t seed;
+  DriftSpec spec;
+};
+
+using DriftProperty = std::function<std::optional<std::string>(
+    const DriftSource&, const DriftCaseId&)>;
+
+/// Run `cases` seeded cases of one drift family against `prop`. On
+/// failure, shrinks by halving the batch count while the property still
+/// fails, then reports the minimal replayable case (family, case index,
+/// seed, batches).
+[[nodiscard]] inline std::optional<std::string> find_drift_failure(
+    DriftKind kind, std::size_t cases, const DriftProperty& prop,
+    DriftSpec base = {}) {
+  base.kind = kind;
+  for (std::uint64_t idx = 0; idx < cases; ++idx) {
+    const std::uint64_t seed =
+        case_seed(0xd21f7000ull + static_cast<std::uint64_t>(kind), idx);
+    DriftSpec spec = base;
+    DriftCaseId id{kind, idx, seed, spec};
+    auto run = [&](const DriftSpec& s) {
+      id.spec = s;
+      return prop(DriftSource(s, seed), id);
+    };
+    std::optional<std::string> failure = run(spec);
+    if (!failure) continue;
+
+    // Shrink: halve the batch count while the failure reproduces.
+    while (spec.batches >= 8) {
+      DriftSpec smaller = spec;
+      smaller.batches /= 2;
+      const std::optional<std::string> again = run(smaller);
+      if (!again) break;
+      spec = smaller;
+      failure = again;
+    }
+    std::ostringstream out;
+    out << "drift property failed: family=" << drift_kind_name(kind)
+        << " case=" << idx << " seed=0x" << std::hex << seed << std::dec
+        << " batches=" << spec.batches << " nbins=" << spec.nbins
+        << " swing=" << spec.swing << ": " << *failure;
+    return out.str();
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
 // Runner. A property receives the field and its shape and returns
 // std::nullopt on success or a failure message. The runner shrinks a
 // failing case by repeatedly halving its largest dimension while the

@@ -1,8 +1,15 @@
 // Adaptive per-chunk reduce factors (§VII future-work extension) and the
-// 64-bit cell variant: round trips, breaking reduction on locally-varying
-// data, per-chunk factor plausibility, format round trip.
+// 64-bit cell variant, driven through the proptest harness: every input is
+// a seeded case from a named family, failures report
+// family/case/seed for exact replay, and failing streams shrink by halving
+// before being reported. Also pins the lookup-phase bit accounting
+// (AdaptiveStats::total_code_bits) the service's adaptive codebook
+// lifecycle prices stale books with.
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <optional>
+#include <sstream>
 #include <vector>
 
 #include "core/decode.hpp"
@@ -14,12 +21,37 @@
 #include "core/pipeline.hpp"
 #include "core/tree.hpp"
 #include "data/datasets.hpp"
-#include "data/quant.hpp"
 #include "data/textgen.hpp"
+#include "proptest.hpp"
 #include "util/rng.hpp"
 
 namespace parhuff {
 namespace {
+
+// ---------------------------------------------------------------------------
+// Seeded u16 stream families. Each produces `n` symbols over a 1024-bin
+// alphabet from a seed; together they cover the adaptive encoder's
+// regimes: locally-varying density (its reason to exist), stationary
+// data (where it must match fixed-r), degenerate shapes.
+
+enum class StreamKind {
+  kBimodal,   ///< calm stretches + dense bursts: fixed-r's worst case
+  kNyx,       ///< stationary quantization codes: every chunk picks one r
+  kUniform,   ///< high-entropy noise
+  kSubChunk,  ///< shorter than one chunk
+  kSingle,    ///< one symbol
+};
+
+const char* stream_kind_name(StreamKind k) {
+  switch (k) {
+    case StreamKind::kBimodal: return "bimodal";
+    case StreamKind::kNyx: return "nyx";
+    case StreamKind::kUniform: return "uniform";
+    case StreamKind::kSubChunk: return "subchunk";
+    case StreamKind::kSingle: return "single";
+  }
+  return "?";
+}
 
 /// Bimodal stream: long stretches of near-constant symbols (1-2 bit codes)
 /// interleaved with dense high-entropy bursts — the worst case for a
@@ -41,47 +73,156 @@ std::vector<u16> bimodal_stream(std::size_t n, u64 seed) {
   return v;
 }
 
-class AdaptiveRoundTrip : public ::testing::TestWithParam<int> {};
-
-TEST_P(AdaptiveRoundTrip, AllWidthsAllData) {
-  const int kind = GetParam();
-  std::vector<u16> input;
+std::vector<u16> make_stream(StreamKind kind, std::size_t n, u64 seed) {
   switch (kind) {
-    case 0: input = bimodal_stream(120000, 3); break;
-    case 1: input = data::generate_nyx_quant(120000, 3); break;
-    case 2: {  // uniform high-entropy
-      Xoshiro256 rng(9);
-      input.resize(50000);
-      for (auto& s : input) s = static_cast<u16>(rng.below(1024));
-      break;
+    case StreamKind::kBimodal: return bimodal_stream(n, seed);
+    case StreamKind::kNyx: return data::generate_nyx_quant(n, seed);
+    case StreamKind::kUniform: {
+      Xoshiro256 rng(seed);
+      std::vector<u16> v(n);
+      for (auto& s : v) s = static_cast<u16>(rng.below(1024));
+      return v;
     }
-    case 3: input = bimodal_stream(1023, 5); break;  // sub-chunk input
-    default: input = {7}; break;                     // single symbol
+    case StreamKind::kSubChunk: return bimodal_stream(std::min<std::size_t>(n, 1023), seed);
+    case StreamKind::kSingle: return {static_cast<u16>(seed % 1024)};
   }
-  const auto freq = histogram_serial<u16>(input, 1024);
-  const Codebook cb = build_codebook_serial(freq);
-
-  AdaptiveStats st32, st64;
-  const EncodedStream e32 =
-      encode_adaptive_simt<u16, 32>(input, cb, {}, nullptr, &st32);
-  const EncodedStream e64 =
-      encode_adaptive_simt<u16, 64>(input, cb, {}, nullptr, &st64);
-  EXPECT_EQ(decode_stream<u16>(e32, cb, 2), input) << "width 32 kind " << kind;
-  EXPECT_EQ(decode_stream<u16>(e64, cb, 2), input) << "width 64 kind " << kind;
-  // At equal reduce factors, wider cells can only reduce breaking (with
-  // free choice the 64-bit variant picks bigger groups, so compare pinned).
-  AdaptiveConfig pinned;
-  pinned.min_reduce = pinned.max_reduce = 3;
-  AdaptiveStats p32, p64;
-  (void)encode_adaptive_simt<u16, 32>(input, cb, pinned, nullptr, &p32);
-  (void)encode_adaptive_simt<u16, 64>(input, cb, pinned, nullptr, &p64);
-  EXPECT_LE(p64.breaking_symbols, p32.breaking_symbols);
+  return {};
 }
 
-INSTANTIATE_TEST_SUITE_P(Kinds, AdaptiveRoundTrip, ::testing::Range(0, 5));
+std::size_t stream_default_n(StreamKind kind) {
+  switch (kind) {
+    case StreamKind::kBimodal: return 120000;
+    case StreamKind::kNyx: return 120000;
+    case StreamKind::kUniform: return 50000;
+    case StreamKind::kSubChunk: return 1023;
+    case StreamKind::kSingle: return 1;
+  }
+  return 0;
+}
+
+using StreamProperty = std::function<std::optional<std::string>(
+    const std::vector<u16>&, u64 seed)>;
+
+/// find_field_failure's idiom for symbol streams: seeded cases, shrink by
+/// halving the length while the property still fails, replayable report.
+std::optional<std::string> find_stream_failure(StreamKind kind,
+                                               std::size_t cases,
+                                               const StreamProperty& prop) {
+  for (u64 idx = 0; idx < cases; ++idx) {
+    const u64 seed =
+        proptest::case_seed(0xada97000ull + static_cast<u64>(kind), idx);
+    std::size_t n = stream_default_n(kind);
+    auto run = [&](std::size_t len) {
+      return prop(make_stream(kind, len, seed), seed);
+    };
+    std::optional<std::string> failure = run(n);
+    if (!failure) continue;
+    while (n >= 8) {
+      const std::optional<std::string> again = run(n / 2);
+      if (!again) break;
+      n /= 2;
+      failure = again;
+    }
+    std::ostringstream out;
+    out << "property failed: family=" << stream_kind_name(kind)
+        << " case=" << idx << " seed=0x" << std::hex << seed << std::dec
+        << " n=" << n << ": " << *failure;
+    return out.str();
+  }
+  return std::nullopt;
+}
+
+/// Exact total codeword bits of `input` under `cb` — what
+/// AdaptiveStats::total_code_bits must equal.
+u64 exact_code_bits(const std::vector<u16>& input, const Codebook& cb) {
+  u64 bits = 0;
+  for (const u16 s : input) bits += cb.cw[s].len;
+  return bits;
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Adaptive, RoundTripsAcrossSeededStreamFamilies) {
+  for (const StreamKind kind :
+       {StreamKind::kBimodal, StreamKind::kNyx, StreamKind::kUniform,
+        StreamKind::kSubChunk, StreamKind::kSingle}) {
+    const auto failure = find_stream_failure(
+        kind, 3,
+        [](const std::vector<u16>& input,
+           u64) -> std::optional<std::string> {
+          const auto freq = histogram_serial<u16>(input, 1024);
+          const Codebook cb = build_codebook_serial(freq);
+          AdaptiveStats st32, st64;
+          const EncodedStream e32 =
+              encode_adaptive_simt<u16, 32>(input, cb, {}, nullptr, &st32);
+          const EncodedStream e64 =
+              encode_adaptive_simt<u16, 64>(input, cb, {}, nullptr, &st64);
+          if (decode_stream<u16>(e32, cb, 2) != input)
+            return "width-32 round trip mismatch";
+          if (decode_stream<u16>(e64, cb, 2) != input)
+            return "width-64 round trip mismatch";
+          const u64 want = exact_code_bits(input, cb);
+          if (st32.total_code_bits != want || st64.total_code_bits != want) {
+            std::ostringstream o;
+            o << "total_code_bits drifted from the exact lookup total: want "
+              << want << " got32 " << st32.total_code_bits << " got64 "
+              << st64.total_code_bits;
+            return o.str();
+          }
+          // At equal reduce factors, wider cells can only reduce breaking.
+          AdaptiveConfig pinned;
+          pinned.min_reduce = pinned.max_reduce = 3;
+          AdaptiveStats p32, p64;
+          (void)encode_adaptive_simt<u16, 32>(input, cb, pinned, nullptr,
+                                              &p32);
+          (void)encode_adaptive_simt<u16, 64>(input, cb, pinned, nullptr,
+                                              &p64);
+          if (p64.breaking_symbols > p32.breaking_symbols)
+            return "64-bit cells broke more groups than 32-bit at equal r";
+          return std::nullopt;
+        });
+    EXPECT_FALSE(failure.has_value()) << *failure;
+  }
+}
+
+TEST(Adaptive, RoundTripsOnDriftingTraffic) {
+  // The drifting-source families feed the service-layer lifecycle tests;
+  // the encoder must round-trip every batch shape they emit, and the
+  // lookup bit totals must stay exact (the manager's divergence estimate
+  // is priced off them).
+  for (const proptest::DriftKind kind :
+       {proptest::DriftKind::kGradual, proptest::DriftKind::kAbrupt,
+        proptest::DriftKind::kPeriodic}) {
+    proptest::DriftSpec spec;
+    spec.batches = 6;
+    spec.log2_batch_symbols = 12;
+    const auto failure = proptest::find_drift_failure(
+        kind, 2,
+        [](const proptest::DriftSource& src, const proptest::DriftCaseId&)
+            -> std::optional<std::string> {
+          for (std::size_t t = 0; t < src.spec().batches; t += 2) {
+            const std::vector<u16> input = src.batch<u16>(t);
+            const auto freq =
+                histogram_serial<u16>(input, src.spec().nbins);
+            const Codebook cb = build_codebook_serial(freq);
+            AdaptiveStats st;
+            const EncodedStream enc =
+                encode_adaptive_simt<u16, 32>(input, cb, {}, nullptr, &st);
+            if (decode_stream<u16>(enc, cb, 2) != input)
+              return "drift batch round trip mismatch";
+            if (st.total_code_bits != exact_code_bits(input, cb))
+              return "total_code_bits wrong on drift batch";
+          }
+          return std::nullopt;
+        },
+        spec);
+    EXPECT_FALSE(failure.has_value()) << *failure;
+  }
+}
 
 TEST(Adaptive, ReducesBreakingOnBimodalData) {
-  const auto input = bimodal_stream(400000, 11);
+  const auto input =
+      bimodal_stream(400000, proptest::case_seed(0xada9b10dull, 0));
   const auto freq = histogram_serial<u16>(input, 1024);
   const Codebook cb = build_codebook_serial(freq);
   const double avg = average_bitwidth(cb, freq);
@@ -105,7 +246,8 @@ TEST(Adaptive, ReducesBreakingOnBimodalData) {
 }
 
 TEST(Adaptive, ChunkFactorsTrackLocalDensity) {
-  const auto input = bimodal_stream(300000, 17);
+  const auto input =
+      bimodal_stream(300000, proptest::case_seed(0xada9c43cull, 0));
   const auto freq = histogram_serial<u16>(input, 1024);
   const Codebook cb = build_codebook_serial(freq);
   AdaptiveStats st;
@@ -118,15 +260,14 @@ TEST(Adaptive, ChunkFactorsTrackLocalDensity) {
     if (st.r_histogram[r] > 0) ++distinct;
   }
   EXPECT_GE(distinct, 2u);
-  // Calm chunks (codes ~1.5 bits) should pick large r; dense chunks
-  // (codes ~10 bits) small r.
   u64 total = 0;
   for (u64 h : st.r_histogram) total += h;
   EXPECT_EQ(total, enc.chunks());
 }
 
 TEST(Adaptive, HonorsConfigBounds) {
-  const auto input = bimodal_stream(50000, 21);
+  const auto input =
+      bimodal_stream(50000, proptest::case_seed(0xada9d21aull, 0));
   const auto freq = histogram_serial<u16>(input, 1024);
   const Codebook cb = build_codebook_serial(freq);
   AdaptiveConfig cfg;

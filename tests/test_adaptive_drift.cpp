@@ -1,0 +1,432 @@
+// Adaptive codebook lifecycle under drifting traffic
+// (svc/codebook_manager.hpp), proven deterministically on
+// util::VirtualClock — zero real sleeps anywhere in this file. The
+// drifting sources come from the proptest harness (proptest.hpp): seeded
+// families whose batch histograms sum to an exact power of two, so at the
+// default swing the fingerprint never changes (pure soft miss — the
+// covers() guard can never catch the drift; only the manager can), while
+// swing >= 1.6 also crosses fingerprint bands (hard misses racing
+// rebuilds — exercised by the fuzz suite and the soak below).
+//
+//   * Oracle bound: under gradual drift the manager's achieved ratio
+//     stays within 3% of an oracle that rebuilds every batch, while
+//     performing at most 10% as many builds.
+//   * Hysteresis: a disarmed bucket never re-triggers, however high the
+//     estimate, until it re-arms below divergence_low_bits.
+//   * Budget: the token bucket defers triggers when drained and releases
+//     them when the virtual clock replenishes it.
+//   * Recovery: after an abrupt regime switch, the hot-swapped book's
+//     ratio on the new regime is within tolerance of a cold fresh build.
+//   * Determinism: identical runs produce identical lifecycle counters.
+//   * Soak: 8 threads of drifting traffic through the full service under
+//     a fault storm covering every site including svc.adaptive.*; every
+//     future resolves and the lifecycle accounting balances exactly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/entropy.hpp"
+#include "core/pipeline.hpp"
+#include "obs/metrics.hpp"
+#include "proptest.hpp"
+#include "svc/service.hpp"
+#include "util/clock.hpp"
+#include "util/fault_inject.hpp"
+#include "util/rng.hpp"
+#include "util/work_steal.hpp"
+
+namespace parhuff {
+namespace {
+
+using proptest::DriftKind;
+using proptest::DriftSource;
+using proptest::DriftSpec;
+using svc::AdaptivePolicy;
+using svc::CodebookCache;
+using svc::CodebookManager;
+using svc::CompressionService;
+using svc::Fingerprint;
+using svc::ServiceConfig;
+using svc::SubmitOptions;
+using util::Clock;
+using util::FaultInjector;
+using util::ScopedFaults;
+using util::VirtualClock;
+
+PipelineConfig drift_config(std::size_t nbins = 64) {
+  PipelineConfig cfg;
+  cfg.nbins = static_cast<u32>(nbins);
+  cfg.codebook = CodebookKind::kSerialTree;
+  return cfg;
+}
+
+/// Thresholds tuned to the default gradual family: its divergence over
+/// the fresh-book baseline reaches ~0.09 bits/symbol by the end of the
+/// run (entropy ~4.6), so high=0.05 triggers once drift has cost real
+/// ratio and low=0.02 re-arms only after a swap restored the baseline.
+AdaptivePolicy oracle_policy() {
+  AdaptivePolicy p;
+  p.enabled = true;
+  p.window_decay = 0.5;
+  p.min_window_symbols = 1024;
+  p.divergence_high_bits = 0.05;
+  p.divergence_low_bits = 0.02;
+  p.max_rebuilds_per_period = 8;
+  p.budget_period_seconds = 1.0;
+  return p;
+}
+
+/// Directly-driven manager rig: the same cache + executor + clock wiring
+/// the service builds, without the batching/retry machinery, so each test
+/// sequences observe() / quiesce() exactly.
+struct DirectRig {
+  explicit DirectRig(const AdaptivePolicy& policy)
+      : pool(2), mgr(policy, cache, pool, vc) {}
+  CodebookCache cache;
+  WorkStealExecutor pool;
+  VirtualClock vc;
+  CodebookManager mgr;
+};
+
+/// One run of the service's shared phase against a drift source: per
+/// batch, consult the cache under the real fingerprint, apply the
+/// covers() guard, build+insert on miss, account the achieved bits, then
+/// observe + quiesce (the deterministic swap barrier — a triggered
+/// rebuild lands before the next batch, exactly what a drained service
+/// guarantees).
+struct DriveResult {
+  double achieved_bits = 0;  ///< Σ expected bits of the book actually used
+  double oracle_bits = 0;    ///< Σ expected bits of a per-batch fresh book
+  std::size_t hard_builds = 0;  ///< find() misses + covers() rejects
+  CodebookManager::Counters counters;
+};
+
+DriveResult drive(DirectRig& rig, const DriftSource& src,
+                  const PipelineConfig& cfg) {
+  DriveResult out;
+  const u64 seed = svc::cache_seed(cfg);
+  const double n = static_cast<double>(src.batch_symbols());
+  for (std::size_t t = 0; t < src.spec().batches; ++t) {
+    const std::vector<u64> h = src.histogram(t);
+    const Fingerprint fp = svc::fingerprint_histogram(h, seed);
+    std::shared_ptr<const Codebook> book = rig.cache.find(fp);
+    const bool hit = book && CodebookCache::covers(*book, h);
+    if (!hit) {
+      book = std::make_shared<const Codebook>(build_codebook(h, cfg));
+      rig.cache.insert(fp, book);
+      ++out.hard_builds;
+    }
+    out.achieved_bits += book->average_bits(h) * n;
+    const Codebook fresh = build_codebook(h, cfg);
+    out.oracle_bits += fresh.average_bits(h) * n;
+    rig.mgr.observe(fp, h, book, cfg, hit);
+    rig.mgr.quiesce();
+  }
+  out.counters = rig.mgr.counters();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(AdaptiveDrift, AchievesOracleRatioWithTenPercentOfTheBuilds) {
+  const auto failure = proptest::find_drift_failure(
+      DriftKind::kGradual, 2,
+      [](const DriftSource& src,
+         const proptest::DriftCaseId&) -> std::optional<std::string> {
+        const PipelineConfig cfg = drift_config(src.spec().nbins);
+        DirectRig rig(oracle_policy());
+        const DriveResult r = drive(rig, src, cfg);
+
+        // The construction keeps every batch inside one fingerprint: the
+        // drift is invisible to the covers() guard, so the manager is
+        // the only repair mechanism in play.
+        if (r.hard_builds != 1) {
+          return "expected exactly one hard build (t=0), got " +
+                 std::to_string(r.hard_builds);
+        }
+        const std::size_t builds =
+            r.hard_builds + static_cast<std::size_t>(
+                                r.counters.rebuilds_started);
+        const std::size_t oracle_builds = src.spec().batches;
+        if (builds * 10 > oracle_builds) {
+          return "too many builds: " + std::to_string(builds) + " vs oracle " +
+                 std::to_string(oracle_builds);
+        }
+        if (r.counters.rebuilds_applied < 1) {
+          return "drift never triggered a rebuild";
+        }
+        if (!(r.achieved_bits <= r.oracle_bits * 1.03)) {
+          return "achieved ratio drifted beyond 3% of the per-batch oracle: " +
+                 std::to_string(r.achieved_bits) + " vs " +
+                 std::to_string(r.oracle_bits);
+        }
+        // Lifecycle accounting is exact after quiesce().
+        const auto& c = r.counters;
+        if (c.rebuilds_started != c.rebuilds_applied + c.rebuilds_superseded +
+                                     c.rebuilds_cancelled + c.rebuilds_failed) {
+          return "lifecycle accounting unbalanced";
+        }
+        return std::nullopt;
+      });
+  EXPECT_FALSE(failure.has_value()) << *failure;
+}
+
+TEST(AdaptiveDrift, PostSwapRatioRecoversAfterAbruptShift) {
+  const auto failure = proptest::find_drift_failure(
+      DriftKind::kAbrupt, 2,
+      [](const DriftSource& src,
+         const proptest::DriftCaseId&) -> std::optional<std::string> {
+        const PipelineConfig cfg = drift_config(src.spec().nbins);
+        DirectRig rig(oracle_policy());
+        const DriveResult r = drive(rig, src, cfg);
+        if (r.counters.rebuilds_applied < 1) {
+          return "regime switch never triggered a rebuild";
+        }
+        // After the mid-run switch and the resulting hot swap, the book
+        // the cache now serves must price the *new* regime within
+        // tolerance of a cold fresh build — the swap actually repaired
+        // the ratio, it didn't just cycle the lifecycle counters.
+        const std::size_t last = src.spec().batches - 1;
+        const std::vector<u64> h = src.histogram(last);
+        const Fingerprint fp =
+            svc::fingerprint_histogram(h, svc::cache_seed(cfg));
+        const std::shared_ptr<const Codebook> swapped = rig.cache.find(fp);
+        if (!swapped) return "cache lost the bucket's book";
+        const Codebook fresh = build_codebook(h, cfg);
+        const double gap = swapped->average_bits(h) - fresh.average_bits(h);
+        if (!(gap <= 0.03)) {
+          return "post-swap book still " + std::to_string(gap) +
+                 " bits/symbol worse than a fresh build";
+        }
+        // The swap restored the baseline, so the bucket re-armed.
+        if (rig.mgr.divergence(fp) > rig.mgr.policy().divergence_low_bits) {
+          return "divergence did not fall back under the re-arm threshold";
+        }
+        return std::nullopt;
+      });
+  EXPECT_FALSE(failure.has_value()) << *failure;
+}
+
+TEST(AdaptiveDrift, HysteresisHoldsDisarmedBucketAfterFailedRebuild) {
+  // A failed rebuild leaves the bucket disarmed: however high the
+  // estimate stays, no second rebuild starts until the estimate falls
+  // below divergence_low_bits. This is the thrash bound — a persistently
+  // failing build must not be retried on every batch.
+  ScopedFaults scope(FaultInjector::global());
+  scope.arm("svc.adaptive.rebuild", 1.0);
+
+  const PipelineConfig cfg = drift_config();
+  DirectRig rig(oracle_policy());
+  // Uniform baseline and a sharply skewed drift over the same support.
+  std::vector<u64> base(64, 128);
+  std::vector<u64> skew(64, 4);
+  for (std::size_t i = 0; i < 8; ++i) skew[i] = 960;
+  const Fingerprint fp =
+      svc::fingerprint_histogram(base, svc::cache_seed(cfg));
+  const auto book =
+      std::make_shared<const Codebook>(build_codebook(base, cfg));
+
+  rig.mgr.observe(fp, base, book, cfg, /*cache_hit=*/false);  // baseline
+  for (int i = 0; i < 5; ++i) {
+    rig.mgr.observe(fp, skew, book, cfg, /*cache_hit=*/true);
+    rig.mgr.quiesce();
+  }
+  const auto c = rig.mgr.counters();
+  EXPECT_EQ(c.rebuilds_started, 1u) << "disarmed bucket re-triggered";
+  EXPECT_EQ(c.rebuilds_failed, 1u);
+  EXPECT_GE(c.hysteresis_held, 3u);
+  EXPECT_GT(rig.mgr.divergence(fp),
+            rig.mgr.policy().divergence_high_bits);
+  EXPECT_EQ(c.rebuilds_started, c.rebuilds_applied + c.rebuilds_superseded +
+                                    c.rebuilds_cancelled + c.rebuilds_failed);
+}
+
+TEST(AdaptiveDrift, BudgetDefersTriggersUntilTheClockReplenishes) {
+  AdaptivePolicy policy = oracle_policy();
+  policy.max_rebuilds_per_period = 1;
+  policy.budget_period_seconds = 1.0;
+  const PipelineConfig cfg = drift_config();
+  DirectRig rig(policy);
+
+  // Two independent buckets, both drifted far over threshold. The bases
+  // must differ in *shape*, not just scale — the fingerprint bands are
+  // shares, so two flat histograms collide whatever their totals.
+  std::vector<u64> base_a(64, 128), base_b(64, 64);
+  base_b[0] = 2048;
+  std::vector<u64> skew(64, 4);
+  for (std::size_t i = 0; i < 8; ++i) skew[i] = 960;
+  const Fingerprint fa =
+      svc::fingerprint_histogram(base_a, svc::cache_seed(cfg));
+  const Fingerprint fb =
+      svc::fingerprint_histogram(base_b, svc::cache_seed(cfg));
+  ASSERT_NE(fa.hash, fb.hash);
+  const auto book_a =
+      std::make_shared<const Codebook>(build_codebook(base_a, cfg));
+  const auto book_b =
+      std::make_shared<const Codebook>(build_codebook(base_b, cfg));
+  rig.mgr.observe(fa, base_a, book_a, cfg, false);
+  rig.mgr.observe(fb, base_b, book_b, cfg, false);
+
+  // Both trigger in the same instant: one token, so exactly one starts
+  // and the other defers — but stays armed.
+  rig.mgr.observe(fa, skew, book_a, cfg, true);
+  rig.mgr.observe(fb, skew, book_b, cfg, true);
+  rig.mgr.quiesce();
+  auto c = rig.mgr.counters();
+  EXPECT_EQ(c.rebuilds_started, 1u);
+  EXPECT_EQ(c.budget_deferred, 1u);
+
+  // No time has passed: the deferred bucket re-fires and defers again.
+  rig.mgr.observe(fb, skew, book_b, cfg, true);
+  rig.mgr.quiesce();
+  c = rig.mgr.counters();
+  EXPECT_EQ(c.rebuilds_started, 1u);
+  EXPECT_EQ(c.budget_deferred, 2u);
+
+  // Advance the virtual clock past the period: the token bucket
+  // replenishes and the held trigger goes through.
+  rig.vc.advance(Clock::dur(2.0));
+  rig.mgr.observe(fb, skew, book_b, cfg, true);
+  rig.mgr.quiesce();
+  c = rig.mgr.counters();
+  EXPECT_EQ(c.rebuilds_started, 2u);
+  EXPECT_EQ(c.rebuilds_applied, 2u);
+  EXPECT_EQ(c.rebuilds_started, c.rebuilds_applied + c.rebuilds_superseded +
+                                    c.rebuilds_cancelled + c.rebuilds_failed);
+}
+
+TEST(AdaptiveDrift, IdenticalRunsProduceIdenticalLifecycles) {
+  DriftSpec spec;
+  spec.batches = 40;
+  const DriftSource src(
+      spec, proptest::case_seed(0xd21f7000ull, 7));
+  const PipelineConfig cfg = drift_config();
+  auto run = [&] {
+    DirectRig rig(oracle_policy());
+    return drive(rig, src, cfg);
+  };
+  const DriveResult a = run();
+  const DriveResult b = run();
+  EXPECT_EQ(a.achieved_bits, b.achieved_bits);
+  EXPECT_EQ(a.hard_builds, b.hard_builds);
+  EXPECT_EQ(a.counters.observations, b.counters.observations);
+  EXPECT_EQ(a.counters.estimates, b.counters.estimates);
+  EXPECT_EQ(a.counters.rebuilds_started, b.counters.rebuilds_started);
+  EXPECT_EQ(a.counters.rebuilds_applied, b.counters.rebuilds_applied);
+  EXPECT_EQ(a.counters.rebuilds_superseded, b.counters.rebuilds_superseded);
+  EXPECT_EQ(a.counters.rebuilds_cancelled, b.counters.rebuilds_cancelled);
+  EXPECT_EQ(a.counters.rebuilds_failed, b.counters.rebuilds_failed);
+  EXPECT_EQ(a.counters.budget_deferred, b.counters.budget_deferred);
+  EXPECT_EQ(a.counters.hysteresis_held, b.counters.hysteresis_held);
+}
+
+// --- Soak: drifting traffic × fault storm through the full service. ----------
+
+TEST(AdaptiveDrift, SoakFaultStormEveryFutureResolvesAndAccountingBalances) {
+  ScopedFaults scope(FaultInjector::global());
+  FaultInjector::global().seed(2026);
+  scope.arm("svc.histogram", 0.05)
+      .arm("svc.codebook", 0.1)
+      .arm("svc.encode", 0.1)
+      .arm("svc.cache.find", 0.05)
+      .arm("svc.cache.insert", 0.05)
+      .arm("executor.submit", 0.05)
+      .arm("svc.adaptive.estimate", 0.2)
+      .arm("svc.adaptive.rebuild", 0.3);
+
+  // Activity-driven virtual time (the soak idiom from test_fault.cpp):
+  // every clock query advances 20 µs, so deadlines, backoff sleeps, the
+  // batch window and the rebuild token bucket all run at full logical
+  // coverage with zero real sleeping.
+  VirtualClock vc;
+  vc.auto_advance_every(1, Clock::dur(20e-6));
+
+  ServiceConfig sc;
+  sc.workers = 4;
+  sc.queue_capacity = 64;
+  sc.retry.max_attempts = 2;
+  sc.retry.backoff.initial_seconds = 20e-6;
+  sc.retry.backoff.max_seconds = 200e-6;
+  sc.batch_window_seconds = 100e-6;
+  sc.clock = &vc;
+  sc.adaptive.enabled = true;
+  sc.adaptive.window_decay = 0.5;
+  sc.adaptive.min_window_symbols = 256;
+  sc.adaptive.divergence_high_bits = 0.02;
+  sc.adaptive.divergence_low_bits = 0.01;
+  sc.adaptive.max_rebuilds_per_period = 4;
+  sc.adaptive.budget_period_seconds = 1e-3;
+  CompressionService<u16> svc(sc);
+  ASSERT_NE(svc.adaptive(), nullptr);
+
+  constexpr int kThreads = 8;
+  std::atomic<int> ok{0}, deadline{0}, cancelled{0}, other{0};
+  std::atomic<int> bad_roundtrip{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      DriftSpec spec;
+      spec.batches = 30;
+      spec.log2_batch_symbols = 11;
+      // Even threads drift inside one fingerprint (pure soft misses);
+      // odd threads cross bands too (hard misses racing rebuilds).
+      if (t % 2 == 1) spec.swing = 1.6;
+      const DriftSource src(
+          spec, proptest::case_seed(0x50a7e000ull, static_cast<u64>(t)));
+      Xoshiro256 rng(3000 + static_cast<u64>(t));
+      for (std::size_t i = 0; i < spec.batches; ++i) {
+        const std::vector<u16> data = src.batch<u16>(i);
+        SubmitOptions opts;
+        const u64 dl = rng.below(10);
+        if (dl < 2) {
+          opts.deadline =
+              svc::Deadline::in(50e-6 * static_cast<double>(1 + dl), vc);
+        } else if (dl < 4) {
+          opts.deadline = svc::Deadline::in(5.0, vc);
+        }
+        auto sub =
+            svc.submit(std::span<const u16>(data), drift_config(), opts);
+        if (rng.below(12) == 0) (void)sub.handle.cancel();
+        try {
+          const auto res = sub.result.get();
+          ok.fetch_add(1);
+          if (svc::decompress(res) != data) bad_roundtrip.fetch_add(1);
+        } catch (const svc::DeadlineExceeded&) {
+          deadline.fetch_add(1);
+        } catch (const svc::CancelledError&) {
+          cancelled.fetch_add(1);
+        } catch (...) {
+          other.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const int total = kThreads * 30;
+  EXPECT_EQ(ok.load() + deadline.load() + cancelled.load() + other.load(),
+            total);
+  EXPECT_EQ(other.load(), 0) << "a fault leaked past the retry/degrade net";
+  EXPECT_EQ(bad_roundtrip.load(), 0);
+  EXPECT_GT(ok.load(), 0);
+
+  svc.drain();
+  svc.adaptive()->quiesce();
+  // The lifecycle invariant under the storm: every started rebuild
+  // resolved, as exactly one of the four outcomes.
+  const auto c = svc.adaptive()->counters();
+  EXPECT_EQ(c.rebuilds_started, c.rebuilds_applied + c.rebuilds_superseded +
+                                    c.rebuilds_cancelled + c.rebuilds_failed);
+  EXPECT_GT(c.observations, 0u);
+  EXPECT_EQ(c.estimates + c.estimate_failures, c.observations)
+      << "every observation either produced an estimate or counted a failure";
+}
+
+}  // namespace
+}  // namespace parhuff

@@ -24,8 +24,11 @@
 #include "lossy/fused.hpp"
 #include "lossy/lossy.hpp"
 #include "proptest.hpp"
+#include "svc/service.hpp"
+#include "util/clock.hpp"
 #include "util/hash.hpp"
 #include "util/rng.hpp"
+#include "util/work_steal.hpp"
 
 namespace parhuff {
 namespace {
@@ -598,6 +601,177 @@ TEST(FuzzDecode, RandomPayloadBitFlipsThrowOrMisdecode) {
     } catch (const std::exception&) {
       // acceptable: the flip desynchronized a chunk past its bit budget
     }
+  }
+}
+
+// --- Adaptive codebook lifecycle races (svc/codebook_manager.hpp). -----------
+// Seeded sweeps over the three race windows the drift tests can't pin
+// one-shot: stop() landing mid-swap, a covers() hard miss resyncing a
+// bucket while its rebuild is in flight, and a forged fingerprint
+// colliding a fresh-looking book with traffic it cannot encode.
+
+namespace fuzz_adaptive {
+
+svc::AdaptivePolicy eager_policy() {
+  svc::AdaptivePolicy p;
+  p.enabled = true;
+  p.window_decay = 0.5;
+  p.min_window_symbols = 256;
+  p.divergence_high_bits = 0.02;
+  p.divergence_low_bits = 0.01;
+  p.max_rebuilds_per_period = 0;  // unlimited: the fuzz wants max traffic
+  return p;
+}
+
+PipelineConfig bins64_config() {
+  PipelineConfig cfg;
+  cfg.nbins = 64;
+  cfg.codebook = CodebookKind::kSerialTree;
+  return cfg;
+}
+
+}  // namespace fuzz_adaptive
+
+TEST(FuzzAdaptive, StopRacingInflightRebuildAlwaysBalances) {
+  // Trigger a rebuild, then stop()/destroy at a seed-chosen point — with
+  // or without an intervening quiesce(). Whatever the interleaving, every
+  // started rebuild must resolve as exactly one outcome and destruction
+  // must not hang or touch freed state (TSan/ASan runs cover this test).
+  const PipelineConfig cfg = fuzz_adaptive::bins64_config();
+  proptest::DriftSpec spec;
+  const proptest::DriftSource src(spec, proptest::case_seed(0xfa2e0001ull, 0));
+  const std::vector<u64> h0 = src.histogram(0);
+  const std::vector<u64> h1 = src.histogram(spec.batches - 1);
+  const svc::Fingerprint fp =
+      svc::fingerprint_histogram(h0, svc::cache_seed(cfg));
+  for (u64 trial = 0; trial < 24; ++trial) {
+    Xoshiro256 rng(proptest::case_seed(0xfa2e1000ull, trial));
+    svc::CodebookCache cache;
+    WorkStealExecutor pool(2);
+    util::VirtualClock vc;
+    svc::CodebookManager::Counters c;
+    {
+      svc::CodebookManager mgr(fuzz_adaptive::eager_policy(), cache, pool, vc);
+      const auto book = std::make_shared<const Codebook>(
+          build_codebook(h0, cfg));
+      cache.insert(fp, book);
+      mgr.observe(fp, h0, book, cfg, false);
+      mgr.observe(fp, h1, book, cfg, true);  // divergence >> high: triggers
+      if (rng.below(2)) mgr.quiesce();       // else: stop races the rebuild
+      mgr.stop();
+      if (rng.below(2)) mgr.quiesce();
+      // Post-stop observes are no-ops, not crashes.
+      mgr.observe(fp, h1, book, cfg, true);
+      mgr.stop();  // idempotent
+      mgr.quiesce();
+      c = mgr.counters();
+    }  // dtor: stop + quiesce again
+    EXPECT_EQ(c.rebuilds_started, 1u);
+    EXPECT_EQ(c.rebuilds_started,
+              c.rebuilds_applied + c.rebuilds_superseded +
+                  c.rebuilds_cancelled + c.rebuilds_failed);
+  }
+}
+
+TEST(FuzzAdaptive, HardMissResyncRacingRebuildKeepsTheFresherBook) {
+  // While a rebuild for bucket fp is in flight, a covers()-style hard
+  // miss installs its own fresh book and resyncs the bucket (generation
+  // bump). Depending on scheduling the rebuild lands first (applied) or
+  // comes home stale (superseded) — both are sanctioned; what may never
+  // happen is the race losing the bucket's coverage of recent traffic.
+  const PipelineConfig cfg = fuzz_adaptive::bins64_config();
+  for (u64 trial = 0; trial < 24; ++trial) {
+    proptest::DriftSpec spec;
+    const proptest::DriftSource src(spec,
+                                    proptest::case_seed(0xfa2e2000ull, trial));
+    const std::vector<u64> h0 = src.histogram(0);
+    const std::vector<u64> h1 = src.histogram(spec.batches - 1);
+    const svc::Fingerprint fp =
+        svc::fingerprint_histogram(h0, svc::cache_seed(cfg));
+    svc::CodebookCache cache;
+    WorkStealExecutor pool(2);
+    util::VirtualClock vc;
+    svc::CodebookManager mgr(fuzz_adaptive::eager_policy(), cache, pool, vc);
+
+    const auto book0 =
+        std::make_shared<const Codebook>(build_codebook(h0, cfg));
+    cache.insert(fp, book0);
+    mgr.observe(fp, h0, book0, cfg, false);
+    mgr.observe(fp, h1, book0, cfg, true);  // rebuild in flight
+    // The racing hard miss: a fresh build for the same bucket goes in
+    // through the same insert path the batcher uses.
+    const auto book1 =
+        std::make_shared<const Codebook>(build_codebook(h1, cfg));
+    cache.insert(fp, book1);
+    mgr.observe(fp, h1, book1, cfg, false);
+    mgr.quiesce();
+
+    const auto c = mgr.counters();
+    EXPECT_EQ(c.rebuilds_started, 1u);
+    EXPECT_EQ(c.rebuilds_applied + c.rebuilds_superseded, 1u)
+        << "a faultless race must resolve applied or superseded";
+    EXPECT_EQ(c.rebuilds_failed, 0u);
+    const auto cached = cache.find(fp);
+    ASSERT_NE(cached, nullptr);
+    EXPECT_TRUE(svc::CodebookCache::covers(*cached, h1));
+  }
+}
+
+TEST(FuzzAdaptive, ForgedFingerprintCollisionNeverDecodesWrong) {
+  // A forged (or stale-across-alphabet) cache entry colliding with live
+  // traffic it cannot encode must always be caught by the covers() guard:
+  // the request builds fresh, round-trips exactly, and the adaptive
+  // manager resyncs the bucket rather than estimating against the
+  // imposter. Randomize which symbols the imposter is missing.
+  const PipelineConfig cfg = fuzz_adaptive::bins64_config();
+  for (u64 trial = 0; trial < 12; ++trial) {
+    Xoshiro256 rng(proptest::case_seed(0xfa2e3000ull, trial));
+    util::VirtualClock vc;
+    vc.auto_advance_every(1, util::Clock::dur(20e-6));
+    svc::ServiceConfig sc;
+    sc.workers = 2;
+    sc.batch_window_seconds = 0;
+    sc.adaptive = fuzz_adaptive::eager_policy();
+    sc.clock = &vc;
+    svc::CompressionService<u16> service(sc);
+
+    // Live traffic over the full 64-bin support.
+    proptest::DriftSpec spec;
+    spec.log2_batch_symbols = 11;
+    const proptest::DriftSource src(spec,
+                                    proptest::case_seed(0xfa2e4000ull, trial));
+    const std::vector<u16> request = src.batch<u16>(0);
+    const auto freq = histogram_serial<u16>(request, cfg.nbins);
+    const svc::Fingerprint fp =
+        svc::fingerprint_histogram(freq, svc::cache_seed(cfg));
+
+    // The imposter covers a random strict subset of the support.
+    std::vector<u64> forged(cfg.nbins, 0);
+    for (std::size_t i = 0; i < forged.size(); ++i) {
+      if (rng.below(3) != 0) forged[i] = 1 + rng.below(100);
+    }
+    forged[rng.below(forged.size())] = 0;  // at least one hole
+    bool any = false, hole = false;
+    for (std::size_t i = 0; i < forged.size(); ++i) {
+      any |= forged[i] > 0;
+      hole |= forged[i] == 0 && freq[i] > 0;
+    }
+    if (!any || !hole) continue;  // degenerate draw: nothing to prove
+    service.cache().insert(
+        fp, std::make_shared<const Codebook>(build_codebook(forged, cfg)));
+
+    const auto res =
+        service.submit(std::span<const u16>(request), cfg).get();
+    EXPECT_FALSE(res.cache_hit) << "the imposter book was used for encoding";
+    EXPECT_EQ(svc::decompress(res), request);
+
+    // The guard reject reached the manager as a resync, not an estimate
+    // against the imposter: no rebuild can have started off it.
+    ASSERT_NE(service.adaptive(), nullptr);
+    service.adaptive()->quiesce();
+    const auto c = service.adaptive()->counters();
+    EXPECT_EQ(c.rebuilds_started, 0u);
+    EXPECT_GT(c.observations, 0u);
   }
 }
 

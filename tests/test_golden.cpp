@@ -8,12 +8,18 @@
 #include <cmath>
 #include <cstring>
 
+#include "core/decode_gaparray.hpp"
+#include "core/encode_reduceshuffle.hpp"
 #include "core/format.hpp"
 #include "core/pipeline.hpp"
 #include "data/quant.hpp"
 #include "lossy/fused.hpp"
 #include "lossy/lossy.hpp"
+#include "proptest.hpp"
+#include "svc/service.hpp"
+#include "util/clock.hpp"
 #include "util/hash.hpp"
+#include "util/work_steal.hpp"
 
 namespace parhuff {
 namespace {
@@ -217,6 +223,64 @@ TEST(Golden, Phf3WithoutRleStaysByteIdentical) {
     std::printf("golden phf3 digest: 0x%016llx size=%zu\n",
                 static_cast<unsigned long long>(digest), bytes.size());
   }
+}
+
+TEST(Golden, HotSwappedBookSerializesIdenticallyToColdBuild) {
+  // The adaptive lifecycle's hot-swap path (svc/codebook_manager.hpp)
+  // feeds build_codebook a rounded snapshot of its traffic window. With
+  // window_decay = 0 the window IS the last batch's integral histogram,
+  // and round_window() must hand it back exactly — so the swapped-in book,
+  // encoded and gap-annotated into a PHF3 container, must serialize byte
+  // for byte like a book built cold from the same histogram. Any rounding
+  // or normalization sneaking into the swap path breaks this pin.
+  PipelineConfig cfg;
+  cfg.nbins = 64;
+  cfg.codebook = CodebookKind::kSerialTree;
+  proptest::DriftSpec spec;
+  const proptest::DriftSource src(spec, proptest::case_seed(0x901dful, 1));
+  const std::vector<u64> h0 = src.histogram(0);
+  const std::vector<u64> last = src.histogram(spec.batches - 1);
+
+  svc::AdaptivePolicy policy;
+  policy.enabled = true;
+  policy.window_decay = 0;  // window == latest batch, exactly integral
+  policy.min_window_symbols = 256;
+  policy.divergence_high_bits = 0.02;
+  policy.divergence_low_bits = 0.01;
+  policy.max_rebuilds_per_period = 0;
+
+  svc::CodebookCache cache;
+  WorkStealExecutor pool(2);
+  util::VirtualClock vc;
+  svc::CodebookManager mgr(policy, cache, pool, vc);
+  const svc::Fingerprint fp =
+      svc::fingerprint_histogram(h0, svc::cache_seed(cfg));
+  const auto book0 = std::make_shared<const Codebook>(build_codebook(h0, cfg));
+  cache.insert(fp, book0);
+  mgr.observe(fp, h0, book0, cfg, false);
+  mgr.observe(fp, last, book0, cfg, true);
+  mgr.quiesce();
+  ASSERT_EQ(mgr.counters().rebuilds_applied, 1u);
+  const std::shared_ptr<const Codebook> swapped = cache.find(fp);
+  ASSERT_NE(swapped, nullptr);
+  ASSERT_NE(swapped.get(), book0.get()) << "the swap never landed";
+
+  const Codebook cold = build_codebook(last, cfg);
+  const std::vector<u16> data = src.batch<u16>(spec.batches - 1);
+  auto phf3_bytes = [&](const Codebook& cb) {
+    Compressed<u16> blob;
+    blob.codebook = cb;
+    blob.stream = encode_reduceshuffle_simt<u16>(
+        data, cb, ReduceShuffleConfig{8, 2}, nullptr, nullptr);
+    annotate_gaps(blob.stream, cb, 1024);
+    return serialize(blob);
+  };
+  const std::vector<u8> hot = phf3_bytes(*swapped);
+  const std::vector<u8> cold_bytes = phf3_bytes(cold);
+  ASSERT_EQ(std::memcmp(hot.data(), "PHF3", 4), 0);
+  EXPECT_EQ(hot, cold_bytes)
+      << "hot-swapped book's container diverged from the cold build";
+  EXPECT_EQ(decompress(deserialize<u16>(hot), 2), data);
 }
 
 }  // namespace
